@@ -1,0 +1,55 @@
+//! Multi-level cache benchmarks: hit paths vs the simulated OSS miss path,
+//! and prefetch range merging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logstore_cache::prefetch::merge_ranges;
+use logstore_cache::tiered::{BlockKey, TieredCache};
+use logstore_oss::{LatencyModel, MemoryStore, ObjectStore, SimulatedOss};
+use std::hint::black_box;
+
+fn bench_cache_paths(c: &mut Criterion) {
+    let store = SimulatedOss::new(MemoryStore::new(), LatencyModel::zero(), 1);
+    store.inner().put("obj", &vec![1u8; 128 * 1024]).unwrap();
+    let cache = TieredCache::memory_only(64 << 20);
+    let key = BlockKey { path: "obj".into(), offset: 0 };
+    cache
+        .get_or_fetch(&key, || store.get_range("obj", 0, 128 * 1024))
+        .unwrap();
+
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(50);
+    group.bench_function("memory hit (128 KiB block)", |b| {
+        b.iter(|| {
+            cache
+                .get_or_fetch(black_box(&key), || unreachable!("must hit"))
+                .unwrap()
+        })
+    });
+    group.bench_function("miss + fetch (128 KiB block)", |b| {
+        let mut offset = 1u64;
+        b.iter(|| {
+            // A fresh key every iteration forces the miss path.
+            let key = BlockKey { path: "obj".into(), offset };
+            offset += 1;
+            cache
+                .get_or_fetch(&key, || store.get_range("obj", 0, 128 * 1024))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge_ranges(c: &mut Criterion) {
+    let ranges: Vec<(u64, u64)> = (0..1000)
+        .map(|i| ((i * 37) % 5000 * 100, 150))
+        .collect();
+    let mut group = c.benchmark_group("cache/prefetch");
+    group.sample_size(50);
+    group.bench_function("merge 1000 ranges", |b| {
+        b.iter(|| merge_ranges(black_box(ranges.clone())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_paths, bench_merge_ranges);
+criterion_main!(benches);

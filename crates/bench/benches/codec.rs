@@ -1,0 +1,57 @@
+//! Compression codec micro-benchmarks: the CPU/ratio trade-off behind the
+//! paper's Snappy/LZ4/ZSTD menu (our lz-fast / lz-high codecs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logstore_codec::{compress, decompress, Compression};
+use std::hint::black_box;
+
+fn log_like_payload(n_lines: usize) -> Vec<u8> {
+    let mut data = Vec::new();
+    for i in 0..n_lines {
+        data.extend_from_slice(
+            format!(
+                "2020-11-11 {:02}:{:02}:{:02} GET /api/v1/users id={} latency={}ms status=ok\n",
+                i / 3600 % 24,
+                i / 60 % 60,
+                i % 60,
+                i * 7,
+                i % 300
+            )
+            .as_bytes(),
+        );
+    }
+    data
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data = log_like_payload(4096);
+    let mut group = c.benchmark_group("codec/compress");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for codec in [Compression::Rle, Compression::LzFast, Compression::LzHigh] {
+        let ratio = data.len() as f64 / compress(codec, &data).len() as f64;
+        group.bench_with_input(
+            BenchmarkId::new(format!("{codec} (ratio {ratio:.1}x)"), data.len()),
+            &data,
+            |b, data| b.iter(|| compress(codec, black_box(data))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = log_like_payload(4096);
+    let mut group = c.benchmark_group("codec/decompress");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for codec in [Compression::LzFast, Compression::LzHigh] {
+        let frame = compress(codec, &data);
+        group.bench_with_input(BenchmarkId::new(codec.to_string(), data.len()), &frame, |b, f| {
+            b.iter(|| decompress(black_box(f), data.len()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Index micro-benchmarks: inverted term lookup and BKD range queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logstore_index::{BkdReader, BkdWriter, InvertedIndexReader, InvertedIndexWriter};
+use std::hint::black_box;
+
+const ROWS: u32 = 100_000;
+
+fn inverted() -> InvertedIndexReader {
+    let mut w = InvertedIndexWriter::new();
+    for i in 0..ROWS {
+        w.add(i, &format!("GET /api/v1/endpoint{} status={}", i % 500, 200 + i % 5));
+    }
+    InvertedIndexReader::open(&w.finish(), ROWS).unwrap()
+}
+
+fn bkd() -> BkdReader {
+    let mut w = BkdWriter::new();
+    for i in 0..ROWS {
+        w.add(i64::from(i % 10_000) * 3, i);
+    }
+    BkdReader::open(&w.finish(), ROWS).unwrap()
+}
+
+fn bench_inverted(c: &mut Criterion) {
+    let idx = inverted();
+    let mut group = c.benchmark_group("index/inverted");
+    group.sample_size(30);
+    group.bench_function("token-lookup (200 hits)", |b| {
+        b.iter(|| idx.lookup_token(black_box("endpoint42")).unwrap())
+    });
+    group.bench_function("token-lookup (miss)", |b| {
+        b.iter(|| idx.lookup_token(black_box("nonexistent")).unwrap())
+    });
+    group.bench_function("exact-lookup", |b| {
+        b.iter(|| idx.lookup_exact(black_box("GET /api/v1/endpoint42 status=202")).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bkd(c: &mut Criterion) {
+    let idx = bkd();
+    let mut group = c.benchmark_group("index/bkd");
+    group.sample_size(30);
+    group.bench_function("narrow-range", |b| {
+        b.iter(|| idx.query_range(black_box(300), black_box(330)).unwrap())
+    });
+    group.bench_function("wide-range (10%)", |b| {
+        b.iter(|| idx.query_range(black_box(0), black_box(3_000)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inverted, bench_bkd);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Shared plumbing for the figure-reproduction harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper's
+//! evaluation (§6); see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results. The helpers here keep
+//! the harness outputs uniform: aligned text tables and percentile
+//! summaries.
+
+pub mod balancing;
+pub mod dataset;
+
+/// Prints an aligned text table: header row + data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Percentile of a sorted slice (p in [0, 100]).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Fraction of samples strictly below `threshold`.
+pub fn fraction_below(sorted: &[f64], threshold: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.partition_point(|&x| x < threshold);
+    n as f64 / sorted.len() as f64
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_below_counts() {
+        let xs = vec![1.0, 2.0, 3.0];
+        assert_eq!(fraction_below(&xs, 2.5), 2.0 / 3.0);
+        assert_eq!(fraction_below(&xs, 0.5), 0.0);
+        assert_eq!(fraction_below(&xs, 10.0), 1.0);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

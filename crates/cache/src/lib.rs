@@ -1,0 +1,22 @@
+//! Multi-level data cache and parallel prefetch (paper §5.2, Figs 9–10).
+//!
+//! Query execution over OSS pays tens of milliseconds per request; LogStore
+//! hides that with:
+//!
+//! * a **multi-level block cache** — a memory tier (the paper's 8 GB block
+//!   cache) that spills evictions to an SSD tier (the 200 GB file cache),
+//!   both managed by size-aware LRU;
+//! * a **block-alignment adapter** — range reads are widened to fixed cache
+//!   blocks so nearby reads reuse each other's I/O;
+//! * a **parallel prefetcher** — a file's block list is deduplicated,
+//!   merged, and fetched by a thread pool before the query needs it.
+
+pub mod lru;
+pub mod prefetch;
+pub mod source;
+pub mod tiered;
+
+pub use lru::SizedLru;
+pub use prefetch::{merge_ranges, Prefetcher};
+pub use source::CachedObjectSource;
+pub use tiered::{CacheStats, DiskBlockCache, MemoryBlockCache, TieredCache};

@@ -1,0 +1,311 @@
+//! The multi-level block cache (paper Fig 9).
+//!
+//! Memory tier → disk (SSD) tier → origin. Memory evictions spill to disk
+//! ("when its size exceeds the threshold, the memory cache will spill to
+//! the SSD block cache"); disk hits are promoted back to memory.
+
+use crate::lru::SizedLru;
+use logstore_types::Result;
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache block key: one aligned byte range of one object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockKey {
+    /// Object path on OSS.
+    pub path: String,
+    /// Aligned block offset.
+    pub offset: u64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Served from the memory tier.
+    pub memory_hits: u64,
+    /// Served from the disk tier.
+    pub disk_hits: u64,
+    /// Fetched from the origin.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.misses
+    }
+
+    /// Any-tier hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.memory_hits + self.disk_hits) as f64 / lookups as f64
+        }
+    }
+}
+
+/// The in-memory tier.
+pub struct MemoryBlockCache {
+    lru: Mutex<SizedLru<BlockKey, Arc<Vec<u8>>>>,
+}
+
+impl MemoryBlockCache {
+    /// Creates a tier bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        MemoryBlockCache { lru: Mutex::new(SizedLru::new(capacity_bytes)) }
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
+        self.lru.lock().get(key).cloned()
+    }
+
+    /// Inserts a block, returning spilled evictions.
+    pub fn put(&self, key: BlockKey, data: Arc<Vec<u8>>) -> Vec<(BlockKey, Arc<Vec<u8>>)> {
+        let size = data.len();
+        self.lru.lock().put(key, data, size)
+    }
+
+    /// Bytes held.
+    pub fn used_bytes(&self) -> usize {
+        self.lru.lock().used_bytes()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.lru.lock().clear();
+    }
+}
+
+/// The on-disk (SSD) tier: one file per cached block under a root dir, with
+/// an in-memory LRU index whose evictions delete files.
+pub struct DiskBlockCache {
+    root: PathBuf,
+    index: Mutex<SizedLru<BlockKey, PathBuf>>,
+    seq: AtomicU64,
+}
+
+impl DiskBlockCache {
+    /// Opens (creating) a disk tier bounded to `capacity_bytes`.
+    pub fn open(root: impl AsRef<Path>, capacity_bytes: usize) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskBlockCache {
+            root,
+            index: Mutex::new(SizedLru::new(capacity_bytes)),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up a block, reading its file.
+    pub fn get(&self, key: &BlockKey) -> Option<Vec<u8>> {
+        let path = self.index.lock().get(key).cloned()?;
+        match std::fs::read(&path) {
+            Ok(data) => Some(data),
+            Err(_) => {
+                // File vanished under us; drop the index entry.
+                self.index.lock().remove(key);
+                None
+            }
+        }
+    }
+
+    /// Inserts a block (spilled from memory or fetched directly).
+    pub fn put(&self, key: BlockKey, data: &[u8]) -> Result<()> {
+        let file = self
+            .root
+            .join(format!("blk-{}.cache", self.seq.fetch_add(1, Ordering::Relaxed)));
+        std::fs::write(&file, data)?;
+        let evicted = self.index.lock().put(key, file, data.len());
+        for (_, old_file) in evicted {
+            let _ = std::fs::remove_file(old_file);
+        }
+        Ok(())
+    }
+
+    /// Bytes accounted in the index.
+    pub fn used_bytes(&self) -> usize {
+        self.index.lock().used_bytes()
+    }
+}
+
+/// Memory tier over disk tier over origin.
+pub struct TieredCache {
+    memory: MemoryBlockCache,
+    disk: Option<DiskBlockCache>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TieredCache {
+    /// A memory-only cache.
+    pub fn memory_only(capacity_bytes: usize) -> Self {
+        TieredCache {
+            memory: MemoryBlockCache::new(capacity_bytes),
+            disk: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Memory + disk tiers.
+    pub fn with_disk(memory_bytes: usize, disk: DiskBlockCache) -> Self {
+        TieredCache {
+            memory: MemoryBlockCache::new(memory_bytes),
+            disk: Some(disk),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetches a block through the tiers, calling `fetch` only on a full
+    /// miss. Misses populate memory; memory evictions spill to disk.
+    pub fn get_or_fetch(
+        &self,
+        key: &BlockKey,
+        fetch: impl FnOnce() -> Result<Vec<u8>>,
+    ) -> Result<Arc<Vec<u8>>> {
+        if let Some(hit) = self.memory.get(key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(data) = disk.get(key) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let data = Arc::new(data);
+                self.insert(key.clone(), Arc::clone(&data))?;
+                return Ok(data);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(fetch()?);
+        self.insert(key.clone(), Arc::clone(&data))?;
+        Ok(data)
+    }
+
+    /// Inserts a block directly (prefetch path).
+    pub fn insert(&self, key: BlockKey, data: Arc<Vec<u8>>) -> Result<()> {
+        let spilled = self.memory.put(key, data);
+        if let Some(disk) = &self.disk {
+            for (k, v) in spilled {
+                disk.put(k, &v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True if the block is in the memory tier right now.
+    pub fn contains_in_memory(&self, key: &BlockKey) -> bool {
+        self.memory.get(key).is_some()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears the memory tier (tests).
+    pub fn clear_memory(&self) {
+        self.memory.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(path: &str, offset: u64) -> BlockKey {
+        BlockKey { path: path.to_string(), offset }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "logstore-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_only_hit_miss_accounting() {
+        let cache = TieredCache::memory_only(1 << 20);
+        let k = key("obj", 0);
+        let v1 = cache.get_or_fetch(&k, || Ok(vec![1, 2, 3])).unwrap();
+        assert_eq!(*v1, vec![1, 2, 3]);
+        let v2 = cache.get_or_fetch(&k, || panic!("must not refetch")).unwrap();
+        assert_eq!(*v2, vec![1, 2, 3]);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fetch_error_propagates_and_is_not_cached() {
+        let cache = TieredCache::memory_only(1 << 20);
+        let k = key("obj", 0);
+        let err = cache.get_or_fetch(&k, || {
+            Err(logstore_types::Error::NotFound("gone".into()))
+        });
+        assert!(err.is_err());
+        // A later successful fetch works.
+        let v = cache.get_or_fetch(&k, || Ok(vec![9])).unwrap();
+        assert_eq!(*v, vec![9]);
+    }
+
+    #[test]
+    fn memory_evictions_spill_to_disk_and_promote_back() {
+        let dir = temp_dir("spill");
+        let disk = DiskBlockCache::open(&dir, 1 << 20).unwrap();
+        // Memory tier fits only one 100-byte block.
+        let cache = TieredCache::with_disk(150, disk);
+        let k1 = key("obj", 0);
+        let k2 = key("obj", 100);
+        cache.get_or_fetch(&k1, || Ok(vec![1u8; 100])).unwrap();
+        cache.get_or_fetch(&k2, || Ok(vec![2u8; 100])).unwrap(); // evicts k1 to disk
+        assert!(!cache.contains_in_memory(&k1));
+        // k1 now comes from disk (no refetch) and is promoted.
+        let v = cache.get_or_fetch(&k1, || panic!("origin must not be hit")).unwrap();
+        assert_eq!(*v, vec![1u8; 100]);
+        assert_eq!(cache.stats().disk_hits, 1);
+        assert!(cache.contains_in_memory(&k1));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn disk_tier_evicts_files() {
+        let dir = temp_dir("evict");
+        let disk = DiskBlockCache::open(&dir, 250).unwrap();
+        for i in 0..10u64 {
+            disk.put(key("obj", i * 100), &[i as u8; 100]).unwrap();
+        }
+        assert!(disk.used_bytes() <= 250);
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert!(files <= 3, "expected evicted files to be deleted, found {files}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn direct_insert_supports_prefetch() {
+        let cache = TieredCache::memory_only(1 << 20);
+        let k = key("obj", 4096);
+        cache.insert(k.clone(), Arc::new(vec![7u8; 10])).unwrap();
+        let v = cache.get_or_fetch(&k, || panic!("prefetched")).unwrap();
+        assert_eq!(v.len(), 10);
+        assert_eq!(cache.stats().memory_hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+}

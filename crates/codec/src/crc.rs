@@ -1,0 +1,124 @@
+//! CRC32C (Castagnoli) checksums.
+//!
+//! Used to frame WAL records and to protect LogBlock sections against
+//! corruption on (simulated) object storage. Table-driven, one table built
+//! at first use.
+
+/// The CRC32C (Castagnoli) polynomial, reversed representation.
+const POLY: u32 = 0x82f6_3b78;
+
+#[cfg(test)]
+fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Table computed at compile time.
+static TABLE: [u32; 256] = {
+    // `make_table` is const-evaluable because it only uses integer ops.
+    const fn build() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut j = 0;
+            while j < 8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                j += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    }
+    build()
+};
+
+/// Computes the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continues a CRC computation: `crc32c_append(crc32c(a), b) == crc32c(a ++ b)`.
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// A masked CRC in the style of LevelDB/RocksDB: storing a CRC of data that
+/// itself contains CRCs can produce pathological collisions, so stored CRCs
+/// are rotated and offset.
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(0xa282_ead8)
+}
+
+/// Inverse of [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(0xa282_ead8).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32C test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+    }
+
+    #[test]
+    fn runtime_table_matches_const_table() {
+        assert_eq!(make_table(), TABLE);
+    }
+
+    #[test]
+    fn append_is_concatenation() {
+        let a = b"hello ";
+        let b = b"world";
+        let whole = crc32c(b"hello world");
+        assert_eq!(crc32c_append(crc32c(a), b), whole);
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let data = b"the quick brown fox";
+        let base = crc32c(data);
+        let mut corrupted = data.to_vec();
+        corrupted[3] ^= 0x01;
+        assert_ne!(crc32c(&corrupted), base);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mask_roundtrip(v in any::<u32>()) {
+            prop_assert_eq!(unmask(mask(v)), v);
+        }
+
+        #[test]
+        fn prop_append_split(data in proptest::collection::vec(any::<u8>(), 0..256),
+                             split in 0usize..256) {
+            let split = split.min(data.len());
+            let (a, b) = data.split_at(split);
+            prop_assert_eq!(crc32c_append(crc32c(a), b), crc32c(&data));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Brokers: write routing and scatter/gather query execution.
+//!
+//! The broker is the query layer of Fig 3: it parses SQL, routes writes by
+//! the controller's weighted routing table, and answers queries by merging
+//! the real-time stores of the tenant's shards with the tenant's LogBlocks
+//! on OSS — applying the LogBlock map (Fig 8 ①), data skipping, the
+//! multi-level cache and parallel prefetch along the way.
+
+use crate::config::QueryOptions;
+use crate::engine::{ClusterShared, IngestReport, Store};
+use logstore_cache::CachedObjectSource;
+use logstore_logblock::pack::RangeSource;
+use logstore_logblock::reader::LogBlockReader;
+use logstore_query::exec::{
+    collect_from_block, collect_from_rows, empty_partial, finalize, merge_partials, QueryResult,
+    QueryStats,
+};
+use logstore_query::{analyze, parse_query, QueryScope, SelectItem};
+use logstore_types::{Error, RecordBatch, Result, ShardId, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything a query run reports back (drives Figures 15–17).
+#[derive(Debug, Clone)]
+pub struct QueryExecution {
+    /// The result set.
+    pub result: QueryResult,
+    /// Scanner/executor counters.
+    pub stats: QueryStats,
+    /// LogBlocks excluded by the LogBlock map before any I/O.
+    pub blocks_pruned_by_map: u64,
+    /// Modelled OSS time consumed by this query.
+    pub modelled_oss: Duration,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+/// One source of a LogBlock's bytes.
+enum Source {
+    Cached(CachedObjectSource<Store>),
+    Direct(DirectSource),
+}
+
+impl RangeSource for Source {
+    fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        match self {
+            Source::Cached(s) => s.read_at(offset, len),
+            Source::Direct(s) => s.read_at(offset, len),
+        }
+    }
+
+    fn size(&self) -> u64 {
+        match self {
+            Source::Cached(s) => s.size(),
+            Source::Direct(s) => s.size(),
+        }
+    }
+}
+
+/// Uncached range reads straight from OSS (the Fig 17 baseline).
+struct DirectSource {
+    store: Arc<Store>,
+    path: String,
+    size: u64,
+}
+
+impl DirectSource {
+    fn open(store: Arc<Store>, path: String) -> Result<Self> {
+        use logstore_oss::ObjectStore;
+        let size = store.head(&path)?;
+        Ok(DirectSource { store, path, size })
+    }
+}
+
+impl RangeSource for DirectSource {
+    fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        use logstore_oss::ObjectStore;
+        self.store.get_range(&self.path, offset, len)
+    }
+
+    fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+/// The broker.
+pub struct Broker {
+    shared: Arc<ClusterShared>,
+    round_robin: AtomicU64,
+}
+
+impl Broker {
+    /// Creates a broker over the shared cluster state.
+    pub fn new(shared: Arc<ClusterShared>) -> Self {
+        Broker { shared, round_robin: AtomicU64::new(0) }
+    }
+
+    /// Routes and appends a batch. Records of one batch may fan out to
+    /// several shards; backpressure rejections are counted, not fatal —
+    /// the client retries the rejected remainder (paper §4.2).
+    pub fn ingest(&self, batch: &RecordBatch) -> Result<IngestReport> {
+        let mut by_shard: HashMap<ShardId, Vec<logstore_types::LogRecord>> = HashMap::new();
+        for record in &batch.records {
+            let selector = self.round_robin.fetch_add(1, Ordering::Relaxed);
+            let shard = self.shared.controller.pick_shard(record.tenant_id, selector)?;
+            by_shard.entry(shard).or_default().push(record.clone());
+        }
+        let mut report = IngestReport::default();
+        for (shard, records) in by_shard {
+            let worker = self.shared.worker_for(shard)?;
+            let sub_batch = RecordBatch::from_records(records);
+            match worker.append(shard, &sub_batch) {
+                Ok(()) => report.accepted += sub_batch.len() as u64,
+                Err(Error::Backpressure(_)) => report.rejected += sub_batch.len() as u64,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Parses, plans and executes one query.
+    pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryExecution> {
+        let wall_start = std::time::Instant::now();
+        let oss_before = self.shared.store.metrics().modelled_time_ns;
+
+        let parsed = parse_query(sql)?;
+        if parsed.table != self.shared.schema.name {
+            return Err(Error::Query(format!(
+                "unknown table '{}' (this cluster serves '{}')",
+                parsed.table, self.shared.schema.name
+            )));
+        }
+        let bound = analyze::bind(&parsed, &self.shared.schema)?;
+        let scope = QueryScope::extract(&bound);
+        let tenant = scope.tenant.ok_or_else(|| {
+            Error::Query("queries must pin a tenant: add 'tenant_id = <id>'".into())
+        })?;
+
+        let mut stats = QueryStats::default();
+        let mut partials = Vec::new();
+        let all_blocks = self.shared.metadata.all_blocks(tenant).len() as u64;
+
+        if !scope.is_empty_window() {
+            // Real-time stores of every shard serving the tenant (old and
+            // new routes during a rebalance window).
+            for shard in self.shared.controller.read_shards(tenant) {
+                let worker = self.shared.worker_for(shard)?;
+                let records = worker.scan(shard, tenant, scope.range, &[])?;
+                let rows: Vec<Vec<Value>> = records.iter().map(|r| r.to_row()).collect();
+                partials.push(collect_from_rows(
+                    rows.iter().map(|r| r.as_slice()),
+                    &self.shared.schema,
+                    &bound,
+                    &mut stats,
+                )?);
+            }
+            // Archived LogBlocks, pruned by the LogBlock map.
+            for entry in self.shared.metadata.blocks_for(tenant, scope.range) {
+                let source = if opts.use_cache {
+                    Source::Cached(CachedObjectSource::open_with_block_size(
+                        Arc::clone(&self.shared.store),
+                        entry.path.clone(),
+                        Arc::clone(&self.shared.cache),
+                        self.shared.cache_block_size,
+                    )?)
+                } else {
+                    Source::Direct(DirectSource::open(
+                        Arc::clone(&self.shared.store),
+                        entry.path.clone(),
+                    )?)
+                };
+                let reader = LogBlockReader::open(source)?;
+                if opts.use_cache && opts.use_prefetch {
+                    self.prefetch_for_query(&reader, &bound)?;
+                }
+                partials.push(collect_from_block(&reader, &bound, opts.use_skipping, &mut stats)?);
+            }
+        }
+
+        let visited = stats.blocks_visited;
+        let merged = if partials.is_empty() {
+            empty_partial(&bound)
+        } else {
+            merge_partials(partials)?
+        };
+        let result = finalize(merged, &bound, &self.shared.schema)?;
+        let oss_after = self.shared.store.metrics().modelled_time_ns;
+        Ok(QueryExecution {
+            result,
+            stats,
+            blocks_pruned_by_map: all_blocks.saturating_sub(visited),
+            modelled_oss: Duration::from_nanos(oss_after.saturating_sub(oss_before)),
+            wall: wall_start.elapsed(),
+        })
+    }
+
+    /// Fig 10: plan the member ranges the query will touch and fetch them
+    /// in one parallel wave.
+    fn prefetch_for_query(
+        &self,
+        reader: &LogBlockReader<Source>,
+        query: &logstore_query::Query,
+    ) -> Result<()> {
+        let Source::Cached(source) = reader.pack().source() else {
+            return Ok(());
+        };
+        let schema = reader.schema();
+        let mut needed_cols: Vec<usize> = Vec::new();
+        let mut push = |idx: Option<usize>| {
+            if let Some(i) = idx {
+                if !needed_cols.contains(&i) {
+                    needed_cols.push(i);
+                }
+            }
+        };
+        for p in &query.predicates {
+            push(schema.column_index(&p.column));
+        }
+        for item in &query.projection {
+            match item {
+                SelectItem::AllColumns => (0..schema.width()).for_each(|i| push(Some(i))),
+                SelectItem::Column(c) => push(schema.column_index(c)),
+                SelectItem::CountStar => {}
+                SelectItem::Agg(_, c) => push(schema.column_index(c)),
+            }
+        }
+        if let Some(g) = &query.group_by {
+            push(schema.column_index(g));
+        }
+        let mut ranges = Vec::new();
+        for &col in &needed_cols {
+            for member in [
+                logstore_logblock::meta::index_member(col),
+                logstore_logblock::meta::index_data_member(col),
+                logstore_logblock::meta::col_member(col),
+            ] {
+                if let Some(range) = reader.pack().member_object_range(&member) {
+                    ranges.push(range);
+                }
+            }
+        }
+        self.shared.prefetcher.prefetch(source, ranges)?;
+        Ok(())
+    }
+}
+

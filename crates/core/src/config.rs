@@ -1,0 +1,163 @@
+//! Engine configuration.
+
+use logstore_codec::Compression;
+use logstore_flow::FlowControlConfig;
+use logstore_oss::LatencyModel;
+use logstore_types::TableSchema;
+
+/// Which balancing algorithm the controller runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancerKind {
+    /// No traffic control at all (the Fig 12 baseline).
+    None,
+    /// Algorithm 2.
+    Greedy,
+    /// Algorithm 3 (production default).
+    MaxFlow,
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Table schema served by the cluster.
+    pub schema: TableSchema,
+    /// Number of worker nodes.
+    pub workers: u32,
+    /// Shards per worker.
+    pub shards_per_worker: u32,
+    /// Capacity of one shard in log entries/sec (drives flow control).
+    pub shard_capacity: u64,
+    /// Column compression for LogBlocks.
+    pub compression: Compression,
+    /// Rows per column block inside a LogBlock.
+    pub block_rows: usize,
+    /// Max rows in one LogBlock (larger tenants get multiple blocks).
+    pub max_rows_per_logblock: usize,
+    /// Row-store bytes per shard that trigger a background build.
+    pub rowstore_flush_bytes: usize,
+    /// Row-store bytes per shard at which ingest is rejected (BFC).
+    pub rowstore_backpressure_bytes: usize,
+    /// Latency model of the simulated OSS.
+    pub oss_latency: LatencyModel,
+    /// Memory block cache capacity in bytes.
+    pub cache_memory_bytes: usize,
+    /// Optional SSD cache capacity in bytes (None = memory-only).
+    pub cache_disk_bytes: Option<usize>,
+    /// Cache block alignment in bytes.
+    pub cache_block_size: u64,
+    /// Prefetch thread count (the paper evaluates 32).
+    pub prefetch_threads: usize,
+    /// Flow-control knobs (α, per-tenant shard limit, interval).
+    pub flow: FlowControlConfig,
+    /// Balancer selection.
+    pub balancer: BalancerKind,
+    /// Replicate each shard's writes through an in-process Raft group of
+    /// this size (1 = no replication).
+    pub raft_replicas: usize,
+    /// RNG seed for all deterministic randomness.
+    pub seed: u64,
+    /// When set, every shard keeps a durable WAL under this directory and
+    /// recovers from it on reopen (phase-one durability). When `None`, the
+    /// row store is memory-only (fastest; fine for benchmarks).
+    pub data_dir: Option<std::path::PathBuf>,
+}
+
+impl ClusterConfig {
+    /// A small, fast, fully-deterministic configuration for tests.
+    pub fn for_testing() -> Self {
+        ClusterConfig {
+            schema: TableSchema::request_log(),
+            workers: 2,
+            shards_per_worker: 2,
+            shard_capacity: 100_000,
+            compression: Compression::LzHigh,
+            block_rows: 256,
+            max_rows_per_logblock: 4096,
+            rowstore_flush_bytes: 4 << 20,
+            rowstore_backpressure_bytes: 64 << 20,
+            oss_latency: LatencyModel::zero(),
+            cache_memory_bytes: 8 << 20,
+            cache_disk_bytes: None,
+            cache_block_size: 64 * 1024,
+            prefetch_threads: 4,
+            flow: FlowControlConfig {
+                alpha: 0.85,
+                per_tenant_shard_limit: 50_000,
+                check_interval_secs: 300,
+            },
+            balancer: BalancerKind::MaxFlow,
+            raft_replicas: 1,
+            seed: 42,
+            data_dir: None,
+        }
+    }
+
+    /// A configuration mirroring the paper's evaluation cluster shape:
+    /// 24 workers (the paper's 24 worker processes), OSS-like latency.
+    pub fn paper_like() -> Self {
+        let mut c = Self::for_testing();
+        c.workers = 6;
+        c.shards_per_worker = 4;
+        c.oss_latency = LatencyModel::oss_like();
+        c.cache_memory_bytes = 64 << 20;
+        c.prefetch_threads = 32;
+        c
+    }
+
+    /// Total shard count.
+    pub fn total_shards(&self) -> u32 {
+        self.workers * self.shards_per_worker
+    }
+}
+
+/// Per-query execution switches (the Fig 15–17 ablations).
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Enable the multi-level data-skipping strategy (§5.1).
+    pub use_skipping: bool,
+    /// Enable parallel prefetch (§5.2).
+    pub use_prefetch: bool,
+    /// Use the shared multi-level cache; when false every read goes to OSS.
+    pub use_cache: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions { use_skipping: true, use_prefetch: true, use_cache: true }
+    }
+}
+
+impl QueryOptions {
+    /// Everything off — the "before optimization" baseline of Fig 17.
+    pub fn baseline() -> Self {
+        QueryOptions { use_skipping: false, use_prefetch: false, use_cache: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testing_config_is_consistent() {
+        let c = ClusterConfig::for_testing();
+        assert_eq!(c.total_shards(), 4);
+        assert!(c.rowstore_flush_bytes < c.rowstore_backpressure_bytes);
+        assert!(c.block_rows <= c.max_rows_per_logblock);
+    }
+
+    #[test]
+    fn paper_like_shape() {
+        let c = ClusterConfig::paper_like();
+        assert_eq!(c.total_shards(), 24);
+        assert_eq!(c.prefetch_threads, 32);
+    }
+
+    #[test]
+    fn query_option_presets() {
+        let on = QueryOptions::default();
+        assert!(on.use_skipping && on.use_prefetch && on.use_cache);
+        let off = QueryOptions::baseline();
+        assert!(!off.use_skipping && !off.use_prefetch && !off.use_cache);
+    }
+}

@@ -1,0 +1,290 @@
+//! The cluster controller: routing, traffic control, expiration.
+//!
+//! Wraps the flow-control loop of `logstore-flow` with the engine's
+//! concerns: lazy route initialization by consistent hashing, snapshot
+//! assembly from worker ingest windows, and the background expiration task
+//! that deletes expired LogBlocks from OSS.
+
+use crate::config::{BalancerKind, ClusterConfig};
+use crate::metadata::MetadataStore;
+use crate::worker::ShardWindow;
+use logstore_flow::balancer::{Balancer, GreedyBalancer, MaxFlowBalancer};
+use logstore_flow::sim::ClusterTopology;
+use logstore_flow::{ConsistentHashRing, ControlAction, TrafficController, TrafficSnapshot};
+use logstore_oss::ObjectStore;
+use logstore_types::{Result, ShardId, TenantId, Timestamp, WorkerId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The engine-side controller.
+pub struct ClusterController {
+    topology: parking_lot::RwLock<ClusterTopology>,
+    ring: parking_lot::RwLock<ConsistentHashRing>,
+    traffic: Mutex<TrafficController>,
+    balancer_kind: BalancerKind,
+    metadata: Arc<MetadataStore>,
+}
+
+impl ClusterController {
+    /// Builds the controller from the cluster configuration.
+    pub fn new(config: &ClusterConfig, metadata: Arc<MetadataStore>) -> Self {
+        let topology = ClusterTopology::homogeneous(
+            config.workers,
+            config.shards_per_worker,
+            config.shard_capacity,
+        );
+        let shards = topology.shards();
+        let ring = ConsistentHashRing::new(&shards);
+        let balancer: Box<dyn Balancer> = match config.balancer {
+            BalancerKind::Greedy => Box::new(GreedyBalancer),
+            // `None` still needs a planner instance; its tick is never run.
+            BalancerKind::MaxFlow | BalancerKind::None => Box::new(MaxFlowBalancer),
+        };
+        let traffic = TrafficController::new(config.flow.clone(), balancer);
+        ClusterController {
+            topology: parking_lot::RwLock::new(topology),
+            ring: parking_lot::RwLock::new(ring),
+            traffic: Mutex::new(traffic),
+            balancer_kind: config.balancer,
+            metadata,
+        }
+    }
+
+    /// Snapshot of the current topology.
+    pub fn topology(&self) -> ClusterTopology {
+        self.topology.read().clone()
+    }
+
+    /// Registers a new worker and its shards (`ScaleCluster`, Algorithm 1
+    /// lines 25–27). The hash ring is rebuilt over the grown shard set;
+    /// existing tenants keep their routes (consistent hashing only places
+    /// *new* tenants), so scaling out never moves data — the next control
+    /// tick spreads hot tenants onto the new capacity.
+    pub fn register_worker(
+        &self,
+        worker: logstore_types::WorkerId,
+        shard_ids: &[ShardId],
+        shard_capacity: u64,
+    ) {
+        let mut topology = self.topology.write();
+        let mut worker_capacity = 0;
+        for &shard in shard_ids {
+            topology.shard_capacity.insert(shard, shard_capacity);
+            topology.shard_to_worker.insert(shard, worker);
+            worker_capacity += shard_capacity;
+        }
+        topology.worker_capacity.insert(worker, worker_capacity);
+        *self.ring.write() = ConsistentHashRing::new(&topology.shards());
+    }
+
+    /// Shard that should receive one record of `tenant` (lazy route init +
+    /// weighted pick).
+    pub fn pick_shard(&self, tenant: TenantId, selector: u64) -> Result<ShardId> {
+        let mut traffic = self.traffic.lock();
+        if traffic.routes().routes(tenant).is_none() {
+            let ring = self.ring.read();
+            let home = ring
+                .assign(tenant)
+                .ok_or_else(|| logstore_types::Error::Cluster("no shards in ring".into()))?;
+            traffic.init_routes(&[tenant], &ring)?;
+            // init_routes only touches tenants it can assign; make sure.
+            if traffic.routes().routes(tenant).is_none() {
+                return Ok(home);
+            }
+        }
+        traffic
+            .routes()
+            .pick(tenant, selector)
+            .ok_or_else(|| logstore_types::Error::Cluster(format!("no route for {tenant}")))
+    }
+
+    /// `(tenant, shard)` pairs present in the previous plan but absent from
+    /// the current one — the shards whose buffered rows for that tenant
+    /// should be "packaged and flushed to OSS" after a rebalance
+    /// (paper §4.1.5: no data migration between nodes).
+    pub fn vacated_routes(&self) -> Vec<(TenantId, ShardId)> {
+        let traffic = self.traffic.lock();
+        let current = traffic.routes();
+        let mut vacated = Vec::new();
+        for (tenant, old_routes) in traffic.previous_routes().iter() {
+            let current_shards: Vec<ShardId> = current
+                .routes(tenant)
+                .into_iter()
+                .flatten()
+                .map(|r| r.shard)
+                .collect();
+            for r in old_routes {
+                if !current_shards.contains(&r.shard) {
+                    vacated.push((tenant, r.shard));
+                }
+            }
+        }
+        vacated.sort_unstable_by_key(|(t, s)| (t.raw(), s.raw()));
+        vacated
+    }
+
+    /// Shards a read for `tenant` must consult.
+    pub fn read_shards(&self, tenant: TenantId) -> Vec<ShardId> {
+        let traffic = self.traffic.lock();
+        let shards = traffic.read_shards(tenant);
+        if shards.is_empty() {
+            // Unrouted tenant: its home shard plus nothing else.
+            self.ring.read().assign(tenant).into_iter().collect()
+        } else {
+            shards
+        }
+    }
+
+    /// Current route-edge count (Fig 12(c)).
+    pub fn route_count(&self) -> usize {
+        self.traffic.lock().routes().route_count()
+    }
+
+    /// Assembles a [`TrafficSnapshot`] from per-worker ingest windows and
+    /// runs one control tick. With [`BalancerKind::None`] this is a no-op.
+    pub fn control_tick(
+        &self,
+        windows: &HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
+    ) -> Result<ControlAction> {
+        if self.balancer_kind == BalancerKind::None {
+            return Ok(ControlAction::None);
+        }
+        let snapshot = self.snapshot_from_windows(windows);
+        self.traffic.lock().tick(&snapshot)
+    }
+
+    /// Builds the monitor snapshot (public for experiment harnesses).
+    pub fn snapshot_from_windows(
+        &self,
+        windows: &HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
+    ) -> TrafficSnapshot {
+        let topology = self.topology.read();
+        let mut snapshot = TrafficSnapshot {
+            shard_capacity: topology.shard_capacity.clone(),
+            worker_capacity: topology.worker_capacity.clone(),
+            shard_to_worker: topology.shard_to_worker.clone(),
+            ..Default::default()
+        };
+        for (&worker, shards) in windows {
+            for (&shard, window) in shards {
+                *snapshot.shard_load.entry(shard).or_default() += window.total;
+                *snapshot.worker_load.entry(worker).or_default() += window.total;
+                for (&tenant, &count) in &window.per_tenant {
+                    *snapshot.tenant_traffic.entry(tenant).or_default() += count;
+                    snapshot
+                        .shard_tenants
+                        .entry(shard)
+                        .or_default()
+                        .push((tenant, count));
+                }
+            }
+        }
+        snapshot
+    }
+
+    /// Runs the expiration task over every registered tenant: expired
+    /// LogBlocks are removed from the map and deleted from OSS. Returns the
+    /// number of deleted blocks.
+    pub fn run_expiration<S: ObjectStore>(&self, store: &S, now: Timestamp) -> Result<u64> {
+        let mut deleted = 0;
+        for tenant in self.metadata.tenants() {
+            for path in self.metadata.expire(tenant, now) {
+                store.delete(&path)?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::LogBlockEntry;
+    use logstore_oss::MemoryStore;
+
+    fn controller(balancer: BalancerKind) -> ClusterController {
+        let mut config = ClusterConfig::for_testing();
+        config.balancer = balancer;
+        ClusterController::new(&config, Arc::new(MetadataStore::new()))
+    }
+
+    #[test]
+    fn pick_shard_is_stable_per_tenant() {
+        let c = controller(BalancerKind::MaxFlow);
+        let s1 = c.pick_shard(TenantId(5), 0).unwrap();
+        let s2 = c.pick_shard(TenantId(5), 1).unwrap();
+        assert_eq!(s1, s2, "single-route tenant always lands on its home shard");
+        assert_eq!(c.read_shards(TenantId(5)), vec![s1]);
+    }
+
+    #[test]
+    fn control_tick_rebalances_hot_tenant() {
+        let c = controller(BalancerKind::MaxFlow);
+        let hot = TenantId(1);
+        let home = c.pick_shard(hot, 0).unwrap();
+        // Simulate a window where the tenant hammers its home shard well
+        // beyond capacity * alpha (capacity 100k, alpha 0.85).
+        let mut shard_windows = HashMap::new();
+        let window = ShardWindow {
+            total: 200_000,
+            per_tenant: HashMap::from([(hot, 200_000)]),
+        };
+        shard_windows.insert(home, window);
+        let worker = c.topology().shard_to_worker[&home];
+        let mut windows = HashMap::new();
+        windows.insert(worker, shard_windows);
+        let action = c.control_tick(&windows).unwrap();
+        assert!(
+            matches!(action, ControlAction::Rebalanced { .. }),
+            "expected rebalance, got {action:?}"
+        );
+        assert!(c.read_shards(hot).len() > 1, "hot tenant must gain shards");
+    }
+
+    #[test]
+    fn balancer_none_never_acts() {
+        let c = controller(BalancerKind::None);
+        let hot = TenantId(1);
+        let home = c.pick_shard(hot, 0).unwrap();
+        let mut shard_windows = HashMap::new();
+        let window = ShardWindow {
+            total: 500_000,
+            per_tenant: HashMap::from([(hot, 500_000)]),
+        };
+        shard_windows.insert(home, window);
+        let mut windows = HashMap::new();
+        windows.insert(c.topology().shard_to_worker[&home], shard_windows);
+        assert_eq!(c.control_tick(&windows).unwrap(), ControlAction::None);
+        assert_eq!(c.read_shards(hot), vec![home]);
+    }
+
+    #[test]
+    fn expiration_deletes_from_store() {
+        let metadata = Arc::new(MetadataStore::new());
+        let config = ClusterConfig::for_testing();
+        let c = ClusterController::new(&config, Arc::clone(&metadata));
+        let store = MemoryStore::new();
+        let tenant = TenantId(9);
+        metadata.set_retention(tenant, Some(1000));
+        let path = metadata.allocate_block_path(tenant);
+        store.put(&path, b"block").unwrap();
+        metadata
+            .register_block(
+                tenant,
+                LogBlockEntry {
+                    path: path.clone(),
+                    min_ts: Timestamp(0),
+                    max_ts: Timestamp(10),
+                    rows: 1,
+                    bytes: 5,
+                },
+            )
+            .unwrap();
+        let deleted = c.run_expiration(&store, Timestamp(5000)).unwrap();
+        assert_eq!(deleted, 1);
+        assert!(store.get(&path).is_err());
+        assert!(metadata.all_blocks(tenant).is_empty());
+    }
+}

@@ -1,0 +1,512 @@
+//! The `LogStore` facade: one embedded, multi-tenant log database.
+
+use crate::broker::{Broker, QueryExecution};
+use crate::config::{ClusterConfig, QueryOptions};
+use crate::controller::ClusterController;
+use crate::databuilder::{build_and_upload, BuildConfig, BuildReport};
+use crate::metadata::{MetadataStore, TenantInfo};
+use crate::worker::Worker;
+use logstore_cache::{CacheStats, DiskBlockCache, Prefetcher, TieredCache};
+use logstore_flow::ControlAction;
+use logstore_oss::{MemoryStore, OssMetrics, SimulatedOss};
+use logstore_query::exec::QueryResult;
+use logstore_types::{
+    Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId, Timestamp, WorkerId,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The object-storage stack every engine instance runs on: an in-memory
+/// backend under the configurable latency/bandwidth simulator. Figure
+/// harnesses flip the latency model between OSS-like and local-SSD-like.
+pub type Store = SimulatedOss<MemoryStore>;
+
+/// State shared between brokers, the controller and background tasks.
+pub struct ClusterShared {
+    /// The served schema.
+    pub schema: TableSchema,
+    /// Workers, indexed by `WorkerId.raw()`. Grows under `ScaleCluster`.
+    pub workers: parking_lot::RwLock<Vec<Arc<Worker>>>,
+    /// Shard placement. Grows under `ScaleCluster`.
+    pub shard_to_worker: parking_lot::RwLock<HashMap<ShardId, usize>>,
+    /// The controller (routing, traffic control, expiration).
+    pub controller: ClusterController,
+    /// Metadata / LogBlock map.
+    pub metadata: Arc<MetadataStore>,
+    /// The (simulated) OSS.
+    pub store: Arc<Store>,
+    /// The multi-level block cache.
+    pub cache: Arc<TieredCache>,
+    /// The parallel prefetcher.
+    pub prefetcher: Prefetcher,
+    /// Cache alignment block size.
+    pub cache_block_size: u64,
+}
+
+impl ClusterShared {
+    /// Resolves the worker hosting `shard`.
+    pub fn worker_for(&self, shard: ShardId) -> Result<Arc<Worker>> {
+        let idx = *self
+            .shard_to_worker
+            .read()
+            .get(&shard)
+            .ok_or_else(|| Error::Cluster(format!("{shard} is not placed on any worker")))?;
+        Ok(Arc::clone(&self.workers.read()[idx]))
+    }
+
+    /// Snapshot of the current worker set.
+    pub fn worker_snapshot(&self) -> Vec<Arc<Worker>> {
+        self.workers.read().iter().map(Arc::clone).collect()
+    }
+}
+
+/// Outcome of an ingest call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records accepted into phase one.
+    pub accepted: u64,
+    /// Records rejected by backpressure (retry after throttling).
+    pub rejected: u64,
+}
+
+/// An embedded LogStore cluster.
+pub struct LogStore {
+    config: ClusterConfig,
+    shared: Arc<ClusterShared>,
+    broker: Broker,
+    build_config: BuildConfig,
+}
+
+impl LogStore {
+    /// Builds and starts a cluster.
+    pub fn open(config: ClusterConfig) -> Result<Self> {
+        let metadata = Arc::new(MetadataStore::new());
+        let controller = ClusterController::new(&config, Arc::clone(&metadata));
+        let store = Arc::new(SimulatedOss::new(
+            MemoryStore::new(),
+            config.oss_latency.clone(),
+            config.seed,
+        ));
+        let cache = Arc::new(match config.cache_disk_bytes {
+            Some(disk_bytes) => {
+                let dir = config
+                    .data_dir
+                    .clone()
+                    .unwrap_or_else(std::env::temp_dir)
+                    .join(format!("logstore-ssd-cache-{}", std::process::id()));
+                TieredCache::with_disk(
+                    config.cache_memory_bytes,
+                    DiskBlockCache::open(dir, disk_bytes)?,
+                )
+            }
+            None => TieredCache::memory_only(config.cache_memory_bytes),
+        });
+        let mut workers = Vec::with_capacity(config.workers as usize);
+        let mut shard_to_worker = HashMap::new();
+        for w in 0..config.workers {
+            let shard_ids: Vec<ShardId> = (0..config.shards_per_worker)
+                .map(|s| ShardId(w * config.shards_per_worker + s))
+                .collect();
+            for &s in &shard_ids {
+                shard_to_worker.insert(s, w as usize);
+            }
+            workers.push(Arc::new(Worker::new(
+                WorkerId(w),
+                &shard_ids,
+                &config.schema,
+                config.rowstore_backpressure_bytes,
+                config.raft_replicas,
+                config.data_dir.as_ref(),
+                config.seed,
+            )?));
+        }
+        let shared = Arc::new(ClusterShared {
+            schema: config.schema.clone(),
+            workers: parking_lot::RwLock::new(workers),
+            shard_to_worker: parking_lot::RwLock::new(shard_to_worker),
+            controller,
+            metadata,
+            store,
+            cache,
+            prefetcher: Prefetcher::new(config.prefetch_threads),
+            cache_block_size: config.cache_block_size,
+        });
+        let broker = Broker::new(Arc::clone(&shared));
+        let build_config = BuildConfig {
+            compression: config.compression,
+            block_rows: config.block_rows,
+            max_rows_per_logblock: config.max_rows_per_logblock,
+        };
+        Ok(LogStore { config, shared, broker, build_config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Shared state (experiment harnesses reach through this).
+    pub fn shared(&self) -> &Arc<ClusterShared> {
+        &self.shared
+    }
+
+    /// Ingests a batch of records through the broker (phase one), then
+    /// runs the data builder on any shard over its flush threshold.
+    pub fn ingest(&self, records: Vec<LogRecord>) -> Result<IngestReport> {
+        let report = self.broker.ingest(&RecordBatch::from_records(records))?;
+        self.flush_if_needed()?;
+        Ok(report)
+    }
+
+    /// Executes a query with default options.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        Ok(self.broker.query(sql, &QueryOptions::default())?.result)
+    }
+
+    /// Executes a query with explicit options, returning full diagnostics.
+    pub fn query_with_options(&self, sql: &str, opts: &QueryOptions) -> Result<QueryExecution> {
+        self.broker.query(sql, opts)
+    }
+
+    /// Forces phase two now: drains every shard into LogBlocks on OSS.
+    pub fn flush(&self) -> Result<BuildReport> {
+        self.run_builder(true)
+    }
+
+    /// Runs phase two only for shards over the flush threshold.
+    pub fn flush_if_needed(&self) -> Result<BuildReport> {
+        self.run_builder(false)
+    }
+
+    fn run_builder(&self, force: bool) -> Result<BuildReport> {
+        let mut total = BuildReport::default();
+        for worker in self.shared.worker_snapshot() {
+            for (shard, rows) in worker.drain_for_build(self.config.rowstore_flush_bytes, force)
+            {
+                let report = build_and_upload(
+                    rows,
+                    &self.shared.schema,
+                    &self.build_config,
+                    self.shared.store.as_ref(),
+                    &self.shared.metadata,
+                )?;
+                total.blocks_built += report.blocks_built;
+                total.rows_archived += report.rows_archived;
+                total.bytes_uploaded += report.bytes_uploaded;
+                // Checkpoint: archived entries no longer need the
+                // replicated log (controller-scheduled in the paper).
+                worker.checkpoint_raft(shard)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// One traffic-control tick: collects worker ingest windows, feeds the
+    /// monitor, runs the balancer (Algorithm 1). After a rebalance, rows of
+    /// tenants whose routes left a shard are packaged and flushed to OSS
+    /// instead of migrating between nodes (paper §4.1.5) — this is what
+    /// "helps to reduce node load in the case of system hotspots".
+    pub fn control_tick(&self) -> Result<ControlAction> {
+        let mut windows = HashMap::new();
+        for worker in self.shared.worker_snapshot() {
+            windows.insert(worker.id(), worker.take_window());
+        }
+        let action = self.shared.controller.control_tick(&windows)?;
+        if matches!(action, ControlAction::Rebalanced { .. }) {
+            for (tenant, shard) in self.shared.controller.vacated_routes() {
+                let worker = self.shared.worker_for(shard)?;
+                let rows = worker.drain_tenant(shard, tenant)?;
+                if !rows.is_empty() {
+                    build_and_upload(
+                        rows,
+                        &self.shared.schema,
+                        &self.build_config,
+                        self.shared.store.as_ref(),
+                        &self.shared.metadata,
+                    )?;
+                }
+            }
+        }
+        Ok(action)
+    }
+
+    /// `ScaleCluster` (Algorithm 1 lines 25–27): adds `n` workers, each
+    /// with the configured shards-per-worker, and registers the new
+    /// capacity with the controller. Existing data stays put — the next
+    /// control tick spreads hot tenants onto the new shards.
+    pub fn scale_out(&self, n: u32) -> Result<Vec<WorkerId>> {
+        let mut added = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let mut workers = self.shared.workers.write();
+            let mut shard_map = self.shared.shard_to_worker.write();
+            let worker_id = WorkerId(workers.len() as u32);
+            let next_shard = shard_map.keys().map(|s| s.raw() + 1).max().unwrap_or(0);
+            let shard_ids: Vec<ShardId> = (0..self.config.shards_per_worker)
+                .map(|s| ShardId(next_shard + s))
+                .collect();
+            let worker = Arc::new(Worker::new(
+                worker_id,
+                &shard_ids,
+                &self.config.schema,
+                self.config.rowstore_backpressure_bytes,
+                self.config.raft_replicas,
+                self.config.data_dir.as_ref(),
+                self.config.seed ^ u64::from(worker_id.raw()),
+            )?);
+            for &s in &shard_ids {
+                shard_map.insert(s, workers.len());
+            }
+            workers.push(worker);
+            drop(workers);
+            drop(shard_map);
+            self.shared
+                .controller
+                .register_worker(worker_id, &shard_ids, self.config.shard_capacity);
+            added.push(worker_id);
+        }
+        Ok(added)
+    }
+
+    /// Current worker count.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers.read().len()
+    }
+
+    /// Sets a tenant's retention policy (None = keep forever).
+    pub fn set_retention(&self, tenant: TenantId, retention_ms: Option<i64>) {
+        self.shared.metadata.set_retention(tenant, retention_ms);
+    }
+
+    /// Runs the expiration task as of `now`; returns deleted block count.
+    pub fn expire(&self, now: Timestamp) -> Result<u64> {
+        self.shared
+            .controller
+            .run_expiration(self.shared.store.as_ref(), now)
+    }
+
+    /// Per-tenant archived usage (the billing meter).
+    pub fn tenant_usage(&self, tenant: TenantId) -> TenantInfo {
+        self.shared.metadata.tenant_info(tenant)
+    }
+
+    /// OSS request/byte/latency counters.
+    pub fn oss_metrics(&self) -> OssMetrics {
+        self.shared.store.metrics()
+    }
+
+    /// Resets OSS counters (between experiment phases).
+    pub fn reset_oss_metrics(&self) {
+        self.shared.store.reset_metrics();
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Drops the memory cache tier (cold-cache experiment phases).
+    pub fn clear_cache(&self) {
+        self.shared.cache.clear_memory();
+    }
+
+    /// Number of registered LogBlocks.
+    pub fn block_count(&self) -> usize {
+        self.shared.metadata.block_count()
+    }
+
+    /// Total route edges in the routing table (Fig 12(c)).
+    pub fn route_count(&self) -> usize {
+        self.shared.controller.route_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::Value;
+
+    fn rec(t: u64, ts: i64, latency: i64, msg: &str) -> LogRecord {
+        LogRecord::new(
+            TenantId(t),
+            Timestamp(ts),
+            vec![
+                Value::from("10.0.0.1"),
+                Value::from("/api/v1/users"),
+                Value::I64(latency),
+                Value::Bool(latency > 400),
+                Value::from(msg.to_string()),
+            ],
+        )
+    }
+
+    fn store() -> LogStore {
+        LogStore::open(ClusterConfig::for_testing()).unwrap()
+    }
+
+    #[test]
+    fn ingest_then_query_realtime() {
+        let s = store();
+        let report = s
+            .ingest(vec![rec(1, 100, 10, "hello world"), rec(1, 200, 20, "second line")])
+            .unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.rejected, 0);
+        let result = s
+            .query("SELECT log FROM request_log WHERE tenant_id = 1 AND ts >= 0")
+            .unwrap();
+        assert_eq!(result.rows.len(), 2);
+    }
+
+    #[test]
+    fn query_spans_realtime_and_archived() {
+        let s = store();
+        s.ingest(vec![rec(1, 100, 10, "archived row")]).unwrap();
+        let report = s.flush().unwrap();
+        assert_eq!(report.rows_archived, 1);
+        assert!(s.block_count() >= 1);
+        s.ingest(vec![rec(1, 200, 20, "fresh row")]).unwrap();
+        let result = s
+            .query("SELECT log FROM request_log WHERE tenant_id = 1")
+            .unwrap();
+        assert_eq!(result.rows.len(), 2, "must merge OSS blocks with the row store");
+    }
+
+    #[test]
+    fn tenant_isolation_in_queries_and_storage() {
+        let s = store();
+        s.ingest(vec![rec(1, 100, 10, "tenant one"), rec(2, 100, 10, "tenant two")])
+            .unwrap();
+        s.flush().unwrap();
+        let r1 = s.query("SELECT log FROM request_log WHERE tenant_id = 1").unwrap();
+        assert_eq!(r1.rows.len(), 1);
+        assert_eq!(r1.rows[0][0], Value::from("tenant one"));
+        // Physical isolation: distinct OSS prefixes.
+        use logstore_oss::ObjectStore;
+        assert_eq!(s.shared().store.inner().list("tenants/1/").unwrap().len(), 1);
+        assert_eq!(s.shared().store.inner().list("tenants/2/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn queries_require_tenant_pinning() {
+        let s = store();
+        let err = s.query("SELECT log FROM request_log WHERE latency > 5").unwrap_err();
+        assert!(matches!(err, Error::Query(_)));
+    }
+
+    #[test]
+    fn aggregation_across_sources() {
+        let s = store();
+        for i in 0..30 {
+            s.ingest(vec![rec(1, i, 10, "x")]).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 30..50 {
+            s.ingest(vec![rec(1, i, 10, "x")]).unwrap();
+        }
+        let result = s
+            .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
+            .unwrap();
+        assert_eq!(result.rows[0][0], Value::U64(50));
+    }
+
+    #[test]
+    fn full_text_and_filters_match_across_flush() {
+        let s = store();
+        s.ingest(vec![
+            rec(1, 1, 500, "request timeout while calling upstream"),
+            rec(1, 2, 10, "request ok"),
+        ])
+        .unwrap();
+        s.flush().unwrap();
+        let result = s
+            .query(
+                "SELECT log FROM request_log WHERE tenant_id = 1 AND log CONTAINS 'timeout'",
+            )
+            .unwrap();
+        assert_eq!(result.rows.len(), 1);
+        let result = s
+            .query("SELECT log FROM request_log WHERE tenant_id = 1 AND fail = true")
+            .unwrap();
+        assert_eq!(result.rows.len(), 1);
+    }
+
+    #[test]
+    fn expiration_removes_old_blocks() {
+        let s = store();
+        s.set_retention(TenantId(1), Some(1000));
+        s.ingest(vec![rec(1, 0, 1, "old")]).unwrap();
+        s.flush().unwrap();
+        s.ingest(vec![rec(1, 10_000, 1, "new")]).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.block_count(), 2);
+        let deleted = s.expire(Timestamp(10_500)).unwrap();
+        assert_eq!(deleted, 1);
+        assert_eq!(s.block_count(), 1);
+        let result = s.query("SELECT log FROM request_log WHERE tenant_id = 1").unwrap();
+        assert_eq!(result.rows.len(), 1);
+        assert_eq!(result.rows[0][0], Value::from("new"));
+    }
+
+    #[test]
+    fn usage_metering_accumulates() {
+        let s = store();
+        for i in 0..10 {
+            s.ingest(vec![rec(3, i, 1, "meter me")]).unwrap();
+        }
+        s.flush().unwrap();
+        let usage = s.tenant_usage(TenantId(3));
+        assert_eq!(usage.archived_rows, 10);
+        assert!(usage.archived_bytes > 0);
+    }
+
+    #[test]
+    fn query_options_do_not_change_results() {
+        let s = store();
+        for i in 0..200 {
+            s.ingest(vec![rec(1, i, i % 300, if i % 7 == 0 { "timeout" } else { "fine" })])
+                .unwrap();
+        }
+        s.flush().unwrap();
+        let sql = "SELECT log FROM request_log WHERE tenant_id = 1 \
+                   AND latency >= 100 AND log CONTAINS 'timeout'";
+        let full = s.query_with_options(sql, &QueryOptions::default()).unwrap();
+        s.clear_cache();
+        let baseline = s.query_with_options(sql, &QueryOptions::baseline()).unwrap();
+        assert_eq!(full.result, baseline.result);
+        // And the optimized path does less scanning.
+        assert!(full.stats.scan.blocks_scanned <= baseline.stats.scan.blocks_scanned);
+    }
+
+    #[test]
+    fn flush_compacts_the_replicated_log() {
+        let mut config = ClusterConfig::for_testing();
+        config.raft_replicas = 3;
+        config.workers = 1;
+        config.shards_per_worker = 1;
+        let s = LogStore::open(config).unwrap();
+        for i in 0..20 {
+            s.ingest(vec![rec(1, i, 1, "entry")]).unwrap();
+        }
+        let shard = logstore_types::ShardId(0);
+        let before = s.shared().workers.read()[0].raft_snapshot_index(shard).unwrap();
+        assert_eq!(before, Some(0), "no compaction before the first flush");
+        s.flush().unwrap();
+        let after = s.shared().workers.read()[0].raft_snapshot_index(shard).unwrap();
+        assert_eq!(after, Some(20), "archived entries must be compacted away");
+        // Everything is still queryable (from OSS now).
+        let result = s.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").unwrap();
+        assert_eq!(result.rows[0][0], Value::U64(20));
+    }
+
+    #[test]
+    fn replicated_cluster_works_end_to_end() {
+        let mut config = ClusterConfig::for_testing();
+        config.raft_replicas = 3;
+        config.workers = 1;
+        config.shards_per_worker = 1;
+        let s = LogStore::open(config).unwrap();
+        s.ingest(vec![rec(1, 1, 1, "replicated")]).unwrap();
+        let result = s.query("SELECT log FROM request_log WHERE tenant_id = 1").unwrap();
+        assert_eq!(result.rows.len(), 1);
+    }
+}

@@ -1,0 +1,476 @@
+//! Workers: shard ownership and the phase-one write path.
+//!
+//! A worker owns a set of shards. Each shard is a write-optimized row store
+//! (optionally WAL-durable, optionally Raft-replicated) plus ingest
+//! accounting that feeds the traffic monitor. The data builder drains
+//! shards in the background (phase two, [`crate::databuilder`]).
+
+use logstore_codec::valser::{put_row, read_row};
+use logstore_codec::varint::{put_uvarint, read_uvarint};
+use logstore_raft::{InProcCluster, RaftConfig};
+use logstore_types::{
+    ColumnPredicate, Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId,
+    TimeRange, WorkerId,
+};
+use logstore_wal::{RowStore, ShardStore, WalConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Per-shard ingest counters for one monitoring window.
+#[derive(Debug, Default, Clone)]
+pub struct ShardWindow {
+    /// Records ingested this window.
+    pub total: u64,
+    /// Per-tenant breakdown.
+    pub per_tenant: HashMap<TenantId, u64>,
+}
+
+enum Backend {
+    Mem(RowStore),
+    Durable(ShardStore),
+}
+
+impl Backend {
+    fn insert_batch(&mut self, batch: &RecordBatch) -> Result<()> {
+        match self {
+            Backend::Mem(rows) => {
+                for r in &batch.records {
+                    rows.insert(r.clone());
+                }
+                Ok(())
+            }
+            Backend::Durable(store) => store.append_batch(batch).map(|_| ()),
+        }
+    }
+
+    fn scan(
+        &self,
+        tenant: TenantId,
+        range: TimeRange,
+        preds: &[ColumnPredicate],
+    ) -> Vec<LogRecord> {
+        match self {
+            Backend::Mem(rows) => rows.scan(tenant, range, preds),
+            Backend::Durable(store) => store.scan(tenant, range, preds),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            Backend::Mem(rows) => rows.bytes(),
+            Backend::Durable(store) => store.buffered_bytes(),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            Backend::Mem(rows) => rows.row_count(),
+            Backend::Durable(store) => store.buffered_rows(),
+        }
+    }
+
+    fn drain_all(&mut self) -> Vec<LogRecord> {
+        match self {
+            Backend::Mem(rows) => rows.drain_oldest(usize::MAX),
+            Backend::Durable(store) => {
+                let drained = store.drain_for_archive(usize::MAX);
+                let _ = store.checkpoint();
+                drained
+            }
+        }
+    }
+
+    fn drain_tenant(&mut self, tenant: TenantId) -> Vec<LogRecord> {
+        match self {
+            Backend::Mem(rows) => rows.drain_tenant(tenant),
+            Backend::Durable(store) => store.drain_tenant(tenant),
+        }
+    }
+}
+
+struct ShardState {
+    backend: Mutex<Backend>,
+    raft: Option<Mutex<InProcCluster>>,
+    window: Mutex<ShardWindow>,
+}
+
+/// One worker node.
+pub struct Worker {
+    id: WorkerId,
+    shards: HashMap<ShardId, ShardState>,
+    backpressure_bytes: usize,
+}
+
+impl Worker {
+    /// Creates a worker owning `shard_ids`.
+    pub fn new(
+        id: WorkerId,
+        shard_ids: &[ShardId],
+        schema: &TableSchema,
+        backpressure_bytes: usize,
+        raft_replicas: usize,
+        data_dir: Option<&PathBuf>,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut shards = HashMap::new();
+        for &shard in shard_ids {
+            let backend = match data_dir {
+                Some(dir) => {
+                    let shard_dir = dir.join(format!("worker-{}", id.raw())).join(format!(
+                        "shard-{}",
+                        shard.raw()
+                    ));
+                    Backend::Durable(ShardStore::open(
+                        shard_dir,
+                        schema.clone(),
+                        WalConfig::default(),
+                    )?)
+                }
+                None => Backend::Mem(RowStore::new(schema.clone())),
+            };
+            let raft = if raft_replicas > 1 {
+                let mut cluster = InProcCluster::new(
+                    raft_replicas,
+                    RaftConfig::default(),
+                    seed ^ u64::from(shard.raw()),
+                );
+                cluster
+                    .run_until_leader(500)
+                    .ok_or_else(|| Error::Raft("shard group failed to elect".into()))?;
+                Some(Mutex::new(cluster))
+            } else {
+                None
+            };
+            shards.insert(
+                shard,
+                ShardState { backend: Mutex::new(backend), raft, window: Mutex::new(ShardWindow::default()) },
+            );
+        }
+        Ok(Worker { id, shards, backpressure_bytes })
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Shards owned by this worker.
+    pub fn shard_ids(&self) -> Vec<ShardId> {
+        let mut ids: Vec<ShardId> = self.shards.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn shard(&self, shard: ShardId) -> Result<&ShardState> {
+        self.shards
+            .get(&shard)
+            .ok_or_else(|| Error::Cluster(format!("{shard} not on worker {}", self.id)))
+    }
+
+    /// Phase-one ingest of a batch into one shard: BFC admission check,
+    /// Raft replication (when configured), row-store insert, accounting.
+    pub fn append(&self, shard: ShardId, batch: &RecordBatch) -> Result<()> {
+        let state = self.shard(shard)?;
+        {
+            let backend = state.backend.lock();
+            if backend.bytes() + batch.approx_size() > self.backpressure_bytes {
+                return Err(Error::Backpressure(format!(
+                    "shard {shard} row store at {} bytes",
+                    backend.bytes()
+                )));
+            }
+        }
+        if let Some(raft) = &state.raft {
+            let mut cluster = raft.lock();
+            let payload = encode_batch(batch);
+            cluster.propose(payload)?;
+            // Drive the group until the entry is applied on the leader
+            // (the paper's sync_queue wait, §4.2).
+            let leader = cluster
+                .any_leader()
+                .ok_or_else(|| Error::Raft("shard group lost its leader".into()))?;
+            let target = cluster.applied(leader).len() + 1;
+            let mut steps = 0;
+            while cluster.applied(leader).len() < target {
+                cluster.step();
+                steps += 1;
+                if steps > 1000 {
+                    return Err(Error::Raft("replication stalled".into()));
+                }
+            }
+        }
+        state.backend.lock().insert_batch(batch)?;
+        let mut window = state.window.lock();
+        window.total += batch.len() as u64;
+        for r in &batch.records {
+            *window.per_tenant.entry(r.tenant_id).or_default() += 1;
+        }
+        Ok(())
+    }
+
+    /// Scans one shard's real-time store.
+    pub fn scan(
+        &self,
+        shard: ShardId,
+        tenant: TenantId,
+        range: TimeRange,
+        preds: &[ColumnPredicate],
+    ) -> Result<Vec<LogRecord>> {
+        Ok(self.shard(shard)?.backend.lock().scan(tenant, range, preds))
+    }
+
+    /// Buffered row-store bytes of one shard.
+    pub fn buffered_bytes(&self, shard: ShardId) -> Result<usize> {
+        Ok(self.shard(shard)?.backend.lock().bytes())
+    }
+
+    /// Buffered rows of one shard.
+    pub fn buffered_rows(&self, shard: ShardId) -> Result<usize> {
+        Ok(self.shard(shard)?.backend.lock().rows())
+    }
+
+    /// Drains every shard whose buffer exceeds `flush_bytes` (or all when
+    /// `force`), returning `(shard, rows)` for the data builder.
+    pub fn drain_for_build(&self, flush_bytes: usize, force: bool) -> Vec<(ShardId, Vec<LogRecord>)> {
+        let mut out = Vec::new();
+        for (&shard, state) in &self.shards {
+            let mut backend = state.backend.lock();
+            if force || backend.bytes() >= flush_bytes {
+                let rows = backend.drain_all();
+                if !rows.is_empty() {
+                    out.push((shard, rows));
+                }
+            }
+        }
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Drains one tenant from one shard (rebalance flush, §4.1.5).
+    pub fn drain_tenant(&self, shard: ShardId, tenant: TenantId) -> Result<Vec<LogRecord>> {
+        Ok(self.shard(shard)?.backend.lock().drain_tenant(tenant))
+    }
+
+    /// After the drained rows are durable on OSS, compacts the shard's
+    /// replicated log up to the applied point (the checkpoint task the
+    /// paper's controller schedules). No-op for unreplicated shards.
+    pub fn checkpoint_raft(&self, shard: ShardId) -> Result<()> {
+        let state = self.shard(shard)?;
+        let Some(raft) = &state.raft else { return Ok(()) };
+        let mut cluster = raft.lock();
+        let Some(leader) = cluster.any_leader() else { return Ok(()) };
+        let applied = cluster.node(leader).commit_index();
+        if applied > 0 {
+            // The snapshot payload is the archive watermark; replicas that
+            // fall behind rebuild their row store from OSS, not the log.
+            cluster
+                .node_mut(leader)
+                .compact(applied, applied.to_le_bytes().to_vec())?;
+        }
+        Ok(())
+    }
+
+    /// The replicated log's compaction point for `shard` (None when the
+    /// shard is unreplicated). Test/observability hook.
+    pub fn raft_snapshot_index(&self, shard: ShardId) -> Result<Option<u64>> {
+        let state = self.shard(shard)?;
+        Ok(state.raft.as_ref().map(|raft| {
+            let cluster = raft.lock();
+            match cluster.any_leader() {
+                Some(leader) => cluster.node(leader).snapshot_index(),
+                None => 0,
+            }
+        }))
+    }
+
+    /// Takes and resets this window's per-shard ingest counters.
+    pub fn take_window(&self) -> HashMap<ShardId, ShardWindow> {
+        self.shards
+            .iter()
+            .map(|(&shard, state)| (shard, std::mem::take(&mut *state.window.lock())))
+            .collect()
+    }
+}
+
+fn encode_batch(batch: &RecordBatch) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, batch.len() as u64);
+    for r in &batch.records {
+        put_row(&mut out, &r.to_row());
+    }
+    out
+}
+
+/// Decodes a Raft batch payload (used by replica catch-up tooling/tests).
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<LogRecord>> {
+    let mut pos = 0;
+    let n = read_uvarint(payload, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let row = read_row(payload, &mut pos)?;
+        out.push(LogRecord::from_row(&row)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::{Timestamp, Value};
+
+    fn rec(t: u64, ts: i64) -> LogRecord {
+        LogRecord::new(
+            TenantId(t),
+            Timestamp(ts),
+            vec![
+                Value::from("ip"),
+                Value::from("/a"),
+                Value::I64(1),
+                Value::Bool(false),
+                Value::from("m"),
+            ],
+        )
+    }
+
+    fn worker(replicas: usize) -> Worker {
+        Worker::new(
+            WorkerId(0),
+            &[ShardId(0), ShardId(1)],
+            &TableSchema::request_log(),
+            1 << 20,
+            replicas,
+            None,
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_scan_and_window_metrics() {
+        let w = worker(1);
+        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 10), rec(2, 20)]))
+            .unwrap();
+        w.append(ShardId(1), &RecordBatch::from_records(vec![rec(1, 30)])).unwrap();
+        let hits = w.scan(ShardId(0), TenantId(1), TimeRange::all(), &[]).unwrap();
+        assert_eq!(hits.len(), 1);
+        let window = w.take_window();
+        assert_eq!(window[&ShardId(0)].total, 2);
+        assert_eq!(window[&ShardId(0)].per_tenant[&TenantId(1)], 1);
+        assert_eq!(window[&ShardId(1)].total, 1);
+        // Window resets after take.
+        assert_eq!(w.take_window()[&ShardId(0)].total, 0);
+    }
+
+    #[test]
+    fn unknown_shard_is_cluster_error() {
+        let w = worker(1);
+        let err = w.append(ShardId(9), &RecordBatch::new()).unwrap_err();
+        assert!(matches!(err, Error::Cluster(_)));
+    }
+
+    #[test]
+    fn backpressure_on_full_rowstore() {
+        let w = Worker::new(
+            WorkerId(0),
+            &[ShardId(0)],
+            &TableSchema::request_log(),
+            2000, // fits one batch, not many
+            1,
+            None,
+            7,
+        )
+        .unwrap();
+        let batch = RecordBatch::from_records((0..5).map(|i| rec(1, i)).collect());
+        let mut hit_backpressure = false;
+        for _ in 0..100 {
+            match w.append(ShardId(0), &batch) {
+                Ok(()) => {}
+                Err(Error::Backpressure(_)) => {
+                    hit_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(hit_backpressure);
+        // Draining relieves the pressure.
+        let drained = w.drain_for_build(0, true);
+        assert!(!drained.is_empty());
+        w.append(ShardId(0), &batch).unwrap();
+    }
+
+    #[test]
+    fn raft_replicated_appends_apply() {
+        let w = worker(3);
+        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1), rec(1, 2)]))
+            .unwrap();
+        assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 2);
+        let hits = w.scan(ShardId(0), TenantId(1), TimeRange::all(), &[]).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn drain_for_build_respects_threshold() {
+        let w = worker(1);
+        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
+        assert!(w.drain_for_build(usize::MAX, false).is_empty());
+        let drained = w.drain_for_build(0, false);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, ShardId(0));
+        assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn drain_tenant_for_rebalance() {
+        let w = worker(1);
+        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1), rec(2, 2)]))
+            .unwrap();
+        let moved = w.drain_tenant(ShardId(0), TenantId(1)).unwrap();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn durable_worker_recovers_from_wal() {
+        let dir = std::env::temp_dir().join(format!(
+            "logstore-worker-durable-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let w = Worker::new(
+                WorkerId(0),
+                &[ShardId(0)],
+                &TableSchema::request_log(),
+                1 << 20,
+                1,
+                Some(&dir),
+                7,
+            )
+            .unwrap();
+            w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
+        }
+        let w = Worker::new(
+            WorkerId(0),
+            &[ShardId(0)],
+            &TableSchema::request_log(),
+            1 << 20,
+            1,
+            Some(&dir),
+            7,
+        )
+        .unwrap();
+        assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_payload_roundtrip() {
+        let batch = RecordBatch::from_records(vec![rec(1, 5), rec(2, 6)]);
+        let payload = encode_batch(&batch);
+        let decoded = decode_batch(&payload).unwrap();
+        assert_eq!(decoded, batch.records);
+    }
+}

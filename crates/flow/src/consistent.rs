@@ -1,0 +1,167 @@
+//! Consistent hashing for initial tenant placement.
+//!
+//! Algorithm 1 initializes routes with `P_j ← ConsistentHash(K_i)`. The
+//! ring uses virtual nodes so shard additions move only `1/n` of tenants.
+
+use logstore_types::{ShardId, TenantId};
+
+/// Virtual nodes per shard. High enough that per-shard tenant-count
+/// variance stays small — with few vnodes, hash-ring share variance alone
+/// overloads shards even under a uniform workload.
+const DEFAULT_VNODES: usize = 512;
+
+/// 64-bit FNV-1a, the ring's base hash function (stable across runs).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer. FNV-1a alone distributes structured little-endian
+/// keys (sequential ids) poorly across the ring; the finalizer restores
+/// avalanche behaviour.
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Domain-separated ring hashes. Vnode keys and tenant ids are both small
+/// integers; without a distinct tag byte a tenant's hash collides exactly
+/// with a same-valued vnode point, funnelling every small tenant onto the
+/// shard owning those vnodes.
+fn point_hash(data: &[u8]) -> u64 {
+    let mut buf = [0u8; 9];
+    buf[0] = b'P';
+    buf[1..].copy_from_slice(data);
+    mix64(fnv1a(&buf))
+}
+
+fn tenant_hash(data: &[u8]) -> u64 {
+    let mut buf = [0u8; 9];
+    buf[0] = b'T';
+    buf[1..].copy_from_slice(data);
+    mix64(fnv1a(&buf))
+}
+
+/// A consistent-hash ring mapping tenants to shards.
+#[derive(Debug, Clone)]
+pub struct ConsistentHashRing {
+    // Sorted (point, shard) pairs.
+    points: Vec<(u64, ShardId)>,
+}
+
+impl ConsistentHashRing {
+    /// Builds a ring over `shards` with the default virtual-node count.
+    pub fn new(shards: &[ShardId]) -> Self {
+        Self::with_vnodes(shards, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count.
+    pub fn with_vnodes(shards: &[ShardId], vnodes: usize) -> Self {
+        let mut points = Vec::with_capacity(shards.len() * vnodes);
+        for &shard in shards {
+            for v in 0..vnodes {
+                let key = ((u64::from(shard.raw())) << 32) | v as u64;
+                points.push((point_hash(&key.to_le_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by_key(|(h, _)| *h);
+        ConsistentHashRing { points }
+    }
+
+    /// Maps a tenant to its home shard.
+    pub fn assign(&self, tenant: TenantId) -> Option<ShardId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = tenant_hash(&tenant.raw().to_le_bytes());
+        let idx = self.points.partition_point(|(p, _)| *p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        Some(shard)
+    }
+
+    /// Number of ring points.
+    pub fn point_count(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn shards(n: u32) -> Vec<ShardId> {
+        (0..n).map(ShardId).collect()
+    }
+
+    #[test]
+    fn empty_ring_assigns_nothing() {
+        let ring = ConsistentHashRing::new(&[]);
+        assert_eq!(ring.assign(TenantId(1)), None);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let ring = ConsistentHashRing::new(&shards(8));
+        for t in 0..100 {
+            assert_eq!(ring.assign(TenantId(t)), ring.assign(TenantId(t)));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let ring = ConsistentHashRing::new(&shards(8));
+        let mut counts: HashMap<ShardId, usize> = HashMap::new();
+        for t in 0..8000 {
+            *counts.entry(ring.assign(TenantId(t)).unwrap()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 8, "every shard should receive tenants");
+        for (&shard, &c) in &counts {
+            assert!(
+                (300..=2500).contains(&c),
+                "shard {shard} got {c} of 8000 — too skewed for a healthy ring"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_few_tenants() {
+        let before = ConsistentHashRing::new(&shards(10));
+        let after = ConsistentHashRing::new(&shards(11));
+        let moved = (0..10_000u64)
+            .filter(|&t| before.assign(TenantId(t)) != after.assign(TenantId(t)))
+            .count();
+        // Ideal is ~1/11 ≈ 909; allow generous slack.
+        assert!(moved < 2500, "{moved} tenants moved — not consistent enough");
+        assert!(moved > 100, "{moved} tenants moved — suspiciously few");
+    }
+
+    #[test]
+    fn small_sequential_tenants_do_not_collide_with_vnode_points() {
+        // Regression: tenant ids and vnode indices share the small-integer
+        // key space; without domain separation tenant t's hash equals the
+        // hash of some shard's vnode t and every small tenant lands on the
+        // shard owning those vnodes.
+        let ring = ConsistentHashRing::new(&shards(24));
+        let mut counts: HashMap<ShardId, usize> = HashMap::new();
+        for t in 1..=200u64 {
+            *counts.entry(ring.assign(TenantId(t)).unwrap()).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max < 40, "one shard captured {max} of 200 sequential tenants");
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a 64 reference vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

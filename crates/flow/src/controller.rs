@@ -1,0 +1,213 @@
+//! The global traffic control loop (Algorithm 1).
+//!
+//! Every control interval the controller collects a [`TrafficSnapshot`],
+//! detects hot shards, and either (a) rebalances tenant traffic when the
+//! cluster still has headroom (`Σ f(D_k) ≤ α Σ c(D_k)`), or (b) asks for
+//! more workers (`ScaleCluster`). Route updates are what brokers consume.
+
+use crate::balancer::Balancer;
+use crate::consistent::ConsistentHashRing;
+use crate::monitor::{detect_hotspots, TrafficSnapshot};
+use crate::routing::RoutingTable;
+use logstore_types::{Result, TenantId};
+
+/// Tuning knobs of the control loop.
+#[derive(Debug, Clone)]
+pub struct FlowControlConfig {
+    /// High watermark for shard/worker load (the paper's α, e.g. 0.85).
+    pub alpha: f64,
+    /// Maximum traffic of one tenant a single shard should carry — the
+    /// per-edge capacity `f_max` of the flow network and the divisor of
+    /// `CalculateAddRoutesNum`.
+    pub per_tenant_shard_limit: u64,
+    /// Control interval (the paper re-checks every 300 s).
+    pub check_interval_secs: u64,
+}
+
+impl Default for FlowControlConfig {
+    fn default() -> Self {
+        FlowControlConfig { alpha: 0.85, per_tenant_shard_limit: 100_000, check_interval_secs: 300 }
+    }
+}
+
+/// What one control tick decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlAction {
+    /// No hot spots; nothing changed.
+    None,
+    /// Traffic was rebalanced; the new table was produced.
+    Rebalanced {
+        /// Route edges before the plan.
+        routes_before: usize,
+        /// Route edges after the plan.
+        routes_after: usize,
+    },
+    /// The cluster is saturated; more workers are needed.
+    ScaleCluster {
+        /// Total offered traffic.
+        demand: u64,
+        /// `α ×` total worker capacity.
+        usable_capacity: u64,
+    },
+}
+
+/// The hotspot manager: monitor → balancer → router (paper Fig 6).
+pub struct TrafficController {
+    config: FlowControlConfig,
+    balancer: Box<dyn Balancer>,
+    routes: RoutingTable,
+    /// The previous plan, retained so reads can fan out to old + new shards
+    /// during the switch-over window.
+    previous_routes: RoutingTable,
+}
+
+impl TrafficController {
+    /// Creates a controller with the given planner.
+    pub fn new(config: FlowControlConfig, balancer: Box<dyn Balancer>) -> Self {
+        TrafficController {
+            config,
+            balancer,
+            routes: RoutingTable::new(),
+            previous_routes: RoutingTable::new(),
+        }
+    }
+
+    /// Algorithm 1 lines 4–7: initial placement by consistent hashing with
+    /// 100% weight.
+    pub fn init_routes(&mut self, tenants: &[TenantId], ring: &ConsistentHashRing) -> Result<()> {
+        for &t in tenants {
+            if let Some(shard) = ring.assign(t) {
+                self.routes.set_routes(t, vec![(shard, 1.0)])?;
+            }
+        }
+        self.previous_routes = self.routes.clone();
+        Ok(())
+    }
+
+    /// The current routing table.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// The previous plan (kept for the read switch-over window and for the
+    /// §4.1.5 vacated-shard flush).
+    pub fn previous_routes(&self) -> &RoutingTable {
+        &self.previous_routes
+    }
+
+    /// Shards a read for `tenant` must consult (old ∪ new plans).
+    pub fn read_shards(&self, tenant: TenantId) -> Vec<logstore_types::ShardId> {
+        self.routes.read_shards(&self.previous_routes, tenant)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FlowControlConfig {
+        &self.config
+    }
+
+    /// One control tick (Algorithm 1 lines 9–29).
+    pub fn tick(&mut self, snapshot: &TrafficSnapshot) -> Result<ControlAction> {
+        let hotspots = detect_hotspots(snapshot, self.config.alpha);
+        if hotspots.is_empty() {
+            return Ok(ControlAction::None);
+        }
+        let demand = snapshot.total_traffic();
+        let usable = (snapshot.total_worker_capacity() as f64 * self.config.alpha) as u64;
+        if demand > usable {
+            // Line 25: only adding workers can help.
+            return Ok(ControlAction::ScaleCluster { demand, usable_capacity: usable });
+        }
+        let routes_before = self.routes.route_count();
+        let plan = self.balancer.rebalance(snapshot, &self.routes, &self.config)?;
+        let routes_after = plan.route_count();
+        self.previous_routes = std::mem::replace(&mut self.routes, plan);
+        Ok(ControlAction::Rebalanced { routes_before, routes_after })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::MaxFlowBalancer;
+    use logstore_types::{ShardId, WorkerId};
+
+    fn controller() -> TrafficController {
+        let config = FlowControlConfig {
+            alpha: 0.85,
+            per_tenant_shard_limit: 100,
+            check_interval_secs: 300,
+        };
+        TrafficController::new(config, Box::new(MaxFlowBalancer))
+    }
+
+    fn snapshot(hot: bool, demand: u64) -> TrafficSnapshot {
+        let mut s = TrafficSnapshot::default();
+        for p in 0..4u32 {
+            s.shard_capacity.insert(ShardId(p), 100);
+            s.shard_to_worker.insert(ShardId(p), WorkerId(p / 2));
+        }
+        for w in 0..2u32 {
+            s.worker_capacity.insert(WorkerId(w), 200);
+        }
+        s.tenant_traffic.insert(TenantId(1), demand);
+        if hot {
+            s.shard_load.insert(ShardId(0), demand);
+            s.shard_tenants.insert(ShardId(0), vec![(TenantId(1), demand)]);
+            s.worker_load.insert(WorkerId(0), demand);
+        }
+        s
+    }
+
+    #[test]
+    fn init_routes_uses_ring() {
+        let mut c = controller();
+        let ring = ConsistentHashRing::new(&[ShardId(0), ShardId(1)]);
+        let tenants: Vec<TenantId> = (0..10).map(TenantId).collect();
+        c.init_routes(&tenants, &ring).unwrap();
+        assert_eq!(c.routes().tenant_count(), 10);
+        for &t in &tenants {
+            assert_eq!(c.routes().routes(t).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn cold_tick_is_noop() {
+        let mut c = controller();
+        let ring = ConsistentHashRing::new(&[ShardId(0)]);
+        c.init_routes(&[TenantId(1)], &ring).unwrap();
+        let action = c.tick(&snapshot(false, 10)).unwrap();
+        assert_eq!(action, ControlAction::None);
+    }
+
+    #[test]
+    fn hot_tick_rebalances() {
+        let mut c = controller();
+        let ring = ConsistentHashRing::new(&[ShardId(0), ShardId(1), ShardId(2), ShardId(3)]);
+        c.init_routes(&[TenantId(1)], &ring).unwrap();
+        // Force tenant onto shard 0 so the snapshot matches.
+        c.routes.set_routes(TenantId(1), vec![(ShardId(0), 1.0)]).unwrap();
+        let action = c.tick(&snapshot(true, 250)).unwrap();
+        let ControlAction::Rebalanced { routes_before, routes_after } = action else {
+            panic!("expected rebalance, got {action:?}");
+        };
+        assert_eq!(routes_before, 1);
+        assert!(routes_after >= 3);
+        // Reads must consult old and new shards during switch-over.
+        let reads = c.read_shards(TenantId(1));
+        assert!(reads.contains(&ShardId(0)));
+        assert!(reads.len() >= 3);
+    }
+
+    #[test]
+    fn saturation_escalates_to_scaling() {
+        let mut c = controller();
+        let ring = ConsistentHashRing::new(&[ShardId(0)]);
+        c.init_routes(&[TenantId(1)], &ring).unwrap();
+        let action = c.tick(&snapshot(true, 1000)).unwrap();
+        let ControlAction::ScaleCluster { demand, usable_capacity } = action else {
+            panic!("expected scale-out, got {action:?}");
+        };
+        assert_eq!(demand, 1000);
+        assert_eq!(usable_capacity, 340); // 0.85 * 400
+    }
+}

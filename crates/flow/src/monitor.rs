@@ -1,0 +1,196 @@
+//! Traffic monitoring and hotspot detection (paper §4.1.3).
+//!
+//! The monitor collects tenant traffic `f(K_i)`, shard load `f(P_j)` and
+//! worker load `f(D_k)` plus capacities, detects hot shards, and feeds the
+//! balancer. Loads are in abstract "flow units" (log entries per second in
+//! the paper's deployment).
+
+use logstore_types::{ShardId, TenantId, WorkerId};
+use std::collections::HashMap;
+
+/// Everything the balancer needs about one control interval.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficSnapshot {
+    /// Offered traffic per tenant, `f(K_i)`.
+    pub tenant_traffic: HashMap<TenantId, u64>,
+    /// Load per shard, `f(P_j)` (sum of routed tenant shares).
+    pub shard_load: HashMap<ShardId, u64>,
+    /// Capacity per shard, `c(P_j)`.
+    pub shard_capacity: HashMap<ShardId, u64>,
+    /// Load per worker, `f(D_k)`.
+    pub worker_load: HashMap<WorkerId, u64>,
+    /// Capacity per worker, `c(D_k)`.
+    pub worker_capacity: HashMap<WorkerId, u64>,
+    /// Shard placement: which worker hosts each shard.
+    pub shard_to_worker: HashMap<ShardId, WorkerId>,
+    /// Tenants contributing traffic on each shard, `Γ(P_j)`, with their
+    /// per-shard traffic share.
+    pub shard_tenants: HashMap<ShardId, Vec<(TenantId, u64)>>,
+}
+
+impl TrafficSnapshot {
+    /// Total offered tenant traffic, `Σ f(K_i)`.
+    pub fn total_traffic(&self) -> u64 {
+        self.tenant_traffic.values().sum()
+    }
+
+    /// Total worker capacity, `Σ c(D_k)`.
+    pub fn total_worker_capacity(&self) -> u64 {
+        self.worker_capacity.values().sum()
+    }
+
+    /// Shards sorted by ascending load (ties by id for determinism) — the
+    /// `GreedyFindLeastLoad(P)` primitive of Algorithms 2 and 3.
+    pub fn shards_by_load(&self) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = self.shard_capacity.keys().copied().collect();
+        shards.sort_by_key(|s| (self.shard_load.get(s).copied().unwrap_or(0), s.raw()));
+        shards
+    }
+
+    /// The hottest tenant on a shard — `PickHotSpotTenant(Γ(P_j))`.
+    pub fn hottest_tenant_on(&self, shard: ShardId) -> Option<TenantId> {
+        self.shard_tenants
+            .get(&shard)?
+            .iter()
+            .max_by_key(|(t, load)| (*load, std::cmp::Reverse(t.raw())))
+            .map(|(t, _)| *t)
+    }
+}
+
+/// Result of a hotspot sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotspotReport {
+    /// Shards above the hot threshold.
+    pub hot_shards: Vec<ShardId>,
+    /// Workers above the hot threshold.
+    pub hot_workers: Vec<WorkerId>,
+}
+
+impl HotspotReport {
+    /// True if nothing is hot.
+    pub fn is_empty(&self) -> bool {
+        self.hot_shards.is_empty() && self.hot_workers.is_empty()
+    }
+}
+
+/// `CheckHotSpot` over every shard and worker: load exceeding
+/// `alpha * capacity` marks the entity hot (`alpha` is the paper's high
+/// watermark, e.g. 85%).
+pub fn detect_hotspots(snapshot: &TrafficSnapshot, alpha: f64) -> HotspotReport {
+    let mut hot_shards: Vec<ShardId> = snapshot
+        .shard_load
+        .iter()
+        .filter(|(shard, &load)| {
+            let cap = snapshot.shard_capacity.get(shard).copied().unwrap_or(0);
+            load as f64 > alpha * cap as f64
+        })
+        .map(|(s, _)| *s)
+        .collect();
+    hot_shards.sort_unstable();
+    let mut hot_workers: Vec<WorkerId> = snapshot
+        .worker_load
+        .iter()
+        .filter(|(worker, &load)| {
+            let cap = snapshot.worker_capacity.get(worker).copied().unwrap_or(0);
+            load as f64 > alpha * cap as f64
+        })
+        .map(|(w, _)| *w)
+        .collect();
+    hot_workers.sort_unstable();
+    HotspotReport { hot_shards, hot_workers }
+}
+
+/// Population standard deviation of a load map's values — the Figure 13
+/// metric ("shard/worker accesses std").
+pub fn load_stddev<K>(loads: &HashMap<K, u64>) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let n = loads.len() as f64;
+    let mean = loads.values().map(|&v| v as f64).sum::<f64>() / n;
+    let var = loads.values().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> TrafficSnapshot {
+        let mut s = TrafficSnapshot::default();
+        for (t, traffic) in [(1u64, 500u64), (2, 100), (3, 50)] {
+            s.tenant_traffic.insert(TenantId(t), traffic);
+        }
+        for shard in 0..4u32 {
+            s.shard_capacity.insert(ShardId(shard), 200);
+            s.shard_to_worker.insert(ShardId(shard), WorkerId(shard / 2));
+        }
+        s.shard_load.insert(ShardId(0), 500);
+        s.shard_load.insert(ShardId(1), 100);
+        s.shard_load.insert(ShardId(2), 50);
+        s.shard_load.insert(ShardId(3), 0);
+        s.shard_tenants.insert(ShardId(0), vec![(TenantId(1), 500)]);
+        s.shard_tenants
+            .insert(ShardId(1), vec![(TenantId(2), 100)]);
+        s.shard_tenants.insert(ShardId(2), vec![(TenantId(3), 50)]);
+        for w in 0..2u32 {
+            s.worker_capacity.insert(WorkerId(w), 400);
+        }
+        s.worker_load.insert(WorkerId(0), 600);
+        s.worker_load.insert(WorkerId(1), 50);
+        s
+    }
+
+    #[test]
+    fn totals() {
+        let s = snapshot();
+        assert_eq!(s.total_traffic(), 650);
+        assert_eq!(s.total_worker_capacity(), 800);
+    }
+
+    #[test]
+    fn hotspot_detection_uses_alpha() {
+        let s = snapshot();
+        let r = detect_hotspots(&s, 0.85);
+        assert_eq!(r.hot_shards, vec![ShardId(0)]);
+        assert_eq!(r.hot_workers, vec![WorkerId(0)]);
+        assert!(!r.is_empty());
+        // With a watermark of 10%, shard 1 (100/200 = 50%) is hot too.
+        let r = detect_hotspots(&s, 0.1);
+        assert!(r.hot_shards.contains(&ShardId(1)));
+    }
+
+    #[test]
+    fn least_loaded_ordering() {
+        let s = snapshot();
+        assert_eq!(
+            s.shards_by_load(),
+            vec![ShardId(3), ShardId(2), ShardId(1), ShardId(0)]
+        );
+    }
+
+    #[test]
+    fn hottest_tenant() {
+        let mut s = snapshot();
+        s.shard_tenants
+            .insert(ShardId(0), vec![(TenantId(1), 300), (TenantId(2), 200)]);
+        assert_eq!(s.hottest_tenant_on(ShardId(0)), Some(TenantId(1)));
+        assert_eq!(s.hottest_tenant_on(ShardId(3)), None);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let mut loads = HashMap::new();
+        assert_eq!(load_stddev(&loads), 0.0);
+        loads.insert(ShardId(0), 2u64);
+        loads.insert(ShardId(1), 4);
+        loads.insert(ShardId(2), 4);
+        loads.insert(ShardId(3), 4);
+        loads.insert(ShardId(4), 5);
+        loads.insert(ShardId(5), 5);
+        loads.insert(ShardId(6), 7);
+        loads.insert(ShardId(7), 9);
+        // Classic example: mean 5, population stddev 2.
+        assert!((load_stddev(&loads) - 2.0).abs() < 1e-9);
+    }
+}

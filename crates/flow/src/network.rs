@@ -1,0 +1,252 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! The paper computes the max flow of the tenant→shard→worker graph with
+//! Dinic's algorithm (the paper's reference \[29\]). This is a standard
+//! adjacency-list implementation with BFS level graphs and DFS blocking
+//! flows; integer capacities.
+
+use logstore_types::{Error, Result};
+
+/// Edge handle returned by [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(usize);
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: u64,
+}
+
+/// A directed flow network with integer capacities.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    // Edges stored in pairs: edge 2k is forward, 2k+1 its residual.
+    edges: Vec<Edge>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `u -> v` with capacity `cap`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) -> Result<EdgeId> {
+        if u >= self.adj.len() || v >= self.adj.len() {
+            return Err(Error::invalid("flow edge endpoint out of range"));
+        }
+        let id = self.edges.len();
+        self.edges.push(Edge { to: v, cap });
+        self.edges.push(Edge { to: u, cap: 0 });
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+        Ok(EdgeId(id))
+    }
+
+    /// Raises the capacity of an existing edge.
+    pub fn add_capacity(&mut self, edge: EdgeId, extra: u64) {
+        self.edges[edge.0].cap = self.edges[edge.0].cap.saturating_add(extra);
+    }
+
+    /// Flow currently assigned to `edge` (valid after [`FlowNetwork::max_flow`]).
+    pub fn edge_flow(&self, edge: EdgeId) -> u64 {
+        // Forward flow equals the residual edge's capacity gain.
+        self.edges[edge.0 ^ 1].cap
+    }
+
+    /// Remaining capacity of `edge`.
+    pub fn edge_residual(&self, edge: EdgeId) -> u64 {
+        self.edges[edge.0].cap
+    }
+
+    /// Computes the maximum flow from `s` to `t` (Dinic). Resets nothing:
+    /// calling twice continues from the existing flow, which is exactly what
+    /// the balancer's incremental edge additions need.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> Result<u64> {
+        if s >= self.adj.len() || t >= self.adj.len() || s == t {
+            return Err(Error::invalid("bad source/sink"));
+        }
+        let mut total = 0u64;
+        loop {
+            let Some(level) = self.bfs_levels(s, t) else {
+                return Ok(total);
+            };
+            let mut iter = vec![0usize; self.adj.len()];
+            loop {
+                let pushed = self.dfs_push(s, t, u64::MAX, &level, &mut iter);
+                if pushed == 0 {
+                    break;
+                }
+                total = total.saturating_add(pushed);
+            }
+        }
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<u32>> {
+        let mut level = vec![u32::MAX; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &eid in &self.adj[u] {
+                let e = &self.edges[eid];
+                if e.cap > 0 && level[e.to] == u32::MAX {
+                    level[e.to] = level[u] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        (level[t] != u32::MAX).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: u64,
+        level: &[u32],
+        iter: &mut [usize],
+    ) -> u64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < self.adj[u].len() {
+            let eid = self.adj[u][iter[u]];
+            let (to, cap) = {
+                let e = &self.edges[eid];
+                (e.to, e.cap)
+            };
+            if cap > 0 && level[to] == level[u] + 1 {
+                let pushed = self.dfs_push(to, t, limit.min(cap), level, iter);
+                if pushed > 0 {
+                    self.edges[eid].cap -= pushed;
+                    self.edges[eid ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            iter[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let e = g.add_edge(s, t, 7).unwrap();
+        assert_eq!(g.max_flow(s, t).unwrap(), 7);
+        assert_eq!(g.edge_flow(e), 7);
+        assert_eq!(g.edge_residual(e), 0);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a (10), s -> b (10), a -> t (5), b -> t (5), a -> b (15).
+        let mut g = FlowNetwork::new();
+        let (s, a, b, t) = (g.add_node(), g.add_node(), g.add_node(), g.add_node());
+        g.add_edge(s, a, 10).unwrap();
+        g.add_edge(s, b, 10).unwrap();
+        g.add_edge(a, t, 5).unwrap();
+        g.add_edge(b, t, 5).unwrap();
+        g.add_edge(a, b, 15).unwrap();
+        assert_eq!(g.max_flow(s, t).unwrap(), 10);
+    }
+
+    #[test]
+    fn bottleneck_in_middle() {
+        let mut g = FlowNetwork::new();
+        let nodes: Vec<usize> = (0..4).map(|_| g.add_node()).collect();
+        g.add_edge(nodes[0], nodes[1], 100).unwrap();
+        g.add_edge(nodes[1], nodes[2], 3).unwrap();
+        g.add_edge(nodes[2], nodes[3], 100).unwrap();
+        assert_eq!(g.max_flow(nodes[0], nodes[3]).unwrap(), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_zero_flow() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        assert_eq!(g.max_flow(s, t).unwrap(), 0);
+    }
+
+    #[test]
+    fn incremental_edge_addition_grows_flow() {
+        // The Alg-3 pattern: compute, find it short, add a route, recompute.
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let shard1 = g.add_node();
+        let shard2 = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, shard1, 100).unwrap();
+        g.add_edge(shard1, t, 40).unwrap();
+        g.add_edge(shard2, t, 60).unwrap();
+        assert_eq!(g.max_flow(s, t).unwrap(), 40);
+        // Add the missing route s->shard2 and continue.
+        g.add_edge(s, shard2, 100).unwrap();
+        assert_eq!(g.max_flow(s, t).unwrap(), 60, "incremental gain only");
+    }
+
+    #[test]
+    fn capacity_increase_on_existing_edge() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        let e = g.add_edge(s, t, 5).unwrap();
+        assert_eq!(g.max_flow(s, t).unwrap(), 5);
+        g.add_capacity(e, 5);
+        assert_eq!(g.max_flow(s, t).unwrap(), 5);
+        assert_eq!(g.edge_flow(e), 10);
+    }
+
+    #[test]
+    fn invalid_nodes_rejected() {
+        let mut g = FlowNetwork::new();
+        let s = g.add_node();
+        assert!(g.add_edge(s, 5, 1).is_err());
+        assert!(g.max_flow(s, s).is_err());
+        assert!(g.max_flow(s, 9).is_err());
+    }
+
+    #[test]
+    fn larger_random_graph_conservation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut g = FlowNetwork::new();
+        let n = 40;
+        let nodes: Vec<usize> = (0..n).map(|_| g.add_node()).collect();
+        let (s, t) = (nodes[0], nodes[n - 1]);
+        let mut out_edges = Vec::new();
+        for _ in 0..300 {
+            let u = nodes[rng.gen_range(0..n)];
+            let v = nodes[rng.gen_range(0..n)];
+            if u != v {
+                let e = g.add_edge(u, v, rng.gen_range(1..50)).unwrap();
+                if u == s {
+                    out_edges.push(e);
+                }
+            }
+        }
+        let flow = g.max_flow(s, t).unwrap();
+        let source_out: u64 = out_edges.iter().map(|e| g.edge_flow(*e)).sum();
+        assert_eq!(flow, source_out, "flow conservation at the source");
+    }
+}

@@ -1,0 +1,189 @@
+//! Weighted tenant→shard routing tables.
+//!
+//! The controller pushes tables of the form
+//! `Rules{T0: {P0: X00, P1: X01, ...}, ...}` to brokers (paper §4.1.2);
+//! brokers split each tenant's write traffic across its routes by weight.
+//! Route *count* (the number of tenant→shard edges) is a first-class metric:
+//! the paper's Figure 12(c) compares how many routes each balancer needs.
+
+use crate::consistent::fnv1a;
+use logstore_types::{Error, Result, ShardId, TenantId};
+use std::collections::HashMap;
+
+/// One tenant→shard route with its traffic share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Route {
+    /// Destination shard.
+    pub shard: ShardId,
+    /// Fraction of the tenant's traffic in `[0, 1]`; a tenant's routes sum
+    /// to 1.
+    pub weight: f64,
+}
+
+/// The routing table distributed to brokers.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: HashMap<TenantId, Vec<Route>>,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a tenant's routes. Weights are normalized to sum to 1;
+    /// non-positive-weight routes are dropped.
+    pub fn set_routes(&mut self, tenant: TenantId, routes: Vec<(ShardId, f64)>) -> Result<()> {
+        let mut kept: Vec<Route> = routes
+            .into_iter()
+            .filter(|(_, w)| *w > 0.0)
+            .map(|(shard, weight)| Route { shard, weight })
+            .collect();
+        if kept.is_empty() {
+            return Err(Error::invalid(format!("tenant {tenant} needs at least one route")));
+        }
+        // Collapse duplicate shards.
+        kept.sort_by_key(|r| r.shard);
+        kept.dedup_by(|b, a| {
+            if a.shard == b.shard {
+                a.weight += b.weight;
+                true
+            } else {
+                false
+            }
+        });
+        let total: f64 = kept.iter().map(|r| r.weight).sum();
+        for r in &mut kept {
+            r.weight /= total;
+        }
+        self.routes.insert(tenant, kept);
+        Ok(())
+    }
+
+    /// A tenant's routes, if any.
+    pub fn routes(&self, tenant: TenantId) -> Option<&[Route]> {
+        self.routes.get(&tenant).map(Vec::as_slice)
+    }
+
+    /// Picks a shard for one record of `tenant`, weight-proportionally and
+    /// deterministically in `selector` (brokers hash a record attribute or a
+    /// round-robin counter into it).
+    pub fn pick(&self, tenant: TenantId, selector: u64) -> Option<ShardId> {
+        let routes = self.routes.get(&tenant)?;
+        if routes.len() == 1 {
+            return Some(routes[0].shard);
+        }
+        // Map the selector to [0,1) and walk the cumulative weights.
+        let h = fnv1a(&selector.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+        let x = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut acc = 0.0;
+        for r in routes {
+            acc += r.weight;
+            if x < acc {
+                return Some(r.shard);
+            }
+        }
+        routes.last().map(|r| r.shard)
+    }
+
+    /// Total number of tenant→shard edges (Figure 12(c)'s "routes").
+    pub fn route_count(&self) -> usize {
+        self.routes.values().map(Vec::len).sum()
+    }
+
+    /// Number of routed tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Iterates `(tenant, routes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TenantId, &[Route])> {
+        self.routes.iter().map(|(t, r)| (*t, r.as_slice()))
+    }
+
+    /// The union of shards serving `tenant` in `self` and `older` — the set
+    /// a broker must fan reads out to while a rebalance is settling (paper
+    /// §4.1.5: reads go "to the nodes in both old and new plans within a
+    /// period of time").
+    pub fn read_shards(&self, older: &RoutingTable, tenant: TenantId) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = self
+            .routes(tenant)
+            .into_iter()
+            .chain(older.routes(tenant))
+            .flatten()
+            .map(|r| r.shard)
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_normalize_and_dedup() {
+        let mut t = RoutingTable::new();
+        t.set_routes(TenantId(1), vec![(ShardId(0), 2.0), (ShardId(1), 2.0), (ShardId(0), 4.0)])
+            .unwrap();
+        let routes = t.routes(TenantId(1)).unwrap();
+        assert_eq!(routes.len(), 2);
+        let w0 = routes.iter().find(|r| r.shard == ShardId(0)).unwrap().weight;
+        let w1 = routes.iter().find(|r| r.shard == ShardId(1)).unwrap().weight;
+        assert!((w0 - 0.75).abs() < 1e-9);
+        assert!((w1 - 0.25).abs() < 1e-9);
+        assert_eq!(t.route_count(), 2);
+    }
+
+    #[test]
+    fn empty_or_zero_weight_routes_rejected() {
+        let mut t = RoutingTable::new();
+        assert!(t.set_routes(TenantId(1), vec![]).is_err());
+        assert!(t.set_routes(TenantId(1), vec![(ShardId(0), 0.0)]).is_err());
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_weight_proportional() {
+        let mut t = RoutingTable::new();
+        t.set_routes(TenantId(1), vec![(ShardId(0), 0.8), (ShardId(1), 0.2)]).unwrap();
+        let mut counts = [0usize; 2];
+        for sel in 0..10_000u64 {
+            let s = t.pick(TenantId(1), sel).unwrap();
+            assert_eq!(s, t.pick(TenantId(1), sel).unwrap());
+            counts[s.raw() as usize] += 1;
+        }
+        let frac0 = counts[0] as f64 / 10_000.0;
+        assert!((frac0 - 0.8).abs() < 0.05, "got {frac0}");
+    }
+
+    #[test]
+    fn pick_unrouted_tenant_is_none() {
+        let t = RoutingTable::new();
+        assert_eq!(t.pick(TenantId(5), 0), None);
+    }
+
+    #[test]
+    fn read_shards_union_old_and_new() {
+        let mut old = RoutingTable::new();
+        old.set_routes(TenantId(1), vec![(ShardId(0), 1.0)]).unwrap();
+        let mut new = RoutingTable::new();
+        new.set_routes(TenantId(1), vec![(ShardId(1), 0.5), (ShardId(2), 0.5)]).unwrap();
+        assert_eq!(
+            new.read_shards(&old, TenantId(1)),
+            vec![ShardId(0), ShardId(1), ShardId(2)]
+        );
+        assert_eq!(new.read_shards(&old, TenantId(9)), Vec::<ShardId>::new());
+    }
+
+    #[test]
+    fn single_route_fast_path() {
+        let mut t = RoutingTable::new();
+        t.set_routes(TenantId(1), vec![(ShardId(3), 1.0)]).unwrap();
+        for sel in 0..100 {
+            assert_eq!(t.pick(TenantId(1), sel), Some(ShardId(3)));
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Inverted index: term → posting list.
+//!
+//! Each string column in a LogBlock gets one inverted index. Two kinds of
+//! terms are stored side by side in a single sorted dictionary:
+//!
+//! * **Exact** terms — the whole cell value, supporting `col = 'literal'`
+//!   without decompressing the column.
+//! * **Token** terms — lowercased alphanumeric runs, supporting full-text
+//!   `col CONTAINS 'term'` (the paper's headline retrieval feature).
+//!
+//! Layout:
+//!
+//! ```text
+//! varint n_terms
+//! n_terms * (kind u8, term str, varint offset, varint len)   -- sorted
+//! varint blob_len, postings blob
+//! ```
+//!
+//! The dictionary is parsed eagerly at open (it is small); posting lists are
+//! decoded on demand.
+
+use crate::postings;
+use crate::tokenizer::{clamp_term, tokenize};
+use logstore_codec::varint::{put_str, put_uvarint, read_str, read_uvarint};
+use logstore_types::{Error, Result};
+use std::collections::BTreeMap;
+
+/// Distinguishes whole-value terms from tokenized terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TermKind {
+    /// Whole cell value (supports equality lookup).
+    Exact,
+    /// Tokenized term (supports CONTAINS lookup).
+    Token,
+}
+
+impl TermKind {
+    fn tag(self) -> u8 {
+        match self {
+            TermKind::Exact => 0,
+            TermKind::Token => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => TermKind::Exact,
+            1 => TermKind::Token,
+            _ => return None,
+        })
+    }
+}
+
+/// Maximum cell length for which a whole-value **exact** term is indexed.
+/// Longer values (free-text log lines) would duplicate the entire column
+/// inside the term dictionary — the Lucene keyword-vs-text distinction.
+/// Equality lookups for longer literals fall back to the scan path; the
+/// scanner applies the same constant so index and scan stay consistent.
+pub const MAX_EXACT_LEN: usize = 64;
+
+/// Accumulates terms while a LogBlock column is being built.
+#[derive(Debug, Default)]
+pub struct InvertedIndexWriter {
+    terms: BTreeMap<(u8, String), Vec<u32>>,
+}
+
+impl InvertedIndexWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes one cell. Row ids must arrive in ascending order (they do:
+    /// the builder feeds rows sequentially).
+    pub fn add(&mut self, row_id: u32, value: &str) {
+        if value.len() <= MAX_EXACT_LEN {
+            self.push(TermKind::Exact, value, row_id);
+        }
+        for tok in tokenize(value) {
+            self.push(TermKind::Token, clamp_term(&tok), row_id);
+        }
+    }
+
+    /// Indexes one cell as free text: tokens only, no exact term (used for
+    /// `IndexKind::FullText` columns, where whole log lines as dictionary
+    /// keys would duplicate the column).
+    pub fn add_text(&mut self, row_id: u32, value: &str) {
+        for tok in tokenize(value) {
+            self.push(TermKind::Token, clamp_term(&tok), row_id);
+        }
+    }
+
+    fn push(&mut self, kind: TermKind, term: &str, row_id: u32) {
+        let list = self
+            .terms
+            .entry((kind.tag(), term.to_string()))
+            .or_default();
+        if list.last() != Some(&row_id) {
+            list.push(row_id);
+        }
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Serializes the index as two parts: the term dictionary (small, read
+    /// eagerly) and the postings blob (large, range-read per term). Storing
+    /// them as separate pack members lets a lookup on object storage fetch
+    /// the dictionary plus *one* posting list instead of the whole index.
+    pub fn finish_split(self) -> (Vec<u8>, Vec<u8>) {
+        let mut dict = Vec::new();
+        let mut blob = Vec::new();
+        put_uvarint(&mut dict, self.terms.len() as u64);
+        for ((kind, term), ids) in &self.terms {
+            let start = blob.len();
+            blob.extend_from_slice(&postings::encode(ids));
+            dict.push(*kind);
+            put_str(&mut dict, term);
+            put_uvarint(&mut dict, start as u64);
+            put_uvarint(&mut dict, (blob.len() - start) as u64);
+        }
+        (dict, blob)
+    }
+
+    /// Serializes the index into one buffer (dictionary, blob length, blob).
+    pub fn finish(self) -> Vec<u8> {
+        let (mut out, blob) = self.finish_split();
+        put_uvarint(&mut out, blob.len() as u64);
+        out.extend_from_slice(&blob);
+        out
+    }
+}
+
+/// The parsed term dictionary: resolves a term to its posting-list range
+/// within the postings blob.
+#[derive(Debug)]
+pub struct InvertedDictReader {
+    // (kind tag, term, offset, len) sorted — mirrors the writer's order.
+    dict: Vec<(u8, String, usize, usize)>,
+}
+
+impl InvertedDictReader {
+    /// Parses a dictionary produced by [`InvertedIndexWriter::finish_split`].
+    /// Trailing bytes after the entries are permitted (the combined format
+    /// appends the blob there).
+    pub fn open(data: &[u8]) -> Result<(Self, usize)> {
+        let mut pos = 0;
+        let n = read_uvarint(data, &mut pos)? as usize;
+        if n > data.len() {
+            return Err(Error::corruption("inverted dictionary count implausible"));
+        }
+        let mut dict = Vec::with_capacity(n);
+        for _ in 0..n {
+            let kind = *data
+                .get(pos)
+                .ok_or_else(|| Error::corruption("term kind truncated"))?;
+            pos += 1;
+            TermKind::from_tag(kind)
+                .ok_or_else(|| Error::corruption("unknown term kind"))?;
+            let term = read_str(data, &mut pos)?.to_string();
+            let offset = read_uvarint(data, &mut pos)? as usize;
+            let len = read_uvarint(data, &mut pos)? as usize;
+            dict.push((kind, term, offset, len));
+        }
+        if !dict.windows(2).all(|w| (w[0].0, &w[0].1) <= (w[1].0, &w[1].1)) {
+            return Err(Error::corruption("inverted dictionary not sorted"));
+        }
+        Ok((InvertedDictReader { dict }, pos))
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// The `(offset, len)` of a term's posting list in the blob, if present.
+    pub fn lookup_range(&self, kind: TermKind, term: &str) -> Option<(usize, usize)> {
+        let term = clamp_term(term);
+        let key = (kind.tag(), term);
+        self.dict
+            .binary_search_by(|(k, t, _, _)| (*k, t.as_str()).cmp(&key))
+            .ok()
+            .map(|i| (self.dict[i].2, self.dict[i].3))
+    }
+
+    /// Decodes a posting list fetched from the blob.
+    pub fn decode_postings(bytes: &[u8], max_row: u32) -> Result<Vec<u32>> {
+        postings::decode(bytes, max_row)
+    }
+}
+
+/// A fully-loaded inverted index (dictionary + postings in memory).
+#[derive(Debug)]
+pub struct InvertedIndexReader {
+    dict: InvertedDictReader,
+    blob: Vec<u8>,
+    max_row: u32,
+}
+
+impl InvertedIndexReader {
+    /// Parses a combined serialized index. `max_row` is the row count of
+    /// the block (bounds posting ids).
+    pub fn open(data: &[u8], max_row: u32) -> Result<Self> {
+        let (dict, mut pos) = InvertedDictReader::open(data)?;
+        let blob_len = read_uvarint(data, &mut pos)? as usize;
+        let blob = data
+            .get(pos..pos + blob_len)
+            .ok_or_else(|| Error::corruption("posting blob truncated"))?
+            .to_vec();
+        Ok(InvertedIndexReader { dict, blob, max_row })
+    }
+
+    /// Builds a reader from the split representation.
+    pub fn from_parts(dict_bytes: &[u8], blob: Vec<u8>, max_row: u32) -> Result<Self> {
+        let (dict, _) = InvertedDictReader::open(dict_bytes)?;
+        Ok(InvertedIndexReader { dict, blob, max_row })
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.dict.term_count()
+    }
+
+    /// Looks up a term, returning its sorted row ids (empty if absent).
+    pub fn lookup(&self, kind: TermKind, term: &str) -> Result<Vec<u32>> {
+        match self.dict.lookup_range(kind, term) {
+            Some((offset, len)) => {
+                let bytes = self
+                    .blob
+                    .get(offset..offset + len)
+                    .ok_or_else(|| Error::corruption("posting range out of blob"))?;
+                postings::decode(bytes, self.max_row)
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Equality lookup on the whole cell value.
+    pub fn lookup_exact(&self, value: &str) -> Result<Vec<u32>> {
+        self.lookup(TermKind::Exact, value)
+    }
+
+    /// Full-text lookup of one token (normalized like the tokenizer).
+    pub fn lookup_token(&self, token: &str) -> Result<Vec<u32>> {
+        self.lookup(TermKind::Token, &token.to_ascii_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn build(values: &[&str]) -> InvertedIndexReader {
+        let mut w = InvertedIndexWriter::new();
+        for (i, v) in values.iter().enumerate() {
+            w.add(i as u32, v);
+        }
+        let bytes = w.finish();
+        InvertedIndexReader::open(&bytes, values.len() as u32).unwrap()
+    }
+
+    #[test]
+    fn exact_and_token_lookup() {
+        let r = build(&["GET /api/users", "POST /api/orders", "GET /healthz"]);
+        assert_eq!(r.lookup_exact("GET /api/users").unwrap(), vec![0]);
+        assert_eq!(r.lookup_exact("get /api/users").unwrap(), Vec::<u32>::new());
+        assert_eq!(r.lookup_token("get").unwrap(), vec![0, 2]);
+        assert_eq!(r.lookup_token("API").unwrap(), vec![0, 1]);
+        assert_eq!(r.lookup_token("missing").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn repeated_tokens_in_one_row_dedup() {
+        let r = build(&["err err err"]);
+        assert_eq!(r.lookup_token("err").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let w = InvertedIndexWriter::new();
+        let bytes = w.finish();
+        let r = InvertedIndexReader::open(&bytes, 0).unwrap();
+        assert_eq!(r.term_count(), 0);
+        assert_eq!(r.lookup_token("x").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn long_values_skip_exact_terms_but_keep_tokens() {
+        let long = "x".repeat(500);
+        let r = build(&[long.as_str()]);
+        // No exact term for a value beyond MAX_EXACT_LEN — the scanner
+        // routes such equality predicates to the scan path instead.
+        assert_eq!(r.lookup_exact(&long).unwrap(), Vec::<u32>::new());
+        // Tokens are still indexed (clamped).
+        assert_eq!(r.lookup_token(&long).unwrap(), vec![0]);
+        // At the boundary the exact term is present.
+        let edge = "y".repeat(MAX_EXACT_LEN);
+        let r = build(&[edge.as_str()]);
+        assert_eq!(r.lookup_exact(&edge).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected() {
+        let mut w = InvertedIndexWriter::new();
+        w.add(0, "hello world");
+        let bytes = w.finish();
+        assert!(InvertedIndexReader::open(&bytes[..bytes.len() / 2], 1).is_err());
+        assert!(InvertedIndexReader::open(&[], 1).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_every_indexed_token_is_found(
+            values in proptest::collection::vec("[a-c ]{0,20}", 1..40)
+        ) {
+            let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+            let r = build(&refs);
+            for (i, v) in refs.iter().enumerate() {
+                prop_assert!(r.lookup_exact(v).unwrap().contains(&(i as u32)));
+                for tok in tokenize(v) {
+                    prop_assert!(r.lookup_token(&tok).unwrap().contains(&(i as u32)));
+                }
+            }
+        }
+    }
+}

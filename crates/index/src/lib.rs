@@ -1,0 +1,20 @@
+//! Index structures for LogBlock columns.
+//!
+//! The paper indexes *every* column ("Full-column indexed and Skippable",
+//! §3.2): string columns get a Lucene-style **inverted index**, numeric
+//! columns a **BKD tree**, and every column and column block carries
+//! **Small Materialized Aggregates** (min/max) for data skipping. This crate
+//! implements all three from scratch, plus the row-id bitmap used to combine
+//! per-predicate results.
+
+pub mod bkd;
+pub mod inverted;
+pub mod postings;
+pub mod rowset;
+pub mod sma;
+pub mod tokenizer;
+
+pub use bkd::{BkdDictReader, BkdReader, BkdWriter};
+pub use inverted::{InvertedDictReader, InvertedIndexReader, InvertedIndexWriter, TermKind};
+pub use rowset::RowIdSet;
+pub use sma::Sma;

@@ -1,0 +1,72 @@
+//! Text tokenization for the inverted index.
+//!
+//! The tokenizer mirrors [`logstore_types::predicate::contains_term`]:
+//! maximal ASCII-alphanumeric runs, lowercased. This keeps index-accelerated
+//! `CONTAINS` evaluation exactly consistent with the scan fallback.
+
+/// Iterates the terms of `text`: lowercased alphanumeric runs.
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+}
+
+/// Normalizes a single term the way [`tokenize`] would (used on the query
+/// side so lookups match indexed terms).
+pub fn normalize_term(term: &str) -> String {
+    term.to_ascii_lowercase()
+}
+
+/// Maximum term length stored in the dictionary; longer terms are truncated
+/// on both the index and query sides so they still match each other.
+pub const MAX_TERM_LEN: usize = 128;
+
+/// Truncates a term to [`MAX_TERM_LEN`] bytes (terms are ASCII after
+/// tokenization, so byte truncation is char-safe).
+pub fn clamp_term(term: &str) -> &str {
+    &term[..term.len().min(MAX_TERM_LEN)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::predicate::contains_term;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_on_non_alphanumeric() {
+        let toks: Vec<String> = tokenize("GET /api/v1/users?id=42 HTTP/1.1").collect();
+        assert_eq!(toks, vec!["get", "api", "v1", "users", "id", "42", "http", "1", "1"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only() {
+        assert_eq!(tokenize("").count(), 0);
+        assert_eq!(tokenize("!!! ---").count(), 0);
+    }
+
+    #[test]
+    fn lowercases() {
+        let toks: Vec<String> = tokenize("ERROR WaRn").collect();
+        assert_eq!(toks, vec!["error", "warn"]);
+    }
+
+    #[test]
+    fn clamp_is_noop_for_short_terms() {
+        assert_eq!(clamp_term("abc"), "abc");
+        let long = "a".repeat(300);
+        assert_eq!(clamp_term(&long).len(), MAX_TERM_LEN);
+    }
+
+    proptest! {
+        /// The tokenizer and the scan-side `contains_term` must agree:
+        /// every token produced for a text matches CONTAINS on that text.
+        #[test]
+        fn prop_tokens_match_contains(text in ".{0,64}") {
+            for tok in tokenize(&text) {
+                prop_assert!(contains_term(&text, &tok),
+                    "token {tok:?} of {text:?} not found by contains_term");
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Building LogBlocks from rows.
+//!
+//! The data builder on each worker drains the row store and feeds rows (all
+//! belonging to one tenant, in timestamp order) into a [`LogBlockBuilder`],
+//! which cuts column blocks every `block_rows` rows, maintains SMAs at both
+//! granularities, builds the per-column indexes and finally emits one packed
+//! object ready for upload.
+
+use crate::column::encode_block;
+use crate::meta::{col_member, index_data_member, index_member, BlockMeta, ColumnMeta, LogBlockMeta, META_MEMBER};
+use crate::pack::PackWriter;
+use logstore_codec::Compression;
+use logstore_index::bkd::u64_to_ord;
+use logstore_index::{BkdWriter, InvertedIndexWriter, Sma};
+use logstore_types::{DataType, Error, IndexKind, Result, TableSchema, Value};
+
+/// Default rows per column block.
+pub const DEFAULT_BLOCK_ROWS: usize = 4096;
+
+enum IndexState {
+    None,
+    Inverted(InvertedIndexWriter),
+    /// Tokens only — no whole-value exact terms (free-text columns).
+    FullText(InvertedIndexWriter),
+    Bkd(BkdWriter),
+}
+
+struct ColumnState {
+    pending: Vec<Value>,
+    data: Vec<u8>,
+    blocks: Vec<BlockMeta>,
+    sma: Sma,
+    index: IndexState,
+}
+
+/// Accumulates rows and serializes a LogBlock pack.
+pub struct LogBlockBuilder {
+    schema: TableSchema,
+    compression: Compression,
+    block_rows: usize,
+    columns: Vec<ColumnState>,
+    row_count: u32,
+}
+
+impl LogBlockBuilder {
+    /// Creates a builder with the default compression and block size.
+    pub fn new(schema: TableSchema) -> Self {
+        Self::with_options(schema, Compression::default(), DEFAULT_BLOCK_ROWS)
+    }
+
+    /// Creates a builder with explicit compression and rows-per-block.
+    pub fn with_options(schema: TableSchema, compression: Compression, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block_rows must be positive");
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| ColumnState {
+                pending: Vec::with_capacity(block_rows.min(4096)),
+                data: Vec::new(),
+                blocks: Vec::new(),
+                sma: Sma::new(),
+                index: match c.index {
+                    IndexKind::None => IndexState::None,
+                    IndexKind::Inverted => IndexState::Inverted(InvertedIndexWriter::new()),
+                    IndexKind::FullText => IndexState::FullText(InvertedIndexWriter::new()),
+                    IndexKind::Bkd => IndexState::Bkd(BkdWriter::new()),
+                },
+            })
+            .collect();
+        LogBlockBuilder { schema, compression, block_rows, columns, row_count: 0 }
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Rows added so far.
+    pub fn row_count(&self) -> u32 {
+        self.row_count
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.row_count == 0
+    }
+
+    /// Appends one row (positional, matching the schema).
+    pub fn add_row(&mut self, row: &[Value]) -> Result<()> {
+        self.schema.check_row(row)?;
+        if self.row_count == u32::MAX {
+            return Err(Error::invalid("logblock row limit reached"));
+        }
+        let row_id = self.row_count;
+        for (state, (value, col)) in self
+            .columns
+            .iter_mut()
+            .zip(row.iter().zip(&self.schema.columns))
+        {
+            match &mut state.index {
+                IndexState::None => {}
+                IndexState::Inverted(w) => {
+                    if let Value::Str(s) = value {
+                        w.add(row_id, s);
+                    }
+                }
+                IndexState::FullText(w) => {
+                    if let Value::Str(s) = value {
+                        w.add_text(row_id, s);
+                    }
+                }
+                IndexState::Bkd(w) => {
+                    if !value.is_null() {
+                        let ord = match col.data_type {
+                            DataType::Int64 => value.as_i64().ok_or_else(|| {
+                                Error::invalid("int64 column with non-int value")
+                            })?,
+                            DataType::UInt64 => u64_to_ord(value.as_u64().ok_or_else(|| {
+                                Error::invalid("uint64 column with non-uint value")
+                            })?),
+                            _ => {
+                                return Err(Error::invalid(
+                                    "bkd index on non-numeric column",
+                                ))
+                            }
+                        };
+                        w.add(ord, row_id);
+                    }
+                }
+            }
+            state.pending.push(value.clone());
+        }
+        self.row_count += 1;
+        if self.columns[0].pending.len() >= self.block_rows {
+            self.cut_blocks()?;
+        }
+        Ok(())
+    }
+
+    fn cut_blocks(&mut self) -> Result<()> {
+        let n = self.columns[0].pending.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let row_start = self.row_count - n as u32;
+        for (state, col) in self.columns.iter_mut().zip(&self.schema.columns) {
+            debug_assert_eq!(state.pending.len(), n, "columns out of step");
+            let mut sma = Sma::new();
+            for v in &state.pending {
+                sma.update(v);
+            }
+            let encoded = encode_block(col.data_type, &state.pending, self.compression)?;
+            let offset = state.data.len() as u64;
+            state.data.extend_from_slice(&encoded);
+            state.sma.merge(&sma);
+            state.blocks.push(BlockMeta {
+                row_start,
+                row_count: n as u32,
+                sma,
+                offset,
+                len: encoded.len() as u64,
+            });
+            state.pending.clear();
+        }
+        Ok(())
+    }
+
+    /// Serializes the LogBlock into pack bytes.
+    pub fn finish(mut self) -> Result<Vec<u8>> {
+        self.cut_blocks()?;
+        let mut pack = PackWriter::new();
+        let mut column_metas = Vec::with_capacity(self.columns.len());
+        let mut index_payloads = Vec::with_capacity(self.columns.len());
+        for (state, col) in self.columns.into_iter().zip(&self.schema.columns) {
+            let index_bytes = match state.index {
+                IndexState::None => None,
+                IndexState::Inverted(w) | IndexState::FullText(w) => Some(w.finish_split()),
+                IndexState::Bkd(w) => Some(w.finish_split()),
+            };
+            column_metas.push(ColumnMeta {
+                compression: self.compression,
+                sma: state.sma,
+                index: col.index,
+                blocks: state.blocks,
+            });
+            index_payloads.push((index_bytes, state.data));
+        }
+        let meta = LogBlockMeta {
+            schema: self.schema,
+            row_count: self.row_count,
+            columns: column_metas,
+        };
+        pack.add(META_MEMBER, meta.serialize())?;
+        for (i, (index_bytes, data)) in index_payloads.into_iter().enumerate() {
+            if let Some((dict, blob)) = index_bytes {
+                pack.add(index_member(i), dict)?;
+                pack.add(index_data_member(i), blob)?;
+            }
+            pack.add(col_member(i), data)?;
+        }
+        Ok(pack.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::PackReader;
+
+    fn sample_row(t: u64, ts: i64, ip: &str, latency: i64) -> Vec<Value> {
+        vec![
+            Value::U64(t),
+            Value::I64(ts),
+            Value::from(ip),
+            Value::from("/api/v1"),
+            Value::I64(latency),
+            Value::Bool(latency > 200),
+            Value::from(format!("request from {ip} took {latency}ms")),
+        ]
+    }
+
+    #[test]
+    fn builds_non_empty_pack() {
+        let mut b = LogBlockBuilder::with_options(
+            TableSchema::request_log(),
+            Compression::LzHigh,
+            16,
+        );
+        for i in 0..100 {
+            b.add_row(&sample_row(1, 1000 + i, "10.0.0.1", i)).unwrap();
+        }
+        assert_eq!(b.row_count(), 100);
+        let bytes = b.finish().unwrap();
+        let pack = PackReader::open(bytes).unwrap();
+        // meta + 7 columns + 5 indexes x 2 members each (latency is
+        // unindexed by choice, bool columns carry no index).
+        assert_eq!(pack.members().len(), 1 + 7 + 5 * 2);
+        assert!(pack.entry("index.4").is_none(), "latency must be unindexed");
+        assert!(pack.entry("index.5").is_none(), "bool fail column has no index");
+        let meta = LogBlockMeta::deserialize(&pack.read_member(META_MEMBER).unwrap()).unwrap();
+        assert_eq!(meta.row_count, 100);
+        // 100 rows at 16 rows/block = 7 blocks per column.
+        assert_eq!(meta.columns[0].blocks.len(), 7);
+        assert_eq!(meta.columns[0].blocks[6].row_count, 4);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut b = LogBlockBuilder::new(TableSchema::request_log());
+        assert!(b.add_row(&[Value::I64(1)]).is_err());
+        let mut bad = sample_row(1, 1, "x", 1);
+        bad[0] = Value::from("not-a-tenant");
+        assert!(b.add_row(&bad).is_err());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn empty_builder_finishes() {
+        let b = LogBlockBuilder::new(TableSchema::request_log());
+        let bytes = b.finish().unwrap();
+        let pack = PackReader::open(bytes).unwrap();
+        let meta = LogBlockMeta::deserialize(&pack.read_member(META_MEMBER).unwrap()).unwrap();
+        assert_eq!(meta.row_count, 0);
+        assert!(meta.columns.iter().all(|c| c.blocks.is_empty()));
+    }
+
+    #[test]
+    fn time_range_tracks_ts_column() {
+        let mut b = LogBlockBuilder::new(TableSchema::request_log());
+        for ts in [500i64, 100, 900] {
+            b.add_row(&sample_row(1, ts, "ip", 1)).unwrap();
+        }
+        let bytes = b.finish().unwrap();
+        let pack = PackReader::open(bytes).unwrap();
+        let meta = LogBlockMeta::deserialize(&pack.read_member(META_MEMBER).unwrap()).unwrap();
+        let r = meta.time_range().unwrap();
+        assert_eq!(r.start.millis(), 100);
+        assert_eq!(r.end.millis(), 900);
+    }
+}

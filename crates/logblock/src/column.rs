@@ -1,0 +1,288 @@
+//! Column block encoding (Fig 4 ⑤: bitset + compressed data).
+//!
+//! Each column block stores a null bitset followed by the type-specific
+//! value encoding, both in compression frames:
+//!
+//! ```text
+//! varint bitset_frame_len | bitset frame (RLE) | data frame (column codec)
+//! ```
+//!
+//! Null slots keep a placeholder in the value encoding (0 / empty string)
+//! so row ids stay positional; the bitset is authoritative for NULL-ness.
+
+use logstore_codec::varint::{put_uvarint, read_uvarint};
+use logstore_codec::{compress, decompress, delta, Compression};
+use logstore_types::{DataType, Error, Result, Value};
+
+/// Hard cap for a decoded data frame (decompression-bomb guard).
+const MAX_DATA_BYTES: usize = 1 << 30;
+
+/// Encodes one column block.
+pub fn encode_block(
+    dtype: DataType,
+    values: &[Value],
+    compression: Compression,
+) -> Result<Vec<u8>> {
+    let n = values.len();
+    let mut bitset = vec![0u8; n.div_ceil(8)];
+    for (i, v) in values.iter().enumerate() {
+        if v.is_null() {
+            bitset[i / 8] |= 1 << (i % 8);
+        }
+    }
+    let data = match dtype {
+        DataType::Int64 => {
+            let nums: Vec<i64> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Null => Ok(0),
+                    other => other
+                        .as_i64()
+                        .ok_or_else(|| Error::invalid("non-int64 value in int64 column")),
+                })
+                .collect::<Result<_>>()?;
+            delta::encode_i64(&nums)
+        }
+        DataType::UInt64 => {
+            let nums: Vec<u64> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Null => Ok(0),
+                    other => other
+                        .as_u64()
+                        .ok_or_else(|| Error::invalid("non-uint64 value in uint64 column")),
+                })
+                .collect::<Result<_>>()?;
+            delta::encode_u64(&nums)
+        }
+        DataType::Bool => {
+            let mut bits = vec![0u8; n.div_ceil(8)];
+            for (i, v) in values.iter().enumerate() {
+                match v {
+                    Value::Bool(true) => bits[i / 8] |= 1 << (i % 8),
+                    Value::Bool(false) | Value::Null => {}
+                    _ => return Err(Error::invalid("non-bool value in bool column")),
+                }
+            }
+            bits
+        }
+        DataType::String => {
+            let mut buf = Vec::new();
+            for v in values {
+                match v {
+                    Value::Null => put_uvarint(&mut buf, 0),
+                    Value::Str(s) => {
+                        put_uvarint(&mut buf, s.len() as u64);
+                        buf.extend_from_slice(s.as_bytes());
+                    }
+                    _ => return Err(Error::invalid("non-string value in string column")),
+                }
+            }
+            buf
+        }
+    };
+
+    let bitset_frame = compress(Compression::Rle, &bitset);
+    let data_frame = compress(compression, &data);
+    let mut out = Vec::with_capacity(bitset_frame.len() + data_frame.len() + 4);
+    put_uvarint(&mut out, bitset_frame.len() as u64);
+    out.extend_from_slice(&bitset_frame);
+    out.extend_from_slice(&data_frame);
+    Ok(out)
+}
+
+/// Decodes one column block into positional values.
+pub fn decode_block(dtype: DataType, bytes: &[u8], row_count: u32) -> Result<Vec<Value>> {
+    let n = row_count as usize;
+    let mut pos = 0;
+    let bitset_len = read_uvarint(bytes, &mut pos)? as usize;
+    let bitset_frame = bytes
+        .get(pos..pos + bitset_len)
+        .ok_or_else(|| Error::corruption("bitset frame truncated"))?;
+    let data_frame = &bytes[pos + bitset_len..];
+    let bitset = decompress(bitset_frame, n.div_ceil(8))?;
+    if bitset.len() != n.div_ceil(8) {
+        return Err(Error::corruption("bitset length mismatch"));
+    }
+    let is_null = |i: usize| bitset[i / 8] & (1 << (i % 8)) != 0;
+    let data = decompress(data_frame, MAX_DATA_BYTES)?;
+
+    let mut out = Vec::with_capacity(n);
+    match dtype {
+        DataType::Int64 => {
+            let nums = delta::decode_i64(&data, n)?;
+            if nums.len() != n {
+                return Err(Error::corruption("int64 block row count mismatch"));
+            }
+            for (i, v) in nums.into_iter().enumerate() {
+                out.push(if is_null(i) { Value::Null } else { Value::I64(v) });
+            }
+        }
+        DataType::UInt64 => {
+            let nums = delta::decode_u64(&data, n)?;
+            if nums.len() != n {
+                return Err(Error::corruption("uint64 block row count mismatch"));
+            }
+            for (i, v) in nums.into_iter().enumerate() {
+                out.push(if is_null(i) { Value::Null } else { Value::U64(v) });
+            }
+        }
+        DataType::Bool => {
+            if data.len() != n.div_ceil(8) {
+                return Err(Error::corruption("bool block length mismatch"));
+            }
+            for i in 0..n {
+                out.push(if is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i / 8] & (1 << (i % 8)) != 0)
+                });
+            }
+        }
+        DataType::String => {
+            let mut dpos = 0;
+            for i in 0..n {
+                let len = read_uvarint(&data, &mut dpos)? as usize;
+                let end = dpos
+                    .checked_add(len)
+                    .ok_or_else(|| Error::corruption("string length overflow"))?;
+                let s = data
+                    .get(dpos..end)
+                    .ok_or_else(|| Error::corruption("string block truncated"))?;
+                dpos = end;
+                if is_null(i) {
+                    out.push(Value::Null);
+                } else {
+                    let s = std::str::from_utf8(s)
+                        .map_err(|_| Error::corruption("invalid utf-8 in string block"))?;
+                    out.push(Value::Str(s.to_string()));
+                }
+            }
+            if dpos != data.len() {
+                return Err(Error::corruption("trailing bytes in string block"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(dtype: DataType, values: Vec<Value>) {
+        for c in Compression::all() {
+            let enc = encode_block(dtype, &values, c).unwrap();
+            let dec = decode_block(dtype, &enc, values.len() as u32).unwrap();
+            assert_eq!(dec, values, "codec {c}");
+        }
+    }
+
+    #[test]
+    fn int64_with_nulls() {
+        roundtrip(
+            DataType::Int64,
+            vec![Value::I64(5), Value::Null, Value::I64(-10), Value::I64(i64::MAX)],
+        );
+    }
+
+    #[test]
+    fn uint64_with_nulls() {
+        roundtrip(DataType::UInt64, vec![Value::U64(u64::MAX), Value::Null, Value::U64(0)]);
+    }
+
+    #[test]
+    fn bool_with_nulls() {
+        roundtrip(
+            DataType::Bool,
+            vec![Value::Bool(true), Value::Null, Value::Bool(false), Value::Bool(true)],
+        );
+    }
+
+    #[test]
+    fn strings_with_nulls_and_empties() {
+        roundtrip(
+            DataType::String,
+            vec![
+                Value::from("hello"),
+                Value::Null,
+                Value::from(""),
+                Value::from("wörld ünïcode"),
+            ],
+        );
+    }
+
+    #[test]
+    fn empty_block() {
+        roundtrip(DataType::Int64, vec![]);
+        roundtrip(DataType::String, vec![]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(encode_block(DataType::Int64, &[Value::from("x")], Compression::None).is_err());
+        assert!(encode_block(DataType::Bool, &[Value::I64(1)], Compression::None).is_err());
+        assert!(
+            encode_block(DataType::String, &[Value::Bool(true)], Compression::None).is_err()
+        );
+    }
+
+    #[test]
+    fn wrong_row_count_rejected() {
+        let values = vec![Value::I64(1), Value::I64(2)];
+        let enc = encode_block(DataType::Int64, &values, Compression::None).unwrap();
+        assert!(decode_block(DataType::Int64, &enc, 3).is_err());
+    }
+
+    #[test]
+    fn corrupted_block_rejected() {
+        let values = vec![Value::from("abc"); 50];
+        let enc = encode_block(DataType::String, &values, Compression::LzHigh).unwrap();
+        assert!(decode_block(DataType::String, &enc[..enc.len() / 2], 50).is_err());
+        assert!(decode_block(DataType::String, &[], 50).is_err());
+    }
+
+    fn arb_typed(dtype: DataType) -> impl Strategy<Value = Value> {
+        match dtype {
+            DataType::Int64 => prop_oneof![
+                3 => any::<i64>().prop_map(Value::I64),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+            DataType::UInt64 => prop_oneof![
+                3 => any::<u64>().prop_map(Value::U64),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+            DataType::Bool => prop_oneof![
+                3 => any::<bool>().prop_map(Value::Bool),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+            DataType::String => prop_oneof![
+                3 => "[a-z0-9 /=.]{0,24}".prop_map(Value::Str),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+        }
+    }
+
+    fn arb_typed_block() -> impl Strategy<Value = (DataType, Vec<Value>)> {
+        (0usize..4).prop_flat_map(|dt_idx| {
+            let dtype =
+                [DataType::Int64, DataType::UInt64, DataType::Bool, DataType::String][dt_idx];
+            proptest::collection::vec(arb_typed(dtype), 0..200)
+                .prop_map(move |values| (dtype, values))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_all_types_roundtrip(case in arb_typed_block()) {
+            let (dtype, values) = case;
+            roundtrip(dtype, values);
+        }
+    }
+}

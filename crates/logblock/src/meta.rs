@@ -1,0 +1,250 @@
+//! LogBlock metadata: Figure 4's header ①, column meta ② and column-block
+//! headers ④, serialized into the pack's `meta` member.
+
+use logstore_codec::varint::{put_str, put_uvarint, read_str, read_uvarint};
+use logstore_codec::Compression;
+use logstore_index::Sma;
+use logstore_types::{
+    ColumnSchema, DataType, Error, IndexKind, Result, TableSchema, TimeRange, Timestamp,
+};
+
+/// Magic bytes of the meta member.
+pub const META_MAGIC: &[u8; 4] = b"LSB1";
+
+/// Name of the meta member inside the pack.
+pub const META_MEMBER: &str = "meta";
+
+/// Pack member name of column `i`'s index dictionary (term dictionary /
+/// BKD fences — small, read eagerly at lookup time).
+pub fn index_member(col: usize) -> String {
+    format!("index.{col}")
+}
+
+/// Pack member name of column `i`'s index payload (posting lists / BKD
+/// leaves — large, range-read per lookup).
+pub fn index_data_member(col: usize) -> String {
+    format!("index.{col}.data")
+}
+
+/// Pack member name of column `i`'s data blocks.
+pub fn col_member(col: usize) -> String {
+    format!("col.{col}")
+}
+
+/// Header of one column block (Fig 4 ④): where the block's bytes live
+/// inside the column member, how many rows it holds, and its SMA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// Row id of the block's first row.
+    pub row_start: u32,
+    /// Number of rows in the block.
+    pub row_count: u32,
+    /// Min/max/null statistics of the block.
+    pub sma: Sma,
+    /// Byte offset of the block within the column member.
+    pub offset: u64,
+    /// Byte length of the block within the column member.
+    pub len: u64,
+}
+
+/// Metadata of one column (Fig 4 ②).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Compression used for this column's data frames.
+    pub compression: Compression,
+    /// Column-level SMA (merge of all block SMAs).
+    pub sma: Sma,
+    /// Which index the column carries.
+    pub index: IndexKind,
+    /// Column block headers, in row order.
+    pub blocks: Vec<BlockMeta>,
+}
+
+/// The full meta member (Fig 4 ① + ② + ④).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogBlockMeta {
+    /// Embedded table schema (self-contained blocks).
+    pub schema: TableSchema,
+    /// Total number of rows.
+    pub row_count: u32,
+    /// Per-column metadata, aligned with `schema.columns`.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl LogBlockMeta {
+    /// The min/max timestamp range covered by this block, taken from the
+    /// `ts` column SMA (used by the LogBlock map for pruning).
+    pub fn time_range(&self) -> Option<TimeRange> {
+        let idx = self.schema.column_index("ts")?;
+        let sma = &self.columns[idx].sma;
+        let lo = sma.min.as_ref()?.as_i64()?;
+        let hi = sma.max.as_ref()?.as_i64()?;
+        Some(TimeRange::new(Timestamp(lo), Timestamp(hi)))
+    }
+
+    /// Serializes the meta member.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(META_MAGIC);
+        put_str(&mut out, &self.schema.name);
+        put_uvarint(&mut out, self.schema.columns.len() as u64);
+        for c in &self.schema.columns {
+            put_str(&mut out, &c.name);
+            out.push(c.data_type.tag());
+            out.push(u8::from(c.nullable));
+            out.push(c.index.tag());
+        }
+        put_uvarint(&mut out, u64::from(self.row_count));
+        for cm in &self.columns {
+            out.push(cm.compression.tag());
+            out.extend_from_slice(&cm.sma.serialize());
+            out.push(cm.index.tag());
+            put_uvarint(&mut out, cm.blocks.len() as u64);
+            for b in &cm.blocks {
+                put_uvarint(&mut out, u64::from(b.row_start));
+                put_uvarint(&mut out, u64::from(b.row_count));
+                out.extend_from_slice(&b.sma.serialize());
+                put_uvarint(&mut out, b.offset);
+                put_uvarint(&mut out, b.len);
+            }
+        }
+        out
+    }
+
+    /// Parses a meta member.
+    pub fn deserialize(data: &[u8]) -> Result<Self> {
+        if data.len() < 4 || &data[0..4] != META_MAGIC {
+            return Err(Error::corruption("bad logblock meta magic"));
+        }
+        let mut pos = 4;
+        let table_name = read_str(data, &mut pos)?.to_string();
+        let n_cols = read_uvarint(data, &mut pos)? as usize;
+        if n_cols > 4096 {
+            return Err(Error::corruption("column count implausible"));
+        }
+        let mut cols = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let name = read_str(data, &mut pos)?.to_string();
+            let dtype = DataType::from_tag(next_byte(data, &mut pos)?)
+                .ok_or_else(|| Error::corruption("bad data type tag"))?;
+            let nullable = next_byte(data, &mut pos)? != 0;
+            let index = IndexKind::from_tag(next_byte(data, &mut pos)?)
+                .ok_or_else(|| Error::corruption("bad index tag"))?;
+            cols.push(ColumnSchema { name, data_type: dtype, nullable, index });
+        }
+        let schema = TableSchema::new(table_name, cols)?;
+        let row_count = read_uvarint(data, &mut pos)?;
+        if row_count > u64::from(u32::MAX) {
+            return Err(Error::corruption("row count overflow"));
+        }
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let compression = Compression::from_tag(next_byte(data, &mut pos)?)
+                .ok_or_else(|| Error::corruption("bad compression tag"))?;
+            let sma = Sma::deserialize(data, &mut pos)?;
+            let index = IndexKind::from_tag(next_byte(data, &mut pos)?)
+                .ok_or_else(|| Error::corruption("bad index tag"))?;
+            let n_blocks = read_uvarint(data, &mut pos)? as usize;
+            if n_blocks > row_count as usize + 1 {
+                return Err(Error::corruption("block count implausible"));
+            }
+            let mut blocks = Vec::with_capacity(n_blocks);
+            for _ in 0..n_blocks {
+                let row_start = read_uvarint(data, &mut pos)?;
+                let block_rows = read_uvarint(data, &mut pos)?;
+                let bsma = Sma::deserialize(data, &mut pos)?;
+                let offset = read_uvarint(data, &mut pos)?;
+                let len = read_uvarint(data, &mut pos)?;
+                if row_start + block_rows > row_count {
+                    return Err(Error::corruption("block rows exceed table rows"));
+                }
+                blocks.push(BlockMeta {
+                    row_start: row_start as u32,
+                    row_count: block_rows as u32,
+                    sma: bsma,
+                    offset,
+                    len,
+                });
+            }
+            columns.push(ColumnMeta { compression, sma, index, blocks });
+        }
+        Ok(LogBlockMeta { schema, row_count: row_count as u32, columns })
+    }
+}
+
+fn next_byte(data: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *data
+        .get(*pos)
+        .ok_or_else(|| Error::corruption("meta truncated"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::Value;
+
+    fn sample_meta() -> LogBlockMeta {
+        let schema = TableSchema::request_log();
+        let mut columns = Vec::new();
+        for (i, _) in schema.columns.iter().enumerate() {
+            let mut sma = Sma::new();
+            sma.update(&Value::I64(i as i64));
+            sma.update(&Value::I64(100 + i as i64));
+            let block = BlockMeta { row_start: 0, row_count: 2, sma: sma.clone(), offset: 0, len: 64 };
+            columns.push(ColumnMeta {
+                compression: Compression::LzHigh,
+                sma,
+                index: schema.columns[i].index,
+                blocks: vec![block],
+            });
+        }
+        LogBlockMeta { schema, row_count: 2, columns }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample_meta();
+        let bytes = m.serialize();
+        assert_eq!(LogBlockMeta::deserialize(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_meta().serialize();
+        bytes[0] = b'x';
+        assert!(LogBlockMeta::deserialize(&bytes).is_err());
+        assert!(LogBlockMeta::deserialize(&[]).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_meta().serialize();
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LogBlockMeta::deserialize(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn time_range_from_ts_sma() {
+        let mut m = sample_meta();
+        let ts_idx = m.schema.column_index("ts").unwrap();
+        let mut sma = Sma::new();
+        sma.update(&Value::I64(1000));
+        sma.update(&Value::I64(2000));
+        m.columns[ts_idx].sma = sma;
+        let r = m.time_range().unwrap();
+        assert_eq!(r.start, Timestamp(1000));
+        assert_eq!(r.end, Timestamp(2000));
+    }
+
+    #[test]
+    fn member_names() {
+        assert_eq!(index_member(3), "index.3");
+        assert_eq!(col_member(0), "col.0");
+    }
+}

@@ -1,0 +1,315 @@
+//! The pack container: many small files in one seekable object.
+//!
+//! The paper packs each LogBlock's small files (metadata, indexes, data
+//! blocks) into one large tar file whose header carries a manifest, so that
+//! "subsequent read operations \[can\] seek and read any part of the tar
+//! file" while backup/migration/expiration deal with one object. This
+//! module is the from-scratch equivalent:
+//!
+//! ```text
+//! magic "LSPK" | version u8 | manifest_len u32le
+//! manifest: varint n, n * (name str, varint offset, varint len), crc32c u32le
+//! payload:  member bytes, concatenated in manifest order
+//! ```
+//!
+//! Member offsets are relative to the end of the manifest, so a reader can
+//! fetch the fixed 9-byte prologue, then the manifest, then any member —
+//! three small range reads instead of downloading the object.
+
+use logstore_codec::crc::crc32c;
+use logstore_codec::varint::{put_str, put_uvarint, read_str, read_uvarint};
+use logstore_types::{Error, Result};
+
+/// Magic bytes of a pack object.
+pub const MAGIC: &[u8; 4] = b"LSPK";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Size of the fixed prologue (magic + version + manifest length).
+pub const PROLOGUE_LEN: u64 = 9;
+
+/// Random access over a packed object (in-memory buffer, OSS object behind
+/// a cache, a local file, ...).
+pub trait RangeSource {
+    /// Reads `len` bytes at `offset`. Must error (not truncate) on
+    /// out-of-range reads.
+    fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Total size in bytes.
+    fn size(&self) -> u64;
+}
+
+impl RangeSource for Vec<u8> {
+    fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| Error::invalid("range overflow"))?;
+        self.get(offset as usize..end as usize)
+            .map(<[u8]>::to_vec)
+            .ok_or_else(|| Error::invalid(format!("range {offset}+{len} beyond {}", self.len())))
+    }
+
+    fn size(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl<T: RangeSource + ?Sized> RangeSource for std::sync::Arc<T> {
+    fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        (**self).read_at(offset, len)
+    }
+    fn size(&self) -> u64 {
+        (**self).size()
+    }
+}
+
+/// Accumulates members and serializes a pack object.
+#[derive(Debug, Default)]
+pub struct PackWriter {
+    members: Vec<(String, Vec<u8>)>,
+}
+
+impl PackWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member. Names must be unique.
+    pub fn add(&mut self, name: impl Into<String>, data: Vec<u8>) -> Result<()> {
+        let name = name.into();
+        if name.is_empty() || name.len() > 255 {
+            return Err(Error::invalid("member name must be 1..=255 bytes"));
+        }
+        if self.members.iter().any(|(n, _)| *n == name) {
+            return Err(Error::invalid(format!("duplicate member '{name}'")));
+        }
+        self.members.push((name, data));
+        Ok(())
+    }
+
+    /// Serializes the pack.
+    pub fn finish(self) -> Vec<u8> {
+        let mut manifest = Vec::new();
+        put_uvarint(&mut manifest, self.members.len() as u64);
+        let mut offset = 0u64;
+        for (name, data) in &self.members {
+            put_str(&mut manifest, name);
+            put_uvarint(&mut manifest, offset);
+            put_uvarint(&mut manifest, data.len() as u64);
+            offset += data.len() as u64;
+        }
+        let crc = crc32c(&manifest);
+        manifest.extend_from_slice(&crc.to_le_bytes());
+
+        let payload_len: usize = self.members.iter().map(|(_, d)| d.len()).sum();
+        let mut out = Vec::with_capacity(PROLOGUE_LEN as usize + manifest.len() + payload_len);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&(manifest.len() as u32).to_le_bytes());
+        out.extend_from_slice(&manifest);
+        for (_, data) in &self.members {
+            out.extend_from_slice(data);
+        }
+        out
+    }
+}
+
+/// One manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberEntry {
+    /// Member name.
+    pub name: String,
+    /// Offset within the payload area.
+    pub offset: u64,
+    /// Member length in bytes.
+    pub len: u64,
+}
+
+/// Reads members of a pack through a [`RangeSource`].
+#[derive(Debug)]
+pub struct PackReader<S> {
+    source: S,
+    members: Vec<MemberEntry>,
+    payload_start: u64,
+}
+
+impl<S: RangeSource> PackReader<S> {
+    /// Opens a pack: fetches the prologue and manifest, verifies magic and
+    /// checksum.
+    pub fn open(source: S) -> Result<Self> {
+        let prologue = source.read_at(0, PROLOGUE_LEN)?;
+        if &prologue[0..4] != MAGIC {
+            return Err(Error::corruption("bad pack magic"));
+        }
+        if prologue[4] != VERSION {
+            return Err(Error::corruption(format!("unsupported pack version {}", prologue[4])));
+        }
+        let manifest_len =
+            u32::from_le_bytes(prologue[5..9].try_into().expect("4 bytes")) as u64;
+        if manifest_len < 8 || PROLOGUE_LEN + manifest_len > source.size() {
+            return Err(Error::corruption("pack manifest length out of range"));
+        }
+        let manifest = source.read_at(PROLOGUE_LEN, manifest_len)?;
+        let (body, crc_bytes) = manifest.split_at(manifest.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32c(body) != stored {
+            return Err(Error::corruption("pack manifest checksum mismatch"));
+        }
+
+        let mut pos = 0;
+        let n = read_uvarint(body, &mut pos)? as usize;
+        if n > body.len() {
+            return Err(Error::corruption("pack member count implausible"));
+        }
+        let payload_start = PROLOGUE_LEN + manifest_len;
+        let payload_size = source.size() - payload_start;
+        let mut members = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = read_str(body, &mut pos)?.to_string();
+            let offset = read_uvarint(body, &mut pos)?;
+            let len = read_uvarint(body, &mut pos)?;
+            if offset
+                .checked_add(len)
+                .is_none_or(|end| end > payload_size)
+            {
+                return Err(Error::corruption(format!("member '{name}' exceeds payload")));
+            }
+            members.push(MemberEntry { name, offset, len });
+        }
+        Ok(PackReader { source, members, payload_start })
+    }
+
+    /// Manifest entries in pack order.
+    pub fn members(&self) -> &[MemberEntry] {
+        &self.members
+    }
+
+    /// Finds a member entry by name.
+    pub fn entry(&self, name: &str) -> Option<&MemberEntry> {
+        self.members.iter().find(|m| m.name == name)
+    }
+
+    /// Reads a whole member.
+    pub fn read_member(&self, name: &str) -> Result<Vec<u8>> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
+        self.source.read_at(self.payload_start + entry.offset, entry.len)
+    }
+
+    /// Reads a byte range inside a member.
+    pub fn read_member_range(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > entry.len)
+        {
+            return Err(Error::invalid(format!(
+                "range {offset}+{len} exceeds member '{name}' of {} bytes",
+                entry.len
+            )));
+        }
+        self.source
+            .read_at(self.payload_start + entry.offset + offset, len)
+    }
+
+    /// The absolute byte range `(offset, len)` of a member within the pack
+    /// object — used by the prefetcher to plan parallel range GETs.
+    pub fn member_object_range(&self, name: &str) -> Option<(u64, u64)> {
+        self.entry(name)
+            .map(|e| (self.payload_start + e.offset, e.len))
+    }
+
+    /// The underlying source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pack() -> Vec<u8> {
+        let mut w = PackWriter::new();
+        w.add("meta", b"schema-bytes".to_vec()).unwrap();
+        w.add("index.0", b"idx0".to_vec()).unwrap();
+        w.add("col.0", vec![7u8; 1000]).unwrap();
+        w.add("empty", Vec::new()).unwrap();
+        w.finish()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let bytes = sample_pack();
+        let r = PackReader::open(bytes).unwrap();
+        assert_eq!(r.members().len(), 4);
+        assert_eq!(r.read_member("meta").unwrap(), b"schema-bytes");
+        assert_eq!(r.read_member("index.0").unwrap(), b"idx0");
+        assert_eq!(r.read_member("col.0").unwrap(), vec![7u8; 1000]);
+        assert_eq!(r.read_member("empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn member_range_reads() {
+        let r = PackReader::open(sample_pack()).unwrap();
+        assert_eq!(r.read_member_range("meta", 0, 6).unwrap(), b"schema");
+        assert_eq!(r.read_member_range("meta", 7, 5).unwrap(), b"bytes");
+        assert!(r.read_member_range("meta", 10, 10).is_err());
+    }
+
+    #[test]
+    fn missing_member() {
+        let r = PackReader::open(sample_pack()).unwrap();
+        assert!(matches!(r.read_member("nope"), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_member_rejected() {
+        let mut w = PackWriter::new();
+        w.add("a", vec![]).unwrap();
+        assert!(w.add("a", vec![]).is_err());
+    }
+
+    #[test]
+    fn corrupted_magic_rejected() {
+        let mut bytes = sample_pack();
+        bytes[0] = b'X';
+        assert!(PackReader::open(bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_manifest_rejected() {
+        let mut bytes = sample_pack();
+        bytes[12] ^= 0xff; // inside the manifest body
+        assert!(PackReader::open(bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_object_rejected() {
+        let bytes = sample_pack();
+        assert!(PackReader::open(bytes[..PROLOGUE_LEN as usize].to_vec()).is_err());
+        assert!(PackReader::open(bytes[..4].to_vec()).is_err());
+    }
+
+    #[test]
+    fn member_beyond_payload_rejected() {
+        // Craft a manifest that claims a member longer than the payload.
+        let mut w = PackWriter::new();
+        w.add("a", vec![1, 2, 3]).unwrap();
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 2); // shrink payload under the claim
+        assert!(PackReader::open(bytes).is_err());
+    }
+
+    #[test]
+    fn object_range_maps_to_absolute_offsets() {
+        let bytes = sample_pack();
+        let r = PackReader::open(bytes.clone()).unwrap();
+        let (off, len) = r.member_object_range("col.0").unwrap();
+        assert_eq!(len, 1000);
+        assert_eq!(&bytes[off as usize..(off + 4) as usize], &[7u8; 4]);
+    }
+}

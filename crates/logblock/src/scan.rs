@@ -1,0 +1,480 @@
+//! The multi-level data-skipping scan (paper §5.1, Figure 8).
+//!
+//! Given a conjunction of predicates over one LogBlock, evaluation proceeds
+//! in the paper's order:
+//!
+//! 1. **Column-level SMA** — if any predicate cannot match the column's
+//!    min/max, the whole block yields nothing (Fig 8 ②).
+//! 2. **Index lookup** — predicates on indexed columns resolve to row-id
+//!    sets by inverted/BKD lookup without touching column data (Fig 8 ③).
+//! 3. **Block-level SMA** — remaining predicates skip column blocks whose
+//!    min/max excludes them (Fig 8 ④, the un-indexed `latency` case).
+//! 4. **Scan** — surviving blocks are decompressed and filtered row by row;
+//!    the per-predicate row-id sets are intersected (Fig 8's "merging the
+//!    rowid set") and the matching rows loaded.
+//!
+//! `use_skipping = false` disables steps 1–3 (the Figure 15 baseline).
+
+use crate::pack::RangeSource;
+use crate::reader::LogBlockReader;
+use logstore_index::bkd::u64_to_ord;
+use logstore_index::tokenizer::tokenize;
+use logstore_index::RowIdSet;
+use logstore_types::{CmpOp, ColumnPredicate, DataType, Error, Result, Value};
+
+/// Counters describing how much work a scan did (drives Figure 15's
+/// with/without-skipping comparison and EXPERIMENTS.md reporting).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Scans answered purely from the column-level SMA (block excluded).
+    pub pruned_by_column_sma: u64,
+    /// Column blocks skipped via block-level SMA.
+    pub blocks_pruned: u64,
+    /// Column blocks decompressed and scanned.
+    pub blocks_scanned: u64,
+    /// Index structures loaded and probed.
+    pub index_lookups: u64,
+    /// Rows matched by the conjunction.
+    pub rows_matched: u64,
+}
+
+impl ScanStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.pruned_by_column_sma += other.pruned_by_column_sma;
+        self.blocks_pruned += other.blocks_pruned;
+        self.blocks_scanned += other.blocks_scanned;
+        self.index_lookups += other.index_lookups;
+        self.rows_matched += other.rows_matched;
+    }
+}
+
+/// Can this predicate be answered by the column's index?
+fn index_capable(kind: logstore_types::IndexKind, dtype: DataType, op: CmpOp) -> bool {
+    use logstore_types::IndexKind;
+    match (kind, dtype) {
+        // Keyword-style columns answer equality (exact terms) and CONTAINS.
+        (IndexKind::Inverted, DataType::String) => matches!(op, CmpOp::Eq | CmpOp::Contains),
+        // Free-text columns carry tokens only: CONTAINS, never equality.
+        (IndexKind::FullText, DataType::String) => op == CmpOp::Contains,
+        (IndexKind::Bkd, DataType::Int64 | DataType::UInt64) => {
+            matches!(op, CmpOp::Eq | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+        }
+        _ => false,
+    }
+}
+
+/// Maps a comparison against a numeric literal to an inclusive ord-space
+/// range, or `None` when the predicate cannot match any value of the
+/// column's type (e.g. `uint64 < 0`).
+fn numeric_range(dtype: DataType, op: CmpOp, literal: &Value) -> Result<Option<(i64, i64)>> {
+    // Express the literal on the column's ord axis, saturating out-of-domain
+    // literals to the domain edge with a flag for which side they fell off.
+    let (ord, below, above) = match dtype {
+        DataType::Int64 => match literal {
+            Value::I64(v) => (*v, false, false),
+            Value::U64(v) => match i64::try_from(*v) {
+                Ok(v) => (v, false, false),
+                Err(_) => (i64::MAX, false, true),
+            },
+            _ => return Err(Error::invalid("numeric predicate with non-numeric literal")),
+        },
+        DataType::UInt64 => match literal {
+            Value::U64(v) => (u64_to_ord(*v), false, false),
+            Value::I64(v) if *v >= 0 => (u64_to_ord(*v as u64), false, false),
+            Value::I64(_) => (u64_to_ord(0), true, false),
+            _ => return Err(Error::invalid("numeric predicate with non-numeric literal")),
+        },
+        _ => return Err(Error::invalid("numeric range on non-numeric column")),
+    };
+    let range = match (op, below, above) {
+        // Literal below the domain: x > lit / x >= lit / x != lit are all
+        // true, x < lit / x <= lit / x == lit are all false.
+        (CmpOp::Gt | CmpOp::Ge, true, _) => Some((i64::MIN, i64::MAX)),
+        (_, true, _) => None,
+        (CmpOp::Lt | CmpOp::Le, _, true) => Some((i64::MIN, i64::MAX)),
+        (_, _, true) => None,
+        (CmpOp::Eq, _, _) => Some((ord, ord)),
+        (CmpOp::Lt, _, _) => ord.checked_sub(1).map(|hi| (i64::MIN, hi)),
+        (CmpOp::Le, _, _) => Some((i64::MIN, ord)),
+        (CmpOp::Gt, _, _) => ord.checked_add(1).map(|lo| (lo, i64::MAX)),
+        (CmpOp::Ge, _, _) => Some((ord, i64::MAX)),
+        (CmpOp::Ne | CmpOp::Contains, _, _) => {
+            return Err(Error::Internal("non-range op in numeric_range".into()))
+        }
+    };
+    Ok(range)
+}
+
+/// Evaluates a conjunction of predicates over one LogBlock, returning the
+/// matching row ids.
+pub fn evaluate_predicates<S: RangeSource>(
+    reader: &LogBlockReader<S>,
+    predicates: &[ColumnPredicate],
+    use_skipping: bool,
+    stats: &mut ScanStats,
+) -> Result<RowIdSet> {
+    let n = reader.row_count();
+    let mut result = RowIdSet::full(n);
+    if predicates.is_empty() {
+        stats.rows_matched += u64::from(n);
+        return Ok(result);
+    }
+
+    // Resolve columns up front so unknown columns fail loudly.
+    let mut resolved = Vec::with_capacity(predicates.len());
+    for p in predicates {
+        let col = reader
+            .schema()
+            .column_index(&p.column)
+            .ok_or_else(|| Error::invalid(format!("unknown column '{}'", p.column)))?;
+        resolved.push((col, p));
+    }
+
+    if use_skipping {
+        // Step 1: column-level SMA pruning (Fig 8 ②).
+        for (col, p) in &resolved {
+            if !reader.meta().columns[*col].sma.may_match(p.op, &p.value) {
+                stats.pruned_by_column_sma += 1;
+                return Ok(RowIdSet::empty(n));
+            }
+        }
+    }
+
+    // Steps 2–4 per predicate, cheapest evidence first: block SMAs can
+    // prove blocks entirely in (`always_matches`) or out (`may_match`,
+    // Fig 8 ④) without touching data; only blocks the SMA cannot decide
+    // need the column index (Fig 8 ③) or a scan (Fig 8 ⑤).
+    for (col, p) in &resolved {
+        let dtype = reader.schema().columns[*col].data_type;
+        let blocks = reader.meta().columns[*col].blocks.clone();
+
+        #[derive(PartialEq)]
+        enum Verdict {
+            NoMatch,
+            AllMatch,
+            Undecided,
+        }
+        let verdicts: Vec<Verdict> = if use_skipping {
+            blocks
+                .iter()
+                .map(|bm| {
+                    if !bm.sma.may_match(p.op, &p.value) {
+                        Verdict::NoMatch
+                    } else if bm.sma.always_matches(p.op, &p.value) {
+                        Verdict::AllMatch
+                    } else {
+                        Verdict::Undecided
+                    }
+                })
+                .collect()
+        } else {
+            blocks.iter().map(|_| Verdict::Undecided).collect()
+        };
+        let undecided = verdicts.iter().filter(|v| **v == Verdict::Undecided).count();
+
+        // Use the column index only when it is capable for this operator
+        // and the SMA left a substantial share of blocks undecided — for a
+        // couple of boundary blocks (the typical `ts` range case), scanning
+        // them beats fetching the whole-column index from OSS.
+        let kind = reader.meta().columns[*col].index;
+        // String equality on long literals cannot use the inverted index:
+        // values beyond MAX_EXACT_LEN carry no exact term (see
+        // `logstore_index::inverted::MAX_EXACT_LEN`).
+        let exact_indexable = !(dtype == DataType::String
+            && p.op == CmpOp::Eq
+            && p.value.as_str().is_some_and(|s| {
+                s.len() > logstore_index::inverted::MAX_EXACT_LEN
+            }));
+        let use_index = use_skipping
+            && index_capable(kind, dtype, p.op)
+            && exact_indexable
+            && undecided * 4 > blocks.len().max(1);
+        if use_index {
+            stats.index_lookups += 1;
+            let ids = match dtype {
+                DataType::String => match p.op {
+                    CmpOp::Eq => {
+                        let Some(s) = p.value.as_str() else {
+                            return Err(Error::invalid(
+                                "string equality with non-string literal",
+                            ));
+                        };
+                        reader.index_lookup_exact(*col, s)?
+                    }
+                    CmpOp::Contains => {
+                        let Some(needle) = p.value.as_str() else {
+                            return Err(Error::invalid("CONTAINS with non-string literal"));
+                        };
+                        let tokens: Vec<String> = tokenize(needle).collect();
+                        // CONTAINS matches a single whole term (see
+                        // `contains_term`); multi-token or empty needles
+                        // match nothing, same as the scan path.
+                        match tokens.as_slice() {
+                            [tok] if *tok == needle.to_ascii_lowercase() => {
+                                reader.index_lookup_token(*col, tok)?
+                            }
+                            _ => Vec::new(),
+                        }
+                    }
+                    _ => unreachable!("index_capable gated"),
+                },
+                DataType::Int64 | DataType::UInt64 => {
+                    match numeric_range(dtype, p.op, &p.value)? {
+                        Some((lo, hi)) => reader.index_query_range(*col, lo, hi)?,
+                        None => Vec::new(),
+                    }
+                }
+                DataType::Bool => unreachable!("index_capable gated"),
+            };
+            result.intersect_with(&RowIdSet::from_iter(n, ids));
+        } else {
+            let mut matched = RowIdSet::empty(n);
+            for ((bi, bm), verdict) in blocks.iter().enumerate().zip(&verdicts) {
+                let block_end = bm.row_start + bm.row_count;
+                match verdict {
+                    Verdict::NoMatch => {
+                        stats.blocks_pruned += 1;
+                    }
+                    Verdict::AllMatch => {
+                        matched.insert_range(bm.row_start, block_end);
+                    }
+                    Verdict::Undecided => {
+                        // If everything in this block is already excluded by
+                        // earlier predicates, decoding it cannot add matches.
+                        if use_skipping && !result.any_in_range(bm.row_start, block_end) {
+                            stats.blocks_pruned += 1;
+                            continue;
+                        }
+                        stats.blocks_scanned += 1;
+                        let values = reader.read_block_values(*col, bi)?;
+                        for (off, v) in values.iter().enumerate() {
+                            if p.matches(v) {
+                                matched.insert(bm.row_start + off as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            result.intersect_with(&matched);
+        }
+        if result.is_empty() {
+            return Ok(result);
+        }
+    }
+
+    stats.rows_matched += u64::from(result.count());
+    Ok(result)
+}
+
+/// Materializes the rows of `ids` with the named projection columns.
+pub fn fetch_rows<S: RangeSource>(
+    reader: &LogBlockReader<S>,
+    ids: &RowIdSet,
+    projection: &[String],
+) -> Result<Vec<Vec<Value>>> {
+    let cols: Vec<usize> = projection
+        .iter()
+        .map(|name| {
+            reader
+                .schema()
+                .column_index(name)
+                .ok_or_else(|| Error::invalid(format!("unknown column '{name}'")))
+        })
+        .collect::<Result<_>>()?;
+    reader.read_rows(&ids.to_vec(), &cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LogBlockBuilder;
+    use logstore_codec::Compression;
+    use logstore_types::TableSchema;
+
+    /// 200 rows: ts 1000..1200, ip cycles 0..5, latency = i % 500,
+    /// fail = (i % 10 == 0), log mentions "error" on failures.
+    fn block() -> LogBlockReader<Vec<u8>> {
+        let mut b = LogBlockBuilder::with_options(
+            TableSchema::request_log(),
+            Compression::LzHigh,
+            32,
+        );
+        for i in 0..200u32 {
+            let fail = i % 10 == 0;
+            b.add_row(&[
+                Value::U64(u64::from(i % 3)),
+                Value::I64(1000 + i64::from(i)),
+                Value::from(format!("192.168.0.{}", i % 5)),
+                Value::from("/api/query"),
+                Value::I64(i64::from(i) % 500),
+                Value::Bool(fail),
+                Value::from(if fail { format!("req {i} error timeout") } else { format!("req {i} ok") }),
+            ])
+            .unwrap();
+        }
+        LogBlockReader::open(b.finish().unwrap()).unwrap()
+    }
+
+    fn eval(preds: &[ColumnPredicate], skipping: bool) -> (Vec<u32>, ScanStats) {
+        let r = block();
+        let mut stats = ScanStats::default();
+        let ids = evaluate_predicates(&r, preds, skipping, &mut stats).unwrap();
+        (ids.to_vec(), stats)
+    }
+
+    fn naive(preds: &[ColumnPredicate]) -> Vec<u32> {
+        let r = block();
+        let schema = r.schema().clone();
+        let mut out = Vec::new();
+        for id in 0..r.row_count() {
+            let rows = r.read_rows(&[id], &(0..schema.width()).collect::<Vec<_>>()).unwrap();
+            let row = &rows[0];
+            if preds.iter().all(|p| {
+                let c = schema.column_index(&p.column).unwrap();
+                p.matches(&row[c])
+            }) {
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_conjunction_matches_all() {
+        let (ids, _) = eval(&[], true);
+        assert_eq!(ids.len(), 200);
+    }
+
+    #[test]
+    fn paper_example_query_matches_naive() {
+        // The Fig 8 walk-through: ts range + ip equality + latency >= + fail =.
+        let preds = vec![
+            ColumnPredicate::new("ts", CmpOp::Ge, 1050i64),
+            ColumnPredicate::new("ts", CmpOp::Le, 1150i64),
+            ColumnPredicate::new("ip", CmpOp::Eq, "192.168.0.1"),
+            ColumnPredicate::new("latency", CmpOp::Ge, 100i64),
+            ColumnPredicate::new("fail", CmpOp::Eq, false),
+        ];
+        let expect = naive(&preds);
+        assert!(!expect.is_empty());
+        let (with, s_with) = eval(&preds, true);
+        let (without, s_without) = eval(&preds, false);
+        assert_eq!(with, expect);
+        assert_eq!(without, expect);
+        assert!(s_with.index_lookups > 0);
+        assert!(
+            s_with.blocks_scanned < s_without.blocks_scanned,
+            "skipping must scan fewer blocks: {} vs {}",
+            s_with.blocks_scanned,
+            s_without.blocks_scanned
+        );
+    }
+
+    #[test]
+    fn column_sma_prunes_whole_block() {
+        let preds = vec![ColumnPredicate::new("ts", CmpOp::Gt, 99_999i64)];
+        let (ids, stats) = eval(&preds, true);
+        assert!(ids.is_empty());
+        assert_eq!(stats.pruned_by_column_sma, 1);
+        assert_eq!(stats.blocks_scanned, 0);
+        assert_eq!(stats.index_lookups, 0);
+    }
+
+    #[test]
+    fn contains_uses_inverted_index() {
+        let preds = vec![ColumnPredicate::new("log", CmpOp::Contains, "error")];
+        let (ids, stats) = eval(&preds, true);
+        assert_eq!(ids, (0..200).filter(|i| i % 10 == 0).collect::<Vec<u32>>());
+        assert_eq!(stats.index_lookups, 1);
+        assert_eq!(stats.blocks_scanned, 0);
+        assert_eq!(ids, naive(&preds));
+    }
+
+    #[test]
+    fn multi_token_contains_matches_scan_semantics() {
+        let preds = vec![ColumnPredicate::new("log", CmpOp::Contains, "error timeout")];
+        assert_eq!(naive(&preds), Vec::<u32>::new());
+        let (ids, _) = eval(&preds, true);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn ne_falls_back_to_scan() {
+        let preds = vec![ColumnPredicate::new("ip", CmpOp::Ne, "192.168.0.1")];
+        let (ids, stats) = eval(&preds, true);
+        assert_eq!(ids, naive(&preds));
+        assert_eq!(stats.index_lookups, 0);
+        assert!(stats.blocks_scanned > 0);
+    }
+
+    #[test]
+    fn unindexed_latency_prunes_by_block_sma() {
+        // latency = i % 500 over 200 rows, blocks of 32 — every block spans
+        // a distinct latency range, so latency >= 190 prunes early blocks.
+        let preds = vec![ColumnPredicate::new("latency", CmpOp::Ge, 190i64)];
+        let (ids, stats) = eval(&preds, true);
+        assert_eq!(ids, naive(&preds));
+        assert!(stats.blocks_pruned > 0, "expected block-level pruning");
+    }
+
+    #[test]
+    fn uint64_tenant_predicates() {
+        let preds = vec![ColumnPredicate::new("tenant_id", CmpOp::Eq, 1u64)];
+        let (ids, _) = eval(&preds, true);
+        assert_eq!(ids, naive(&preds));
+        // Negative literal on unsigned column: Ge matches everything,
+        // Eq matches nothing.
+        let ge = vec![ColumnPredicate::new("tenant_id", CmpOp::Ge, -5i64)];
+        let (ids, _) = eval(&ge, true);
+        assert_eq!(ids.len(), 200);
+        let eq = vec![ColumnPredicate::new("tenant_id", CmpOp::Eq, -5i64)];
+        let (ids, _) = eval(&eq, true);
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let r = block();
+        let mut stats = ScanStats::default();
+        let preds = vec![ColumnPredicate::new("nope", CmpOp::Eq, 1i64)];
+        assert!(evaluate_predicates(&r, &preds, true, &mut stats).is_err());
+    }
+
+    #[test]
+    fn fetch_rows_projection() {
+        let r = block();
+        let mut stats = ScanStats::default();
+        let preds = vec![ColumnPredicate::new("ts", CmpOp::Eq, 1005i64)];
+        let ids = evaluate_predicates(&r, &preds, true, &mut stats).unwrap();
+        let rows = fetch_rows(&r, &ids, &["log".to_string(), "latency".to_string()]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::from("req 5 ok"));
+        assert_eq!(rows[0][1], Value::I64(5));
+    }
+
+    #[test]
+    fn skipping_and_naive_agree_on_many_shapes() {
+        let cases: Vec<Vec<ColumnPredicate>> = vec![
+            vec![ColumnPredicate::new("fail", CmpOp::Eq, true)],
+            vec![ColumnPredicate::new("latency", CmpOp::Lt, 10i64)],
+            vec![
+                ColumnPredicate::new("ts", CmpOp::Gt, 1100i64),
+                ColumnPredicate::new("fail", CmpOp::Eq, true),
+            ],
+            vec![ColumnPredicate::new("api", CmpOp::Eq, "/api/query")],
+            vec![ColumnPredicate::new("api", CmpOp::Eq, "/api/other")],
+            vec![
+                ColumnPredicate::new("log", CmpOp::Contains, "ok"),
+                ColumnPredicate::new("tenant_id", CmpOp::Ne, 0u64),
+            ],
+        ];
+        for preds in cases {
+            let expect = naive(&preds);
+            let (with, _) = eval(&preds, true);
+            let (without, _) = eval(&preds, false);
+            assert_eq!(with, expect, "skipping mismatch for {preds:?}");
+            assert_eq!(without, expect, "baseline mismatch for {preds:?}");
+        }
+    }
+}

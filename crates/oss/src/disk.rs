@@ -1,0 +1,190 @@
+//! Local-disk object store.
+//!
+//! Used as the "local storage" baseline in the Figure 16 reproduction and
+//! as the backing for the SSD tier of the multi-level cache. Object paths
+//! map to files under a root directory; the path validator guarantees they
+//! cannot escape it.
+
+use crate::store::{check_range, validate_path, ObjectStore};
+use logstore_types::{Error, Result};
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// An object store persisting each object as one file under `root`.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DiskStore { root })
+    }
+
+    fn file_path(&self, path: &str) -> Result<PathBuf> {
+        validate_path(path)?;
+        Ok(self.root.join(path))
+    }
+}
+
+impl ObjectStore for DiskStore {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        let file = self.file_path(path)?;
+        if let Some(parent) = file.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename gives atomic replace, mirroring OSS semantics
+        // where readers never observe partial objects.
+        let tmp = file.with_extension("tmp-put");
+        fs::write(&tmp, data)?;
+        fs::rename(&tmp, &file)?;
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        let file = self.file_path(path)?;
+        fs::read(&file).map_err(|e| map_not_found(e, path))
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let file = self.file_path(path)?;
+        let mut f = fs::File::open(&file).map_err(|e| map_not_found(e, path))?;
+        let size = f.metadata()?.len();
+        check_range(path, size, offset, len)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn head(&self, path: &str) -> Result<u64> {
+        let file = self.file_path(path)?;
+        fs::metadata(&file)
+            .map(|m| m.len())
+            .map_err(|e| map_not_found(e, path))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        collect_files(&self.root, &self.root, &mut out)?;
+        out.retain(|p| p.starts_with(prefix));
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let file = self.file_path(path)?;
+        match fs::remove_file(&file) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+fn map_not_found(e: std::io::Error, path: &str) -> Error {
+    if e.kind() == std::io::ErrorKind::NotFound {
+        Error::NotFound(format!("object '{path}'"))
+    } else {
+        e.into()
+    }
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(root, &path, out)?;
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            if let Some(s) = rel.to_str() {
+                if !s.ends_with(".tmp-put") {
+                    out.push(s.replace('\\', "/"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (DiskStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "logstore-disk-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        (DiskStore::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn put_get_head_roundtrip() {
+        let (s, dir) = temp_store("roundtrip");
+        s.put("tenants/1/block.pack", b"payload").unwrap();
+        assert_eq!(s.get("tenants/1/block.pack").unwrap(), b"payload");
+        assert_eq!(s.head("tenants/1/block.pack").unwrap(), 7);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn range_reads_and_bounds() {
+        let (s, dir) = temp_store("range");
+        s.put("k", b"0123456789").unwrap();
+        assert_eq!(s.get_range("k", 4, 4).unwrap(), b"4567");
+        assert!(s.get_range("k", 9, 5).is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn list_recurses_and_filters() {
+        let (s, dir) = temp_store("list");
+        for p in ["t1/a/x", "t1/b", "t2/c"] {
+            s.put(p, b"v").unwrap();
+        }
+        assert_eq!(s.list("t1/").unwrap(), vec!["t1/a/x", "t1/b"]);
+        assert_eq!(s.list("").unwrap().len(), 3);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn delete_idempotent_and_missing_not_found() {
+        let (s, dir) = temp_store("delete");
+        s.put("k", b"v").unwrap();
+        s.delete("k").unwrap();
+        s.delete("k").unwrap();
+        assert!(matches!(s.get("k"), Err(Error::NotFound(_))));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn traversal_rejected() {
+        let (s, dir) = temp_store("traversal");
+        assert!(s.put("../escape", b"x").is_err());
+        assert!(s.get("a/../../b").is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replace() {
+        let (s, dir) = temp_store("overwrite");
+        s.put("k", b"old").unwrap();
+        s.put("k", b"newer").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"newer");
+        // No tmp files leak into listings.
+        assert_eq!(s.list("").unwrap(), vec!["k"]);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

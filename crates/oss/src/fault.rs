@@ -1,0 +1,179 @@
+//! Fault injection for object storage.
+//!
+//! Production OSS fails: throttling (HTTP 503), transient network errors,
+//! slow tails. [`FaultyStore`] wraps any backend with a deterministic
+//! failure schedule so tests can verify that every layer above — pack
+//! reads, cache fills, prefetch waves, queries — surfaces errors instead
+//! of corrupting state, and that retries eventually succeed.
+
+use crate::store::ObjectStore;
+use logstore_types::{Error, Result};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which operations to inject failures into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Only reads (GET/range-GET/HEAD/LIST).
+    Reads,
+    /// Only writes (PUT/DELETE).
+    Writes,
+    /// Everything.
+    All,
+}
+
+/// An [`ObjectStore`] decorator that fails operations on a schedule.
+pub struct FaultyStore<S> {
+    inner: S,
+    scope: FaultScope,
+    /// Probability of failing an in-scope op.
+    probability: f64,
+    rng: Mutex<StdRng>,
+    /// Fail the next N in-scope operations unconditionally.
+    fail_next: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    /// Wraps `inner`, failing in-scope operations with `probability`
+    /// (deterministic under `seed`).
+    pub fn new(inner: S, scope: FaultScope, probability: f64, seed: u64) -> Self {
+        FaultyStore {
+            inner,
+            scope,
+            probability,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            fail_next: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues `n` unconditional failures for the next in-scope operations.
+    pub fn fail_next(&self, n: u64) {
+        self.fail_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Clears any scheduled unconditional failures.
+    pub fn clear_faults(&self) {
+        self.fail_next.store(0, Ordering::SeqCst);
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn maybe_fail(&self, is_read: bool, op: &str) -> Result<()> {
+        let in_scope = match self.scope {
+            FaultScope::Reads => is_read,
+            FaultScope::Writes => !is_read,
+            FaultScope::All => true,
+        };
+        if !in_scope {
+            return Ok(());
+        }
+        let scheduled = self
+            .fail_next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        let random = self.probability > 0.0 && self.rng.lock().gen_bool(self.probability);
+        if scheduled || random {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(Error::Io(std::io::Error::other(format!(
+                "injected oss fault during {op} (simulated 503)"
+            ))));
+        }
+        Ok(())
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.maybe_fail(false, "put")?;
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        self.maybe_fail(true, "get")?;
+        self.inner.get(path)
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.maybe_fail(true, "get_range")?;
+        self.inner.get_range(path, offset, len)
+    }
+
+    fn head(&self, path: &str) -> Result<u64> {
+        self.maybe_fail(true, "head")?;
+        self.inner.head(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.maybe_fail(true, "list")?;
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.maybe_fail(false, "delete")?;
+        self.inner.delete(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+
+    #[test]
+    fn scheduled_failures_hit_then_clear() {
+        let s = FaultyStore::new(MemoryStore::new(), FaultScope::All, 0.0, 1);
+        s.put("k", b"v").unwrap();
+        s.fail_next(2);
+        assert!(s.get("k").is_err());
+        assert!(s.get("k").is_err());
+        assert_eq!(s.get("k").unwrap(), b"v");
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn scope_limits_injection() {
+        let s = FaultyStore::new(MemoryStore::new(), FaultScope::Writes, 0.0, 1);
+        s.fail_next(1);
+        // Reads are out of scope: the scheduled failure waits for a write.
+        assert!(matches!(s.get("missing"), Err(Error::NotFound(_))));
+        assert!(s.put("k", b"v").is_err());
+        assert!(s.put("k", b"v").is_ok());
+    }
+
+    #[test]
+    fn probabilistic_failures_are_deterministic() {
+        let a = FaultyStore::new(MemoryStore::new(), FaultScope::Reads, 0.5, 9);
+        let b = FaultyStore::new(MemoryStore::new(), FaultScope::Reads, 0.5, 9);
+        a.inner().put("k", b"v").unwrap();
+        b.inner().put("k", b"v").unwrap();
+        let pattern_a: Vec<bool> = (0..50).map(|_| a.get("k").is_ok()).collect();
+        let pattern_b: Vec<bool> = (0..50).map(|_| b.get("k").is_ok()).collect();
+        assert_eq!(pattern_a, pattern_b);
+        assert!(pattern_a.iter().any(|ok| *ok));
+        assert!(pattern_a.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn state_never_corrupts_under_write_faults() {
+        let s = FaultyStore::new(MemoryStore::new(), FaultScope::Writes, 0.0, 1);
+        s.put("stable", b"original").unwrap();
+        s.fail_next(1);
+        assert!(s.put("stable", b"replacement").is_err());
+        // The failed PUT must not have partially applied.
+        assert_eq!(s.get("stable").unwrap(), b"original");
+        s.put("stable", b"replacement").unwrap();
+        assert_eq!(s.get("stable").unwrap(), b"replacement");
+    }
+}

@@ -1,0 +1,28 @@
+//! Cloud object storage abstraction and simulator.
+//!
+//! The paper's cloud storage layer is Alibaba OSS: a durable, cheap object
+//! store accessed over HTTP with high per-request latency and limited,
+//! fluctuating bandwidth. This crate provides:
+//!
+//! * [`ObjectStore`] — the minimal API LogStore needs (PUT / GET /
+//!   range-GET / HEAD / LIST / DELETE over immutable objects).
+//! * [`MemoryStore`] and [`DiskStore`] — fast backends for tests and for the
+//!   "local storage" baseline of Figure 16.
+//! * [`SimulatedOss`] — a wrapper imposing a configurable latency and
+//!   bandwidth model, so experiments reproduce the *cost structure* of
+//!   remote object storage on a laptop. Modelled time is always accounted
+//!   in [`OssMetrics`]; actually sleeping is controlled by a time-scale
+//!   knob so unit tests run instantly while figure harnesses can produce
+//!   wall-clock shapes.
+
+pub mod disk;
+pub mod fault;
+pub mod memory;
+pub mod sim;
+pub mod store;
+
+pub use disk::DiskStore;
+pub use fault::{FaultScope, FaultyStore};
+pub use memory::MemoryStore;
+pub use sim::{LatencyModel, OssMetrics, SimulatedOss};
+pub use store::{validate_path, ObjectStore};

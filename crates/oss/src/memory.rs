@@ -1,0 +1,171 @@
+//! In-memory object store (tests, and the substrate under [`crate::SimulatedOss`]).
+
+use crate::store::{check_range, validate_path, ObjectStore};
+use logstore_types::{Error, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe in-memory object store.
+///
+/// Objects are stored behind `Arc` so concurrent readers share payloads
+/// without copying under the lock.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    objects: RwLock<BTreeMap<String, Arc<Vec<u8>>>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Sum of object sizes in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl ObjectStore for MemoryStore {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        validate_path(path)?;
+        self.objects
+            .write()
+            .insert(path.to_string(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        validate_path(path)?;
+        let obj = self
+            .objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("object '{path}'")))?;
+        Ok(obj.as_ref().clone())
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        validate_path(path)?;
+        let obj = self
+            .objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("object '{path}'")))?;
+        check_range(path, obj.len() as u64, offset, len)?;
+        Ok(obj[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    fn head(&self, path: &str) -> Result<u64> {
+        validate_path(path)?;
+        self.objects
+            .read()
+            .get(path)
+            .map(|o| o.len() as u64)
+            .ok_or_else(|| Error::NotFound(format!("object '{path}'")))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let objects = self.objects.read();
+        Ok(objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        validate_path(path)?;
+        self.objects.write().remove(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = MemoryStore::new();
+        s.put("a/b", b"hello").unwrap();
+        assert_eq!(s.get("a/b").unwrap(), b"hello");
+        assert_eq!(s.head("a/b").unwrap(), 5);
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.total_bytes(), 5);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let s = MemoryStore::new();
+        s.put("k", b"one").unwrap();
+        s.put("k", b"twotwo").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"twotwo");
+        assert_eq!(s.object_count(), 1);
+    }
+
+    #[test]
+    fn range_reads() {
+        let s = MemoryStore::new();
+        s.put("k", b"0123456789").unwrap();
+        assert_eq!(s.get_range("k", 2, 3).unwrap(), b"234");
+        assert_eq!(s.get_range("k", 0, 0).unwrap(), b"");
+        assert!(s.get_range("k", 8, 3).is_err());
+    }
+
+    #[test]
+    fn missing_object_is_not_found() {
+        let s = MemoryStore::new();
+        assert!(matches!(s.get("nope"), Err(Error::NotFound(_))));
+        assert!(matches!(s.head("nope"), Err(Error::NotFound(_))));
+        assert!(s.delete("nope").is_ok(), "deletes are idempotent");
+    }
+
+    #[test]
+    fn list_is_prefix_scoped_and_sorted() {
+        let s = MemoryStore::new();
+        for p in ["t1/b", "t1/a", "t2/a", "t10/a"] {
+            s.put(p, b"x").unwrap();
+        }
+        assert_eq!(s.list("t1/").unwrap(), vec!["t1/a", "t1/b"]);
+        assert_eq!(s.list("t1").unwrap(), vec!["t1/a", "t1/b", "t10/a"]);
+        assert_eq!(s.list("").unwrap().len(), 4);
+        assert!(s.list("zz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_paths_rejected_everywhere() {
+        let s = MemoryStore::new();
+        assert!(s.put("../etc", b"x").is_err());
+        assert!(s.get("/abs").is_err());
+    }
+
+    #[test]
+    fn concurrent_access() {
+        let s = Arc::new(MemoryStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        let path = format!("t{i}/obj{j}");
+                        s.put(&path, &[i as u8; 100]).unwrap();
+                        assert_eq!(s.get(&path).unwrap().len(), 100);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.object_count(), 400);
+    }
+}

@@ -1,0 +1,317 @@
+//! Latency/bandwidth simulation wrapper.
+//!
+//! The query-optimization results of the paper (Figs 15–17) hinge on the
+//! cost structure of remote object storage: every request pays tens of
+//! milliseconds of latency, and throughput is bounded by network bandwidth
+//! that fluctuates. [`SimulatedOss`] imposes exactly that model on any
+//! backend:
+//!
+//! * per-request base latency (metadata/first-byte cost),
+//! * per-byte transfer time (bandwidth cap),
+//! * multiplicative jitter,
+//! * a **time scale**: `0.0` accounts modelled time without sleeping
+//!   (unit tests), `1.0` sleeps the full modelled duration (wall-clock
+//!   realistic harnesses), values in between compress time proportionally.
+//!
+//! All modelled time is accumulated in [`OssMetrics`] regardless of the
+//! scale, so figure harnesses report *modelled* latencies — deterministic
+//! and host-independent.
+
+use crate::store::ObjectStore;
+use logstore_types::Result;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The latency/bandwidth model of a simulated object store.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Fixed cost per request, in microseconds (OSS first-byte latency is
+    /// typically 10–50 ms).
+    pub base_latency_us: u64,
+    /// Transfer cost per byte, in nanoseconds. `10 ns/B` ≈ 100 MB/s.
+    pub per_byte_ns: u64,
+    /// Extra per-request cost for LIST operations (directory scans are the
+    /// paper's "traversing a large number of files is time-consuming").
+    pub list_latency_us: u64,
+    /// Multiplicative jitter: each request's modelled time is scaled by a
+    /// uniform factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Fraction of modelled time actually slept (0.0 = never sleep).
+    pub time_scale: f64,
+}
+
+impl LatencyModel {
+    /// Alibaba-OSS-like defaults: 25 ms base latency, ~100 MB/s, 20% jitter.
+    pub fn oss_like() -> Self {
+        LatencyModel {
+            base_latency_us: 25_000,
+            per_byte_ns: 10,
+            list_latency_us: 50_000,
+            jitter: 0.2,
+            time_scale: 0.0,
+        }
+    }
+
+    /// Local-SSD-like: 100 µs access, ~2 GB/s.
+    pub fn local_ssd_like() -> Self {
+        LatencyModel {
+            base_latency_us: 100,
+            per_byte_ns: 1,
+            list_latency_us: 200,
+            jitter: 0.05,
+            time_scale: 0.0,
+        }
+    }
+
+    /// No modelled cost at all.
+    pub fn zero() -> Self {
+        LatencyModel {
+            base_latency_us: 0,
+            per_byte_ns: 0,
+            list_latency_us: 0,
+            jitter: 0.0,
+            time_scale: 0.0,
+        }
+    }
+
+    /// Sets the sleep fraction.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+}
+
+/// Counters exposed by [`SimulatedOss`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OssMetrics {
+    /// Number of GET / range-GET requests.
+    pub get_requests: u64,
+    /// Number of PUT requests.
+    pub put_requests: u64,
+    /// Number of LIST + HEAD + DELETE requests.
+    pub other_requests: u64,
+    /// Bytes downloaded.
+    pub bytes_read: u64,
+    /// Bytes uploaded.
+    pub bytes_written: u64,
+    /// Total modelled request time, nanoseconds.
+    pub modelled_time_ns: u64,
+}
+
+impl OssMetrics {
+    /// Total requests of all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.get_requests + self.put_requests + self.other_requests
+    }
+
+    /// Modelled time as a [`Duration`].
+    pub fn modelled_time(&self) -> Duration {
+        Duration::from_nanos(self.modelled_time_ns)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    get_requests: AtomicU64,
+    put_requests: AtomicU64,
+    other_requests: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    modelled_time_ns: AtomicU64,
+}
+
+/// An [`ObjectStore`] decorator imposing a [`LatencyModel`].
+#[derive(Debug)]
+pub struct SimulatedOss<S> {
+    inner: S,
+    model: LatencyModel,
+    counters: Counters,
+    rng: Mutex<StdRng>,
+}
+
+impl<S: ObjectStore> SimulatedOss<S> {
+    /// Wraps `inner` with the given model; `seed` makes jitter deterministic.
+    pub fn new(inner: S, model: LatencyModel, seed: u64) -> Self {
+        SimulatedOss { inner, model, counters: Counters::default(), rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Snapshot of the accumulated metrics.
+    pub fn metrics(&self) -> OssMetrics {
+        OssMetrics {
+            get_requests: self.counters.get_requests.load(Ordering::Relaxed),
+            put_requests: self.counters.put_requests.load(Ordering::Relaxed),
+            other_requests: self.counters.other_requests.load(Ordering::Relaxed),
+            bytes_read: self.counters.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+            modelled_time_ns: self.counters.modelled_time_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (between experiment phases).
+    pub fn reset_metrics(&self) {
+        self.counters.get_requests.store(0, Ordering::Relaxed);
+        self.counters.put_requests.store(0, Ordering::Relaxed);
+        self.counters.other_requests.store(0, Ordering::Relaxed);
+        self.counters.bytes_read.store(0, Ordering::Relaxed);
+        self.counters.bytes_written.store(0, Ordering::Relaxed);
+        self.counters.modelled_time_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Access to the wrapped store (e.g. to seed fixtures without paying
+    /// modelled latency).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn charge(&self, base_us: u64, bytes: u64) {
+        let raw_ns = base_us.saturating_mul(1_000) + bytes.saturating_mul(self.model.per_byte_ns);
+        let jittered = if self.model.jitter > 0.0 {
+            let factor: f64 = {
+                let mut rng = self.rng.lock();
+                rng.gen_range(1.0 - self.model.jitter..=1.0 + self.model.jitter)
+            };
+            (raw_ns as f64 * factor) as u64
+        } else {
+            raw_ns
+        };
+        self.counters.modelled_time_ns.fetch_add(jittered, Ordering::Relaxed);
+        if self.model.time_scale > 0.0 {
+            let sleep_ns = (jittered as f64 * self.model.time_scale) as u64;
+            if sleep_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(sleep_ns));
+            }
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for SimulatedOss<S> {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.counters.put_requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.charge(self.model.base_latency_us, data.len() as u64);
+        self.inner.put(path, data)
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        self.counters.get_requests.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.get(path)?;
+        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.charge(self.model.base_latency_us, data.len() as u64);
+        Ok(data)
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.counters.get_requests.fetch_add(1, Ordering::Relaxed);
+        let data = self.inner.get_range(path, offset, len)?;
+        self.counters.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.charge(self.model.base_latency_us, data.len() as u64);
+        Ok(data)
+    }
+
+    fn head(&self, path: &str) -> Result<u64> {
+        self.counters.other_requests.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.model.base_latency_us, 0);
+        self.inner.head(path)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.counters.other_requests.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.model.list_latency_us, 0);
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.counters.other_requests.fetch_add(1, Ordering::Relaxed);
+        self.charge(self.model.base_latency_us, 0);
+        self.inner.delete(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryStore;
+
+    fn sim(model: LatencyModel) -> SimulatedOss<MemoryStore> {
+        SimulatedOss::new(MemoryStore::new(), model, 7)
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let s = sim(LatencyModel::zero());
+        s.put("a", &[0u8; 100]).unwrap();
+        s.get("a").unwrap();
+        s.get_range("a", 0, 10).unwrap();
+        s.head("a").unwrap();
+        s.list("").unwrap();
+        s.delete("a").unwrap();
+        let m = s.metrics();
+        assert_eq!(m.put_requests, 1);
+        assert_eq!(m.get_requests, 2);
+        assert_eq!(m.other_requests, 3);
+        assert_eq!(m.bytes_written, 100);
+        assert_eq!(m.bytes_read, 110);
+        assert_eq!(m.total_requests(), 6);
+    }
+
+    #[test]
+    fn modelled_time_accumulates_without_sleeping() {
+        let mut model = LatencyModel::oss_like();
+        model.jitter = 0.0;
+        let s = sim(model);
+        s.put("a", &[0u8; 1_000_000]).unwrap();
+        let wall = std::time::Instant::now();
+        s.get("a").unwrap();
+        assert!(wall.elapsed() < Duration::from_millis(20), "no real sleep expected");
+        // 2 requests * 25ms base + 2 MB * 10 ns = 50ms + 20ms = 70ms.
+        let t = s.metrics().modelled_time();
+        assert!(t >= Duration::from_millis(60) && t <= Duration::from_millis(80), "{t:?}");
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_deterministic() {
+        let mut model = LatencyModel::oss_like();
+        model.jitter = 0.2;
+        let a = sim(model.clone());
+        let b = sim(model);
+        for _ in 0..50 {
+            a.head("x").unwrap_err();
+            b.head("x").unwrap_err();
+        }
+        let (ma, mb) = (a.metrics(), b.metrics());
+        assert_eq!(ma.modelled_time_ns, mb.modelled_time_ns, "same seed, same time");
+        let per_req = ma.modelled_time_ns as f64 / 50.0;
+        let base = 25_000_000.0;
+        assert!(per_req > base * 0.8 && per_req < base * 1.2);
+    }
+
+    #[test]
+    fn time_scale_sleeps() {
+        let mut model = LatencyModel::zero();
+        model.base_latency_us = 2_000; // 2 ms
+        model.time_scale = 1.0;
+        let s = sim(model);
+        let wall = std::time::Instant::now();
+        s.head("x").unwrap_err();
+        assert!(wall.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let s = sim(LatencyModel::zero());
+        s.put("a", b"x").unwrap();
+        s.reset_metrics();
+        assert_eq!(s.metrics(), OssMetrics::default());
+    }
+
+    #[test]
+    fn inner_bypasses_accounting() {
+        let s = sim(LatencyModel::oss_like());
+        s.inner().put("seed", b"fixture").unwrap();
+        assert_eq!(s.metrics().put_requests, 0);
+        assert_eq!(s.get("seed").unwrap(), b"fixture");
+    }
+}

@@ -1,0 +1,122 @@
+//! The [`ObjectStore`] trait.
+
+use logstore_types::{Error, Result};
+use std::sync::Arc;
+
+/// The object-storage operations LogStore uses.
+///
+/// Objects are immutable: `put` of an existing path overwrites atomically
+/// (matching OSS semantics), there is no append. LogBlocks rely on
+/// `get_range` to read individual members of a packed block without
+/// downloading the whole object.
+pub trait ObjectStore: Send + Sync {
+    /// Stores `data` under `path`, replacing any existing object.
+    fn put(&self, path: &str, data: &[u8]) -> Result<()>;
+
+    /// Fetches a whole object.
+    fn get(&self, path: &str) -> Result<Vec<u8>>;
+
+    /// Fetches `len` bytes starting at `offset`. Errors if the range exceeds
+    /// the object (OSS-style strict ranges keep corruption loud).
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Returns the object's size in bytes.
+    fn head(&self, path: &str) -> Result<u64>;
+
+    /// Lists object paths with the given prefix, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Deletes an object. Deleting a missing object is not an error
+    /// (idempotent deletes simplify the expiration task).
+    fn delete(&self, path: &str) -> Result<()>;
+}
+
+impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        (**self).put(path, data)
+    }
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        (**self).get(path)
+    }
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        (**self).get_range(path, offset, len)
+    }
+    fn head(&self, path: &str) -> Result<u64> {
+        (**self).head(path)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        (**self).list(prefix)
+    }
+    fn delete(&self, path: &str) -> Result<()> {
+        (**self).delete(path)
+    }
+}
+
+/// Validates an object path: non-empty, relative, slash-separated segments
+/// without `.`/`..`, printable ASCII. Shared by every backend so path bugs
+/// surface identically everywhere.
+pub fn validate_path(path: &str) -> Result<()> {
+    if path.is_empty() || path.len() > 1024 {
+        return Err(Error::invalid("object path must be 1..=1024 bytes"));
+    }
+    if path.starts_with('/') || path.ends_with('/') {
+        return Err(Error::invalid(format!("object path '{path}' must not begin or end with '/'")));
+    }
+    for seg in path.split('/') {
+        if seg.is_empty() {
+            return Err(Error::invalid(format!("object path '{path}' has an empty segment")));
+        }
+        if seg == "." || seg == ".." {
+            return Err(Error::invalid(format!("object path '{path}' contains '{seg}'")));
+        }
+        if !seg
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'='))
+        {
+            return Err(Error::invalid(format!("object path segment '{seg}' has invalid bytes")));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a `(offset, len)` range against an object size.
+pub fn check_range(path: &str, size: u64, offset: u64, len: u64) -> Result<()> {
+    let end = offset
+        .checked_add(len)
+        .ok_or_else(|| Error::invalid("range overflow"))?;
+    if end > size {
+        return Err(Error::invalid(format!(
+            "range {offset}+{len} exceeds object '{path}' of {size} bytes"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_paths() {
+        for p in ["a", "tenants/42/block-0001.pack", "x/y/z.meta", "a=b/c_d-e.f"] {
+            assert!(validate_path(p).is_ok(), "{p} should be valid");
+        }
+    }
+
+    #[test]
+    fn invalid_paths() {
+        for p in ["", "/abs", "trailing/", "a//b", "a/../b", "./a", "sp ace", "uni\u{00e9}"] {
+            assert!(validate_path(p).is_err(), "{p} should be invalid");
+        }
+        assert!(validate_path(&"x".repeat(2000)).is_err());
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(check_range("p", 10, 0, 10).is_ok());
+        assert!(check_range("p", 10, 9, 1).is_ok());
+        assert!(check_range("p", 10, 9, 2).is_err());
+        assert!(check_range("p", 10, u64::MAX, 2).is_err());
+        assert!(check_range("p", 0, 0, 0).is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Query analysis: literal binding and routing-scope extraction.
+//!
+//! Two jobs happen before a query fans out:
+//!
+//! 1. **Binding** — literals are coerced to their column types against the
+//!    table schema (datetime strings on the `ts` column become epoch
+//!    millis, integer literals on unsigned columns become `U64`, ...).
+//! 2. **Scope extraction** — the `tenant_id = N` equality and the `ts`
+//!    bounds are lifted out, because they drive broker routing and the
+//!    LogBlock-map pruning of Fig 8 ①.
+
+use crate::ast::Query;
+use crate::datetime::parse_datetime;
+use logstore_types::{
+    CmpOp, DataType, Error, Result, TableSchema, TenantId, TimeRange, Timestamp, Value,
+};
+
+/// Coerces predicate literals to their column types. Fails on unknown
+/// columns or impossible coercions.
+pub fn bind(query: &Query, schema: &TableSchema) -> Result<Query> {
+    let mut bound = query.clone();
+    for p in &mut bound.predicates {
+        let col = schema
+            .column(&p.column)
+            .ok_or_else(|| Error::Query(format!("unknown column '{}'", p.column)))?;
+        p.value = coerce(&p.value, col.data_type, &p.column)?;
+        if p.op == CmpOp::Contains && col.data_type != DataType::String {
+            return Err(Error::Query(format!(
+                "CONTAINS requires a string column, '{}' is {}",
+                p.column, col.data_type
+            )));
+        }
+    }
+    // Projection and grouping columns must exist.
+    for name in bound.projected_columns() {
+        if schema.column(&name).is_none() {
+            return Err(Error::Query(format!("unknown column '{name}'")));
+        }
+    }
+    // Aggregate arguments must exist and fit the function.
+    for (func, col) in bound.aggregate_items() {
+        if let Some(col) = col {
+            let c = schema
+                .column(&col)
+                .ok_or_else(|| Error::Query(format!("unknown column '{col}'")))?;
+            if func.requires_numeric() && !c.data_type.is_numeric() {
+                return Err(Error::Query(format!(
+                    "{}({col}) requires a numeric column, '{col}' is {}",
+                    func.name(),
+                    c.data_type
+                )));
+            }
+        }
+    }
+    if let Some(g) = &bound.group_by {
+        if schema.column(g).is_none() {
+            return Err(Error::Query(format!("unknown column '{g}'")));
+        }
+    }
+    // Aggregation shape checks.
+    match (&bound.group_by, bound.is_aggregate()) {
+        (Some(_), false) => {
+            return Err(Error::Query("GROUP BY requires COUNT(*) in the projection".into()))
+        }
+        (Some(g), true) => {
+            if bound.projected_columns().iter().any(|c| c != g) {
+                return Err(Error::Query(
+                    "grouped queries may only project the GROUP BY column and COUNT(*)".into(),
+                ));
+            }
+        }
+        (None, true) => {
+            if !bound.projected_columns().is_empty() {
+                return Err(Error::Query(
+                    "COUNT(*) without GROUP BY cannot project columns".into(),
+                ));
+            }
+        }
+        (None, false) => {}
+    }
+    Ok(bound)
+}
+
+fn coerce(value: &Value, target: DataType, column: &str) -> Result<Value> {
+    let fail = || {
+        Error::Query(format!(
+            "literal {value} not compatible with column '{column}' of type {target}"
+        ))
+    };
+    Ok(match (value, target) {
+        (Value::Null, _) => Value::Null,
+        (Value::I64(_), DataType::Int64) => value.clone(),
+        (Value::U64(_), DataType::UInt64) => value.clone(),
+        (Value::I64(v), DataType::UInt64) => {
+            // Keep negative literals as-is: the scanner resolves them to
+            // always-true/false range semantics on unsigned columns.
+            if *v >= 0 {
+                Value::U64(*v as u64)
+            } else {
+                value.clone()
+            }
+        }
+        (Value::U64(v), DataType::Int64) => {
+            Value::I64(i64::try_from(*v).map_err(|_| fail())?)
+        }
+        (Value::Str(s), DataType::Int64) => Value::I64(parse_datetime(s).map_err(|_| fail())?),
+        (Value::Str(s), DataType::Bool) => match s.to_ascii_lowercase().as_str() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => return Err(fail()),
+        },
+        (Value::Str(_), DataType::String) => value.clone(),
+        (Value::Bool(_), DataType::Bool) => value.clone(),
+        _ => return Err(fail()),
+    })
+}
+
+/// The routing scope of a bound query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryScope {
+    /// The single tenant targeted by `tenant_id = N`, if present.
+    pub tenant: Option<TenantId>,
+    /// The time window implied by the `ts` conjuncts.
+    pub range: TimeRange,
+    /// True when the `ts` bounds contradict each other (no row can match).
+    pub contradictory: bool,
+}
+
+impl QueryScope {
+    /// Extracts tenant and time bounds from a bound query's predicates.
+    pub fn extract(query: &Query) -> QueryScope {
+        let mut tenant = None;
+        let mut start = Timestamp::MIN;
+        let mut end = Timestamp::MAX;
+        for p in &query.predicates {
+            if p.column == "tenant_id" && p.op == CmpOp::Eq {
+                if let Some(t) = p.value.as_u64() {
+                    tenant = Some(TenantId(t));
+                }
+            }
+            if p.column == "ts" {
+                if let Some(ts) = p.value.as_i64() {
+                    match p.op {
+                        CmpOp::Ge => start = start.max(Timestamp(ts)),
+                        CmpOp::Gt => start = start.max(Timestamp(ts.saturating_add(1))),
+                        CmpOp::Le => end = end.min(Timestamp(ts)),
+                        CmpOp::Lt => end = end.min(Timestamp(ts.saturating_sub(1))),
+                        CmpOp::Eq => {
+                            start = start.max(Timestamp(ts));
+                            end = end.min(Timestamp(ts));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let contradictory = start > end;
+        let range = if contradictory {
+            TimeRange::new(start, start)
+        } else {
+            TimeRange::new(start, end)
+        };
+        QueryScope { tenant, range, contradictory }
+    }
+
+    /// True if no row can satisfy the `ts` bounds.
+    pub fn is_empty_window(&self) -> bool {
+        self.contradictory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn bound(sql: &str) -> Query {
+        bind(&parse_query(sql).unwrap(), &TableSchema::request_log()).unwrap()
+    }
+
+    #[test]
+    fn binds_datetime_and_unsigned_literals() {
+        let q = bound(
+            "SELECT log FROM request_log WHERE tenant_id = 7 \
+             AND ts >= '1970-01-01 00:00:01' AND fail = 'true'",
+        );
+        assert_eq!(q.predicates[0].value, Value::U64(7));
+        assert_eq!(q.predicates[1].value, Value::I64(1000));
+        assert_eq!(q.predicates[2].value, Value::Bool(true));
+    }
+
+    #[test]
+    fn rejects_unknown_columns_and_bad_coercions() {
+        let schema = TableSchema::request_log();
+        assert!(bind(&parse_query("SELECT ghost FROM t").unwrap(), &schema).is_err());
+        assert!(bind(
+            &parse_query("SELECT log FROM t WHERE ghost = 1").unwrap(),
+            &schema
+        )
+        .is_err());
+        assert!(bind(
+            &parse_query("SELECT log FROM t WHERE latency = 'not-a-date'").unwrap(),
+            &schema
+        )
+        .is_err());
+        assert!(bind(
+            &parse_query("SELECT log FROM t WHERE latency CONTAINS 'x'").unwrap(),
+            &schema
+        )
+        .is_err());
+        assert!(bind(
+            &parse_query("SELECT log FROM t GROUP BY ghost").unwrap(),
+            &schema
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn scope_extraction() {
+        let q = bound(
+            "SELECT log FROM request_log WHERE tenant_id = 42 \
+             AND ts >= '1970-01-01 00:00:01' AND ts < '1970-01-01 00:00:02'",
+        );
+        let scope = QueryScope::extract(&q);
+        assert_eq!(scope.tenant, Some(TenantId(42)));
+        assert_eq!(scope.range.start, Timestamp(1000));
+        assert_eq!(scope.range.end, Timestamp(1999));
+        assert!(!scope.is_empty_window());
+    }
+
+    #[test]
+    fn scope_without_tenant_or_ts() {
+        let q = bound("SELECT log FROM request_log WHERE latency > 5");
+        let scope = QueryScope::extract(&q);
+        assert_eq!(scope.tenant, None);
+        assert_eq!(scope.range, TimeRange::all());
+    }
+
+    #[test]
+    fn contradictory_window_detected() {
+        let q = bound(
+            "SELECT log FROM request_log WHERE ts > '1970-01-02' AND ts < '1970-01-01'",
+        );
+        let scope = QueryScope::extract(&q);
+        assert!(scope.is_empty_window());
+    }
+
+    #[test]
+    fn negative_literal_on_unsigned_survives_binding() {
+        let q = bound("SELECT log FROM request_log WHERE tenant_id >= -1");
+        assert_eq!(q.predicates[0].value, Value::I64(-1));
+    }
+}

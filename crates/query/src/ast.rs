@@ -1,0 +1,180 @@
+//! Query AST.
+
+use logstore_types::ColumnPredicate;
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)` (non-null count).
+    Count,
+    /// `SUM(col)` over non-null values (numeric columns).
+    Sum,
+    /// `MIN(col)` over non-null values.
+    Min,
+    /// `MAX(col)` over non-null values.
+    Max,
+    /// `AVG(col)` = SUM / non-null COUNT, rounded to an integer (LogStore
+    /// columns are integral; there is no float type in the storage layer).
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// True when the function only makes sense on numeric columns.
+    pub fn requires_numeric(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Avg)
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `*`
+    AllColumns,
+    /// A named column.
+    Column(String),
+    /// `COUNT(*)`
+    CountStar,
+    /// `FUNC(col)` — an aggregate over a column.
+    Agg(AggFunc, String),
+}
+
+/// Ordering key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderKey {
+    /// Order by a projected column.
+    Column(String),
+    /// Order by `COUNT(*)` (aggregate queries).
+    CountStar,
+}
+
+/// `ORDER BY <key> [ASC|DESC]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// The sort key.
+    pub key: OrderKey,
+    /// True for descending.
+    pub descending: bool,
+}
+
+/// A parsed query: conjunctive filters with optional grouping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// Target table.
+    pub table: String,
+    /// WHERE conjuncts.
+    pub predicates: Vec<ColumnPredicate>,
+    /// Optional `GROUP BY` column.
+    pub group_by: Option<String>,
+    /// Optional ordering.
+    pub order_by: Option<OrderBy>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// True if the query aggregates (any aggregate item appears).
+    pub fn is_aggregate(&self) -> bool {
+        self.projection
+            .iter()
+            .any(|s| matches!(s, SelectItem::CountStar | SelectItem::Agg(..)))
+    }
+
+    /// The aggregate items in projection order: `(function, column)`,
+    /// where `None` is `COUNT(*)`.
+    pub fn aggregate_items(&self) -> Vec<(AggFunc, Option<String>)> {
+        self.projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::CountStar => Some((AggFunc::Count, None)),
+                SelectItem::Agg(f, c) => Some((*f, Some(c.clone()))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Column names the executor must materialize for projection (excludes
+    /// `COUNT(*)`; `*` expands at execution time against the schema).
+    pub fn projected_columns(&self) -> Vec<String> {
+        self.projection
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Column(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::AllColumns => write!(f, "*")?,
+                SelectItem::Column(c) => write!(f, "{c}")?,
+                SelectItem::CountStar => write!(f, "COUNT(*)")?,
+                SelectItem::Agg(func, c) => write!(f, "{}({c})", func.name())?,
+            }
+        }
+        write!(f, " FROM {}", self.table)?;
+        for (i, p) in self.predicates.iter().enumerate() {
+            write!(f, " {} {p}", if i == 0 { "WHERE" } else { "AND" })?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        if let Some(o) = &self.order_by {
+            let key = match &o.key {
+                OrderKey::Column(c) => c.clone(),
+                OrderKey::CountStar => "COUNT(*)".to_string(),
+            };
+            write!(f, " ORDER BY {key} {}", if o.descending { "DESC" } else { "ASC" })?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::{CmpOp, Value};
+
+    #[test]
+    fn display_reconstructs_sql_shape() {
+        let q = Query {
+            projection: vec![SelectItem::Column("ip".into()), SelectItem::CountStar],
+            table: "request_log".into(),
+            predicates: vec![ColumnPredicate::new("tenant_id", CmpOp::Eq, Value::U64(1))],
+            group_by: Some("ip".into()),
+            order_by: Some(OrderBy { key: OrderKey::CountStar, descending: true }),
+            limit: Some(10),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 \
+             GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10"
+        );
+        assert!(q.is_aggregate());
+        assert_eq!(q.projected_columns(), vec!["ip".to_string()]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal datetime parsing/formatting for SQL literals.
+//!
+//! Timestamp literals in the paper's queries look like
+//! `'2020-11-11 00:00:00'`. This module converts them to/from epoch
+//! milliseconds (UTC) using Howard Hinnant's days-from-civil algorithm —
+//! no external time crate needed.
+
+use logstore_types::{Error, Result};
+
+/// Days from 1970-01-01 to `y-m-d` (proleptic Gregorian, UTC).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = u64::from((m + 9) % 12); // [0, 11]
+    let doy = (153 * mp + 2) / 5 + u64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i64 - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = ((mp + 2) % 12 + 1) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses `YYYY-MM-DD[ HH:MM:SS[.mmm]]` into epoch milliseconds (UTC).
+pub fn parse_datetime(s: &str) -> Result<i64> {
+    let bad = || Error::Parse(format!("invalid datetime literal '{s}'"));
+    let (date, time) = match s.split_once(' ') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut dp = date.split('-');
+    let y: i64 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let m: u32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let d: u32 = dp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    if dp.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    let mut millis = days_from_civil(y, m, d) * 86_400_000;
+    if let Some(t) = time {
+        let (hms, frac) = match t.split_once('.') {
+            Some((a, b)) => (a, Some(b)),
+            None => (t, None),
+        };
+        let mut tp = hms.split(':');
+        let h: i64 = tp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let mi: i64 = tp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let sec: i64 = tp.next().unwrap_or("0").parse().map_err(|_| bad())?;
+        if tp.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&sec)
+        {
+            return Err(bad());
+        }
+        millis += ((h * 60 + mi) * 60 + sec) * 1000;
+        if let Some(f) = frac {
+            if f.is_empty() || f.len() > 3 || !f.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let scale = 10i64.pow(3 - f.len() as u32);
+            millis += f.parse::<i64>().map_err(|_| bad())? * scale;
+        }
+    }
+    Ok(millis)
+}
+
+/// Formats epoch milliseconds as `YYYY-MM-DD HH:MM:SS.mmm` (UTC).
+pub fn format_datetime(millis: i64) -> String {
+    let days = millis.div_euclid(86_400_000);
+    let rem = millis.rem_euclid(86_400_000);
+    let (y, m, d) = civil_from_days(days);
+    let ms = rem % 1000;
+    let secs = rem / 1000;
+    format!(
+        "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}.{ms:03}",
+        secs / 3600,
+        secs / 60 % 60,
+        secs % 60
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_epochs() {
+        assert_eq!(parse_datetime("1970-01-01").unwrap(), 0);
+        assert_eq!(parse_datetime("1970-01-01 00:00:01").unwrap(), 1000);
+        assert_eq!(parse_datetime("1970-01-02").unwrap(), 86_400_000);
+        // 2020-11-11 00:00:00 UTC = 1605052800.
+        assert_eq!(parse_datetime("2020-11-11 00:00:00").unwrap(), 1_605_052_800_000);
+        assert_eq!(parse_datetime("2020-11-11 01:00:00.500").unwrap(), 1_605_056_400_500);
+        // Pre-epoch.
+        assert_eq!(parse_datetime("1969-12-31 23:59:59").unwrap(), -1000);
+    }
+
+    #[test]
+    fn invalid_literals_rejected() {
+        for s in [
+            "", "2020", "2020-13-01", "2020-00-10", "2020-01-32", "2020-1-1-1",
+            "2020-01-01 25:00:00", "2020-01-01 00:61:00", "2020-01-01 00:00:00.abcd",
+            "2020-01-01 00:00:00.", "x-y-z",
+        ] {
+            assert!(parse_datetime(s).is_err(), "'{s}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn format_roundtrip_examples() {
+        assert_eq!(format_datetime(0), "1970-01-01 00:00:00.000");
+        assert_eq!(format_datetime(1_605_052_800_000), "2020-11-11 00:00:00.000");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parse_format_roundtrip(ms in -4_000_000_000_000i64..8_000_000_000_000) {
+            let s = format_datetime(ms);
+            prop_assert_eq!(parse_datetime(&s).unwrap(), ms);
+        }
+    }
+}

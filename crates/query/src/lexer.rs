@@ -1,0 +1,241 @@
+//! SQL tokenizer.
+
+use logstore_types::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (original case preserved).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// Integer literal.
+    Number(i64),
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+}
+
+impl Token {
+    /// True if this is the keyword `kw` (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse("lone '!'".into()));
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8 is copied verbatim.
+                            let ch_start = i;
+                            let ch_len = utf8_len(bytes[i]);
+                            let end = ch_start + ch_len;
+                            let chunk = input
+                                .get(ch_start..end)
+                                .ok_or_else(|| Error::Parse("invalid utf-8 in literal".into()))?;
+                            s.push_str(chunk);
+                            i = end;
+                        }
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if text == "-" {
+                    return Err(Error::Parse("lone '-'".into()));
+                }
+                let n = text
+                    .parse::<i64>()
+                    .map_err(|_| Error::Parse(format!("bad number '{text}'")))?;
+                tokens.push(Token::Number(n));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(Error::Parse(format!("unexpected character '{}'", other as char)))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let toks = tokenize(
+            "SELECT log FROM request_log WHERE ts >= '2020-11-11 00:00:00' AND latency != 100",
+        )
+        .unwrap();
+        assert!(toks[0].is_keyword("select"));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::StringLit("2020-11-11 00:00:00".into())));
+        assert!(toks.contains(&Token::Number(100)));
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        let toks = tokenize("= != <> < <= > >= ( ) , *").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Star
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escaping_and_unicode() {
+        let toks = tokenize("'it''s' 'wörld'").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::StringLit("it's".into()), Token::StringLit("wörld".into())]
+        );
+    }
+
+    #[test]
+    fn negative_numbers() {
+        assert_eq!(tokenize("-42").unwrap(), vec![Token::Number(-42)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("- ").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("SeLeCt").unwrap();
+        assert!(toks[0].is_keyword("SELECT"));
+        assert!(toks[0].is_keyword("select"));
+        assert!(!toks[0].is_keyword("from"));
+    }
+}

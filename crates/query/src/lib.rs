@@ -1,0 +1,38 @@
+//! The query layer: SQL parsing, scope analysis and execution.
+//!
+//! LogStore exposes a SQL protocol (paper Fig 3). The evaluation workload
+//! is single-tenant log retrieval with per-field filters plus lightweight
+//! aggregations ("which IP addresses frequently accessed this API in the
+//! past day?"), so this crate implements exactly that dialect:
+//!
+//! ```sql
+//! SELECT log FROM request_log
+//! WHERE tenant_id = 12276
+//!   AND ts >= '2020-11-11 00:00:00' AND ts <= '2020-11-11 01:00:00'
+//!   AND ip = '192.168.0.1' AND latency >= 100 AND fail = false
+//!   AND log CONTAINS 'timeout'
+//! LIMIT 100
+//! ```
+//!
+//! plus `SELECT <col>, COUNT(*) ... GROUP BY <col> ORDER BY COUNT(*) DESC
+//! LIMIT k` for the BI-style queries.
+//!
+//! * [`lexer`] / [`parser`] — hand-written tokenizer and recursive-descent
+//!   parser (no external parser dependencies).
+//! * [`ast`] — the query representation handed to brokers.
+//! * [`analyze`] — extracts the routing scope (tenant, time range) that
+//!   drives LogBlock-map pruning (Fig 8 ①).
+//! * [`exec`] — evaluation over LogBlocks (via the data-skipping scanner)
+//!   and over real-time-store records, plus partial-result merging.
+
+pub mod analyze;
+pub mod ast;
+pub mod datetime;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use analyze::QueryScope;
+pub use ast::{OrderBy, OrderKey, Query, SelectItem};
+pub use exec::{QueryResult, QueryStats};
+pub use parser::parse_query;

@@ -1,0 +1,340 @@
+//! Recursive-descent parser for the LogStore SQL subset.
+
+use crate::ast::{AggFunc, OrderBy, OrderKey, Query, SelectItem};
+use crate::lexer::{tokenize, Token};
+use logstore_types::{CmpOp, ColumnPredicate, Error, Result, Value};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses one SQL statement.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let mut p = Parser { tokens: tokenize(sql)?, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(Error::Parse(format!("trailing tokens after query: {:?}", p.peek())));
+    }
+    Ok(q)
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        let t = self.next()?;
+        if &t == token {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {token:?}, found {t:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let projection = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let table = self.ident()?;
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        let group_by = if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let key = if self.peek().is_some_and(|t| t.is_keyword("COUNT")) {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                self.expect(&Token::Star)?;
+                self.expect(&Token::RParen)?;
+                OrderKey::CountStar
+            } else {
+                OrderKey::Column(self.ident()?)
+            };
+            let descending = if self.eat_keyword("DESC") {
+                true
+            } else {
+                self.eat_keyword("ASC");
+                false
+            };
+            Some(OrderBy { key, descending })
+        } else {
+            None
+        };
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next()? {
+                Token::Number(n) if n >= 0 => Some(n as usize),
+                other => return Err(Error::Parse(format!("bad LIMIT operand {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query { projection, table, predicates, group_by, order_by, limit })
+    }
+
+    fn agg_func(name: &str) -> Option<AggFunc> {
+        let up = name.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            "AVG" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            return Ok(vec![SelectItem::AllColumns]);
+        }
+        let mut items = Vec::new();
+        loop {
+            // An aggregate is an identifier immediately followed by `(`.
+            let agg = match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(Token::Ident(name)), Some(Token::LParen)) => Self::agg_func(name),
+                _ => None,
+            };
+            if let Some(func) = agg {
+                self.pos += 1; // function name
+                self.expect(&Token::LParen)?;
+                if self.peek() == Some(&Token::Star) {
+                    if func != AggFunc::Count {
+                        return Err(Error::Parse(format!(
+                            "{}(*) is not supported; name a column",
+                            func.name()
+                        )));
+                    }
+                    self.pos += 1;
+                    self.expect(&Token::RParen)?;
+                    items.push(SelectItem::CountStar);
+                } else {
+                    let col = self.ident()?;
+                    self.expect(&Token::RParen)?;
+                    items.push(SelectItem::Agg(func, col));
+                }
+            } else {
+                items.push(SelectItem::Column(self.ident()?));
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn predicate(&mut self) -> Result<ColumnPredicate> {
+        let column = self.ident()?;
+        let op = match self.next()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            Token::Ident(kw) if kw.eq_ignore_ascii_case("CONTAINS") => CmpOp::Contains,
+            other => return Err(Error::Parse(format!("expected operator, found {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(ColumnPredicate { column, op, value })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next()? {
+            Token::Number(n) => Ok(Value::I64(n)),
+            Token::StringLit(s) => Ok(Value::Str(s)),
+            Token::Ident(kw) if kw.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
+            Token::Ident(kw) if kw.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
+            Token::Ident(kw) if kw.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
+            other => Err(Error::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse_query(
+            "SELECT log FROM request_log WHERE tenant_id = 0 \
+             AND ts >= '2020-11-11 00:00:00' AND ts <= '2020-11-11 01:00:00' \
+             AND ip = '192.168.0.1' AND latency >= 100 AND fail = false",
+        )
+        .unwrap();
+        assert_eq!(q.table, "request_log");
+        assert_eq!(q.projection, vec![SelectItem::Column("log".into())]);
+        assert_eq!(q.predicates.len(), 6);
+        assert_eq!(q.predicates[0], ColumnPredicate::new("tenant_id", CmpOp::Eq, 0i64));
+        assert_eq!(q.predicates[5], ColumnPredicate::new("fail", CmpOp::Eq, false));
+        assert_eq!(q.limit, None);
+    }
+
+    #[test]
+    fn parses_aggregation() {
+        let q = parse_query(
+            "SELECT ip, COUNT(*) FROM request_log WHERE api = '/v1' \
+             GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(q.is_aggregate());
+        assert_eq!(q.group_by.as_deref(), Some("ip"));
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.key, OrderKey::CountStar);
+        assert!(ob.descending);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_star_and_contains() {
+        let q = parse_query("SELECT * FROM t WHERE log CONTAINS 'timeout'").unwrap();
+        assert_eq!(q.projection, vec![SelectItem::AllColumns]);
+        assert_eq!(q.predicates[0].op, CmpOp::Contains);
+    }
+
+    #[test]
+    fn order_by_column_asc_default() {
+        let q = parse_query("SELECT a FROM t ORDER BY a").unwrap();
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.key, OrderKey::Column("a".into()));
+        assert!(!ob.descending);
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let q = parse_query("SELECT * FROM t LIMIT 3").unwrap();
+        assert!(q.predicates.is_empty());
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for sql in [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a =",
+            "SELECT * FROM t WHERE a LIKE 'x'",
+            "SELECT * FROM t LIMIT -1",
+            "SELECT * FROM t GARBAGE",
+            "SELECT * FROM t ORDER BY",
+            "SELECT SUM(*) FROM t",
+            "SELECT COUNT( FROM t",
+        ] {
+            assert!(parse_query(sql).is_err(), "'{sql}' should fail");
+        }
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The parser must never panic, whatever bytes arrive.
+            #[test]
+            fn prop_parser_never_panics(input in ".{0,120}") {
+                let _ = parse_query(&input);
+            }
+
+            /// SQL-looking garbage exercises deeper parser paths.
+            #[test]
+            fn prop_sqlish_never_panics(
+                parts in proptest::collection::vec(
+                    prop_oneof![
+                        Just("SELECT".to_string()),
+                        Just("FROM".to_string()),
+                        Just("WHERE".to_string()),
+                        Just("AND".to_string()),
+                        Just("GROUP BY".to_string()),
+                        Just("ORDER BY".to_string()),
+                        Just("LIMIT".to_string()),
+                        Just("COUNT(*)".to_string()),
+                        Just("*".to_string()),
+                        Just("=".to_string()),
+                        Just("<=".to_string()),
+                        Just("CONTAINS".to_string()),
+                        Just("'lit'".to_string()),
+                        Just("42".to_string()),
+                        Just("col".to_string()),
+                    ],
+                    0..12,
+                )
+            ) {
+                let sql = parts.join(" ");
+                let _ = parse_query(&sql);
+            }
+
+            /// Anything that parses can be displayed and re-parsed to the
+            /// same AST (display round-trip).
+            #[test]
+            fn prop_display_roundtrip(input in "[ a-zA-Z0-9_='<>,()*]{0,80}") {
+                if let Ok(q) = parse_query(&input) {
+                    let sql = q.to_string();
+                    let q2 = parse_query(&sql)
+                        .unwrap_or_else(|e| panic!("'{sql}' failed to re-parse: {e}"));
+                    prop_assert_eq!(q, q2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_and_null_literals() {
+        let q = parse_query("SELECT * FROM t WHERE a = TRUE AND b != NULL").unwrap();
+        assert_eq!(q.predicates[0].value, Value::Bool(true));
+        assert_eq!(q.predicates[1].value, Value::Null);
+    }
+}

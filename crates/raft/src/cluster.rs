@@ -1,0 +1,423 @@
+//! In-process Raft cluster harness with fault injection.
+//!
+//! Runs N [`RaftNode`]s over a simulated network: messages produced in step
+//! `k` are delivered in step `k+1`; links can be cut (partitions) and
+//! messages dropped probabilistically. Deterministic under a fixed seed,
+//! which keeps the consensus tests reproducible.
+
+use crate::message::Envelope;
+use crate::node::{RaftConfig, RaftNode, Role};
+use logstore_types::{NodeId, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashSet, VecDeque};
+
+/// A simulated Raft group.
+pub struct InProcCluster {
+    nodes: Vec<RaftNode>,
+    pending: VecDeque<Envelope>,
+    cut_links: HashSet<(u32, u32)>,
+    drop_rate: f64,
+    rng: StdRng,
+    /// Applied payloads per node, in apply order.
+    applied: Vec<Vec<Vec<u8>>>,
+    /// Last snapshot each node installed from a leader, if any:
+    /// `(last_included_index, data)`.
+    snapshots: Vec<Option<(u64, Vec<u8>)>>,
+}
+
+impl InProcCluster {
+    /// Creates an `n`-node cluster.
+    pub fn new(n: usize, config: RaftConfig, seed: u64) -> Self {
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let nodes = ids
+            .iter()
+            .map(|&id| {
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
+                RaftNode::new(id, peers, config.clone(), seed)
+            })
+            .collect();
+        InProcCluster {
+            nodes,
+            pending: VecDeque::new(),
+            cut_links: HashSet::new(),
+            drop_rate: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            applied: vec![Vec::new(); n],
+            snapshots: vec![None; n],
+        }
+    }
+
+    /// Sets a uniform message-loss probability.
+    pub fn set_drop_rate(&mut self, rate: f64) {
+        self.drop_rate = rate;
+    }
+
+    /// Cuts both directions between `a` and `b`.
+    pub fn cut(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.insert((a.raw(), b.raw()));
+        self.cut_links.insert((b.raw(), a.raw()));
+    }
+
+    /// Isolates a node from everyone.
+    pub fn isolate(&mut self, node: NodeId) {
+        for other in 0..self.nodes.len() as u32 {
+            if other != node.raw() {
+                self.cut(node, NodeId(other));
+            }
+        }
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        self.cut_links.clear();
+    }
+
+    /// One simulation step: deliver last step's messages, then tick.
+    pub fn step(&mut self) {
+        let batch: Vec<Envelope> = self.pending.drain(..).collect();
+        for env in batch {
+            if self.cut_links.contains(&(env.from.raw(), env.to.raw())) {
+                continue;
+            }
+            if self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate) {
+                continue;
+            }
+            let responses = self.nodes[env.to.raw() as usize].handle(env.from, env.message);
+            self.pending.extend(responses);
+        }
+        for node in &mut self.nodes {
+            let out = node.tick();
+            self.pending.extend(out);
+        }
+        // Drain apply queues into the harness's applied record; restore
+        // state from installed snapshots first (they replace the prefix).
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if let Some(snapshot) = node.take_pending_snapshot() {
+                self.snapshots[i] = Some(snapshot);
+            }
+            for entry in node.take_committed(usize::MAX) {
+                self.applied[i].push(entry.payload);
+            }
+        }
+    }
+
+    /// Runs steps until exactly one leader exists (or the limit is hit).
+    pub fn run_until_leader(&mut self, max_steps: usize) -> Option<NodeId> {
+        for _ in 0..max_steps {
+            self.step();
+            if let Some(leader) = self.sole_leader() {
+                return Some(leader);
+            }
+        }
+        None
+    }
+
+    /// The unique reachable leader, if exactly one node is leading.
+    pub fn sole_leader(&self) -> Option<NodeId> {
+        let leaders: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.role() == Role::Leader)
+            .map(|n| n.id())
+            .collect();
+        (leaders.len() == 1).then(|| leaders[0])
+    }
+
+    /// Highest-term leader (there can transiently be two during partitions).
+    pub fn any_leader(&self) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role() == Role::Leader)
+            .max_by_key(|n| n.term())
+            .map(|n| n.id())
+    }
+
+    /// Proposes on the current leader.
+    pub fn propose(&mut self, payload: Vec<u8>) -> Result<u64> {
+        let leader = self
+            .any_leader()
+            .ok_or_else(|| logstore_types::Error::Raft("no leader".into()))?;
+        self.nodes[leader.raw() as usize].propose(payload)
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &RaftNode {
+        &self.nodes[id.raw() as usize]
+    }
+
+    /// Mutable node access (tests).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut RaftNode {
+        &mut self.nodes[id.raw() as usize]
+    }
+
+    /// Payloads applied by `id`, in order.
+    pub fn applied(&self, id: NodeId) -> &[Vec<u8>] {
+        &self.applied[id.raw() as usize]
+    }
+
+    /// The last snapshot `id` installed from a leader, if any.
+    pub fn installed_snapshot(&self, id: NodeId) -> Option<&(u64, Vec<u8>)> {
+        self.snapshots[id.raw() as usize].as_ref()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clusters are never empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize, seed: u64) -> InProcCluster {
+        InProcCluster::new(n, RaftConfig::default(), seed)
+    }
+
+    #[test]
+    fn three_nodes_elect_a_leader() {
+        let mut c = cluster(3, 42);
+        let leader = c.run_until_leader(200).expect("no leader elected");
+        assert_eq!(c.sole_leader(), Some(leader));
+    }
+
+    #[test]
+    fn replication_reaches_all_nodes() {
+        let mut c = cluster(3, 7);
+        c.run_until_leader(200).unwrap();
+        for i in 0..20u8 {
+            c.propose(vec![i]).unwrap();
+            c.step();
+        }
+        for _ in 0..50 {
+            c.step();
+        }
+        let expect: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i]).collect();
+        for id in 0..3u32 {
+            assert_eq!(c.applied(NodeId(id)), expect.as_slice(), "node {id} diverged");
+        }
+    }
+
+    #[test]
+    fn leader_failure_triggers_reelection_without_losing_commits() {
+        let mut c = cluster(3, 11);
+        let first = c.run_until_leader(200).unwrap();
+        for i in 0..5u8 {
+            c.propose(vec![i]).unwrap();
+            c.step();
+        }
+        for _ in 0..30 {
+            c.step();
+        }
+        c.isolate(first);
+        let mut second = None;
+        for _ in 0..300 {
+            c.step();
+            if let Some(l) = c.any_leader() {
+                if l != first && c.node(l).role() == Role::Leader {
+                    second = Some(l);
+                    break;
+                }
+            }
+        }
+        let second = second.expect("no new leader after isolation");
+        assert_ne!(second, first);
+        // New leader still has the old commits and can extend the log.
+        c.node_mut(second).propose(vec![99]).unwrap();
+        for _ in 0..50 {
+            c.step();
+        }
+        let applied = c.applied(second);
+        assert!(applied.len() >= 6, "applied={applied:?}");
+        assert_eq!(applied[..5], (0..5u8).map(|i| vec![i]).collect::<Vec<_>>()[..]);
+        assert!(applied.contains(&vec![99]));
+    }
+
+    #[test]
+    fn lagging_follower_catches_up_via_snapshot() {
+        let mut c = cluster(3, 33);
+        let leader = c.run_until_leader(200).unwrap();
+        // Commit a prefix everywhere, then cut one follower off.
+        for i in 0..10u8 {
+            c.propose(vec![i]).unwrap();
+            c.step();
+        }
+        for _ in 0..50 {
+            c.step();
+        }
+        let laggard = (0..3u32)
+            .map(NodeId)
+            .find(|&n| n != leader)
+            .unwrap();
+        c.isolate(laggard);
+        // More commits while the laggard is away.
+        for i in 10..30u8 {
+            let _ = c.propose(vec![i]);
+            for _ in 0..3 {
+                c.step();
+            }
+        }
+        for _ in 0..50 {
+            c.step();
+        }
+        // Leader compacts everything applied so far into a snapshot; the
+        // discarded entries can now only reach the laggard as a snapshot.
+        let leader_node = c.node_mut(leader);
+        let applied_idx = leader_node.commit_index();
+        leader_node
+            .compact(applied_idx, b"archived-up-to-30".to_vec())
+            .expect("compact");
+        assert_eq!(leader_node.snapshot_index(), applied_idx);
+        assert!(leader_node.log_len() >= applied_idx, "log_len is absolute");
+
+        c.heal();
+        for _ in 0..300 {
+            c.step();
+        }
+        // The laggard installed the snapshot and is at the leader's commit.
+        let (snap_idx, snap_data) =
+            c.installed_snapshot(laggard).expect("snapshot installed").clone();
+        assert_eq!(snap_idx, applied_idx);
+        assert_eq!(snap_data, b"archived-up-to-30");
+        assert_eq!(c.node(laggard).commit_index(), c.node(leader).commit_index());
+        // New proposals still replicate to everyone, including the laggard.
+        c.propose(vec![99]).unwrap();
+        for _ in 0..50 {
+            c.step();
+        }
+        assert!(c.applied(laggard).contains(&vec![99]));
+    }
+
+    #[test]
+    fn compaction_rejects_unapplied_prefix() {
+        let mut c = cluster(3, 34);
+        let leader = c.run_until_leader(200).unwrap();
+        c.propose(vec![1]).unwrap();
+        // Nothing stepped: the entry is not applied yet.
+        let last = c.node(leader).log_len();
+        let err = c.node_mut(leader).compact(last, vec![]).unwrap_err();
+        assert!(matches!(err, logstore_types::Error::Raft(_)));
+        // Compacting to an already-compacted point is a no-op.
+        c.node_mut(leader).compact(0, vec![]).unwrap();
+    }
+
+    #[test]
+    fn up_to_date_followers_never_see_snapshots() {
+        let mut c = cluster(3, 35);
+        let leader = c.run_until_leader(200).unwrap();
+        for i in 0..10u8 {
+            c.propose(vec![i]).unwrap();
+            c.step();
+        }
+        for _ in 0..50 {
+            c.step();
+        }
+        let applied = c.node(leader).commit_index();
+        c.node_mut(leader).compact(applied, b"snap".to_vec()).unwrap();
+        for _ in 0..50 {
+            c.step();
+        }
+        for id in 0..3u32 {
+            assert!(
+                c.installed_snapshot(NodeId(id)).is_none(),
+                "node {id} needlessly received a snapshot"
+            );
+        }
+        // Replication continues normally past the compaction point.
+        c.propose(vec![42]).unwrap();
+        for _ in 0..50 {
+            c.step();
+        }
+        for id in 0..3u32 {
+            assert!(c.applied(NodeId(id)).contains(&vec![42]));
+        }
+    }
+
+    #[test]
+    fn healed_partition_converges() {
+        let mut c = cluster(5, 3);
+        let leader = c.run_until_leader(300).unwrap();
+        c.propose(vec![1]).unwrap();
+        for _ in 0..30 {
+            c.step();
+        }
+        // Partition two followers away.
+        let followers: Vec<NodeId> = (0..5u32)
+            .map(NodeId)
+            .filter(|&n| n != leader)
+            .take(2)
+            .collect();
+        for &f in &followers {
+            c.isolate(f);
+        }
+        for i in 2..6u8 {
+            if c.any_leader().is_some() {
+                let _ = c.propose(vec![i]);
+            }
+            for _ in 0..5 {
+                c.step();
+            }
+        }
+        c.heal();
+        for _ in 0..300 {
+            c.step();
+        }
+        // All nodes converge on an identical applied prefix.
+        let reference = c.applied(NodeId(0)).to_vec();
+        assert!(!reference.is_empty());
+        for id in 1..5u32 {
+            assert_eq!(c.applied(NodeId(id)), reference.as_slice(), "node {id} diverged");
+        }
+    }
+
+    #[test]
+    fn lossy_network_still_commits() {
+        let mut c = cluster(3, 9);
+        c.set_drop_rate(0.2);
+        let _ = c.run_until_leader(500).expect("leader despite 20% loss");
+        let mut accepted = 0;
+        for i in 0..10u8 {
+            if c.propose(vec![i]).is_ok() {
+                accepted += 1;
+            }
+            for _ in 0..10 {
+                c.step();
+            }
+        }
+        assert!(accepted > 0);
+        for _ in 0..300 {
+            c.step();
+        }
+        // Whatever committed is identical everywhere (prefix property).
+        let a0 = c.applied(NodeId(0));
+        for id in 1..3u32 {
+            let ai = c.applied(NodeId(id));
+            let common = a0.len().min(ai.len());
+            assert_eq!(a0[..common], ai[..common], "divergent prefixes");
+        }
+        assert!(!a0.is_empty(), "nothing committed under loss");
+    }
+
+    #[test]
+    fn applied_order_matches_proposal_order() {
+        let mut c = cluster(3, 21);
+        c.run_until_leader(200).unwrap();
+        for i in 0..50u8 {
+            c.propose(vec![i]).unwrap();
+            if i % 5 == 0 {
+                c.step();
+            }
+        }
+        for _ in 0..100 {
+            c.step();
+        }
+        let applied = c.applied(NodeId(0));
+        assert_eq!(applied, &(0..50u8).map(|i| vec![i]).collect::<Vec<_>>()[..]);
+    }
+}

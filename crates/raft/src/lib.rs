@@ -1,0 +1,23 @@
+//! Raft consensus with backpressure flow control.
+//!
+//! LogStore replicates each shard's WAL across three replicas with Raft
+//! (paper §2 "Real-time and Low-latency Writes") and integrates the BFC
+//! mechanism into the protocol's two blocking points (§4.2): the
+//! **sync queue** (entries appended but not yet replicated to a quorum) and
+//! the **apply queue** (entries committed but not yet applied to local
+//! storage). When either backs up, proposals are rejected with
+//! `Error::Backpressure`, throttling the tenant that is writing too fast
+//! before the node becomes unresponsive.
+//!
+//! The implementation is a deterministic, tick-driven state machine
+//! ([`node::RaftNode`]) plus an in-process cluster harness
+//! ([`cluster::InProcCluster`]) with partition and message-loss injection
+//! for tests and benchmarks.
+
+pub mod cluster;
+pub mod message;
+pub mod node;
+
+pub use cluster::InProcCluster;
+pub use message::{LogEntry, RaftMessage};
+pub use node::{RaftConfig, RaftNode, Role};

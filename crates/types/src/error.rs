@@ -1,0 +1,115 @@
+//! Unified error type for the LogStore workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// The error type shared by every LogStore crate.
+///
+/// Variants are grouped by subsystem. The type intentionally carries enough
+/// structure for callers to react programmatically (e.g. retry on
+/// [`Error::Backpressure`]) while keeping messages human-readable.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure (local disk, simulated object storage, ...).
+    Io(std::io::Error),
+    /// A serialized structure failed validation (bad magic, short buffer,
+    /// checksum mismatch, ...).
+    Corruption(String),
+    /// The request referenced an entity that does not exist.
+    NotFound(String),
+    /// The request is malformed or violates schema constraints.
+    InvalidArgument(String),
+    /// A SQL text could not be parsed.
+    Parse(String),
+    /// Plan-time or execution-time query failure.
+    Query(String),
+    /// The system is shedding load; the caller should throttle and retry.
+    /// Produced by the backpressure flow-control (BFC) mechanism.
+    Backpressure(String),
+    /// Raft-layer failure (not leader, term change, lost quorum, ...).
+    Raft(String),
+    /// Cluster-management failure (no such shard/worker, routing error, ...).
+    Cluster(String),
+    /// The component is shutting down.
+    Shutdown,
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// Short helper for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Short helper for invalid-argument errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Returns true if the operation may succeed when retried later.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Backpressure(_) | Error::Raft(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::Backpressure(m) => write!(f, "backpressure: {m}"),
+            Error::Raft(m) => write!(f, "raft: {m}"),
+            Error::Cluster(m) => write!(f, "cluster: {m}"),
+            Error::Shutdown => write!(f, "component is shutting down"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_prefixed() {
+        assert!(Error::corruption("bad magic").to_string().contains("corruption"));
+        assert!(Error::invalid("x").to_string().contains("invalid argument"));
+        assert!(Error::Shutdown.to_string().contains("shutting down"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let e: Error = std::io::Error::other("boom").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::Backpressure("q full".into()).is_retryable());
+        assert!(Error::Raft("not leader".into()).is_retryable());
+        assert!(!Error::corruption("x").is_retryable());
+    }
+}

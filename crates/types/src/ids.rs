@@ -1,0 +1,92 @@
+//! Strongly-typed identifiers for cluster entities.
+//!
+//! Newtypes over `u64`/`u32` prevent accidental mixing of tenant, shard and
+//! worker identifiers in the flow-control and routing code, where all three
+//! appear side by side.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw numeric value.
+            #[inline]
+            pub fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies one tenant (customer) of the log service.
+    TenantId, u64, "tenant-"
+);
+id_type!(
+    /// Identifies one shard (a horizontal partition of the ingest table).
+    ShardId, u32, "shard-"
+);
+id_type!(
+    /// Identifies one worker node in the execution layer.
+    WorkerId, u32, "worker-"
+);
+id_type!(
+    /// Identifies one broker in the distributed query layer.
+    BrokerId, u32, "broker-"
+);
+id_type!(
+    /// Identifies a participant of a Raft group.
+    NodeId, u32, "node-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(TenantId(42).to_string(), "tenant-42");
+        assert_eq!(ShardId(7).to_string(), "shard-7");
+        assert_eq!(WorkerId(0).to_string(), "worker-0");
+        assert_eq!(BrokerId(3).to_string(), "broker-3");
+        assert_eq!(NodeId(1).to_string(), "node-1");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TenantId(1));
+        set.insert(TenantId(1));
+        set.insert(TenantId(2));
+        assert_eq!(set.len(), 2);
+        assert!(ShardId(1) < ShardId(2));
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let t: TenantId = 9u64.into();
+        assert_eq!(t.raw(), 9);
+    }
+}

@@ -1,0 +1,171 @@
+//! Scalar comparison predicates.
+//!
+//! These are the atoms shared between the query layer (WHERE clauses) and
+//! the storage layer (SMA pruning, index lookup, block scanning). The query
+//! crate builds a richer expression AST on top; the storage crates only ever
+//! see conjunctions of [`ColumnPredicate`]s.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Full-text term containment (string columns with inverted indexes).
+    Contains,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs` on concrete values. NULL never matches
+    /// (SQL three-valued logic collapsed to false, which is what log
+    /// retrieval wants).
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        if lhs.is_null() || rhs.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Contains => match (lhs, rhs) {
+                (Value::Str(h), Value::Str(n)) => contains_term(h, n),
+                _ => false,
+            },
+            _ => {
+                let ord = lhs.total_cmp(rhs);
+                match self {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                    CmpOp::Contains => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// True for operators that a min/max SMA can prune on.
+    pub fn sma_prunable(self) -> bool {
+        !matches!(self, CmpOp::Ne | CmpOp::Contains)
+    }
+}
+
+/// Case-insensitive whole-term containment, matching the tokenizer rules of
+/// the inverted index (alphanumeric runs are terms).
+pub fn contains_term(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let needle = needle.to_ascii_lowercase();
+    haystack
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .any(|tok| tok.eq_ignore_ascii_case(&needle))
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "CONTAINS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One `column op literal` atom.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnPredicate {
+    /// Column name.
+    pub column: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Literal operand.
+    pub value: Value,
+}
+
+impl ColumnPredicate {
+    /// Constructs a predicate.
+    pub fn new(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        ColumnPredicate { column: column.into(), op, value: value.into() }
+    }
+
+    /// Evaluates the predicate against a cell value from this column.
+    pub fn matches(&self, cell: &Value) -> bool {
+        self.op.eval(cell, &self.value)
+    }
+}
+
+impl fmt::Display for ColumnPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_operators() {
+        let five = Value::I64(5);
+        assert!(CmpOp::Eq.eval(&five, &Value::I64(5)));
+        assert!(CmpOp::Ne.eval(&five, &Value::I64(6)));
+        assert!(CmpOp::Lt.eval(&five, &Value::I64(6)));
+        assert!(CmpOp::Le.eval(&five, &Value::I64(5)));
+        assert!(CmpOp::Gt.eval(&five, &Value::I64(4)));
+        assert!(CmpOp::Ge.eval(&five, &Value::I64(5)));
+        assert!(!CmpOp::Gt.eval(&five, &Value::I64(5)));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Contains] {
+            assert!(!op.eval(&Value::Null, &Value::I64(1)));
+            assert!(!op.eval(&Value::I64(1), &Value::Null));
+        }
+    }
+
+    #[test]
+    fn contains_tokenizes() {
+        let log = Value::from("GET /api/v1/users?id=42 HTTP/1.1 status=200");
+        assert!(CmpOp::Contains.eval(&log, &Value::from("users")));
+        assert!(CmpOp::Contains.eval(&log, &Value::from("USERS")));
+        assert!(CmpOp::Contains.eval(&log, &Value::from("200")));
+        assert!(!CmpOp::Contains.eval(&log, &Value::from("user")));
+        assert!(!CmpOp::Contains.eval(&log, &Value::from("")));
+    }
+
+    #[test]
+    fn predicate_display_and_match() {
+        let p = ColumnPredicate::new("latency", CmpOp::Ge, 100i64);
+        assert_eq!(p.to_string(), "latency >= 100");
+        assert!(p.matches(&Value::I64(150)));
+        assert!(!p.matches(&Value::I64(50)));
+    }
+
+    #[test]
+    fn sma_prunable_classification() {
+        assert!(CmpOp::Eq.sma_prunable());
+        assert!(CmpOp::Le.sma_prunable());
+        assert!(!CmpOp::Ne.sma_prunable());
+        assert!(!CmpOp::Contains.sma_prunable());
+    }
+}

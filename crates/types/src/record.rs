@@ -1,0 +1,175 @@
+//! Log records and batches — the unit of ingestion.
+
+use crate::ids::TenantId;
+use crate::schema::TableSchema;
+use crate::time::Timestamp;
+use crate::value::Value;
+use crate::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// One log entry as received by the ingest path.
+///
+/// `tenant_id` and `ts` are first-class (they drive routing and LogBlock
+/// partitioning); the remaining columns are positional values matching the
+/// table schema minus its two leading key columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Owning tenant.
+    pub tenant_id: TenantId,
+    /// Event time in epoch milliseconds.
+    pub ts: Timestamp,
+    /// Values for schema columns `2..` (everything after `tenant_id`, `ts`).
+    pub fields: Vec<Value>,
+}
+
+impl LogRecord {
+    /// Constructs a record.
+    pub fn new(tenant_id: TenantId, ts: Timestamp, fields: Vec<Value>) -> Self {
+        LogRecord { tenant_id, ts, fields }
+    }
+
+    /// Expands to a full positional row `[tenant_id, ts, fields...]`.
+    pub fn to_row(&self) -> Vec<Value> {
+        let mut row = Vec::with_capacity(self.fields.len() + 2);
+        row.push(Value::U64(self.tenant_id.raw()));
+        row.push(Value::I64(self.ts.millis()));
+        row.extend(self.fields.iter().cloned());
+        row
+    }
+
+    /// Rebuilds a record from a full positional row.
+    pub fn from_row(row: &[Value]) -> Result<Self> {
+        if row.len() < 2 {
+            return Err(Error::invalid("row shorter than the two key columns"));
+        }
+        let tenant_id = row[0]
+            .as_u64()
+            .ok_or_else(|| Error::invalid("tenant_id column must be UInt64"))?;
+        let ts = row[1]
+            .as_i64()
+            .ok_or_else(|| Error::invalid("ts column must be Int64"))?;
+        Ok(LogRecord {
+            tenant_id: TenantId(tenant_id),
+            ts: Timestamp(ts),
+            fields: row[2..].to_vec(),
+        })
+    }
+
+    /// Validates the record against `schema` (which must include the two
+    /// leading key columns).
+    pub fn validate(&self, schema: &TableSchema) -> Result<()> {
+        schema.check_row(&self.to_row())
+    }
+
+    /// Approximate wire size, used for traffic accounting and backpressure.
+    pub fn approx_size(&self) -> usize {
+        16 + self.fields.iter().map(Value::approx_size).sum::<usize>()
+    }
+}
+
+/// A batch of records ingested together (the paper's write-latency
+/// measurements use batches of 1000 entries).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecordBatch {
+    /// The records.
+    pub records: Vec<LogRecord>,
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RecordBatch { records: Vec::new() }
+    }
+
+    /// Wraps a vector of records.
+    pub fn from_records(records: Vec<LogRecord>) -> Self {
+        RecordBatch { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total approximate size in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.records.iter().map(LogRecord::approx_size).sum()
+    }
+
+    /// Minimum and maximum timestamps, if non-empty.
+    pub fn ts_bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut it = self.records.iter().map(|r| r.ts);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for t in it {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        Some((lo, hi))
+    }
+}
+
+impl FromIterator<LogRecord> for RecordBatch {
+    fn from_iter<I: IntoIterator<Item = LogRecord>>(iter: I) -> Self {
+        RecordBatch { records: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+
+    fn sample(t: u64, ts: i64) -> LogRecord {
+        LogRecord::new(
+            TenantId(t),
+            Timestamp(ts),
+            vec![
+                Value::from("10.0.0.1"),
+                Value::from("/api/v1"),
+                Value::I64(12),
+                Value::Bool(false),
+                Value::from("GET /api/v1 ok"),
+            ],
+        )
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let r = sample(7, 1234);
+        let row = r.to_row();
+        assert_eq!(row[0], Value::U64(7));
+        assert_eq!(row[1], Value::I64(1234));
+        assert_eq!(LogRecord::from_row(&row).unwrap(), r);
+    }
+
+    #[test]
+    fn from_row_rejects_bad_keys() {
+        assert!(LogRecord::from_row(&[Value::I64(1)]).is_err());
+        assert!(LogRecord::from_row(&[Value::from("x"), Value::I64(1)]).is_err());
+        assert!(LogRecord::from_row(&[Value::U64(1), Value::from("x")]).is_err());
+    }
+
+    #[test]
+    fn validates_against_request_log_schema() {
+        let schema = TableSchema::request_log();
+        assert!(sample(1, 1).validate(&schema).is_ok());
+        let mut bad = sample(1, 1);
+        bad.fields.pop();
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn batch_bounds_and_size() {
+        let b = RecordBatch::from_records(vec![sample(1, 5), sample(1, 2), sample(2, 9)]);
+        assert_eq!(b.ts_bounds(), Some((Timestamp(2), Timestamp(9))));
+        assert_eq!(b.len(), 3);
+        assert!(b.approx_size() > 0);
+        assert_eq!(RecordBatch::new().ts_bounds(), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Timestamp helpers.
+//!
+//! LogStore orders and partitions data by time; timestamps are milliseconds
+//! since the Unix epoch stored as `i64` (matching the `ts` column type).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Current wall-clock time.
+    pub fn now() -> Self {
+        let ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        Timestamp(ms)
+    }
+
+    /// Constructs from raw milliseconds.
+    #[inline]
+    pub fn from_millis(ms: i64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Raw milliseconds.
+    #[inline]
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Saturating addition of a millisecond delta.
+    pub fn saturating_add_millis(self, delta: i64) -> Self {
+        Timestamp(self.0.saturating_add(delta))
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+/// An inclusive time range `[start, end]` used for LogBlock pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Inclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Constructs a range; `start` must not exceed `end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        debug_assert!(start <= end, "inverted time range");
+        TimeRange { start, end }
+    }
+
+    /// The unbounded range.
+    pub fn all() -> Self {
+        TimeRange { start: Timestamp::MIN, end: Timestamp::MAX }
+    }
+
+    /// True if `ts` lies inside the range.
+    #[inline]
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        self.start <= ts && ts <= self.end
+    }
+
+    /// True if two ranges share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection of two ranges, if non-empty.
+    pub fn intersect(&self, other: &TimeRange) -> Option<TimeRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(TimeRange { start, end })
+    }
+}
+
+impl Default for TimeRange {
+    fn default() -> Self {
+        TimeRange::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = TimeRange::new(Timestamp(10), Timestamp(20));
+        assert!(r.contains(Timestamp(10)));
+        assert!(r.contains(Timestamp(20)));
+        assert!(!r.contains(Timestamp(21)));
+        assert!(r.overlaps(&TimeRange::new(Timestamp(20), Timestamp(30))));
+        assert!(!r.overlaps(&TimeRange::new(Timestamp(21), Timestamp(30))));
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = TimeRange::new(Timestamp(0), Timestamp(10));
+        let b = TimeRange::new(Timestamp(5), Timestamp(15));
+        assert_eq!(a.intersect(&b), Some(TimeRange::new(Timestamp(5), Timestamp(10))));
+        let c = TimeRange::new(Timestamp(11), Timestamp(12));
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t + 5, Timestamp(105));
+        assert_eq!(Timestamp(105) - t, 5);
+        assert_eq!(Timestamp::MAX.saturating_add_millis(10), Timestamp::MAX);
+    }
+
+    #[test]
+    fn now_is_positive() {
+        assert!(Timestamp::now().millis() > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Write path substrate: the write-ahead log and the write-optimized row
+//! store.
+//!
+//! LogStore's first write phase ("local writing", paper §3) persists
+//! incoming logs to local disk with maximal throughput: generate the WAL,
+//! replicate it, apply it to a **row-oriented store with no indexes and no
+//! compression** ("avoiding the use of CPU-intensive optimizations ... to
+//! maximize the write throughput"). The second phase (remote archiving)
+//! later drains this store into columnar LogBlocks.
+//!
+//! * [`segment`] — CRC-framed, length-prefixed record files with rotation.
+//! * [`wal::Wal`] — the append/replay/truncate interface over segments.
+//! * [`rowstore::RowStore`] — the in-memory real-time store, scannable by
+//!   queries for data that has not been archived yet.
+//! * [`shard::ShardStore`] — WAL + row store glued together with crash
+//!   recovery, the per-shard storage unit a worker manages.
+
+pub mod rowstore;
+pub mod segment;
+pub mod shard;
+pub mod wal;
+
+pub use rowstore::RowStore;
+pub use shard::ShardStore;
+pub use wal::{Lsn, Wal, WalConfig};

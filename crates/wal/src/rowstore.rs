@@ -1,0 +1,213 @@
+//! The write-optimized real-time store.
+//!
+//! Phase one of the two-phase write keeps rows exactly as they arrive — no
+//! indexes, no compression, one big arrival-ordered table shared by all
+//! tenants (paper §3.1: "all log data is stored in a single huge table ...
+//! to improve space efficiency and reduce random I/O"). Queries over recent
+//! data scan it directly; the data builder drains it into per-tenant
+//! LogBlocks in the background.
+
+use logstore_types::{ColumnPredicate, LogRecord, TableSchema, TenantId, TimeRange};
+use std::collections::HashMap;
+
+/// In-memory row store for one shard.
+#[derive(Debug)]
+pub struct RowStore {
+    schema: TableSchema,
+    rows: Vec<LogRecord>,
+    bytes: usize,
+    per_tenant_rows: HashMap<TenantId, u64>,
+}
+
+impl RowStore {
+    /// Creates an empty store for `schema`.
+    pub fn new(schema: TableSchema) -> Self {
+        RowStore { schema, rows: Vec::new(), bytes: 0, per_tenant_rows: HashMap::new() }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of buffered rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate buffered bytes (drives flush thresholds / backpressure).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Rows currently buffered for one tenant.
+    pub fn tenant_rows(&self, tenant: TenantId) -> u64 {
+        self.per_tenant_rows.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Appends one record (already validated upstream).
+    pub fn insert(&mut self, record: LogRecord) {
+        self.bytes += record.approx_size();
+        *self.per_tenant_rows.entry(record.tenant_id).or_default() += 1;
+        self.rows.push(record);
+    }
+
+    /// Scans buffered rows for one tenant within a time range, applying
+    /// `predicates` over the full positional row.
+    pub fn scan(
+        &self,
+        tenant: TenantId,
+        range: TimeRange,
+        predicates: &[ColumnPredicate],
+    ) -> Vec<LogRecord> {
+        let cols: Vec<Option<usize>> = predicates
+            .iter()
+            .map(|p| self.schema.column_index(&p.column))
+            .collect();
+        self.rows
+            .iter()
+            .filter(|r| r.tenant_id == tenant && range.contains(r.ts))
+            .filter(|r| {
+                let row = r.to_row();
+                predicates.iter().zip(&cols).all(|(p, col)| match col {
+                    Some(c) => p.matches(&row[*c]),
+                    None => false,
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the oldest `max_rows` rows (arrival order), for
+    /// the data builder to convert into LogBlocks.
+    pub fn drain_oldest(&mut self, max_rows: usize) -> Vec<LogRecord> {
+        let n = max_rows.min(self.rows.len());
+        let drained: Vec<LogRecord> = self.rows.drain(..n).collect();
+        for r in &drained {
+            self.bytes = self.bytes.saturating_sub(r.approx_size());
+            if let Some(count) = self.per_tenant_rows.get_mut(&r.tenant_id) {
+                *count -= 1;
+                if *count == 0 {
+                    self.per_tenant_rows.remove(&r.tenant_id);
+                }
+            }
+        }
+        drained
+    }
+
+    /// Removes and returns all rows for one tenant (used when rebalancing
+    /// moves a tenant off this shard: "the tenant data will be packaged and
+    /// flushed to OSS", paper §4.1.5).
+    pub fn drain_tenant(&mut self, tenant: TenantId) -> Vec<LogRecord> {
+        let mut kept = Vec::with_capacity(self.rows.len());
+        let mut drained = Vec::new();
+        for r in self.rows.drain(..) {
+            if r.tenant_id == tenant {
+                self.bytes = self.bytes.saturating_sub(r.approx_size());
+                drained.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.rows = kept;
+        self.per_tenant_rows.remove(&tenant);
+        drained
+    }
+
+    /// Tenants with buffered rows.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut t: Vec<TenantId> = self.per_tenant_rows.keys().copied().collect();
+        t.sort_unstable();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::{CmpOp, Timestamp, Value};
+
+    fn rec(t: u64, ts: i64, latency: i64) -> LogRecord {
+        LogRecord::new(
+            TenantId(t),
+            Timestamp(ts),
+            vec![
+                Value::from("10.0.0.1"),
+                Value::from("/api"),
+                Value::I64(latency),
+                Value::Bool(false),
+                Value::from("msg"),
+            ],
+        )
+    }
+
+    fn store_with(records: Vec<LogRecord>) -> RowStore {
+        let mut s = RowStore::new(TableSchema::request_log());
+        for r in records {
+            s.insert(r);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_tracks_counts_and_bytes() {
+        let s = store_with(vec![rec(1, 10, 5), rec(1, 20, 6), rec(2, 30, 7)]);
+        assert_eq!(s.row_count(), 3);
+        assert!(s.bytes() > 0);
+        assert_eq!(s.tenant_rows(TenantId(1)), 2);
+        assert_eq!(s.tenant_rows(TenantId(2)), 1);
+        assert_eq!(s.tenant_rows(TenantId(9)), 0);
+        assert_eq!(s.tenants(), vec![TenantId(1), TenantId(2)]);
+    }
+
+    #[test]
+    fn scan_filters_tenant_time_and_predicates() {
+        let s = store_with(vec![rec(1, 10, 50), rec(1, 20, 150), rec(2, 15, 150)]);
+        let range = TimeRange::new(Timestamp(0), Timestamp(100));
+        let all = s.scan(TenantId(1), range, &[]);
+        assert_eq!(all.len(), 2);
+        let slow = s.scan(
+            TenantId(1),
+            range,
+            &[ColumnPredicate::new("latency", CmpOp::Ge, 100i64)],
+        );
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].ts, Timestamp(20));
+        let narrow = s.scan(TenantId(1), TimeRange::new(Timestamp(15), Timestamp(25)), &[]);
+        assert_eq!(narrow.len(), 1);
+    }
+
+    #[test]
+    fn scan_unknown_predicate_column_matches_nothing() {
+        let s = store_with(vec![rec(1, 10, 50)]);
+        let out = s.scan(
+            TenantId(1),
+            TimeRange::all(),
+            &[ColumnPredicate::new("ghost", CmpOp::Eq, 1i64)],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn drain_oldest_preserves_arrival_order() {
+        let mut s = store_with(vec![rec(1, 30, 1), rec(2, 10, 2), rec(1, 20, 3)]);
+        let drained = s.drain_oldest(2);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].ts, Timestamp(30));
+        assert_eq!(drained[1].ts, Timestamp(10));
+        assert_eq!(s.row_count(), 1);
+        assert_eq!(s.tenant_rows(TenantId(2)), 0);
+        assert_eq!(s.tenant_rows(TenantId(1)), 1);
+        assert!(s.drain_oldest(100).len() == 1);
+        assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn drain_tenant_extracts_only_that_tenant() {
+        let mut s = store_with(vec![rec(1, 1, 0), rec(2, 2, 0), rec(1, 3, 0)]);
+        let moved = s.drain_tenant(TenantId(1));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(s.row_count(), 1);
+        assert_eq!(s.tenants(), vec![TenantId(2)]);
+    }
+}

@@ -1,0 +1,266 @@
+//! The write-ahead log: segments + rotation + truncation.
+
+use crate::segment::{
+    parse_segment_seq, replay_segment, segment_file_name, SegmentWriter,
+};
+use logstore_types::{Error, Result};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A log sequence number: 1-based, monotonically increasing per WAL.
+pub type Lsn = u64;
+
+/// A replayed record: its LSN and payload.
+pub type ReplayedRecord = (Lsn, Vec<u8>);
+
+/// WAL tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotate to a new segment after this many bytes.
+    pub max_segment_bytes: u64,
+    /// fsync on every append (true) or only on explicit [`Wal::sync`].
+    pub sync_on_append: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { max_segment_bytes: 64 << 20, sync_on_append: false }
+    }
+}
+
+/// A segmented write-ahead log in one directory.
+///
+/// Not internally synchronized: the owning shard serializes appends (one
+/// writer per shard is LogStore's model; replication happens above, in the
+/// Raft layer).
+///
+/// LSNs are contiguous within a process lifetime. After
+/// [`Wal::truncate_until`] and a reopen, numbering restarts at 1 from the
+/// first *surviving* record — callers that archive (and truncate) must not
+/// persist absolute LSNs across restarts, and LogStore's shard recovery
+/// rebuilds its row store positionally from the replay.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    active: SegmentWriter,
+    active_seq: u64,
+    // seq -> first lsn in that segment.
+    segment_first_lsn: BTreeMap<u64, Lsn>,
+    next_lsn: Lsn,
+}
+
+impl Wal {
+    /// Opens (or creates) a WAL in `dir`, recovering existing segments.
+    /// Returns the WAL and the replayed payloads in LSN order.
+    pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> Result<(Self, Vec<ReplayedRecord>)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut seqs: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().and_then(parse_segment_seq))
+            .collect();
+        seqs.sort_unstable();
+
+        let mut replayed = Vec::new();
+        let mut segment_first_lsn = BTreeMap::new();
+        let mut next_lsn: Lsn = 1;
+        let mut last_valid_len = 0u64;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = dir.join(segment_file_name(seq));
+            let replay = replay_segment(&path)?;
+            if replay.torn_tail && i + 1 != seqs.len() {
+                return Err(Error::corruption(format!(
+                    "torn frame in non-final wal segment {seq}"
+                )));
+            }
+            segment_first_lsn.insert(seq, next_lsn);
+            for payload in replay.payloads {
+                replayed.push((next_lsn, payload));
+                next_lsn += 1;
+            }
+            last_valid_len = replay.valid_len;
+        }
+
+        let (active, active_seq) = match seqs.last() {
+            Some(&seq) => {
+                let path = dir.join(segment_file_name(seq));
+                (SegmentWriter::open_for_append(path, last_valid_len)?, seq)
+            }
+            None => {
+                segment_first_lsn.insert(0, 1);
+                (SegmentWriter::create(dir.join(segment_file_name(0)))?, 0)
+            }
+        };
+        Ok((
+            Wal { dir, config, active, active_seq, segment_first_lsn, next_lsn },
+            replayed,
+        ))
+    }
+
+    /// Appends a payload, returning its LSN.
+    pub fn append(&mut self, payload: &[u8]) -> Result<Lsn> {
+        if self.active.len() >= self.config.max_segment_bytes {
+            self.rotate()?;
+        }
+        let lsn = self.next_lsn;
+        self.active.append(payload)?;
+        if self.config.sync_on_append {
+            self.active.sync()?;
+        } else {
+            self.active.flush()?;
+        }
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        self.active.sync()?;
+        self.active_seq += 1;
+        self.segment_first_lsn.insert(self.active_seq, self.next_lsn);
+        self.active = SegmentWriter::create(self.dir.join(segment_file_name(self.active_seq)))?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the active segment.
+    pub fn sync(&mut self) -> Result<()> {
+        self.active.sync()
+    }
+
+    /// Forces rotation to a fresh segment (so a following
+    /// [`Wal::truncate_until`] can drop everything already written).
+    pub fn rotate_now(&mut self) -> Result<()> {
+        self.rotate()
+    }
+
+    /// The LSN the next append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// Number of live segment files.
+    pub fn segment_count(&self) -> usize {
+        self.segment_first_lsn.len()
+    }
+
+    /// Deletes whole segments whose every record has `lsn < up_to`
+    /// (checkpoint truncation after archiving). The active segment is never
+    /// deleted.
+    pub fn truncate_until(&mut self, up_to: Lsn) -> Result<usize> {
+        let seqs: Vec<u64> = self.segment_first_lsn.keys().copied().collect();
+        let mut deleted = 0;
+        for window in seqs.windows(2) {
+            let (seq, next_seq) = (window[0], window[1]);
+            let next_first = self.segment_first_lsn[&next_seq];
+            if next_first <= up_to && seq != self.active_seq {
+                std::fs::remove_file(self.dir.join(segment_file_name(seq)))?;
+                self.segment_first_lsn.remove(&seq);
+                deleted += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "logstore-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_assigns_monotonic_lsns() {
+        let dir = temp_dir("lsn");
+        let (mut wal, replayed) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.append(b"a").unwrap(), 1);
+        assert_eq!(wal.append(b"b").unwrap(), 2);
+        assert_eq!(wal.next_lsn(), 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reopen_replays_in_order() {
+        let dir = temp_dir("reopen");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            for i in 0..10u32 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (wal, replayed) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(replayed.len(), 10);
+        assert_eq!(replayed[0], (1, 0u32.to_le_bytes().to_vec()));
+        assert_eq!(replayed[9].0, 10);
+        assert_eq!(wal.next_lsn(), 11);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rotation_spreads_segments() {
+        let dir = temp_dir("rotate");
+        let config = WalConfig { max_segment_bytes: 64, sync_on_append: false };
+        let (mut wal, _) = Wal::open(&dir, config.clone()).unwrap();
+        for _ in 0..20 {
+            wal.append(&[7u8; 32]).unwrap();
+        }
+        assert!(wal.segment_count() > 1, "expected rotation");
+        drop(wal);
+        let (wal, replayed) = Wal::open(&dir, config).unwrap();
+        assert_eq!(replayed.len(), 20);
+        assert_eq!(wal.next_lsn(), 21);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn append_continues_after_reopen() {
+        let dir = temp_dir("continue");
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(b"one").unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            assert_eq!(wal.append(b"two").unwrap(), 2);
+            wal.sync().unwrap();
+        }
+        let (_, replayed) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(
+            replayed,
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truncate_removes_archived_segments() {
+        let dir = temp_dir("truncate");
+        let config = WalConfig { max_segment_bytes: 64, sync_on_append: false };
+        let (mut wal, _) = Wal::open(&dir, config.clone()).unwrap();
+        for _ in 0..20 {
+            wal.append(&[7u8; 32]).unwrap();
+        }
+        let before = wal.segment_count();
+        assert!(before >= 3);
+        let deleted = wal.truncate_until(wal.next_lsn() - 1).unwrap();
+        assert!(deleted > 0);
+        assert_eq!(wal.segment_count(), before - deleted);
+        // Remaining records still replay, suffix only.
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, config).unwrap();
+        assert!(!replayed.is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workload generation (paper §6.1).
+//!
+//! The paper's evaluation drives LogStore with the YCSB framework: 1000
+//! tenants whose traffic follows a Zipfian distribution with skew parameter
+//! θ (`weight(k) ∝ (1/k)^θ`), θ = 0.99 matching production skew. This crate
+//! reimplements that workload from scratch:
+//!
+//! * [`zipf`] — the YCSB Zipfian number generator.
+//! * [`spec`] — tenant populations, per-tenant rates and skew sweeps.
+//! * [`records`] — realistic `request_log` record synthesis.
+//! * [`queries`] — the six per-tenant query templates of §6.3.
+
+pub mod queries;
+pub mod records;
+pub mod spec;
+pub mod zipf;
+
+pub use records::LogRecordGenerator;
+pub use spec::WorkloadSpec;
+pub use zipf::Zipfian;

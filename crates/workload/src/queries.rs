@@ -1,0 +1,97 @@
+//! Query-set generation (paper §6.3).
+//!
+//! "Our query set contains 6000 queries, and six queries with different
+//! filtering predicates are generated for each tenant", all instances of
+//! the most common template: retrieve one tenant's logs in a time range
+//! with per-field filters. The six templates below vary the time span and
+//! the filter columns the way the paper's walk-through (Fig 8) does.
+
+use crate::records::APIS;
+use logstore_types::{TenantId, Timestamp};
+use rand::Rng;
+
+/// The per-tenant query templates. `history` is the full data window.
+pub fn tenant_queries<R: Rng + ?Sized>(
+    tenant: TenantId,
+    history_start: Timestamp,
+    history_end: Timestamp,
+    rng: &mut R,
+) -> Vec<String> {
+    let span = history_end - history_start;
+    let t = tenant.raw();
+    // Random sub-windows of different widths: 1/48th (one "hour" of the
+    // 48h history), 1/8th, and the full window.
+    let hour = span / 48;
+    let wide = span / 8;
+    let start_1h = history_start.millis() + rng.gen_range(0..(span - hour).max(1));
+    let start_wide = history_start.millis() + rng.gen_range(0..(span - wide).max(1));
+    let api = APIS[rng.gen_range(0..APIS.len())];
+    let ip = format!("10.{}.0.{}", t % 250, rng.gen_range(1..30));
+    vec![
+        // 1. Narrow time-range retrieval (the dominant production query).
+        format!(
+            "SELECT log FROM request_log WHERE tenant_id = {t} \
+             AND ts >= {start_1h} AND ts <= {} LIMIT 1000",
+            start_1h + hour
+        ),
+        // 2. The paper's Fig 8 example: ip + latency + fail filters.
+        format!(
+            "SELECT log FROM request_log WHERE tenant_id = {t} \
+             AND ts >= {start_1h} AND ts <= {} \
+             AND ip = '{ip}' AND latency >= 100 AND fail = false LIMIT 1000",
+            start_1h + hour
+        ),
+        // 3. Full-text search for failures.
+        format!(
+            "SELECT log FROM request_log WHERE tenant_id = {t} \
+             AND ts >= {start_wide} AND ts <= {} \
+             AND log CONTAINS 'timeout' LIMIT 1000",
+            start_wide + wide
+        ),
+        // 4. API-scoped slow-request hunt.
+        format!(
+            "SELECT log, latency FROM request_log WHERE tenant_id = {t} \
+             AND api = '{api}' AND latency >= 500 LIMIT 1000"
+        ),
+        // 5. The intro's BI query: which IPs hit this API most.
+        format!(
+            "SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = {t} \
+             AND api = '{api}' GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10"
+        ),
+        // 6. Failure count over the whole history.
+        format!(
+            "SELECT COUNT(*) FROM request_log WHERE tenant_id = {t} AND fail = true"
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_query::{analyze, parse_query};
+    use logstore_types::TableSchema;
+    use rand::SeedableRng;
+
+    #[test]
+    fn six_queries_all_parse_and_bind() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let schema = TableSchema::request_log();
+        let qs = tenant_queries(TenantId(42), Timestamp(0), Timestamp(48 * 3600 * 1000), &mut rng);
+        assert_eq!(qs.len(), 6);
+        for sql in &qs {
+            let parsed = parse_query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let bound = analyze::bind(&parsed, &schema).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let scope = analyze::QueryScope::extract(&bound);
+            assert_eq!(scope.tenant, Some(TenantId(42)), "{sql}");
+        }
+    }
+
+    #[test]
+    fn templates_cover_aggregates_and_fulltext() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let qs = tenant_queries(TenantId(1), Timestamp(0), Timestamp(1_000_000), &mut rng);
+        assert!(qs.iter().any(|q| q.contains("CONTAINS")));
+        assert!(qs.iter().any(|q| q.contains("GROUP BY")));
+        assert!(qs.iter().any(|q| q.contains("COUNT(*)")));
+    }
+}

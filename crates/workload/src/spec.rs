@@ -1,0 +1,101 @@
+//! Workload specifications: tenant populations and rate assignment.
+
+use crate::zipf::Zipfian;
+use logstore_types::TenantId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A multi-tenant workload: `tenants` tenants with Zipfian(θ) traffic.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of tenants (the paper uses 1000).
+    pub tenants: u64,
+    /// Skew parameter θ (0 = uniform, 0.99 = production-like).
+    pub theta: f64,
+}
+
+impl WorkloadSpec {
+    /// Creates a spec.
+    pub fn new(tenants: u64, theta: f64) -> Self {
+        assert!(tenants > 0);
+        WorkloadSpec { tenants, theta }
+    }
+
+    /// The paper's evaluation population: 1000 tenants at θ.
+    pub fn paper(theta: f64) -> Self {
+        Self::new(1000, theta)
+    }
+
+    /// The sampler for this spec.
+    pub fn sampler(&self) -> Zipfian {
+        Zipfian::new(self.tenants, self.theta)
+    }
+
+    /// Deterministic per-tenant rates splitting `total_rate` by the exact
+    /// Zipfian weights. Tenant `k+1` gets weight `(1/(k+1))^θ` (tenant ids
+    /// are 1-based ranks: tenant 1 is the largest, matching Figure 2's
+    /// "tenant rank id").
+    pub fn tenant_rates(&self, total_rate: u64) -> HashMap<TenantId, u64> {
+        let z = self.sampler();
+        (0..self.tenants)
+            .map(|k| {
+                let rate = (total_rate as f64 * z.weight(k)).round() as u64;
+                (TenantId(k + 1), rate)
+            })
+            .collect()
+    }
+
+    /// Samples the tenant of one log record (1-based id).
+    pub fn sample_tenant<R: Rng + ?Sized>(&self, z: &Zipfian, rng: &mut R) -> TenantId {
+        TenantId(z.next(rng) + 1)
+    }
+
+    /// All tenant ids of the population.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        (1..=self.tenants).map(TenantId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_split_total_and_rank_monotone() {
+        let spec = WorkloadSpec::paper(0.99);
+        let rates = spec.tenant_rates(1_000_000);
+        assert_eq!(rates.len(), 1000);
+        let total: u64 = rates.values().sum();
+        assert!((999_000..=1_001_000).contains(&total), "rounding drift: {total}");
+        // Monotone: tenant 1 >= tenant 2 >= ... (spot-check).
+        assert!(rates[&TenantId(1)] > rates[&TenantId(10)]);
+        assert!(rates[&TenantId(10)] >= rates[&TenantId(100)]);
+        assert!(rates[&TenantId(100)] >= rates[&TenantId(999)]);
+    }
+
+    #[test]
+    fn uniform_rates_are_flat() {
+        let spec = WorkloadSpec::new(100, 0.0);
+        let rates = spec.tenant_rates(100_000);
+        for rate in rates.values() {
+            assert_eq!(*rate, 1000);
+        }
+    }
+
+    #[test]
+    fn production_like_skew_shape() {
+        // At θ=0.99 with 1000 tenants, the top tenant holds a few percent
+        // and the head dominates — Figure 2/11's shape.
+        let spec = WorkloadSpec::paper(0.99);
+        let rates = spec.tenant_rates(1_000_000);
+        let top: u64 = (1..=10).map(|k| rates[&TenantId(k)]).sum();
+        let tail: u64 = (901..=1000).map(|k| rates[&TenantId(k)]).sum();
+        assert!(top > 10 * tail, "head {top} vs tail {tail} not skewed enough");
+    }
+
+    #[test]
+    fn tenant_ids_are_one_based() {
+        let spec = WorkloadSpec::new(3, 0.5);
+        assert_eq!(spec.tenant_ids(), vec![TenantId(1), TenantId(2), TenantId(3)]);
+    }
+}

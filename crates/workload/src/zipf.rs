@@ -1,0 +1,154 @@
+//! The YCSB Zipfian generator.
+//!
+//! Port of the rejection-free Zipfian sampler used by YCSB (Gray et al.,
+//! "Quickly Generating Billion-Record Synthetic Databases"): draws ranks in
+//! `[0, n)` where rank `k` has probability proportional to `1/(k+1)^θ`.
+//! `θ = 0` degenerates to the uniform distribution (the paper sweeps
+//! θ ∈ {0, 0.2, ..., 0.99}).
+
+use rand::Rng;
+
+/// A Zipfian(θ) sampler over `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `n` items with skew `theta` (`0 <= theta < 1`).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2.min(n), theta);
+        let alpha = if theta > 0.0 { 1.0 / (1.0 - theta) } else { 1.0 };
+        let eta = if n >= 2 {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan)
+        } else {
+            1.0
+        };
+        Zipfian { n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// The exact probability weight of rank `k` (0-based): `(1/(k+1))^θ`
+    /// normalized — used to compute deterministic per-tenant rates.
+    pub fn weight(&self, k: u64) -> f64 {
+        assert!(k < self.n);
+        (1.0 / (k as f64 + 1.0).powf(self.theta)) / self.zetan
+    }
+
+    /// Underlying (unused beyond construction, exposed for diagnostics).
+    pub fn zeta2theta(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: u64, draws: usize) -> Vec<u64> {
+        let z = Zipfian::new(n, theta);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let counts = histogram(0.0, 10, 100_000);
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform draw count {c} out of band");
+        }
+    }
+
+    #[test]
+    fn high_theta_is_heavily_skewed() {
+        let counts = histogram(0.99, 1000, 100_000);
+        // Rank 0 should dwarf rank 100.
+        assert!(counts[0] > 20 * counts[100].max(1), "head {} tail {}", counts[0], counts[100]);
+        // Head mass: top-10 of 1000 tenants should hold a large share.
+        // Analytically the top-10 of Zipf(0.99, 1000) hold ≈ 39% of mass.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head as f64 > 0.35 * 100_000.0, "top-10 hold only {head}");
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        let z = Zipfian::new(7, 0.7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn empirical_matches_analytic_weights() {
+        let z = Zipfian::new(100, 0.8);
+        let counts = histogram(0.8, 100, 200_000);
+        for k in [0u64, 1, 10, 50] {
+            let expected = z.weight(k) * 200_000.0;
+            let got = counts[k as usize] as f64;
+            assert!(
+                (got - expected).abs() < expected.max(200.0) * 0.35,
+                "rank {k}: got {got}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let z = Zipfian::new(500, 0.99);
+        let total: f64 = (0..500).map(|k| z.weight(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut rng), 0);
+        }
+    }
+}

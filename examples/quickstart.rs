@@ -1,0 +1,72 @@
+//! Quickstart: open an embedded LogStore, ingest logs, query them back.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use logstore::core::{ClusterConfig, LogStore};
+use logstore::types::{LogRecord, TenantId, Timestamp, Value};
+
+fn record(tenant: u64, ts: i64, ip: &str, api: &str, latency: i64, msg: &str) -> LogRecord {
+    LogRecord::new(
+        TenantId(tenant),
+        Timestamp(ts),
+        vec![
+            Value::from(ip),
+            Value::from(api),
+            Value::I64(latency),
+            Value::Bool(latency > 400),
+            Value::from(msg),
+        ],
+    )
+}
+
+fn main() {
+    // A small in-process cluster: 2 workers x 2 shards, simulated OSS.
+    let store = LogStore::open(ClusterConfig::for_testing()).expect("open cluster");
+
+    // Phase one: records land in the write-optimized row store.
+    let base = 1_700_000_000_000i64;
+    store
+        .ingest(vec![
+            record(42, base, "10.0.0.1", "/api/login", 12, "login ok for user alice"),
+            record(42, base + 1000, "10.0.0.2", "/api/search", 730, "search timeout after retry"),
+            record(42, base + 2000, "10.0.0.1", "/api/search", 25, "search ok 14 results"),
+            record(7, base + 1500, "10.7.0.9", "/api/login", 18, "login ok for user bob"),
+        ])
+        .expect("ingest");
+
+    // Phase two: convert to per-tenant columnar LogBlocks on (simulated) OSS.
+    let report = store.flush().expect("flush");
+    println!(
+        "archived {} rows into {} logblock(s), {} bytes on OSS\n",
+        report.rows_archived, report.blocks_built, report.bytes_uploaded
+    );
+
+    // Query with filters and full-text search; results merge OSS blocks
+    // with anything still in the real-time store.
+    let result = store
+        .query(
+            "SELECT ts, ip, log FROM request_log \
+             WHERE tenant_id = 42 AND log CONTAINS 'timeout'",
+        )
+        .expect("query");
+    println!("slow requests for tenant 42:");
+    println!("  columns: {:?}", result.columns);
+    for row in &result.rows {
+        println!("  {row:?}");
+    }
+
+    // Tenant isolation: tenant 7 sees only its own data.
+    let result = store
+        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 7")
+        .expect("count");
+    println!("\ntenant 7 owns {} row(s)", result.rows[0][0]);
+
+    // Usage metering for billing.
+    let usage = store.tenant_usage(TenantId(42));
+    println!(
+        "tenant 42 archived usage: {} rows, {} bytes",
+        usage.archived_rows, usage.archived_bytes
+    );
+}
