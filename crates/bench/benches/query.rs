@@ -1,0 +1,57 @@
+//! Scatter/gather query benchmark: the same scan at increasing per-query
+//! parallelism (1 → 2 → 4 → 8 workers) over a multi-LogBlock tenant.
+//!
+//! Uses a zero-latency store so the numbers isolate executor overhead and
+//! CPU-side scaling; the wall-clock win against modelled OSS latency is
+//! shown by `fig16_prefetch` and asserted by the `parallel_query`
+//! integration tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logstore_bench::dataset::{build_engine, DatasetParams, EngineSetup};
+use logstore_core::QueryOptions;
+use logstore_oss::LatencyModel;
+use std::hint::black_box;
+
+fn setup() -> (EngineSetup, String) {
+    let params = DatasetParams { rows: 40_000, tenants: 20, ..DatasetParams::default() };
+    let setup = build_engine(LatencyModel::zero(), &params);
+    let span = setup.end - setup.start;
+    let sql = format!(
+        "SELECT log FROM request_log WHERE tenant_id = 1 AND ts >= {} AND ts <= {} \
+         AND latency >= 50",
+        setup.start.millis(),
+        setup.start.millis() + span / 2
+    );
+    (setup, sql)
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let (setup, sql) = setup();
+    let rows = setup
+        .store
+        .query_with_options(&sql, &QueryOptions::default())
+        .expect("query")
+        .result
+        .rows
+        .len() as u64;
+
+    let mut group = c.benchmark_group("query/scatter_gather");
+    group.throughput(Throughput::Elements(rows.max(1)));
+    for parallelism in [1usize, 2, 4, 8] {
+        let opts = QueryOptions::default().with_parallelism(parallelism);
+        group.bench_with_input(
+            BenchmarkId::new("workers", parallelism),
+            &opts,
+            |b, opts| {
+                b.iter(|| {
+                    let exec = setup.store.query_with_options(&sql, opts).expect("query");
+                    black_box(exec.result.rows.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallelism);
+criterion_main!(benches);

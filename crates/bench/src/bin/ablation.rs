@@ -28,15 +28,15 @@ fn main() {
         ("baseline", QueryOptions::baseline()),
         (
             "+skipping",
-            QueryOptions { use_skipping: true, use_prefetch: false, use_cache: false },
+            QueryOptions { use_skipping: true, use_prefetch: false, use_cache: false, ..QueryOptions::default() },
         ),
         (
             "+cache",
-            QueryOptions { use_skipping: false, use_prefetch: false, use_cache: true },
+            QueryOptions { use_skipping: false, use_prefetch: false, use_cache: true, ..QueryOptions::default() },
         ),
         (
             "+cache+prefetch",
-            QueryOptions { use_skipping: false, use_prefetch: true, use_cache: true },
+            QueryOptions { use_skipping: false, use_prefetch: true, use_cache: true, ..QueryOptions::default() },
         ),
         ("all", QueryOptions::default()),
     ];

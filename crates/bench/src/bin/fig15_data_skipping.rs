@@ -25,8 +25,8 @@ fn main() {
     println!("{} logblocks archived", setup.store.block_count());
 
     let top_n = 50u64;
-    let skip_on = QueryOptions { use_skipping: true, use_prefetch: false, use_cache: true };
-    let skip_off = QueryOptions { use_skipping: false, use_prefetch: false, use_cache: true };
+    let skip_on = QueryOptions { use_skipping: true, use_prefetch: false, use_cache: true, ..QueryOptions::default() };
+    let skip_off = QueryOptions { use_skipping: false, use_prefetch: false, use_cache: true, ..QueryOptions::default() };
 
     let mut rows = Vec::new();
     let mut with_ms = Vec::new();

@@ -34,9 +34,16 @@ fn main() {
     println!("{} queries in the mixed workload", workload.len());
 
     let before_opts = QueryOptions::baseline();
+    // "after(seq)" isolates the scatter/gather contribution: all paper
+    // optimizations on, but sources collected one at a time.
+    let after_seq_opts = QueryOptions::default().with_parallelism(1);
     let after_opts = QueryOptions::default();
     let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
-    for (name, opts) in [("before", &before_opts), ("after", &after_opts)] {
+    for (name, opts) in
+        [("before", &before_opts), ("after(seq)", &after_seq_opts), ("after", &after_opts)]
+    {
+        // Each configuration starts cold and may warm its own cache.
+        setup.store.clear_cache();
         let mut latencies = Vec::with_capacity(workload.len());
         for sql in &workload {
             // Cold cache per query for the baseline fairness; the "after"

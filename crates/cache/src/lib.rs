@@ -17,6 +17,6 @@ pub mod source;
 pub mod tiered;
 
 pub use lru::SizedLru;
-pub use prefetch::{merge_ranges, Prefetcher};
+pub use prefetch::{merge_ranges, PrefetchOutcome, Prefetcher};
 pub use source::CachedObjectSource;
 pub use tiered::{CacheStats, DiskBlockCache, MemoryBlockCache, TieredCache};

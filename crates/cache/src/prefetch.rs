@@ -30,6 +30,22 @@ pub fn merge_ranges(mut ranges: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     out
 }
 
+/// Full accounting for one prefetch wave.
+///
+/// A failed block fetch does not stop the wave: the remaining queued
+/// blocks are still fetched (each would otherwise silently become a
+/// high-latency demand read later), and every failure is counted here so
+/// the caller can decide whether a partial wave matters.
+#[derive(Debug, Default)]
+pub struct PrefetchOutcome {
+    /// Aligned blocks fetched into the cache.
+    pub fetched: usize,
+    /// Aligned blocks whose fetch failed (served by demand reads later).
+    pub errors: usize,
+    /// The first failure, in block order, when any occurred.
+    pub first_error: Option<logstore_types::Error>,
+}
+
 /// A prefetcher with a fixed parallelism degree.
 #[derive(Debug, Clone)]
 pub struct Prefetcher {
@@ -49,12 +65,32 @@ impl Prefetcher {
     }
 
     /// Prefetches `ranges` of `source` into its cache. Returns the number
-    /// of aligned blocks fetched. Blocks until the wave completes.
+    /// of aligned blocks fetched, or the wave's first error. The whole
+    /// wave always runs to completion (see [`Prefetcher::prefetch_wave`]);
+    /// this wrapper only collapses the outcome into a `Result` for callers
+    /// that treat any failure as fatal.
     pub fn prefetch<S: ObjectStore>(
         &self,
         source: &CachedObjectSource<S>,
         ranges: Vec<(u64, u64)>,
     ) -> Result<usize> {
+        let outcome = self.prefetch_wave(source, ranges);
+        match outcome.first_error {
+            Some(e) => Err(e),
+            None => Ok(outcome.fetched),
+        }
+    }
+
+    /// Prefetches `ranges` of `source` into its cache and reports the full
+    /// [`PrefetchOutcome`]. Unlike a fail-fast wave, a block failure does
+    /// not abandon the queue: every queued block is attempted, failures
+    /// are counted, and the first error (in block order) is preserved.
+    /// Blocks until the wave completes.
+    pub fn prefetch_wave<S: ObjectStore>(
+        &self,
+        source: &CachedObjectSource<S>,
+        ranges: Vec<(u64, u64)>,
+    ) -> PrefetchOutcome {
         // Merge request ranges, expand to aligned blocks, dedup blocks.
         let mut blocks: BTreeSet<(u64, u64)> = BTreeSet::new();
         for (offset, len) in merge_ranges(ranges) {
@@ -65,28 +101,33 @@ impl Prefetcher {
         let work: Vec<(u64, u64)> = blocks.into_iter().collect();
         let total = work.len();
         if total == 0 {
-            return Ok(0);
+            return PrefetchOutcome::default();
         }
-        let queue = Mutex::new(work.into_iter());
-        let first_error: Mutex<Option<logstore_types::Error>> = Mutex::new(None);
+        let queue = Mutex::new(work.into_iter().enumerate());
+        // (block index, error) of the earliest failure, by block order —
+        // not completion order, so the report is deterministic.
+        let first_error: Mutex<Option<(usize, logstore_types::Error)>> = Mutex::new(None);
+        let errors = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(total) {
                 scope.spawn(|| loop {
                     let next = queue.lock().expect("queue lock").next();
-                    let Some((offset, len)) = next else { return };
+                    let Some((idx, (offset, len))) = next else { return };
                     if let Err(e) = source.prefetch_block(offset, len) {
+                        errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let mut slot = first_error.lock().expect("error lock");
-                        if slot.is_none() {
-                            *slot = Some(e);
+                        if slot.as_ref().is_none_or(|(held, _)| idx < *held) {
+                            *slot = Some((idx, e));
                         }
-                        return;
                     }
                 });
             }
         });
-        match first_error.into_inner().expect("error lock") {
-            Some(e) => Err(e),
-            None => Ok(total),
+        let errors = errors.into_inner();
+        PrefetchOutcome {
+            fetched: total - errors,
+            errors,
+            first_error: first_error.into_inner().expect("error lock").map(|(_, e)| e),
         }
     }
 }
@@ -175,6 +216,41 @@ mod tests {
         store.inner().delete("obj").unwrap();
         let p = Prefetcher::new(2);
         assert!(p.prefetch(&src, vec![(0, 100)]).is_err());
+    }
+
+    #[test]
+    fn partial_wave_fetches_remaining_blocks() {
+        use logstore_oss::{FaultScope, FaultyStore};
+        let store = Arc::new(SimulatedOss::new(
+            FaultyStore::new(MemoryStore::new(), FaultScope::Reads, 0.0, 1),
+            LatencyModel::zero(),
+            1,
+        ));
+        store.inner().inner().put("obj", &vec![7u8; 8 * 1024]).unwrap();
+        let cache = Arc::new(TieredCache::memory_only(1 << 20));
+        let src = CachedObjectSource::open_with_block_size(
+            Arc::clone(&store),
+            "obj",
+            cache,
+            1024,
+        )
+        .unwrap();
+        // One scheduled fault; a single-threaded wave makes it land on a
+        // deterministic block. The other 7 blocks must still be fetched.
+        store.inner().fail_next(1);
+        let p = Prefetcher::new(1);
+        let outcome = p.prefetch_wave(&src, vec![(0, 8 * 1024)]);
+        assert_eq!(outcome.errors, 1);
+        assert_eq!(outcome.fetched, 7);
+        assert!(outcome.first_error.is_some());
+        // The fail-fast wrapper reports the same wave as an error.
+        store.inner().fail_next(1);
+        assert!(p.prefetch(&src, vec![(0, 8 * 1024)]).is_err());
+        // After faults clear, demand reads repair the one missing block
+        // and the data comes back intact.
+        store.inner().clear_faults();
+        use logstore_logblock::pack::RangeSource;
+        assert_eq!(src.read_at(0, 8 * 1024).unwrap(), vec![7u8; 8 * 1024]);
     }
 
     #[test]

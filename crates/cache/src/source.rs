@@ -38,10 +38,22 @@ impl<S: ObjectStore> CachedObjectSource<S> {
         cache: Arc<TieredCache>,
         block_size: u64,
     ) -> Result<Self> {
-        assert!(block_size > 0, "block size must be positive");
         let path = path.into();
         let size = store.head(&path)?;
-        Ok(CachedObjectSource { store, path, size, block_size, cache })
+        Ok(Self::open_with_known_size(store, path, cache, block_size, size))
+    }
+
+    /// Opens without the HEAD round-trip, for callers that already know
+    /// the object's size from metadata (e.g. the LogBlock map).
+    pub fn open_with_known_size(
+        store: Arc<S>,
+        path: impl Into<String>,
+        cache: Arc<TieredCache>,
+        block_size: u64,
+        size: u64,
+    ) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        CachedObjectSource { store, path: path.into(), size, block_size, cache }
     }
 
     /// The object path.

@@ -5,17 +5,26 @@
 //! the real-time stores of the tenant's shards with the tenant's LogBlocks
 //! on OSS — applying the LogBlock map (Fig 8 ①), data skipping, the
 //! multi-level cache and parallel prefetch along the way.
+//!
+//! Queries scatter: every source (one real-time shard scan, one LogBlock
+//! open→prefetch→collect chain) becomes an independent task on the
+//! engine's shared [`crate::executor::QueryPool`]. Determinism rule: the
+//! task list is built in canonical order (shards sorted by id, then
+//! LogBlocks sorted by path) and the gathered partials are folded in that
+//! same order, so results, stats and first-error selection are
+//! bit-identical at every `parallelism` setting.
 
 use crate::config::QueryOptions;
 use crate::engine::{ClusterShared, IngestReport, Store};
+use crate::executor::Task;
 use logstore_cache::CachedObjectSource;
 use logstore_logblock::pack::RangeSource;
 use logstore_logblock::reader::LogBlockReader;
 use logstore_query::exec::{
-    collect_from_block, collect_from_rows, empty_partial, finalize, merge_partials, QueryResult,
-    QueryStats,
+    collect_from_block, collect_from_rows, empty_partial, finalize, merge_partials, Partial,
+    QueryResult, QueryStats,
 };
-use logstore_query::{analyze, parse_query, QueryScope, SelectItem};
+use logstore_query::{analyze, parse_query, Query, QueryScope, SelectItem};
 use logstore_types::{Error, RecordBatch, Result, ShardId, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,10 +76,8 @@ struct DirectSource {
 }
 
 impl DirectSource {
-    fn open(store: Arc<Store>, path: String) -> Result<Self> {
-        use logstore_oss::ObjectStore;
-        let size = store.head(&path)?;
-        Ok(DirectSource { store, path, size })
+    fn new(store: Arc<Store>, path: String, size: u64) -> Self {
+        DirectSource { store, path, size }
     }
 }
 
@@ -85,6 +92,9 @@ impl RangeSource for DirectSource {
     }
 }
 
+/// What one scattered source task brings back to the gather step.
+type SourcePartial = (Partial, QueryStats);
+
 /// The broker.
 pub struct Broker {
     shared: Arc<ClusterShared>,
@@ -97,15 +107,16 @@ impl Broker {
         Broker { shared, round_robin: AtomicU64::new(0) }
     }
 
-    /// Routes and appends a batch. Records of one batch may fan out to
-    /// several shards; backpressure rejections are counted, not fatal —
-    /// the client retries the rejected remainder (paper §4.2).
-    pub fn ingest(&self, batch: &RecordBatch) -> Result<IngestReport> {
+    /// Routes and appends a batch, consuming it: records are moved into
+    /// their shard sub-batches, never cloned. Records of one batch may fan
+    /// out to several shards; backpressure rejections are counted, not
+    /// fatal — the client retries the rejected remainder (paper §4.2).
+    pub fn ingest(&self, batch: RecordBatch) -> Result<IngestReport> {
         let mut by_shard: HashMap<ShardId, Vec<logstore_types::LogRecord>> = HashMap::new();
-        for record in &batch.records {
+        for record in batch.records {
             let selector = self.round_robin.fetch_add(1, Ordering::Relaxed);
             let shard = self.shared.controller.pick_shard(record.tenant_id, selector)?;
-            by_shard.entry(shard).or_default().push(record.clone());
+            by_shard.entry(shard).or_default().push(record);
         }
         let mut report = IngestReport::default();
         for (shard, records) in by_shard {
@@ -120,7 +131,9 @@ impl Broker {
         Ok(report)
     }
 
-    /// Parses, plans and executes one query.
+    /// Parses, plans and executes one query: scatter per-source collection
+    /// tasks over the engine's query pool, gather the partials in
+    /// submission order, merge, finalize.
     pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryExecution> {
         let wall_start = std::time::Instant::now();
         let oss_before = self.shared.store.metrics().modelled_time_ns;
@@ -132,51 +145,99 @@ impl Broker {
                 parsed.table, self.shared.schema.name
             )));
         }
-        let bound = analyze::bind(&parsed, &self.shared.schema)?;
+        let bound = Arc::new(analyze::bind(&parsed, &self.shared.schema)?);
         let scope = QueryScope::extract(&bound);
         let tenant = scope.tenant.ok_or_else(|| {
             Error::Query("queries must pin a tenant: add 'tenant_id = <id>'".into())
         })?;
 
-        let mut stats = QueryStats::default();
-        let mut partials = Vec::new();
         let all_blocks = self.shared.metadata.all_blocks(tenant).len() as u64;
 
+        // Scatter: one task per source, in canonical order.
+        let mut tasks: Vec<Task<SourcePartial>> = Vec::new();
         if !scope.is_empty_window() {
             // Real-time stores of every shard serving the tenant (old and
-            // new routes during a rebalance window).
-            for shard in self.shared.controller.read_shards(tenant) {
-                let worker = self.shared.worker_for(shard)?;
-                let records = worker.scan(shard, tenant, scope.range, &[])?;
-                let rows: Vec<Vec<Value>> = records.iter().map(|r| r.to_row()).collect();
-                partials.push(collect_from_rows(
-                    rows.iter().map(|r| r.as_slice()),
-                    &self.shared.schema,
-                    &bound,
-                    &mut stats,
-                )?);
+            // new routes during a rebalance window), sorted by shard id.
+            let mut shards = self.shared.controller.read_shards(tenant);
+            shards.sort_unstable();
+            for shard in shards {
+                let shared = Arc::clone(&self.shared);
+                let bound = Arc::clone(&bound);
+                let range = scope.range;
+                tasks.push(Box::new(move || {
+                    let mut stats = QueryStats::default();
+                    let worker = shared.worker_for(shard)?;
+                    let records = worker.scan(shard, tenant, range, &[])?;
+                    let rows: Vec<Vec<Value>> = records.iter().map(|r| r.to_row()).collect();
+                    let partial = collect_from_rows(
+                        rows.iter().map(|r| r.as_slice()),
+                        &shared.schema,
+                        &bound,
+                        &mut stats,
+                    )?;
+                    Ok((partial, stats))
+                }));
             }
-            // Archived LogBlocks, pruned by the LogBlock map.
-            for entry in self.shared.metadata.blocks_for(tenant, scope.range) {
-                let source = if opts.use_cache {
-                    Source::Cached(CachedObjectSource::open_with_block_size(
-                        Arc::clone(&self.shared.store),
-                        entry.path.clone(),
-                        Arc::clone(&self.shared.cache),
-                        self.shared.cache_block_size,
-                    )?)
-                } else {
-                    Source::Direct(DirectSource::open(
-                        Arc::clone(&self.shared.store),
-                        entry.path.clone(),
-                    )?)
-                };
-                let reader = LogBlockReader::open(source)?;
-                if opts.use_cache && opts.use_prefetch {
-                    self.prefetch_for_query(&reader, &bound)?;
-                }
-                partials.push(collect_from_block(&reader, &bound, opts.use_skipping, &mut stats)?);
+            // Archived LogBlocks, pruned by the LogBlock map, sorted by
+            // object path (paths embed the build sequence, so this is
+            // registration order).
+            let mut entries = self.shared.metadata.blocks_for(tenant, scope.range);
+            entries.sort_unstable_by(|a, b| a.path.cmp(&b.path));
+            for entry in entries {
+                let shared = Arc::clone(&self.shared);
+                let bound = Arc::clone(&bound);
+                let opts = opts.clone();
+                tasks.push(Box::new(move || {
+                    let mut stats = QueryStats::default();
+                    // The LogBlock map records each block's exact packed
+                    // size, so opening a source needs no HEAD round-trip.
+                    let source = if opts.use_cache {
+                        Source::Cached(CachedObjectSource::open_with_known_size(
+                            Arc::clone(&shared.store),
+                            entry.path.clone(),
+                            Arc::clone(&shared.cache),
+                            shared.cache_block_size,
+                            entry.bytes,
+                        ))
+                    } else {
+                        Source::Direct(DirectSource::new(
+                            Arc::clone(&shared.store),
+                            entry.path.clone(),
+                            entry.bytes,
+                        ))
+                    };
+                    let reader = LogBlockReader::open(source)?;
+                    if opts.use_cache && opts.use_prefetch {
+                        // A failed prefetch block is not fatal: it is
+                        // counted, and the scan falls through to demand
+                        // reads (which may themselves succeed or fail on
+                        // their own terms).
+                        if let Source::Cached(cached) = reader.pack().source() {
+                            let ranges = prefetch_ranges(&reader, &bound);
+                            let outcome = shared.prefetcher.prefetch_wave(cached, ranges);
+                            stats.prefetch_errors += outcome.errors as u64;
+                        }
+                    }
+                    let partial =
+                        collect_from_block(&reader, &bound, opts.use_skipping, &mut stats)?;
+                    Ok((partial, stats))
+                }));
             }
+        }
+
+        // Gather: fold results in submission order. The earliest source's
+        // error wins regardless of which task failed first on the clock.
+        let parallelism = if opts.parallelism == 0 {
+            self.shared.query_pool.threads()
+        } else {
+            opts.parallelism
+        };
+        let mut stats = QueryStats::default();
+        let mut partials = Vec::with_capacity(tasks.len());
+        for task_result in self.shared.query_pool.scatter(parallelism, tasks) {
+            let (partial, task_stats) = task_result?;
+            stats.merge(&task_stats);
+            partials.push(partial);
         }
 
         let visited = stats.blocks_visited;
@@ -195,54 +256,46 @@ impl Broker {
             wall: wall_start.elapsed(),
         })
     }
-
-    /// Fig 10: plan the member ranges the query will touch and fetch them
-    /// in one parallel wave.
-    fn prefetch_for_query(
-        &self,
-        reader: &LogBlockReader<Source>,
-        query: &logstore_query::Query,
-    ) -> Result<()> {
-        let Source::Cached(source) = reader.pack().source() else {
-            return Ok(());
-        };
-        let schema = reader.schema();
-        let mut needed_cols: Vec<usize> = Vec::new();
-        let mut push = |idx: Option<usize>| {
-            if let Some(i) = idx {
-                if !needed_cols.contains(&i) {
-                    needed_cols.push(i);
-                }
-            }
-        };
-        for p in &query.predicates {
-            push(schema.column_index(&p.column));
-        }
-        for item in &query.projection {
-            match item {
-                SelectItem::AllColumns => (0..schema.width()).for_each(|i| push(Some(i))),
-                SelectItem::Column(c) => push(schema.column_index(c)),
-                SelectItem::CountStar => {}
-                SelectItem::Agg(_, c) => push(schema.column_index(c)),
-            }
-        }
-        if let Some(g) = &query.group_by {
-            push(schema.column_index(g));
-        }
-        let mut ranges = Vec::new();
-        for &col in &needed_cols {
-            for member in [
-                logstore_logblock::meta::index_member(col),
-                logstore_logblock::meta::index_data_member(col),
-                logstore_logblock::meta::col_member(col),
-            ] {
-                if let Some(range) = reader.pack().member_object_range(&member) {
-                    ranges.push(range);
-                }
-            }
-        }
-        self.shared.prefetcher.prefetch(source, ranges)?;
-        Ok(())
-    }
 }
 
+/// Fig 10: the member ranges a query will touch in one LogBlock — the
+/// plan for a parallel prefetch wave. Free function so scattered tasks
+/// can call it without borrowing the broker.
+fn prefetch_ranges(reader: &LogBlockReader<Source>, query: &Query) -> Vec<(u64, u64)> {
+    let schema = reader.schema();
+    let mut needed_cols: Vec<usize> = Vec::new();
+    let mut push = |idx: Option<usize>| {
+        if let Some(i) = idx {
+            if !needed_cols.contains(&i) {
+                needed_cols.push(i);
+            }
+        }
+    };
+    for p in &query.predicates {
+        push(schema.column_index(&p.column));
+    }
+    for item in &query.projection {
+        match item {
+            SelectItem::AllColumns => (0..schema.width()).for_each(|i| push(Some(i))),
+            SelectItem::Column(c) => push(schema.column_index(c)),
+            SelectItem::CountStar => {}
+            SelectItem::Agg(_, c) => push(schema.column_index(c)),
+        }
+    }
+    if let Some(g) = &query.group_by {
+        push(schema.column_index(g));
+    }
+    let mut ranges = Vec::new();
+    for &col in &needed_cols {
+        for member in [
+            logstore_logblock::meta::index_member(col),
+            logstore_logblock::meta::index_data_member(col),
+            logstore_logblock::meta::col_member(col),
+        ] {
+            if let Some(range) = reader.pack().member_object_range(&member) {
+                ranges.push(range);
+            }
+        }
+    }
+    ranges
+}

@@ -47,6 +47,10 @@ pub struct ClusterConfig {
     pub cache_block_size: u64,
     /// Prefetch thread count (the paper evaluates 32).
     pub prefetch_threads: usize,
+    /// Size of the engine's shared scatter/gather query pool: the upper
+    /// bound on concurrently-running per-source collection tasks across
+    /// ALL in-flight queries.
+    pub query_threads: usize,
     /// Flow-control knobs (α, per-tenant shard limit, interval).
     pub flow: FlowControlConfig,
     /// Balancer selection.
@@ -80,6 +84,7 @@ impl ClusterConfig {
             cache_disk_bytes: None,
             cache_block_size: 64 * 1024,
             prefetch_threads: 4,
+            query_threads: 4,
             flow: FlowControlConfig {
                 alpha: 0.85,
                 per_tenant_shard_limit: 50_000,
@@ -101,6 +106,7 @@ impl ClusterConfig {
         c.oss_latency = LatencyModel::oss_like();
         c.cache_memory_bytes = 64 << 20;
         c.prefetch_threads = 32;
+        c.query_threads = default_query_threads();
         c
     }
 
@@ -108,6 +114,11 @@ impl ClusterConfig {
     pub fn total_shards(&self) -> u32 {
         self.workers * self.shards_per_worker
     }
+}
+
+/// The default query-pool size: one thread per hardware thread.
+pub fn default_query_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(8)
 }
 
 /// Per-query execution switches (the Fig 15–17 ablations).
@@ -119,18 +130,33 @@ pub struct QueryOptions {
     pub use_prefetch: bool,
     /// Use the shared multi-level cache; when false every read goes to OSS.
     pub use_cache: bool,
+    /// Per-source collection tasks this query may run at once. `0` means
+    /// "as many as the engine's query pool allows"; `1` is the sequential
+    /// reference path. Results are bit-identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        QueryOptions { use_skipping: true, use_prefetch: true, use_cache: true }
+        QueryOptions { use_skipping: true, use_prefetch: true, use_cache: true, parallelism: 0 }
     }
 }
 
 impl QueryOptions {
     /// Everything off — the "before optimization" baseline of Fig 17.
     pub fn baseline() -> Self {
-        QueryOptions { use_skipping: false, use_prefetch: false, use_cache: false }
+        QueryOptions {
+            use_skipping: false,
+            use_prefetch: false,
+            use_cache: false,
+            parallelism: 1,
+        }
+    }
+
+    /// Returns `self` with an explicit parallelism degree.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -157,7 +183,11 @@ mod tests {
     fn query_option_presets() {
         let on = QueryOptions::default();
         assert!(on.use_skipping && on.use_prefetch && on.use_cache);
+        assert_eq!(on.parallelism, 0, "default uses the engine pool's width");
         let off = QueryOptions::baseline();
         assert!(!off.use_skipping && !off.use_prefetch && !off.use_cache);
+        assert_eq!(off.parallelism, 1, "baseline is the sequential path");
+        assert_eq!(QueryOptions::default().with_parallelism(8).parallelism, 8);
+        assert!(default_query_threads() >= 1);
     }
 }

@@ -4,11 +4,12 @@ use crate::broker::{Broker, QueryExecution};
 use crate::config::{ClusterConfig, QueryOptions};
 use crate::controller::ClusterController;
 use crate::databuilder::{build_and_upload, BuildConfig, BuildReport};
+use crate::executor::QueryPool;
 use crate::metadata::{MetadataStore, TenantInfo};
 use crate::worker::Worker;
 use logstore_cache::{CacheStats, DiskBlockCache, Prefetcher, TieredCache};
 use logstore_flow::ControlAction;
-use logstore_oss::{MemoryStore, OssMetrics, SimulatedOss};
+use logstore_oss::{FaultScope, FaultyStore, MemoryStore, OssMetrics, SimulatedOss};
 use logstore_query::exec::QueryResult;
 use logstore_types::{
     Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId, Timestamp, WorkerId,
@@ -17,9 +18,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The object-storage stack every engine instance runs on: an in-memory
-/// backend under the configurable latency/bandwidth simulator. Figure
-/// harnesses flip the latency model between OSS-like and local-SSD-like.
-pub type Store = SimulatedOss<MemoryStore>;
+/// backend under a fault-injection layer (inert by default — probability
+/// 0.0) under the configurable latency/bandwidth simulator. Figure
+/// harnesses flip the latency model between OSS-like and local-SSD-like;
+/// resilience tests schedule faults via `store.inner().fail_next(n)`.
+pub type Store = SimulatedOss<FaultyStore<MemoryStore>>;
 
 /// State shared between brokers, the controller and background tasks.
 pub struct ClusterShared {
@@ -39,6 +42,8 @@ pub struct ClusterShared {
     pub cache: Arc<TieredCache>,
     /// The parallel prefetcher.
     pub prefetcher: Prefetcher,
+    /// The shared scatter/gather query executor pool.
+    pub query_pool: QueryPool,
     /// Cache alignment block size.
     pub cache_block_size: u64,
 }
@@ -83,7 +88,7 @@ impl LogStore {
         let metadata = Arc::new(MetadataStore::new());
         let controller = ClusterController::new(&config, Arc::clone(&metadata));
         let store = Arc::new(SimulatedOss::new(
-            MemoryStore::new(),
+            FaultyStore::new(MemoryStore::new(), FaultScope::All, 0.0, config.seed),
             config.oss_latency.clone(),
             config.seed,
         ));
@@ -129,6 +134,7 @@ impl LogStore {
             store,
             cache,
             prefetcher: Prefetcher::new(config.prefetch_threads),
+            query_pool: QueryPool::new(config.query_threads),
             cache_block_size: config.cache_block_size,
         });
         let broker = Broker::new(Arc::clone(&shared));
@@ -153,7 +159,7 @@ impl LogStore {
     /// Ingests a batch of records through the broker (phase one), then
     /// runs the data builder on any shard over its flush threshold.
     pub fn ingest(&self, records: Vec<LogRecord>) -> Result<IngestReport> {
-        let report = self.broker.ingest(&RecordBatch::from_records(records))?;
+        let report = self.broker.ingest(RecordBatch::from_records(records))?;
         self.flush_if_needed()?;
         Ok(report)
     }

@@ -1,0 +1,300 @@
+//! The scatter/gather query executor: a shared, bounded worker pool that
+//! fans a query's per-source work (real-time shard scans, LogBlock
+//! open→prefetch→collect chains) out across threads.
+//!
+//! Determinism is the design constraint: a parallel run must be
+//! bit-identical to the sequential one. The pool therefore never merges
+//! anything itself — it returns every task's result **indexed by the
+//! task's position in the submission order**, whatever order tasks
+//! actually finished in. The broker builds its task list in a canonical
+//! order (shards sorted by id, LogBlocks sorted by path) and folds the
+//! indexed results left to right, so merge order — and with it row order,
+//! first-error selection and stats totals — is independent of scheduling.
+
+use logstore_types::{Error, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A unit of work submitted to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A boxed query task: one source's partial collection.
+pub type Task<T> = Box<dyn FnOnce() -> Result<T> + Send + 'static>;
+
+/// A fixed-size thread pool shared by every query on the engine.
+///
+/// Sharing bounds total query concurrency: a single engine never runs
+/// more than `threads` source-collections at once no matter how many
+/// queries are in flight or what per-query `parallelism` they request.
+pub struct QueryPool {
+    sender: Option<crossbeam::channel::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl QueryPool {
+    /// Spawns a pool of `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = crossbeam::channel::unbounded::<Job>();
+        let handles = (0..threads)
+            .map(|i| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("query-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = receiver.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn query pool thread")
+            })
+            .collect();
+        QueryPool { sender: Some(sender), handles, threads }
+    }
+
+    /// Pool size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `tasks` with up to `parallelism` of them in flight at once and
+    /// returns their results **in submission order**.
+    ///
+    /// `parallelism <= 1` runs every task inline on the calling thread —
+    /// the sequential reference path, same task code, zero pool traffic.
+    /// Higher values submit `min(parallelism, tasks)` runners to the pool;
+    /// each runner pulls the next unclaimed task index until none remain,
+    /// so tasks start in order even though they finish in any order.
+    pub fn scatter<T: Send + 'static>(
+        &self,
+        parallelism: usize,
+        tasks: Vec<Task<T>>,
+    ) -> Vec<Result<T>> {
+        let total = tasks.len();
+        if parallelism <= 1 || total <= 1 {
+            return tasks.into_iter().map(run_task).collect();
+        }
+        let slots: Arc<Vec<Mutex<Option<Task<T>>>>> =
+            Arc::new(tasks.into_iter().map(|t| Mutex::new(Some(t))).collect());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, Result<T>)>();
+        let runners = parallelism.min(total);
+        for _ in 0..runners {
+            let slots = Arc::clone(&slots);
+            let cursor = Arc::clone(&cursor);
+            let result_tx = result_tx.clone();
+            self.submit(Box::new(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= slots.len() {
+                    return;
+                }
+                let task = slots[idx]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("task claimed twice");
+                // A send can only fail if the gatherer gave up; nothing
+                // left to do with the result then.
+                let _ = result_tx.send((idx, run_task(task)));
+            }));
+        }
+        drop(result_tx);
+        let mut results: Vec<Option<Result<T>>> = (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (idx, result) = result_rx
+                .recv()
+                .expect("query pool runners exited without reporting all tasks");
+            results[idx] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task index reported exactly once"))
+            .collect()
+    }
+
+    fn submit(&self, job: Job) {
+        let sent = self.sender.as_ref().expect("pool alive while queries run").send(job);
+        assert!(sent.is_ok(), "query pool workers alive");
+    }
+}
+
+impl Drop for QueryPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers drain and exit, then join.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one task, converting a panic into an error instead of poisoning
+/// the pool (a panicking task would otherwise hang the gather loop).
+fn run_task<T>(task: Task<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "query task panicked".to_string());
+            Err(Error::Internal(format!("query task panicked: {msg}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::{Duration, Instant};
+
+    fn tasks_counting(n: usize, counter: &Arc<AtomicU64>) -> Vec<Task<usize>> {
+        (0..n)
+            .map(|i| {
+                let counter = Arc::clone(counter);
+                let task: Task<usize> = Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    Ok(i * 10)
+                });
+                task
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = QueryPool::new(4);
+        for parallelism in [1, 2, 4, 16] {
+            let counter = Arc::new(AtomicU64::new(0));
+            let results = pool.scatter(parallelism, tasks_counting(32, &counter));
+            let values: Vec<usize> = results.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+            assert_eq!(counter.load(Ordering::Relaxed), 32);
+        }
+    }
+
+    #[test]
+    fn errors_keep_their_task_index() {
+        let pool = QueryPool::new(4);
+        let tasks: Vec<Task<u32>> = (0..8)
+            .map(|i| {
+                let task: Task<u32> = Box::new(move || {
+                    if i % 3 == 1 {
+                        Err(Error::Internal(format!("task {i} failed")))
+                    } else {
+                        Ok(i)
+                    }
+                });
+                task
+            })
+            .collect();
+        let results = pool.scatter(4, tasks);
+        for (i, r) in results.iter().enumerate() {
+            if i % 3 == 1 {
+                let e = r.as_ref().unwrap_err();
+                assert!(e.to_string().contains(&format!("task {i}")), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_one_runs_inline() {
+        let pool = QueryPool::new(4);
+        let caller = std::thread::current().id();
+        let results = pool.scatter(
+            1,
+            vec![Box::new(move || {
+                assert_eq!(std::thread::current().id(), caller, "must run inline");
+                Ok(1u8)
+            }) as Task<u8>],
+        );
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].as_ref().unwrap(), &1);
+    }
+
+    #[test]
+    fn tasks_actually_run_concurrently() {
+        let pool = QueryPool::new(8);
+        let make = || -> Vec<Task<()>> {
+            (0..8)
+                .map(|_| {
+                    let task: Task<()> = Box::new(|| {
+                        std::thread::sleep(Duration::from_millis(20));
+                        Ok(())
+                    });
+                    task
+                })
+                .collect()
+        };
+        let serial = Instant::now();
+        pool.scatter(1, make());
+        let serial = serial.elapsed();
+        let parallel = Instant::now();
+        pool.scatter(8, make());
+        let parallel = parallel.elapsed();
+        assert!(
+            parallel < serial / 2,
+            "8-way scatter should beat sequential: {parallel:?} vs {serial:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_task_reports_instead_of_hanging() {
+        let pool = QueryPool::new(2);
+        let tasks: Vec<Task<u32>> = vec![
+            Box::new(|| Ok(1)),
+            Box::new(|| panic!("boom in task")),
+            Box::new(|| Ok(3)),
+        ];
+        let results = pool.scatter(2, tasks);
+        assert_eq!(results[0].as_ref().unwrap(), &1);
+        assert!(results[1].as_ref().unwrap_err().to_string().contains("boom in task"));
+        assert_eq!(results[2].as_ref().unwrap(), &3);
+        // The pool survives the panic and keeps serving.
+        let after = pool.scatter(2, vec![Box::new(|| Ok(9u32)) as Task<u32>, Box::new(|| Ok(10))]);
+        assert_eq!(after[0].as_ref().unwrap(), &9);
+        assert_eq!(after[1].as_ref().unwrap(), &10);
+    }
+
+    #[test]
+    fn shared_pool_bounds_concurrency_across_queries() {
+        // 2-thread pool, two 4-task scatters from two caller threads: at
+        // most 2 tasks may ever be in flight simultaneously.
+        let pool = Arc::new(QueryPool::new(2));
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let make = |in_flight: &Arc<AtomicU64>, peak: &Arc<AtomicU64>| -> Vec<Task<()>> {
+            (0..4)
+                .map(|_| {
+                    let in_flight = Arc::clone(in_flight);
+                    let peak = Arc::clone(peak);
+                    let task: Task<()> = Box::new(move || {
+                        let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(10));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        Ok(())
+                    });
+                    task
+                })
+                .collect()
+        };
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let pool = Arc::clone(&pool);
+            let tasks = make(&in_flight, &peak);
+            joins.push(std::thread::spawn(move || {
+                pool.scatter(4, tasks);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "pool must bound concurrency");
+    }
+}

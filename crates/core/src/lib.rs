@@ -24,9 +24,11 @@ pub mod config;
 pub mod controller;
 pub mod databuilder;
 pub mod engine;
+pub mod executor;
 pub mod metadata;
 pub mod worker;
 
 pub use config::{ClusterConfig, QueryOptions};
+pub use executor::QueryPool;
 pub use engine::{IngestReport, LogStore};
 pub use metadata::{LogBlockEntry, MetadataStore, TenantInfo};

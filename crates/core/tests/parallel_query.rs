@@ -1,0 +1,182 @@
+//! Scatter/gather correctness: parallel query execution must be
+//! bit-identical to the sequential reference path — same rows, same
+//! stats — at every parallelism setting, under every cache/skipping
+//! configuration, and under fault injection (errors surface, wrong data
+//! never does).
+
+use logstore_core::{ClusterConfig, LogStore, QueryOptions};
+use logstore_oss::LatencyModel;
+use logstore_types::{LogRecord, TenantId, Timestamp, Value};
+
+fn rec(t: u64, ts: i64, latency: i64, msg: &str) -> LogRecord {
+    LogRecord::new(
+        TenantId(t),
+        Timestamp(ts),
+        vec![
+            Value::from(format!("10.0.{}.{}", ts % 200, latency % 250)),
+            Value::from("/api/v1/users"),
+            Value::I64(latency),
+            Value::Bool(latency > 400),
+            Value::from(msg.to_string()),
+        ],
+    )
+}
+
+/// Builds a store holding at least `blocks` archived LogBlocks for tenant
+/// 1 plus a real-time tail, so queries genuinely scatter over many
+/// sources.
+fn build_store(mut config: ClusterConfig, blocks: usize, rows_per_block: usize) -> LogStore {
+    config.query_threads = 8;
+    let s = LogStore::open(config).unwrap();
+    for b in 0..blocks {
+        let batch: Vec<LogRecord> = (0..rows_per_block)
+            .map(|i| {
+                let ts = (b * rows_per_block + i) as i64;
+                rec(
+                    1,
+                    ts,
+                    (ts * 7 + 13) % 600,
+                    &format!("request {ts} served shard-{b} trace={:08x}", ts * 2654435761i64),
+                )
+            })
+            .collect();
+        s.ingest(batch).unwrap();
+        s.flush().unwrap();
+    }
+    // Real-time tail: rows that live only in the shards' row stores.
+    let tail_start = (blocks * rows_per_block) as i64;
+    let tail: Vec<LogRecord> = (0..40)
+        .map(|i| rec(1, tail_start + i, (i * 11) % 600, &format!("fresh row {i}")))
+        .collect();
+    s.ingest(tail).unwrap();
+    s
+}
+
+const QUERIES: &[&str] = &[
+    "SELECT log FROM request_log WHERE tenant_id = 1",
+    "SELECT log FROM request_log WHERE tenant_id = 1 AND latency >= 300",
+    "SELECT log, latency FROM request_log WHERE tenant_id = 1 AND log CONTAINS 'shard-3'",
+    "SELECT COUNT(*) FROM request_log WHERE tenant_id = 1 AND fail = true",
+    "SELECT ip, COUNT(*) FROM request_log WHERE tenant_id = 1 GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10",
+];
+
+#[test]
+fn parallel_results_bit_identical_to_sequential() {
+    let s = build_store(ClusterConfig::for_testing(), 8, 64);
+    assert!(s.block_count() >= 8, "need a wide scatter: {} blocks", s.block_count());
+    let configs = [
+        QueryOptions::default(),
+        QueryOptions { use_prefetch: false, ..QueryOptions::default() },
+        QueryOptions { use_skipping: false, ..QueryOptions::default() },
+        QueryOptions { use_cache: false, use_prefetch: false, ..QueryOptions::default() },
+    ];
+    for opts in &configs {
+        for sql in QUERIES {
+            let reference = s
+                .query_with_options(sql, &opts.clone().with_parallelism(1))
+                .unwrap();
+            // 0 = auto (the engine pool's width).
+            for parallelism in [4usize, 8, 0] {
+                let exec = s
+                    .query_with_options(sql, &opts.clone().with_parallelism(parallelism))
+                    .unwrap();
+                assert_eq!(
+                    exec.result, reference.result,
+                    "rows diverged at parallelism {parallelism} for {sql:?} with {opts:?}"
+                );
+                assert_eq!(
+                    exec.stats, reference.stats,
+                    "stats diverged at parallelism {parallelism} for {sql:?} with {opts:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faults_surface_as_errors_never_as_wrong_data() {
+    let s = build_store(ClusterConfig::for_testing(), 4, 32);
+    let opts = QueryOptions { use_cache: false, use_prefetch: false, ..QueryOptions::default() }
+        .with_parallelism(4);
+    let sql = "SELECT log FROM request_log WHERE tenant_id = 1";
+    let correct = s.query_with_options(sql, &opts).unwrap();
+
+    // Every read goes straight to OSS on this path, so a scheduled fault
+    // must fail the query — a partial result would be wrong data.
+    for faults in [1u64, 3] {
+        s.shared().store.inner().fail_next(faults);
+        let err = s.query_with_options(sql, &opts).unwrap_err();
+        assert!(err.to_string().contains("injected oss fault"), "unexpected error: {err}");
+        s.shared().store.inner().clear_faults();
+    }
+    assert!(s.shared().store.inner().injected() >= 2);
+
+    // With the faults cleared the same query is whole again.
+    let after = s.query_with_options(sql, &opts).unwrap();
+    assert_eq!(after.result, correct.result);
+    assert_eq!(after.stats, correct.stats);
+}
+
+#[test]
+fn prefetch_fault_degrades_to_demand_reads() {
+    // Small cache blocks so one LogBlock spans many of them and the
+    // prefetch wave issues real per-block GETs.
+    let mut config = ClusterConfig::for_testing();
+    config.cache_block_size = 1024;
+    let s = build_store(config, 1, 400);
+
+    // Warm the footer/meta/latency blocks; the `log` column stays cold.
+    let warm = QueryOptions { use_prefetch: false, ..QueryOptions::default() }
+        .with_parallelism(1);
+    s.query_with_options("SELECT latency FROM request_log WHERE tenant_id = 1", &warm).unwrap();
+
+    // The cold `log` column is now the first thing the next query touches
+    // the store for — via its prefetch wave. One scheduled fault lands on
+    // a wave GET; the wave must absorb it (counted, non-fatal) and the
+    // scan must fall through to a demand read for the missing block.
+    let sql = "SELECT log FROM request_log WHERE tenant_id = 1";
+    let injected_before = s.shared().store.inner().injected();
+    s.shared().store.inner().fail_next(1);
+    let degraded = s
+        .query_with_options(sql, &QueryOptions::default().with_parallelism(1))
+        .unwrap();
+    assert_eq!(s.shared().store.inner().injected(), injected_before + 1, "fault must fire");
+    assert_eq!(degraded.stats.prefetch_errors, 1, "wave failure must be counted");
+
+    // Same query with nothing scheduled: identical rows, zero errors.
+    let clean = s
+        .query_with_options(sql, &QueryOptions::default().with_parallelism(1))
+        .unwrap();
+    assert_eq!(clean.stats.prefetch_errors, 0);
+    assert_eq!(degraded.result, clean.result, "degraded wave must not change results");
+    assert_eq!(degraded.result.rows.len(), 440);
+}
+
+#[test]
+fn scatter_speedup_scales_with_parallelism() {
+    // Real (slept) per-request latency makes source collection I/O-bound:
+    // the 8-way scatter over >=8 blocks must beat the sequential path by
+    // a wide margin while returning the same bytes.
+    let mut config = ClusterConfig::for_testing();
+    let mut model = LatencyModel::zero();
+    model.base_latency_us = 2_000;
+    model.time_scale = 1.0;
+    config.oss_latency = model;
+    let s = build_store(config, 8, 48);
+    assert!(s.block_count() >= 8);
+
+    let opts = QueryOptions { use_cache: false, use_prefetch: false, ..QueryOptions::default() };
+    let sql = "SELECT log FROM request_log WHERE tenant_id = 1";
+    let sequential = s.query_with_options(sql, &opts.clone().with_parallelism(1)).unwrap();
+    let parallel = s.query_with_options(sql, &opts.clone().with_parallelism(8)).unwrap();
+
+    assert_eq!(parallel.result, sequential.result);
+    assert_eq!(parallel.stats, sequential.stats);
+    assert!(
+        parallel.wall < sequential.wall.mul_f64(0.7),
+        "8-way scatter should be well under the sequential wall clock: \
+         parallel {:?} vs sequential {:?}",
+        parallel.wall,
+        sequential.wall
+    );
+}

@@ -122,7 +122,7 @@ pub enum Partial {
 }
 
 /// Execution counters aggregated across sources.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct QueryStats {
     /// Data-skipping scanner counters.
     pub scan: ScanStats,
@@ -130,6 +130,22 @@ pub struct QueryStats {
     pub blocks_visited: u64,
     /// Real-time rows scanned.
     pub realtime_rows_scanned: u64,
+    /// Prefetch block fetches that failed (non-fatal: the scan falls back
+    /// to demand reads; only demand-read failures abort a query).
+    pub prefetch_errors: u64,
+}
+
+impl QueryStats {
+    /// Accumulates another source's counters into this one. Every field is
+    /// a sum, so merging is commutative — parallel scatter/gather merges
+    /// per-source stats in any completion order and still reports exactly
+    /// the totals a sequential run would.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.scan.merge(&other.scan);
+        self.blocks_visited += other.blocks_visited;
+        self.realtime_rows_scanned += other.realtime_rows_scanned;
+        self.prefetch_errors += other.prefetch_errors;
+    }
 }
 
 /// A finalized result set.

@@ -4,7 +4,6 @@
 //! worker identifiers in the flow-control and routing code, where all three
 //! appear side by side.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
@@ -12,7 +11,6 @@ macro_rules! id_type {
         $(#[$doc])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub $inner);
 

@@ -6,12 +6,11 @@
 //! see conjunctions of [`ColumnPredicate`]s.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A comparison operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -91,7 +90,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// One `column op literal` atom.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnPredicate {
     /// Column name.
     pub column: String,

@@ -5,14 +5,13 @@ use crate::schema::TableSchema;
 use crate::time::Timestamp;
 use crate::value::Value;
 use crate::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// One log entry as received by the ingest path.
 ///
 /// `tenant_id` and `ts` are first-class (they drive routing and LogBlock
 /// partitioning); the remaining columns are positional values matching the
 /// table schema minus its two leading key columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogRecord {
     /// Owning tenant.
     pub tenant_id: TenantId,
@@ -69,7 +68,7 @@ impl LogRecord {
 
 /// A batch of records ingested together (the paper's write-latency
 /// measurements use batches of 1000 entries).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecordBatch {
     /// The records.
     pub records: Vec<LogRecord>,

@@ -6,7 +6,6 @@
 
 use crate::value::{DataType, Value};
 use crate::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// Which secondary index is built for a column inside a LogBlock.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// strings get an inverted index, numerics a BKD tree. `None` is supported to
 /// reproduce the paper's data-skipping example where a column (e.g.
 /// `latency`) is left un-indexed and must fall back to SMA + scan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IndexKind {
     /// No per-column index; only SMA-based block skipping applies.
     None,
@@ -66,7 +65,7 @@ impl IndexKind {
 }
 
 /// Schema of one column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnSchema {
     /// Column name; unique within a table, case-sensitive.
     pub name: String,
@@ -127,7 +126,7 @@ impl ColumnSchema {
 /// By convention the first two columns of every LogStore table are
 /// `tenant_id: UInt64` and `ts: Int64` — the partition keys that organise
 /// LogBlocks on object storage (paper §6.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableSchema {
     /// Table name.
     pub name: String,

@@ -3,14 +3,13 @@
 //! LogStore orders and partitions data by time; timestamps are milliseconds
 //! since the Unix epoch stored as `i64` (matching the `ts` column type).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Milliseconds since the Unix epoch.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Timestamp(pub i64);
 
@@ -68,7 +67,7 @@ impl fmt::Display for Timestamp {
 }
 
 /// An inclusive time range `[start, end]` used for LogBlock pruning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeRange {
     /// Inclusive start.
     pub start: Timestamp,

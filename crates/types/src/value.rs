@@ -5,12 +5,11 @@
 //! timestamps — which keeps the columnar format and the index structures
 //! simple and fast.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The physical type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer. Timestamps are stored as `Int64` milliseconds.
     Int64,
@@ -63,7 +62,7 @@ impl fmt::Display for DataType {
 }
 
 /// A single dynamically-typed cell value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL NULL.
     Null,

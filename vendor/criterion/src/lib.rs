@@ -1,0 +1,279 @@
+//! Offline stub of the `criterion` benchmarking API used by this
+//! workspace.
+//!
+//! The build container has no crates.io access, so this crate provides a
+//! call-compatible harness: `Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros.
+//! Measurement is a plain wall-clock mean over a short adaptive run —
+//! no statistics, plots or comparisons — printed one line per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("codec", 4096)` → `codec/4096`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled by [`Bencher::iter`].
+    mean: Duration,
+    /// Iterations actually executed.
+    iters: u64,
+    /// Measurement budget for this benchmark.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { mean: Duration::ZERO, iters: 0, budget }
+    }
+
+    /// Runs `f` repeatedly, recording the mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (lets lazy init happen off the clock).
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget && iters >= 10 {
+                self.mean = elapsed / iters as u32;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but runs an untimed `setup` before every
+    /// timed call of `routine` (for routines that consume their input).
+    pub fn iter_with_setup<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+            if timed >= self.budget && iters >= 10 {
+                self.mean = timed / iters as u32;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{name:<48} time: {:>12}/iter  ({} iters)",
+        format_duration(bencher.mean),
+        bencher.iters
+    );
+    let secs = bencher.mean.as_secs_f64();
+    if secs > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(b)) => {
+                line.push_str(&format!("  thrpt: {:.1} MiB/s", b as f64 / secs / (1 << 20) as f64));
+            }
+            Some(Throughput::Elements(e)) => {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", e as f64 / secs));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(100) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let mut bencher = Bencher::new(self.budget);
+        f(&mut bencher);
+        report(&id.into_id(), &bencher, None);
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.into_id()), &bencher, self.throughput);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher::new(self.criterion.budget);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.into_id()), &bencher, self.throughput);
+    }
+
+    /// Ends the group (no-op; pairs with criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; this stub
+            // runs everything and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 10);
+
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10).throughput(Throughput::Bytes(1024));
+        group.bench_function(BenchmarkId::new("id", 7), |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("input", 1), &41u32, |b, &i| {
+            b.iter(|| black_box(i + 1))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stub of the `crossbeam` API used by this workspace: the
+//! `channel` module's MPMC channels.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! multi-producer multi-consumer channels from scratch over
+//! `Mutex<VecDeque>` + `Condvar`. Semantics follow crossbeam:
+//!
+//! * `Sender` and `Receiver` are both `Clone` (MPMC);
+//! * `recv` blocks; it fails only when the channel is empty **and** every
+//!   sender is gone;
+//! * `send` fails only when every receiver is gone;
+//! * bounded channels block senders at capacity.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or the last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when an item is taken or the last receiver leaves.
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are dropped;
+    /// carries the unsent message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// The channel is empty and all senders are dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out with no message.
+        Timeout,
+        /// The channel is empty and all senders are dropped.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel; senders block at capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self
+                    .0
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .0
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking until a message arrives or every sender is
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .0
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            match state.queue.pop_front() {
+                Some(value) => {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    Ok(value)
+                }
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_then_unblocks() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+    }
+}

@@ -1,0 +1,616 @@
+//! Offline stub of the `proptest` API surface used by this workspace.
+//!
+//! The build container has no crates.io access, so this crate provides a
+//! randomised property-testing harness with the same call syntax as
+//! proptest: the `proptest!` macro, `Strategy` combinators
+//! (`prop_map`/`prop_flat_map`/`boxed`), `any::<T>()`, ranges and
+//! regex-subset string literals as strategies, `collection::{vec,
+//! btree_set}`, `prop_oneof!` (plain and weighted), `Just`, and
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its seed instead) and a fixed deterministic seed sequence per test,
+//! so failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// The random source threaded through strategies during a test run.
+pub type TestRng = StdRng;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix edge values in: properties over integers usually
+                // fail at the extremes first.
+                match rng.gen_range(0u32..16) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0,
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u8>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies: `".{0,120}"`, `"[a-c ]{1,6}"`, literals.
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    /// `.` — any char (mostly printable ASCII, occasionally full unicode).
+    AnyChar,
+    /// `[...]` — one char from an explicit set.
+    Class(Vec<char>),
+    /// A literal char.
+    Literal(char),
+}
+
+struct StringPattern {
+    parts: Vec<(Atom, u32, u32)>, // atom, min repeats, max repeats
+}
+
+impl StringPattern {
+    /// Parses the regex subset this workspace uses: atoms (`.`, `[...]`
+    /// with ranges, literal chars) each optionally followed by `{m}`,
+    /// `{m,n}`, `+`, `*` or `?`.
+    fn parse(pattern: &str) -> StringPattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut parts = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        if chars[i] == '\\' && i + 1 < chars.len() {
+                            set.push(chars[i + 1]);
+                            i += 2;
+                        } else if i + 2 < chars.len()
+                            && chars[i + 1] == '-'
+                            && chars[i + 2] != ']'
+                        {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // consume ']'
+                    assert!(!set.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' if i + 1 < chars.len() => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            parts.push((atom, min, max));
+        }
+        StringPattern { parts }
+    }
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in &self.parts {
+            let reps = rng.gen_range(*min..=*max);
+            for _ in 0..reps {
+                match atom {
+                    Atom::AnyChar => out.push(random_char(rng)),
+                    Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    if rng.gen_bool(0.85) {
+        // Printable ASCII, space included.
+        char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+    } else {
+        // Any unicode scalar value.
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                return c;
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::parse(self).generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, 0..n)` — a vector of `element` values.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` targeting a size drawn from `len`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `btree_set(element, 0..n)` — a set of distinct `element` values.
+    pub fn btree_set<S>(element: S, len: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.len.clone());
+            let mut set = BTreeSet::new();
+            // Bounded attempts: narrow element domains may not be able to
+            // produce `target` distinct values.
+            for _ in 0..target.saturating_mul(4) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// One random choice among boxed alternatives, with weights.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Chooses among strategies, optionally weighted: `prop_oneof![a, b]` or
+/// `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Defines property tests. Each `fn name(x in strategy, ...)` becomes a
+/// `#[test]` running `config.cases` random cases; a failure panics with
+/// the case number so the deterministic seed sequence reproduces it.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    // Deterministic per-test seed sequence; the case index
+                    // printed on failure is enough to reproduce.
+                    let mut rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                        0x5EED_0000u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let ($($arg,)*) =
+                        ($($crate::Strategy::generate(&($strategy), &mut rng),)*);
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {}/{} failed in {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> crate::TestRng {
+        crate::TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn string_pattern_classes_and_quantifiers() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-c ]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')), "{s:?}");
+            let t = "[a-e]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&t.len()), "{t:?}");
+            let dot = ".{0,32}".generate(&mut rng);
+            assert!(dot.chars().count() <= 32);
+            let lit = "abc".generate(&mut rng);
+            assert_eq!(lit, "abc");
+        }
+    }
+
+    #[test]
+    fn oneof_weighted_respects_arms() {
+        let mut rng = rng();
+        let strat = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut seen = [0usize; 3];
+        for _ in 0..400 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || v == 2);
+            seen[v as usize] += 1;
+        }
+        assert!(seen[1] > seen[2], "weighted arm should dominate: {seen:?}");
+    }
+
+    #[test]
+    fn collections_honour_bounds() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = collection::vec(any::<u8>(), 0..7).generate(&mut rng);
+            assert!(v.len() < 7);
+            let s = collection::btree_set(0u32..5, 0..4).generate(&mut rng);
+            assert!(s.len() < 4);
+            assert!(s.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn flat_map_and_boxed_compose() {
+        let mut rng = rng();
+        let strat = (1usize..4)
+            .prop_flat_map(|n| collection::vec(Just(n), n..n + 1))
+            .boxed();
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty());
+            assert!(v.iter().all(|&x| x == v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_runs_with_bindings(a in any::<u16>(), b in 0usize..10) {
+            prop_assert!(b < 10);
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+    }
+}
