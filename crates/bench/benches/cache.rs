@@ -12,18 +12,12 @@ fn bench_cache_paths(c: &mut Criterion) {
     store.inner().put("obj", &vec![1u8; 128 * 1024]).unwrap();
     let cache = TieredCache::memory_only(64 << 20);
     let key = BlockKey { path: "obj".into(), offset: 0 };
-    cache
-        .get_or_fetch(&key, || store.get_range("obj", 0, 128 * 1024))
-        .unwrap();
+    cache.get_or_fetch(&key, || store.get_range("obj", 0, 128 * 1024)).unwrap();
 
     let mut group = c.benchmark_group("cache");
     group.sample_size(50);
     group.bench_function("memory hit (128 KiB block)", |b| {
-        b.iter(|| {
-            cache
-                .get_or_fetch(black_box(&key), || unreachable!("must hit"))
-                .unwrap()
-        })
+        b.iter(|| cache.get_or_fetch(black_box(&key), || unreachable!("must hit")).unwrap())
     });
     group.bench_function("miss + fetch (128 KiB block)", |b| {
         let mut offset = 1u64;
@@ -31,18 +25,14 @@ fn bench_cache_paths(c: &mut Criterion) {
             // A fresh key every iteration forces the miss path.
             let key = BlockKey { path: "obj".into(), offset };
             offset += 1;
-            cache
-                .get_or_fetch(&key, || store.get_range("obj", 0, 128 * 1024))
-                .unwrap()
+            cache.get_or_fetch(&key, || store.get_range("obj", 0, 128 * 1024)).unwrap()
         })
     });
     group.finish();
 }
 
 fn bench_merge_ranges(c: &mut Criterion) {
-    let ranges: Vec<(u64, u64)> = (0..1000)
-        .map(|i| ((i * 37) % 5000 * 100, 150))
-        .collect();
+    let ranges: Vec<(u64, u64)> = (0..1000).map(|i| ((i * 37) % 5000 * 100, 150)).collect();
     let mut group = c.benchmark_group("cache/prefetch");
     group.sample_size(50);
     group.bench_function("merge 1000 ranges", |b| {

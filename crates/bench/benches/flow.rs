@@ -31,9 +31,7 @@ fn bench_dinic(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow/dinic");
     group.sample_size(20);
     group.bench_function("paper-scale (1030 nodes)", |b| {
-        b.iter_with_setup(paper_scale_network, |(mut g, s, t)| {
-            black_box(g.max_flow(s, t).unwrap())
-        })
+        b.iter_with_setup(paper_scale_network, |(mut g, s, t)| black_box(g.max_flow(s, t).unwrap()))
     });
     group.finish();
 }

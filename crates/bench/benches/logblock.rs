@@ -42,11 +42,8 @@ fn bench_build(c: &mut Criterion) {
     for compression in [Compression::LzFast, Compression::LzHigh] {
         group.bench_function(compression.to_string(), |b| {
             b.iter(|| {
-                let mut builder = LogBlockBuilder::with_options(
-                    TableSchema::request_log(),
-                    compression,
-                    1024,
-                );
+                let mut builder =
+                    LogBlockBuilder::with_options(TableSchema::request_log(), compression, 1024);
                 for row in &data {
                     builder.add_row(black_box(row)).unwrap();
                 }

@@ -39,16 +39,12 @@ fn bench_parallelism(c: &mut Criterion) {
     group.throughput(Throughput::Elements(rows.max(1)));
     for parallelism in [1usize, 2, 4, 8] {
         let opts = QueryOptions::default().with_parallelism(parallelism);
-        group.bench_with_input(
-            BenchmarkId::new("workers", parallelism),
-            &opts,
-            |b, opts| {
-                b.iter(|| {
-                    let exec = setup.store.query_with_options(&sql, opts).expect("query");
-                    black_box(exec.result.rows.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("workers", parallelism), &opts, |b, opts| {
+            b.iter(|| {
+                let exec = setup.store.query_with_options(&sql, opts).expect("query");
+                black_box(exec.result.rows.len())
+            })
+        });
     }
     group.finish();
 }

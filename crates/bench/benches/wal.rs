@@ -11,10 +11,8 @@ fn bench_append(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(payload.len() as u64));
     for (name, sync) in [("buffered", false), ("fsync-every-append", true)] {
         group.bench_function(name, |b| {
-            let dir = std::env::temp_dir().join(format!(
-                "logstore-walbench-{name}-{}",
-                std::process::id()
-            ));
+            let dir = std::env::temp_dir()
+                .join(format!("logstore-walbench-{name}-{}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             let config = WalConfig { max_segment_bytes: 256 << 20, sync_on_append: sync };
             let (mut wal, _) = Wal::open(&dir, config).unwrap();

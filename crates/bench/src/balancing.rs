@@ -96,9 +96,7 @@ pub fn run(exp: &BalanceExperiment, policy: Policy) -> Outcome {
         _ => Box::new(MaxFlowBalancer),
     };
     let mut controller = TrafficController::new(exp.flow.clone(), balancer);
-    controller
-        .init_routes(&tenants, &ring)
-        .expect("route init cannot fail on a non-empty ring");
+    controller.init_routes(&tenants, &ring).expect("route init cannot fail on a non-empty ring");
 
     let before = simulate(controller.routes(), &rates, &exp.topology, &exp.sim);
     if policy == Policy::None {
@@ -166,10 +164,7 @@ mod tests {
         let outcome = run(&exp, Policy::MaxFlow);
         let before = load_stddev(&outcome.before.shard_load);
         let after = load_stddev(&outcome.after.shard_load);
-        assert!(
-            after < before / 2.0,
-            "shard stddev before {before:.0} after {after:.0}"
-        );
+        assert!(after < before / 2.0, "shard stddev before {before:.0} after {after:.0}");
     }
 
     #[test]

@@ -9,8 +9,8 @@ use logstore_bench::dataset::{build_engine, DatasetParams};
 use logstore_bench::{mean, print_table};
 use logstore_core::QueryOptions;
 use logstore_oss::LatencyModel;
-use logstore_workload::records::session_ip;
 use logstore_types::{TenantId, Timestamp};
+use logstore_workload::records::session_ip;
 
 /// Fraction of modelled latency actually slept.
 const TIME_SCALE: f64 = 0.1;
@@ -28,15 +28,30 @@ fn main() {
         ("baseline", QueryOptions::baseline()),
         (
             "+skipping",
-            QueryOptions { use_skipping: true, use_prefetch: false, use_cache: false, ..QueryOptions::default() },
+            QueryOptions {
+                use_skipping: true,
+                use_prefetch: false,
+                use_cache: false,
+                ..QueryOptions::default()
+            },
         ),
         (
             "+cache",
-            QueryOptions { use_skipping: false, use_prefetch: false, use_cache: true, ..QueryOptions::default() },
+            QueryOptions {
+                use_skipping: false,
+                use_prefetch: false,
+                use_cache: true,
+                ..QueryOptions::default()
+            },
         ),
         (
             "+cache+prefetch",
-            QueryOptions { use_skipping: false, use_prefetch: true, use_cache: true, ..QueryOptions::default() },
+            QueryOptions {
+                use_skipping: false,
+                use_prefetch: true,
+                use_cache: true,
+                ..QueryOptions::default()
+            },
         ),
         ("all", QueryOptions::default()),
     ];

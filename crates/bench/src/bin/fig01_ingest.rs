@@ -14,8 +14,8 @@ use logstore_workload::{LogRecordGenerator, WorkloadSpec};
 
 /// Relative diurnal shape (fraction of peak, hourly).
 const DIURNAL: [f64; 24] = [
-    0.45, 0.40, 0.38, 0.36, 0.35, 0.37, 0.45, 0.60, 0.80, 0.95, 1.00, 0.98, 0.90, 0.95, 1.00,
-    0.98, 0.92, 0.85, 0.75, 0.68, 0.62, 0.58, 0.52, 0.48,
+    0.45, 0.40, 0.38, 0.36, 0.35, 0.37, 0.45, 0.60, 0.80, 0.95, 1.00, 0.98, 0.90, 0.95, 1.00, 0.98,
+    0.92, 0.85, 0.75, 0.68, 0.62, 0.58, 0.52, 0.48,
 ];
 
 fn main() {

@@ -6,8 +6,8 @@
 //! population and prints sampled ranks.
 
 use logstore_bench::print_table;
-use logstore_workload::{LogRecordGenerator, WorkloadSpec};
 use logstore_types::{TenantId, Timestamp};
+use logstore_workload::{LogRecordGenerator, WorkloadSpec};
 use std::collections::HashMap;
 
 fn main() {
@@ -21,9 +21,8 @@ fn main() {
     for r in &history {
         *counts.entry(r.tenant_id).or_default() += 1;
     }
-    let mut by_rank: Vec<u64> = (1..=spec.tenants)
-        .map(|t| counts.get(&TenantId(t)).copied().unwrap_or(0))
-        .collect();
+    let mut by_rank: Vec<u64> =
+        (1..=spec.tenants).map(|t| counts.get(&TenantId(t)).copied().unwrap_or(0)).collect();
     // Tenant ids are ranks by construction, but sort defensively so the
     // printed curve is monotone like the figure's.
     by_rank.sort_unstable_by(|a, b| b.cmp(a));
@@ -40,7 +39,9 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Figure 11: rows per tenant rank (theta = {theta}, {total_rows} rows, 1000 tenants)"),
+        &format!(
+            "Figure 11: rows per tenant rank (theta = {theta}, {total_rows} rows, 1000 tenants)"
+        ),
         &["rank", "rows", "share"],
         &rows,
     );

@@ -28,7 +28,11 @@ fn main() {
             format!("{worker_after:.0}"),
         ]);
         if theta >= 0.8 {
-            improvements.push((theta, shard_before / shard_after.max(1.0), worker_before / worker_after.max(1.0)));
+            improvements.push((
+                theta,
+                shard_before / shard_after.max(1.0),
+                worker_before / worker_after.max(1.0),
+            ));
         }
     }
     print_table(

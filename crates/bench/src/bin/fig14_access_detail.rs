@@ -54,10 +54,8 @@ fn main() {
         &["worker", "before", "after", "cpu-util(after)"],
         &rows,
     );
-    let utils: Vec<f64> = workers
-        .iter()
-        .filter_map(|w| outcome.after.worker_utilization.get(w).copied())
-        .collect();
+    let utils: Vec<f64> =
+        workers.iter().filter_map(|w| outcome.after.worker_utilization.get(w).copied()).collect();
     let min = utils.iter().copied().fold(f64::INFINITY, f64::min);
     let max = utils.iter().copied().fold(0.0, f64::max);
     println!(

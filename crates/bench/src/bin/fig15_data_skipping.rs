@@ -25,8 +25,18 @@ fn main() {
     println!("{} logblocks archived", setup.store.block_count());
 
     let top_n = 50u64;
-    let skip_on = QueryOptions { use_skipping: true, use_prefetch: false, use_cache: true, ..QueryOptions::default() };
-    let skip_off = QueryOptions { use_skipping: false, use_prefetch: false, use_cache: true, ..QueryOptions::default() };
+    let skip_on = QueryOptions {
+        use_skipping: true,
+        use_prefetch: false,
+        use_cache: true,
+        ..QueryOptions::default()
+    };
+    let skip_off = QueryOptions {
+        use_skipping: false,
+        use_prefetch: false,
+        use_cache: true,
+        ..QueryOptions::default()
+    };
 
     let mut rows = Vec::new();
     let mut with_ms = Vec::new();
@@ -52,8 +62,8 @@ fn main() {
         for (i, opts) in [&skip_on, &skip_off].into_iter().enumerate() {
             setup.store.clear_cache();
             let exec = setup.store.query_with_options(&sql, opts).expect("query");
-            latencies[i] = exec.modelled_oss.as_secs_f64() * 1000.0
-                + exec.wall.as_secs_f64() * 1000.0;
+            latencies[i] =
+                exec.modelled_oss.as_secs_f64() * 1000.0 + exec.wall.as_secs_f64() * 1000.0;
         }
         let (with, without) = (latencies[0], latencies[1]);
         with_ms.push(with);
@@ -78,11 +88,8 @@ fn main() {
         &rows,
     );
     let avg_improvement = mean(&without_ms) / mean(&with_ms).max(1e-9);
-    let best = with_ms
-        .iter()
-        .zip(&without_ms)
-        .map(|(w, wo)| wo / w.max(1e-9))
-        .fold(0.0f64, f64::max);
+    let best =
+        with_ms.iter().zip(&without_ms).map(|(w, wo)| wo / w.max(1e-9)).fold(0.0f64, f64::max);
     println!(
         "\naverage latency improvement {avg_improvement:.1}x, best tenant {best:.1}x \
          (paper: 1.7x average, 2.6x for the largest tenant)"

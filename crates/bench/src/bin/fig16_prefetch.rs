@@ -74,9 +74,7 @@ fn main() {
     );
 
     let (l, p, s) = (mean(&local_ms), mean(&oss_prefetch_ms), mean(&oss_serial_ms));
-    println!(
-        "\nmeans: local {l:.1} ms | oss+prefetch {p:.1} ms | oss w/o prefetch {s:.1} ms"
-    );
+    println!("\nmeans: local {l:.1} ms | oss+prefetch {p:.1} ms | oss w/o prefetch {s:.1} ms");
     println!(
         "local is {:.1}x faster than raw OSS; prefetch narrows the gap to {:.1}x \
          (paper: 18.5x narrowed to 6x)",
@@ -120,8 +118,7 @@ fn main() {
         s
     };
     println!("\nscatter dataset: {} LogBlocks for tenant 1", many.block_count());
-    let scatter_sql =
-        "SELECT log FROM request_log WHERE tenant_id = 1 AND latency >= 50";
+    let scatter_sql = "SELECT log FROM request_log WHERE tenant_id = 1 AND latency >= 50";
     let mut rows = Vec::new();
     for parallelism in [1usize, 2, 4, 8] {
         let opts = QueryOptions::default().with_parallelism(parallelism);

@@ -9,8 +9,8 @@ use logstore_bench::dataset::{build_engine, DatasetParams};
 use logstore_bench::{fraction_below, percentile, print_table};
 use logstore_core::QueryOptions;
 use logstore_oss::LatencyModel;
-use logstore_workload::queries::tenant_queries;
 use logstore_types::TenantId;
+use logstore_workload::queries::tenant_queries;
 use rand::SeedableRng;
 
 /// Fraction of modelled latency actually slept.

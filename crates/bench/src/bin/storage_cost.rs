@@ -28,8 +28,7 @@ fn main() {
 
     let mut table = Vec::new();
     for codec in [Compression::None, Compression::LzFast, Compression::LzHigh] {
-        let mut builder =
-            LogBlockBuilder::with_options(TableSchema::request_log(), codec, 4096);
+        let mut builder = LogBlockBuilder::with_options(TableSchema::request_log(), codec, 4096);
         let wall = std::time::Instant::now();
         for r in &history {
             builder.add_row(&r.to_row()).expect("add row");
@@ -37,18 +36,10 @@ fn main() {
         let bytes = builder.finish().expect("finish");
         let secs = wall.elapsed().as_secs_f64();
         let pack = PackReader::open(bytes.clone()).expect("reopen");
-        let index_bytes: u64 = pack
-            .members()
-            .iter()
-            .filter(|m| m.name.starts_with("index."))
-            .map(|m| m.len)
-            .sum();
-        let data_bytes: u64 = pack
-            .members()
-            .iter()
-            .filter(|m| m.name.starts_with("col."))
-            .map(|m| m.len)
-            .sum();
+        let index_bytes: u64 =
+            pack.members().iter().filter(|m| m.name.starts_with("index.")).map(|m| m.len).sum();
+        let data_bytes: u64 =
+            pack.members().iter().filter(|m| m.name.starts_with("col.")).map(|m| m.len).sum();
         table.push(vec![
             codec.to_string(),
             format!("{:.2}", bytes.len() as f64 / (1 << 20) as f64),
@@ -61,15 +52,7 @@ fn main() {
     }
     print_table(
         "Storage cost per codec (one LogBlock, full-column indexes included)",
-        &[
-            "codec",
-            "packed MiB",
-            "vs raw",
-            "column MiB",
-            "index MiB",
-            "index share",
-            "build rate",
-        ],
+        &["codec", "packed MiB", "vs raw", "column MiB", "index MiB", "index share", "build rate"],
         &table,
     );
     println!(

@@ -82,10 +82,8 @@ mod tests {
         let params = DatasetParams { tenants: 20, theta: 0.99, rows: 2000, seed: 3 };
         let setup = build_engine(LatencyModel::zero(), &params);
         assert!(setup.store.block_count() >= 20, "every tenant should have a block");
-        let result = setup
-            .store
-            .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-            .unwrap();
+        let result =
+            setup.store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").unwrap();
         let count = result.rows[0][0].as_u64().unwrap();
         assert!(count > 100, "rank-1 tenant should dominate: {count}");
     }

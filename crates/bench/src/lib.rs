@@ -21,12 +21,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         }
     }
     let fmt_row = |cells: &[String]| {
-        cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
     for row in rows {

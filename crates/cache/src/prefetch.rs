@@ -158,13 +158,8 @@ mod tests {
         let store = Arc::new(SimulatedOss::new(MemoryStore::new(), LatencyModel::zero(), 1));
         store.inner().put("obj", &vec![5u8; size]).unwrap();
         let cache = Arc::new(TieredCache::memory_only(1 << 24));
-        let src = CachedObjectSource::open_with_block_size(
-            Arc::clone(&store),
-            "obj",
-            cache,
-            block,
-        )
-        .unwrap();
+        let src = CachedObjectSource::open_with_block_size(Arc::clone(&store), "obj", cache, block)
+            .unwrap();
         (src, store)
     }
 
@@ -210,8 +205,7 @@ mod tests {
         store.inner().put("obj", &[0u8; 100]).unwrap();
         let cache = Arc::new(TieredCache::memory_only(1 << 20));
         let src =
-            CachedObjectSource::open_with_block_size(Arc::clone(&store), "obj", cache, 64)
-                .unwrap();
+            CachedObjectSource::open_with_block_size(Arc::clone(&store), "obj", cache, 64).unwrap();
         // Delete the object behind the source's back.
         store.inner().delete("obj").unwrap();
         let p = Prefetcher::new(2);
@@ -228,13 +222,8 @@ mod tests {
         ));
         store.inner().inner().put("obj", &vec![7u8; 8 * 1024]).unwrap();
         let cache = Arc::new(TieredCache::memory_only(1 << 20));
-        let src = CachedObjectSource::open_with_block_size(
-            Arc::clone(&store),
-            "obj",
-            cache,
-            1024,
-        )
-        .unwrap();
+        let src = CachedObjectSource::open_with_block_size(Arc::clone(&store), "obj", cache, 1024)
+            .unwrap();
         // One scheduled fault; a single-threaded wave makes it land on a
         // deterministic block. The other 7 blocks must still be fetched.
         store.inner().fail_next(1);
@@ -263,13 +252,8 @@ mod tests {
         let store = Arc::new(SimulatedOss::new(MemoryStore::new(), model, 1));
         store.inner().put("obj", &vec![1u8; 8 * 1024]).unwrap();
         let cache = Arc::new(TieredCache::memory_only(1 << 20));
-        let src = CachedObjectSource::open_with_block_size(
-            Arc::clone(&store),
-            "obj",
-            cache,
-            1024,
-        )
-        .unwrap();
+        let src = CachedObjectSource::open_with_block_size(Arc::clone(&store), "obj", cache, 1024)
+            .unwrap();
         let p = Prefetcher::new(4);
         let wall = std::time::Instant::now();
         p.prefetch(&src, vec![(0, 8 * 1024)]).unwrap();

@@ -90,8 +90,7 @@ impl<S: ObjectStore> CachedObjectSource<S> {
 
     fn fetch_block(&self, block_offset: u64, block_len: u64) -> Result<Arc<Vec<u8>>> {
         let key = BlockKey { path: self.path.clone(), offset: block_offset };
-        self.cache
-            .get_or_fetch(&key, || self.store.get_range(&self.path, block_offset, block_len))
+        self.cache.get_or_fetch(&key, || self.store.get_range(&self.path, block_offset, block_len))
     }
 
     /// Fetches one aligned block into the cache (prefetch worker entry).
@@ -135,8 +134,7 @@ mod tests {
         let store = SimulatedOss::new(MemoryStore::new(), LatencyModel::zero(), 1);
         store.inner().put("obj", object).unwrap();
         let cache = Arc::new(TieredCache::memory_only(1 << 20));
-        CachedObjectSource::open_with_block_size(Arc::new(store), "obj", cache, block_size)
-            .unwrap()
+        CachedObjectSource::open_with_block_size(Arc::new(store), "obj", cache, block_size).unwrap()
     }
 
     #[test]

@@ -116,9 +116,8 @@ impl DiskBlockCache {
 
     /// Inserts a block (spilled from memory or fetched directly).
     pub fn put(&self, key: BlockKey, data: &[u8]) -> Result<()> {
-        let file = self
-            .root
-            .join(format!("blk-{}.cache", self.seq.fetch_add(1, Ordering::Relaxed)));
+        let file =
+            self.root.join(format!("blk-{}.cache", self.seq.fetch_add(1, Ordering::Relaxed)));
         std::fs::write(&file, data)?;
         let evicted = self.index.lock().put(key, file, data.len());
         for (_, old_file) in evicted {
@@ -257,9 +256,7 @@ mod tests {
     fn fetch_error_propagates_and_is_not_cached() {
         let cache = TieredCache::memory_only(1 << 20);
         let k = key("obj", 0);
-        let err = cache.get_or_fetch(&k, || {
-            Err(logstore_types::Error::NotFound("gone".into()))
-        });
+        let err = cache.get_or_fetch(&k, || Err(logstore_types::Error::NotFound("gone".into())));
         assert!(err.is_err());
         // A later successful fetch works.
         let v = cache.get_or_fetch(&k, || Ok(vec![9])).unwrap();

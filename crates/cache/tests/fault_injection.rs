@@ -34,7 +34,9 @@ fn fixture_store() -> Arc<FaultyStore<MemoryStore>> {
     Arc::new(store)
 }
 
-fn scan_count(source: &CachedObjectSource<FaultyStore<MemoryStore>>) -> Result<u32, logstore_types::Error> {
+fn scan_count(
+    source: &CachedObjectSource<FaultyStore<MemoryStore>>,
+) -> Result<u32, logstore_types::Error> {
     // CachedObjectSource is not Clone; reopen a reader over a shared Arc'd
     // source by reading through it directly.
     let reader = LogBlockReader::open(ManualSource(source))?;

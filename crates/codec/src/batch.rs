@@ -1,0 +1,93 @@
+//! Shared record-batch payload codec.
+//!
+//! Both durable paths that carry whole batches — the per-shard WAL and the
+//! Raft replication log — use the same wire format: a leading uvarint
+//! record count followed by that many serialized rows ([`crate::valser`]).
+//! Centralizing the pair here keeps the two paths byte-compatible and gives
+//! both the same corruption guards: an implausible record count cannot
+//! trigger an unbounded allocation, and a payload with trailing bytes after
+//! the last record is rejected instead of silently dropping a suffix.
+
+use crate::valser::{put_row, read_row};
+use crate::varint::{put_uvarint, read_uvarint};
+use logstore_types::{Error, LogRecord, Result};
+
+/// Serializes records into a WAL/Raft batch payload.
+pub fn encode_batch(records: &[LogRecord]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, records.len() as u64);
+    for r in records {
+        put_row(&mut out, &r.to_row());
+    }
+    out
+}
+
+/// Decodes a payload written by [`encode_batch`].
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<LogRecord>> {
+    let mut pos = 0;
+    let n = read_uvarint(payload, &mut pos)? as usize;
+    // Every record costs at least one byte on the wire, so a count larger
+    // than the remaining payload is corrupt — and must not size-hint an
+    // allocation.
+    if n > payload.len() {
+        return Err(Error::corruption("batch count implausible"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row = read_row(payload, &mut pos)?;
+        out.push(LogRecord::from_row(&row)?);
+    }
+    if pos != payload.len() {
+        return Err(Error::corruption("trailing bytes after batch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore_types::{TenantId, Timestamp, Value};
+
+    fn rec(t: u64, ts: i64) -> LogRecord {
+        LogRecord::new(
+            TenantId(t),
+            Timestamp(ts),
+            vec![Value::from("ip"), Value::I64(7), Value::Bool(true), Value::from("line")],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![rec(1, 5), rec(2, 6), rec(1, 7)];
+        let payload = encode_batch(&records);
+        assert_eq!(decode_batch(&payload).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let payload = encode_batch(&[]);
+        assert!(decode_batch(&payload).unwrap().is_empty());
+    }
+
+    #[test]
+    fn implausible_count_rejected_without_allocation() {
+        let mut payload = Vec::new();
+        put_uvarint(&mut payload, u64::MAX);
+        let err = decode_batch(&payload).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode_batch(&[rec(1, 1)]);
+        payload.push(0);
+        let err = decode_batch(&payload).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let payload = encode_batch(&[rec(1, 1), rec(2, 2)]);
+        assert!(decode_batch(&payload[..payload.len() - 1]).is_err());
+    }
+}

@@ -107,9 +107,8 @@ pub fn compress(compression: Compression, data: &[u8]) -> Vec<u8> {
 ///
 /// `max_len` bounds the decoded size (bomb guard).
 pub fn decompress(frame: &[u8], max_len: usize) -> Result<Vec<u8>> {
-    let (&tag, payload) = frame
-        .split_first()
-        .ok_or_else(|| Error::corruption("empty compression frame"))?;
+    let (&tag, payload) =
+        frame.split_first().ok_or_else(|| Error::corruption("empty compression frame"))?;
     let compression = Compression::from_tag(tag)
         .ok_or_else(|| Error::corruption(format!("unknown compression tag {tag}")))?;
     match compression {

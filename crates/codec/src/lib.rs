@@ -16,6 +16,7 @@
 //! Plus the supporting primitives every storage format needs:
 //! [`varint`] (LEB128 + zigzag) and [`crc`] (CRC32C).
 
+pub mod batch;
 pub mod crc;
 pub mod delta;
 pub mod frame;

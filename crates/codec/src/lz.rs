@@ -232,9 +232,8 @@ fn read_len_nibble(input: &[u8], pos: &mut usize, nibble: usize) -> Result<usize
     }
     let mut len = 15;
     loop {
-        let b = *input
-            .get(*pos)
-            .ok_or_else(|| Error::corruption("lz length extension truncated"))?;
+        let b =
+            *input.get(*pos).ok_or_else(|| Error::corruption("lz length extension truncated"))?;
         *pos += 1;
         len += b as usize;
         if b != 255 {
@@ -259,24 +258,21 @@ pub fn decompress(input: &[u8], max_len: usize) -> Result<Vec<u8>> {
         pos += 1;
         let lit_len = read_len_nibble(input, &mut pos, (token >> 4) as usize)?;
         let lit_end = pos + lit_len;
-        let lits = input
-            .get(pos..lit_end)
-            .ok_or_else(|| Error::corruption("lz literals truncated"))?;
+        let lits =
+            input.get(pos..lit_end).ok_or_else(|| Error::corruption("lz literals truncated"))?;
         out.extend_from_slice(lits);
         pos = lit_end;
         if pos == input.len() {
             break; // final literal-only sequence
         }
-        let off_bytes = input
-            .get(pos..pos + 2)
-            .ok_or_else(|| Error::corruption("lz offset truncated"))?;
+        let off_bytes =
+            input.get(pos..pos + 2).ok_or_else(|| Error::corruption("lz offset truncated"))?;
         let offset = u16::from_le_bytes(off_bytes.try_into().expect("2 bytes")) as usize;
         pos += 2;
         if offset == 0 || offset > out.len() {
             return Err(Error::corruption("lz offset out of range"));
         }
-        let match_len =
-            MIN_MATCH + read_len_nibble(input, &mut pos, (token & 0x0f) as usize)?;
+        let match_len = MIN_MATCH + read_len_nibble(input, &mut pos, (token & 0x0f) as usize)?;
         if out.len() + match_len > declared {
             return Err(Error::corruption("lz output exceeds declared length"));
         }
@@ -320,12 +316,8 @@ mod tests {
 
     #[test]
     fn repetitive_text_compresses() {
-        let data: Vec<u8> = b"GET /api/v1/users 200 12ms "
-            .iter()
-            .copied()
-            .cycle()
-            .take(50_000)
-            .collect();
+        let data: Vec<u8> =
+            b"GET /api/v1/users 200 12ms ".iter().copied().cycle().take(50_000).collect();
         let fast = compress_fast(&data);
         let high = compress_high(&data);
         assert!(fast.len() < data.len() / 4, "fast ratio too poor: {}", fast.len());
@@ -339,8 +331,13 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..2000 {
             data.extend_from_slice(
-                format!("2020-11-11 00:{:02}:{:02} INFO request id={} latency={}ms\n",
-                        i / 60 % 60, i % 60, i * 7, i % 300)
+                format!(
+                    "2020-11-11 00:{:02}:{:02} INFO request id={} latency={}ms\n",
+                    i / 60 % 60,
+                    i % 60,
+                    i * 7,
+                    i % 300
+                )
                 .as_bytes(),
             );
         }

@@ -67,16 +67,13 @@ pub fn decompress(input: &[u8], max_len: usize) -> Result<Vec<u8>> {
         }
         if head & 1 == 1 {
             // Repeat run.
-            let b = *input
-                .get(pos)
-                .ok_or_else(|| Error::corruption("rle repeat truncated"))?;
+            let b = *input.get(pos).ok_or_else(|| Error::corruption("rle repeat truncated"))?;
             pos += 1;
             out.resize(out.len() + len, b);
         } else {
             let end = pos + len;
-            let lit = input
-                .get(pos..end)
-                .ok_or_else(|| Error::corruption("rle literal truncated"))?;
+            let lit =
+                input.get(pos..end).ok_or_else(|| Error::corruption("rle literal truncated"))?;
             out.extend_from_slice(lit);
             pos = end;
         }

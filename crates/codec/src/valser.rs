@@ -36,9 +36,7 @@ pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
 
 /// Reads a value written by [`put_value`].
 pub fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
-    let tag = *buf
-        .get(*pos)
-        .ok_or_else(|| Error::corruption("value tag truncated"))?;
+    let tag = *buf.get(*pos).ok_or_else(|| Error::corruption("value tag truncated"))?;
     *pos += 1;
     Ok(match tag {
         TAG_NULL => Value::Null,

@@ -31,9 +31,7 @@ pub fn read_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut result: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf
-            .get(*pos)
-            .ok_or_else(|| Error::corruption("varint truncated"))?;
+        let byte = *buf.get(*pos).ok_or_else(|| Error::corruption("varint truncated"))?;
         *pos += 1;
         if shift == 63 && byte > 1 {
             return Err(Error::corruption("varint overflows u64"));
@@ -88,9 +86,7 @@ pub fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
 #[inline]
 pub fn read_u32_le(buf: &[u8], pos: &mut usize) -> Result<u32> {
     let end = *pos + 4;
-    let bytes = buf
-        .get(*pos..end)
-        .ok_or_else(|| Error::corruption("u32 truncated"))?;
+    let bytes = buf.get(*pos..end).ok_or_else(|| Error::corruption("u32 truncated"))?;
     *pos = end;
     Ok(u32::from_le_bytes(bytes.try_into().expect("slice is 4 bytes")))
 }
@@ -105,9 +101,7 @@ pub fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
 #[inline]
 pub fn read_u64_le(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let end = *pos + 8;
-    let bytes = buf
-        .get(*pos..end)
-        .ok_or_else(|| Error::corruption("u64 truncated"))?;
+    let bytes = buf.get(*pos..end).ok_or_else(|| Error::corruption("u64 truncated"))?;
     *pos = end;
     Ok(u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes")))
 }
@@ -121,12 +115,9 @@ pub fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
 /// Reads a length-prefixed byte slice.
 pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
     let len = read_uvarint(buf, pos)? as usize;
-    let end = pos
-        .checked_add(len)
-        .ok_or_else(|| Error::corruption("byte slice length overflow"))?;
-    let out = buf
-        .get(*pos..end)
-        .ok_or_else(|| Error::corruption("byte slice truncated"))?;
+    let end =
+        pos.checked_add(len).ok_or_else(|| Error::corruption("byte slice length overflow"))?;
+    let out = buf.get(*pos..end).ok_or_else(|| Error::corruption("byte slice truncated"))?;
     *pos = end;
     Ok(out)
 }

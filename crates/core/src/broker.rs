@@ -121,10 +121,10 @@ impl Broker {
         let mut report = IngestReport::default();
         for (shard, records) in by_shard {
             let worker = self.shared.worker_for(shard)?;
-            let sub_batch = RecordBatch::from_records(records);
-            match worker.append(shard, &sub_batch) {
-                Ok(()) => report.accepted += sub_batch.len() as u64,
-                Err(Error::Backpressure(_)) => report.rejected += sub_batch.len() as u64,
+            let n = records.len() as u64;
+            match worker.append(shard, RecordBatch::from_records(records)) {
+                Ok(()) => report.accepted += n,
+                Err(Error::Backpressure(_)) => report.rejected += n,
                 Err(e) => return Err(e),
             }
         }
@@ -136,7 +136,7 @@ impl Broker {
     /// submission order, merge, finalize.
     pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryExecution> {
         let wall_start = std::time::Instant::now();
-        let oss_before = self.shared.store.metrics().modelled_time_ns;
+        let oss_before = self.shared.oss_sim().metrics().modelled_time_ns;
 
         let parsed = parse_query(sql)?;
         if parsed.table != self.shared.schema.name {
@@ -227,11 +227,8 @@ impl Broker {
 
         // Gather: fold results in submission order. The earliest source's
         // error wins regardless of which task failed first on the clock.
-        let parallelism = if opts.parallelism == 0 {
-            self.shared.query_pool.threads()
-        } else {
-            opts.parallelism
-        };
+        let parallelism =
+            if opts.parallelism == 0 { self.shared.query_pool.threads() } else { opts.parallelism };
         let mut stats = QueryStats::default();
         let mut partials = Vec::with_capacity(tasks.len());
         for task_result in self.shared.query_pool.scatter(parallelism, tasks) {
@@ -241,13 +238,10 @@ impl Broker {
         }
 
         let visited = stats.blocks_visited;
-        let merged = if partials.is_empty() {
-            empty_partial(&bound)
-        } else {
-            merge_partials(partials)?
-        };
+        let merged =
+            if partials.is_empty() { empty_partial(&bound) } else { merge_partials(partials)? };
         let result = finalize(merged, &bound, &self.shared.schema)?;
-        let oss_after = self.shared.store.metrics().modelled_time_ns;
+        let oss_after = self.shared.oss_sim().metrics().modelled_time_ns;
         Ok(QueryExecution {
             result,
             stats,

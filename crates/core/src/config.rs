@@ -2,7 +2,7 @@
 
 use logstore_codec::Compression;
 use logstore_flow::FlowControlConfig;
-use logstore_oss::LatencyModel;
+use logstore_oss::{FaultScope, LatencyModel, RetryPolicy};
 use logstore_types::TableSchema;
 
 /// Which balancing algorithm the controller runs.
@@ -39,6 +39,14 @@ pub struct ClusterConfig {
     pub rowstore_backpressure_bytes: usize,
     /// Latency model of the simulated OSS.
     pub oss_latency: LatencyModel,
+    /// Retry/backoff policy for every OSS operation (archive uploads,
+    /// prefetch and demand reads alike). `RetryPolicy::none()` disables
+    /// retries so injected faults surface exactly once.
+    pub oss_retry: RetryPolicy,
+    /// Which operation class the OSS fault injector may fail.
+    pub oss_fault_scope: FaultScope,
+    /// Probability that an in-scope OSS operation fails (0.0 = inert).
+    pub oss_fault_probability: f64,
     /// Memory block cache capacity in bytes.
     pub cache_memory_bytes: usize,
     /// Optional SSD cache capacity in bytes (None = memory-only).
@@ -80,6 +88,9 @@ impl ClusterConfig {
             rowstore_flush_bytes: 4 << 20,
             rowstore_backpressure_bytes: 64 << 20,
             oss_latency: LatencyModel::zero(),
+            oss_retry: RetryPolicy::none(),
+            oss_fault_scope: FaultScope::All,
+            oss_fault_probability: 0.0,
             cache_memory_bytes: 8 << 20,
             cache_disk_bytes: None,
             cache_block_size: 64 * 1024,
@@ -104,6 +115,7 @@ impl ClusterConfig {
         c.workers = 6;
         c.shards_per_worker = 4;
         c.oss_latency = LatencyModel::oss_like();
+        c.oss_retry = RetryPolicy::archival_default();
         c.cache_memory_bytes = 64 << 20;
         c.prefetch_threads = 32;
         c.query_threads = default_query_threads();
@@ -145,12 +157,7 @@ impl Default for QueryOptions {
 impl QueryOptions {
     /// Everything off — the "before optimization" baseline of Fig 17.
     pub fn baseline() -> Self {
-        QueryOptions {
-            use_skipping: false,
-            use_prefetch: false,
-            use_cache: false,
-            parallelism: 1,
-        }
+        QueryOptions { use_skipping: false, use_prefetch: false, use_cache: false, parallelism: 1 }
     }
 
     /// Returns `self` with an explicit parallelism degree.
@@ -177,6 +184,15 @@ mod tests {
         let c = ClusterConfig::paper_like();
         assert_eq!(c.total_shards(), 24);
         assert_eq!(c.prefetch_threads, 32);
+    }
+
+    #[test]
+    fn retry_presets() {
+        let t = ClusterConfig::for_testing();
+        assert_eq!(t.oss_retry.max_attempts, 1, "tests must see every fault exactly once");
+        assert_eq!(t.oss_fault_probability, 0.0);
+        let p = ClusterConfig::paper_like();
+        assert!(p.oss_retry.max_attempts > 1, "the production archive path retries");
     }
 
     #[test]

@@ -108,12 +108,8 @@ impl ClusterController {
         let current = traffic.routes();
         let mut vacated = Vec::new();
         for (tenant, old_routes) in traffic.previous_routes().iter() {
-            let current_shards: Vec<ShardId> = current
-                .routes(tenant)
-                .into_iter()
-                .flatten()
-                .map(|r| r.shard)
-                .collect();
+            let current_shards: Vec<ShardId> =
+                current.routes(tenant).into_iter().flatten().map(|r| r.shard).collect();
             for r in old_routes {
                 if !current_shards.contains(&r.shard) {
                     vacated.push((tenant, r.shard));
@@ -172,11 +168,7 @@ impl ClusterController {
                 *snapshot.worker_load.entry(worker).or_default() += window.total;
                 for (&tenant, &count) in &window.per_tenant {
                     *snapshot.tenant_traffic.entry(tenant).or_default() += count;
-                    snapshot
-                        .shard_tenants
-                        .entry(shard)
-                        .or_default()
-                        .push((tenant, count));
+                    snapshot.shard_tenants.entry(shard).or_default().push((tenant, count));
                 }
             }
         }
@@ -227,10 +219,7 @@ mod tests {
         // Simulate a window where the tenant hammers its home shard well
         // beyond capacity * alpha (capacity 100k, alpha 0.85).
         let mut shard_windows = HashMap::new();
-        let window = ShardWindow {
-            total: 200_000,
-            per_tenant: HashMap::from([(hot, 200_000)]),
-        };
+        let window = ShardWindow { total: 200_000, per_tenant: HashMap::from([(hot, 200_000)]) };
         shard_windows.insert(home, window);
         let worker = c.topology().shard_to_worker[&home];
         let mut windows = HashMap::new();
@@ -249,10 +238,7 @@ mod tests {
         let hot = TenantId(1);
         let home = c.pick_shard(hot, 0).unwrap();
         let mut shard_windows = HashMap::new();
-        let window = ShardWindow {
-            total: 500_000,
-            per_tenant: HashMap::from([(hot, 500_000)]),
-        };
+        let window = ShardWindow { total: 500_000, per_tenant: HashMap::from([(hot, 500_000)]) };
         shard_windows.insert(home, window);
         let mut windows = HashMap::new();
         windows.insert(c.topology().shard_to_worker[&home], shard_windows);

@@ -6,12 +6,18 @@
 //! and indexed LogBlocks, uploads them to per-tenant OSS directories and
 //! registers them in the controller's LogBlock map. Oversized tenants are
 //! split across multiple LogBlocks.
+//!
+//! Uploads are fault-tolerant: the engine's store stack retries transient
+//! OSS failures with backoff, and when an upload still fails terminally,
+//! [`build_and_upload`] hands every not-yet-durable row back in
+//! [`BuildOutcome::unarchived`] so the caller can restore them to the row
+//! store. No drained row is ever dropped on an error path.
 
 use crate::metadata::{LogBlockEntry, MetadataStore};
 use logstore_codec::Compression;
 use logstore_logblock::LogBlockBuilder;
 use logstore_oss::ObjectStore;
-use logstore_types::{LogRecord, Result, TableSchema, TenantId};
+use logstore_types::{Error, LogRecord, Result, TableSchema, TenantId};
 use std::collections::BTreeMap;
 
 /// Builder configuration.
@@ -36,61 +42,124 @@ pub struct BuildReport {
     pub bytes_uploaded: u64,
 }
 
+impl BuildReport {
+    /// Accumulates another report into this one.
+    pub fn merge(&mut self, other: &BuildReport) {
+        self.blocks_built += other.blocks_built;
+        self.rows_archived += other.rows_archived;
+        self.bytes_uploaded += other.bytes_uploaded;
+    }
+}
+
+/// The full result of a build pass, including the failure path.
+///
+/// Blocks uploaded before the first error are durable and registered (the
+/// report counts them); every row not covered by a registered block comes
+/// back in `unarchived`, in arrival order, so the caller can restore it.
+#[derive(Debug, Default)]
+pub struct BuildOutcome {
+    /// What was successfully uploaded and registered.
+    pub report: BuildReport,
+    /// Rows that are NOT durable on OSS (empty on full success).
+    pub unarchived: Vec<LogRecord>,
+    /// The first terminal error, if any chunk failed.
+    pub error: Option<Error>,
+}
+
+impl BuildOutcome {
+    /// True when every input row was archived.
+    pub fn is_complete(&self) -> bool {
+        self.error.is_none() && self.unarchived.is_empty()
+    }
+}
+
 /// Converts drained rows into uploaded, registered LogBlocks.
+///
+/// Never returns `Err`: failures are reported through
+/// [`BuildOutcome::error`] together with the rows that still need a home.
 pub fn build_and_upload<S: ObjectStore>(
     rows: Vec<LogRecord>,
     schema: &TableSchema,
     config: &BuildConfig,
     store: &S,
     metadata: &MetadataStore,
-) -> Result<BuildReport> {
-    let mut report = BuildReport::default();
+) -> BuildOutcome {
+    let mut outcome = BuildOutcome::default();
     // Partition by tenant (BTreeMap for deterministic upload order).
     let mut by_tenant: BTreeMap<TenantId, Vec<LogRecord>> = BTreeMap::new();
     for r in rows {
         by_tenant.entry(r.tenant_id).or_default().push(r);
     }
+    let chunk_rows = config.max_rows_per_logblock.max(1);
     for (tenant, mut records) in by_tenant {
+        if outcome.error.is_some() {
+            // A previous tenant failed terminally: stop issuing uploads and
+            // hand the remaining rows back untouched.
+            outcome.unarchived.append(&mut records);
+            continue;
+        }
         // LogBlocks are organized by (tenant, ts): sort, then chunk.
         records.sort_by_key(|r| r.ts);
-        for chunk in records.chunks(config.max_rows_per_logblock.max(1)) {
-            let mut builder = LogBlockBuilder::with_options(
-                schema.clone(),
-                config.compression,
-                config.block_rows,
-            );
-            let (mut min_ts, mut max_ts) = (chunk[0].ts, chunk[0].ts);
-            for r in chunk {
-                builder.add_row(&r.to_row())?;
-                min_ts = min_ts.min(r.ts);
-                max_ts = max_ts.max(r.ts);
+        let mut start = 0;
+        while start < records.len() {
+            let end = (start + chunk_rows).min(records.len());
+            match upload_chunk(tenant, &records[start..end], schema, config, store, metadata) {
+                Ok((bytes_uploaded, rows_archived)) => {
+                    outcome.report.blocks_built += 1;
+                    outcome.report.rows_archived += rows_archived;
+                    outcome.report.bytes_uploaded += bytes_uploaded;
+                    start = end;
+                }
+                Err(e) => {
+                    // This chunk and everything after it is not durable.
+                    outcome.error = Some(e);
+                    outcome.unarchived.extend(records.drain(start..));
+                    break;
+                }
             }
-            let bytes = builder.finish()?;
-            let path = metadata.allocate_block_path(tenant);
-            store.put(&path, &bytes)?;
-            metadata.register_block(
-                tenant,
-                LogBlockEntry {
-                    path,
-                    min_ts,
-                    max_ts,
-                    rows: chunk.len() as u64,
-                    bytes: bytes.len() as u64,
-                },
-            )?;
-            report.blocks_built += 1;
-            report.rows_archived += chunk.len() as u64;
-            report.bytes_uploaded += bytes.len() as u64;
         }
     }
-    Ok(report)
+    outcome
+}
+
+/// Builds, uploads and registers one LogBlock. Returns
+/// `(bytes_uploaded, rows_archived)` — on any error the chunk is not
+/// registered and its rows remain the caller's responsibility.
+fn upload_chunk<S: ObjectStore>(
+    tenant: TenantId,
+    chunk: &[LogRecord],
+    schema: &TableSchema,
+    config: &BuildConfig,
+    store: &S,
+    metadata: &MetadataStore,
+) -> Result<(u64, u64)> {
+    let mut builder =
+        LogBlockBuilder::with_options(schema.clone(), config.compression, config.block_rows);
+    let (mut min_ts, mut max_ts) = (chunk[0].ts, chunk[0].ts);
+    for r in chunk {
+        builder.add_row(&r.to_row())?;
+        min_ts = min_ts.min(r.ts);
+        max_ts = max_ts.max(r.ts);
+    }
+    let bytes = builder.finish()?;
+    let path = metadata.allocate_block_path(tenant);
+    // The durability order is load-bearing: the object must exist on OSS
+    // before it is registered (a registered-but-missing block would fail
+    // queries; an uploaded-but-unregistered block merely wastes space until
+    // the rows are re-archived under a fresh path).
+    store.put(&path, &bytes)?;
+    metadata.register_block(
+        tenant,
+        LogBlockEntry { path, min_ts, max_ts, rows: chunk.len() as u64, bytes: bytes.len() as u64 },
+    )?;
+    Ok((bytes.len() as u64, chunk.len() as u64))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use logstore_logblock::LogBlockReader;
-    use logstore_oss::MemoryStore;
+    use logstore_oss::{FaultScope, FaultyStore, MemoryStore};
     use logstore_types::{TableSchema, TimeRange, Timestamp, Value};
 
     fn rec(t: u64, ts: i64) -> LogRecord {
@@ -120,11 +189,11 @@ mod tests {
         for i in (0..60i64).rev() {
             rows.push(rec(1 + (i % 2) as u64, i));
         }
-        let report =
-            build_and_upload(rows, &TableSchema::request_log(), &config(), &store, &metadata)
-                .unwrap();
-        assert_eq!(report.rows_archived, 60);
-        assert_eq!(report.blocks_built, 2); // 30 rows per tenant, one block each
+        let outcome =
+            build_and_upload(rows, &TableSchema::request_log(), &config(), &store, &metadata);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report.rows_archived, 60);
+        assert_eq!(outcome.report.blocks_built, 2); // 30 rows per tenant, one block each
         assert_eq!(store.object_count(), 2);
         // Per-tenant isolation on OSS paths.
         assert_eq!(store.list("tenants/1/").unwrap().len(), 1);
@@ -140,10 +209,10 @@ mod tests {
         let store = MemoryStore::new();
         let metadata = MetadataStore::new();
         let rows: Vec<LogRecord> = (0..120).map(|i| rec(7, i)).collect();
-        let report =
-            build_and_upload(rows, &TableSchema::request_log(), &config(), &store, &metadata)
-                .unwrap();
-        assert_eq!(report.blocks_built, 3); // 120 / 50 → 50+50+20
+        let outcome =
+            build_and_upload(rows, &TableSchema::request_log(), &config(), &store, &metadata);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report.blocks_built, 3); // 120 / 50 → 50+50+20
         let blocks = metadata.all_blocks(TenantId(7));
         assert_eq!(blocks.len(), 3);
         // Chronological, non-overlapping chunks.
@@ -157,8 +226,9 @@ mod tests {
         let metadata = MetadataStore::new();
         let mut rows: Vec<LogRecord> = (0..40).map(|i| rec(3, 100 - i)).collect();
         rows.reverse();
-        build_and_upload(rows, &TableSchema::request_log(), &config(), &store, &metadata)
-            .unwrap();
+        let outcome =
+            build_and_upload(rows, &TableSchema::request_log(), &config(), &store, &metadata);
+        assert!(outcome.is_complete());
         let entry = &metadata.all_blocks(TenantId(3))[0];
         let bytes = store.get(&entry.path).unwrap();
         let reader = LogBlockReader::open(bytes).unwrap();
@@ -174,15 +244,105 @@ mod tests {
     fn empty_input_is_noop() {
         let store = MemoryStore::new();
         let metadata = MetadataStore::new();
-        let report = build_and_upload(
-            Vec::new(),
-            &TableSchema::request_log(),
-            &config(),
-            &store,
-            &metadata,
-        )
-        .unwrap();
-        assert_eq!(report, BuildReport::default());
+        let outcome =
+            build_and_upload(Vec::new(), &TableSchema::request_log(), &config(), &store, &metadata);
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report, BuildReport::default());
         assert_eq!(store.object_count(), 0);
+    }
+
+    #[test]
+    fn terminal_upload_failure_returns_every_undurable_row() {
+        let store = FaultyStore::new(MemoryStore::new(), FaultScope::Writes, 0.0, 1);
+        let metadata = MetadataStore::new();
+        // Tenant 1: 120 rows → 3 chunks; tenants 2 and 3: 10 rows each.
+        let mut rows: Vec<LogRecord> = (0..120).map(|i| rec(1, i)).collect();
+        rows.extend((0..10).map(|i| rec(2, i)));
+        rows.extend((0..10).map(|i| rec(3, i)));
+        // First PUT (tenant 1, chunk 1) succeeds, second fails.
+        store.fail_next(0);
+        let schema = TableSchema::request_log();
+        let outcome = {
+            let s = &store;
+            // Fail the 2nd put: let one through, then inject.
+            s.put("warmup", b"x").unwrap();
+            s.delete("warmup").unwrap();
+            s.fail_next(0);
+            // Use a closure-free approach: schedule the failure after the
+            // first real chunk upload by failing puts 2.. via probability 0
+            // and an explicit schedule below.
+            build_with_failure_after_first_put(s, &schema, &metadata, rows)
+        };
+        // Chunk 1 of tenant 1 (50 rows) is durable; everything else came back.
+        assert_eq!(outcome.report.blocks_built, 1);
+        assert_eq!(outcome.report.rows_archived, 50);
+        assert!(outcome.error.is_some());
+        assert_eq!(outcome.unarchived.len(), 120 - 50 + 10 + 10);
+        // The registered map matches what is actually on OSS.
+        assert_eq!(metadata.all_blocks(TenantId(1)).len(), 1);
+        assert!(metadata.all_blocks(TenantId(2)).is_empty());
+        assert!(metadata.all_blocks(TenantId(3)).is_empty());
+        // Unarchived rows cover tenants 1, 2 and 3.
+        let t1 = outcome.unarchived.iter().filter(|r| r.tenant_id == TenantId(1)).count();
+        assert_eq!(t1, 70);
+    }
+
+    fn build_with_failure_after_first_put(
+        store: &FaultyStore<MemoryStore>,
+        schema: &TableSchema,
+        metadata: &MetadataStore,
+        rows: Vec<LogRecord>,
+    ) -> BuildOutcome {
+        // The builder uploads tenant 1's chunks first (BTreeMap order).
+        // Let exactly one PUT through, then fail the rest of this pass.
+        struct FailAfterFirst<'a> {
+            inner: &'a FaultyStore<MemoryStore>,
+            puts: std::sync::atomic::AtomicU64,
+        }
+        impl ObjectStore for FailAfterFirst<'_> {
+            fn put(&self, path: &str, data: &[u8]) -> logstore_types::Result<()> {
+                use std::sync::atomic::Ordering;
+                if self.puts.fetch_add(1, Ordering::SeqCst) >= 1 {
+                    self.inner.fail_next(1);
+                }
+                self.inner.put(path, data)
+            }
+            fn get(&self, path: &str) -> logstore_types::Result<Vec<u8>> {
+                self.inner.get(path)
+            }
+            fn get_range(&self, path: &str, o: u64, l: u64) -> logstore_types::Result<Vec<u8>> {
+                self.inner.get_range(path, o, l)
+            }
+            fn head(&self, path: &str) -> logstore_types::Result<u64> {
+                self.inner.head(path)
+            }
+            fn list(&self, prefix: &str) -> logstore_types::Result<Vec<String>> {
+                self.inner.list(prefix)
+            }
+            fn delete(&self, path: &str) -> logstore_types::Result<()> {
+                self.inner.delete(path)
+            }
+        }
+        let wrapper = FailAfterFirst { inner: store, puts: std::sync::atomic::AtomicU64::new(0) };
+        build_and_upload(rows, schema, &config(), &wrapper, metadata)
+    }
+
+    #[test]
+    fn failed_pass_can_be_retried_to_completion() {
+        let store = FaultyStore::new(MemoryStore::new(), FaultScope::Writes, 0.0, 1);
+        let metadata = MetadataStore::new();
+        let rows: Vec<LogRecord> = (0..120).map(|i| rec(5, i)).collect();
+        store.fail_next(1);
+        let schema = TableSchema::request_log();
+        let first = build_and_upload(rows, &schema, &config(), &store, &metadata);
+        assert!(first.error.is_some());
+        assert_eq!(first.report.blocks_built, 0);
+        assert_eq!(first.unarchived.len(), 120);
+        // Second pass with the fault cleared archives everything.
+        let second = build_and_upload(first.unarchived, &schema, &config(), &store, &metadata);
+        assert!(second.is_complete());
+        assert_eq!(second.report.rows_archived, 120);
+        let total: u64 = metadata.all_blocks(TenantId(5)).iter().map(|b| b.rows).sum();
+        assert_eq!(total, 120);
     }
 }

@@ -9,20 +9,26 @@ use crate::metadata::{MetadataStore, TenantInfo};
 use crate::worker::Worker;
 use logstore_cache::{CacheStats, DiskBlockCache, Prefetcher, TieredCache};
 use logstore_flow::ControlAction;
-use logstore_oss::{FaultScope, FaultyStore, MemoryStore, OssMetrics, SimulatedOss};
+use logstore_oss::{
+    FaultyStore, MemoryStore, OssMetrics, RetryMetrics, RetryingStore, SimulatedOss,
+};
 use logstore_query::exec::QueryResult;
 use logstore_types::{
     Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId, Timestamp, WorkerId,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The object-storage stack every engine instance runs on: an in-memory
-/// backend under a fault-injection layer (inert by default — probability
-/// 0.0) under the configurable latency/bandwidth simulator. Figure
-/// harnesses flip the latency model between OSS-like and local-SSD-like;
-/// resilience tests schedule faults via `store.inner().fail_next(n)`.
-pub type Store = SimulatedOss<FaultyStore<MemoryStore>>;
+/// The object-storage stack every engine instance runs on, inside out: an
+/// in-memory backend, a fault-injection layer (inert by default —
+/// probability 0.0), the configurable latency/bandwidth simulator, and a
+/// transient-failure retry decorator. Retry sits outermost so every
+/// attempt pays modelled latency and passes through fault injection —
+/// exactly like re-issuing a real OSS request. Figure harnesses flip the
+/// latency model between OSS-like and local-SSD-like; resilience tests
+/// schedule faults via [`ClusterShared::fault_layer`].
+pub type Store = RetryingStore<SimulatedOss<FaultyStore<MemoryStore>>>;
 
 /// State shared between brokers, the controller and background tasks.
 pub struct ClusterShared {
@@ -63,6 +69,18 @@ impl ClusterShared {
     pub fn worker_snapshot(&self) -> Vec<Arc<Worker>> {
         self.workers.read().iter().map(Arc::clone).collect()
     }
+
+    /// The latency/bandwidth simulator layer of the store stack.
+    pub fn oss_sim(&self) -> &SimulatedOss<FaultyStore<MemoryStore>> {
+        self.store.inner()
+    }
+
+    /// The fault-injection layer of the store stack (resilience tests
+    /// schedule faults here and inspect raw stored objects through its
+    /// own `inner()`).
+    pub fn fault_layer(&self) -> &FaultyStore<MemoryStore> {
+        self.store.inner().inner()
+    }
 }
 
 /// Outcome of an ingest call.
@@ -74,12 +92,24 @@ pub struct IngestReport {
     pub rejected: u64,
 }
 
+/// Lifetime counters for the archive pipeline's failure path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Build passes that hit a terminal (post-retry) upload failure.
+    pub failed_passes: u64,
+    /// Rows handed back to their row store after a failed upload. Each is
+    /// still WAL-covered and is re-archived by a later pass.
+    pub rows_restored: u64,
+}
+
 /// An embedded LogStore cluster.
 pub struct LogStore {
     config: ClusterConfig,
     shared: Arc<ClusterShared>,
     broker: Broker,
     build_config: BuildConfig,
+    archive_failed_passes: AtomicU64,
+    archive_rows_restored: AtomicU64,
 }
 
 impl LogStore {
@@ -87,9 +117,18 @@ impl LogStore {
     pub fn open(config: ClusterConfig) -> Result<Self> {
         let metadata = Arc::new(MetadataStore::new());
         let controller = ClusterController::new(&config, Arc::clone(&metadata));
-        let store = Arc::new(SimulatedOss::new(
-            FaultyStore::new(MemoryStore::new(), FaultScope::All, 0.0, config.seed),
-            config.oss_latency.clone(),
+        let store = Arc::new(RetryingStore::new(
+            SimulatedOss::new(
+                FaultyStore::new(
+                    MemoryStore::new(),
+                    config.oss_fault_scope,
+                    config.oss_fault_probability,
+                    config.seed,
+                ),
+                config.oss_latency.clone(),
+                config.seed,
+            ),
+            config.oss_retry.clone(),
             config.seed,
         ));
         let cache = Arc::new(match config.cache_disk_bytes {
@@ -143,7 +182,14 @@ impl LogStore {
             block_rows: config.block_rows,
             max_rows_per_logblock: config.max_rows_per_logblock,
         };
-        Ok(LogStore { config, shared, broker, build_config })
+        Ok(LogStore {
+            config,
+            shared,
+            broker,
+            build_config,
+            archive_failed_passes: AtomicU64::new(0),
+            archive_rows_restored: AtomicU64::new(0),
+        })
     }
 
     /// The active configuration.
@@ -158,9 +204,14 @@ impl LogStore {
 
     /// Ingests a batch of records through the broker (phase one), then
     /// runs the data builder on any shard over its flush threshold.
+    ///
+    /// An archive failure does not fail an accepted ingest: the accepted
+    /// rows are durable in phase one (WAL + row store), `run_builder`
+    /// restores any drained-but-not-uploaded rows, and a later pass
+    /// re-archives them. Failures are visible in [`LogStore::archive_stats`].
     pub fn ingest(&self, records: Vec<LogRecord>) -> Result<IngestReport> {
         let report = self.broker.ingest(RecordBatch::from_records(records))?;
-        self.flush_if_needed()?;
+        let _archive_error = self.flush_if_needed();
         Ok(report)
     }
 
@@ -184,27 +235,46 @@ impl LogStore {
         self.run_builder(false)
     }
 
+    /// One build pass over every shard: drain → build → upload → **ack**.
+    ///
+    /// The durability order is the point of this function. Draining does
+    /// not checkpoint anything; only after *all* of a shard's drained rows
+    /// are durable on OSS does the ack ([`Worker::ack_archived`]) truncate
+    /// the WAL and compact the replicated log. On a terminal upload
+    /// failure the un-uploaded rows go back into the shard's row store —
+    /// still WAL-covered, so a crash at any point loses nothing. Every
+    /// shard is processed even when an earlier one fails; the first error
+    /// is returned after the pass completes.
     fn run_builder(&self, force: bool) -> Result<BuildReport> {
         let mut total = BuildReport::default();
+        let mut first_error = None;
         for worker in self.shared.worker_snapshot() {
-            for (shard, rows) in worker.drain_for_build(self.config.rowstore_flush_bytes, force)
-            {
-                let report = build_and_upload(
+            for (shard, rows) in worker.drain_for_build(self.config.rowstore_flush_bytes, force) {
+                let outcome = build_and_upload(
                     rows,
                     &self.shared.schema,
                     &self.build_config,
                     self.shared.store.as_ref(),
                     &self.shared.metadata,
-                )?;
-                total.blocks_built += report.blocks_built;
-                total.rows_archived += report.rows_archived;
-                total.bytes_uploaded += report.bytes_uploaded;
-                // Checkpoint: archived entries no longer need the
-                // replicated log (controller-scheduled in the paper).
-                worker.checkpoint_raft(shard)?;
+                );
+                total.merge(&outcome.report);
+                if outcome.is_complete() {
+                    worker.ack_archived(shard)?;
+                } else {
+                    self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
+                    self.archive_rows_restored
+                        .fetch_add(outcome.unarchived.len() as u64, Ordering::Relaxed);
+                    worker.restore_unarchived(shard, outcome.unarchived)?;
+                    if first_error.is_none() {
+                        first_error = outcome.error;
+                    }
+                }
             }
         }
-        Ok(total)
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
     }
 
     /// One traffic-control tick: collects worker ingest windows, feeds the
@@ -222,14 +292,28 @@ impl LogStore {
             for (tenant, shard) in self.shared.controller.vacated_routes() {
                 let worker = self.shared.worker_for(shard)?;
                 let rows = worker.drain_tenant(shard, tenant)?;
-                if !rows.is_empty() {
-                    build_and_upload(
-                        rows,
-                        &self.shared.schema,
-                        &self.build_config,
-                        self.shared.store.as_ref(),
-                        &self.shared.metadata,
-                    )?;
+                if rows.is_empty() {
+                    continue;
+                }
+                let outcome = build_and_upload(
+                    rows,
+                    &self.shared.schema,
+                    &self.build_config,
+                    self.shared.store.as_ref(),
+                    &self.shared.metadata,
+                );
+                if !outcome.is_complete() {
+                    // The flush-instead-of-migrate optimization failed:
+                    // put the rows back on their old shard. They stay
+                    // queryable there and the next build pass re-archives
+                    // them — a missed rebalance, never a lost row.
+                    self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
+                    self.archive_rows_restored
+                        .fetch_add(outcome.unarchived.len() as u64, Ordering::Relaxed);
+                    worker.restore_unarchived(shard, outcome.unarchived)?;
+                    if let Some(e) = outcome.error {
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -247,9 +331,8 @@ impl LogStore {
             let mut shard_map = self.shared.shard_to_worker.write();
             let worker_id = WorkerId(workers.len() as u32);
             let next_shard = shard_map.keys().map(|s| s.raw() + 1).max().unwrap_or(0);
-            let shard_ids: Vec<ShardId> = (0..self.config.shards_per_worker)
-                .map(|s| ShardId(next_shard + s))
-                .collect();
+            let shard_ids: Vec<ShardId> =
+                (0..self.config.shards_per_worker).map(|s| ShardId(next_shard + s)).collect();
             let worker = Arc::new(Worker::new(
                 worker_id,
                 &shard_ids,
@@ -265,9 +348,11 @@ impl LogStore {
             workers.push(worker);
             drop(workers);
             drop(shard_map);
-            self.shared
-                .controller
-                .register_worker(worker_id, &shard_ids, self.config.shard_capacity);
+            self.shared.controller.register_worker(
+                worker_id,
+                &shard_ids,
+                self.config.shard_capacity,
+            );
             added.push(worker_id);
         }
         Ok(added)
@@ -285,9 +370,7 @@ impl LogStore {
 
     /// Runs the expiration task as of `now`; returns deleted block count.
     pub fn expire(&self, now: Timestamp) -> Result<u64> {
-        self.shared
-            .controller
-            .run_expiration(self.shared.store.as_ref(), now)
+        self.shared.controller.run_expiration(self.shared.store.as_ref(), now)
     }
 
     /// Per-tenant archived usage (the billing meter).
@@ -297,11 +380,25 @@ impl LogStore {
 
     /// OSS request/byte/latency counters.
     pub fn oss_metrics(&self) -> OssMetrics {
+        self.shared.oss_sim().metrics()
+    }
+
+    /// Retry decorator counters (operations, retries, exhausted budgets).
+    pub fn retry_metrics(&self) -> RetryMetrics {
         self.shared.store.metrics()
     }
 
-    /// Resets OSS counters (between experiment phases).
+    /// Archive-pipeline failure counters.
+    pub fn archive_stats(&self) -> ArchiveStats {
+        ArchiveStats {
+            failed_passes: self.archive_failed_passes.load(Ordering::Relaxed),
+            rows_restored: self.archive_rows_restored.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets OSS and retry counters (between experiment phases).
     pub fn reset_oss_metrics(&self) {
+        self.shared.oss_sim().reset_metrics();
         self.shared.store.reset_metrics();
     }
 
@@ -352,14 +449,12 @@ mod tests {
     #[test]
     fn ingest_then_query_realtime() {
         let s = store();
-        let report = s
-            .ingest(vec![rec(1, 100, 10, "hello world"), rec(1, 200, 20, "second line")])
-            .unwrap();
+        let report =
+            s.ingest(vec![rec(1, 100, 10, "hello world"), rec(1, 200, 20, "second line")]).unwrap();
         assert_eq!(report.accepted, 2);
         assert_eq!(report.rejected, 0);
-        let result = s
-            .query("SELECT log FROM request_log WHERE tenant_id = 1 AND ts >= 0")
-            .unwrap();
+        let result =
+            s.query("SELECT log FROM request_log WHERE tenant_id = 1 AND ts >= 0").unwrap();
         assert_eq!(result.rows.len(), 2);
     }
 
@@ -371,25 +466,22 @@ mod tests {
         assert_eq!(report.rows_archived, 1);
         assert!(s.block_count() >= 1);
         s.ingest(vec![rec(1, 200, 20, "fresh row")]).unwrap();
-        let result = s
-            .query("SELECT log FROM request_log WHERE tenant_id = 1")
-            .unwrap();
+        let result = s.query("SELECT log FROM request_log WHERE tenant_id = 1").unwrap();
         assert_eq!(result.rows.len(), 2, "must merge OSS blocks with the row store");
     }
 
     #[test]
     fn tenant_isolation_in_queries_and_storage() {
         let s = store();
-        s.ingest(vec![rec(1, 100, 10, "tenant one"), rec(2, 100, 10, "tenant two")])
-            .unwrap();
+        s.ingest(vec![rec(1, 100, 10, "tenant one"), rec(2, 100, 10, "tenant two")]).unwrap();
         s.flush().unwrap();
         let r1 = s.query("SELECT log FROM request_log WHERE tenant_id = 1").unwrap();
         assert_eq!(r1.rows.len(), 1);
         assert_eq!(r1.rows[0][0], Value::from("tenant one"));
         // Physical isolation: distinct OSS prefixes.
         use logstore_oss::ObjectStore;
-        assert_eq!(s.shared().store.inner().list("tenants/1/").unwrap().len(), 1);
-        assert_eq!(s.shared().store.inner().list("tenants/2/").unwrap().len(), 1);
+        assert_eq!(s.shared().fault_layer().list("tenants/1/").unwrap().len(), 1);
+        assert_eq!(s.shared().fault_layer().list("tenants/2/").unwrap().len(), 1);
     }
 
     #[test]
@@ -409,9 +501,7 @@ mod tests {
         for i in 30..50 {
             s.ingest(vec![rec(1, i, 10, "x")]).unwrap();
         }
-        let result = s
-            .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-            .unwrap();
+        let result = s.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").unwrap();
         assert_eq!(result.rows[0][0], Value::U64(50));
     }
 
@@ -425,14 +515,11 @@ mod tests {
         .unwrap();
         s.flush().unwrap();
         let result = s
-            .query(
-                "SELECT log FROM request_log WHERE tenant_id = 1 AND log CONTAINS 'timeout'",
-            )
+            .query("SELECT log FROM request_log WHERE tenant_id = 1 AND log CONTAINS 'timeout'")
             .unwrap();
         assert_eq!(result.rows.len(), 1);
-        let result = s
-            .query("SELECT log FROM request_log WHERE tenant_id = 1 AND fail = true")
-            .unwrap();
+        let result =
+            s.query("SELECT log FROM request_log WHERE tenant_id = 1 AND fail = true").unwrap();
         assert_eq!(result.rows.len(), 1);
     }
 

@@ -102,15 +102,11 @@ impl QueryPool {
         drop(result_tx);
         let mut results: Vec<Option<Result<T>>> = (0..total).map(|_| None).collect();
         for _ in 0..total {
-            let (idx, result) = result_rx
-                .recv()
-                .expect("query pool runners exited without reporting all tasks");
+            let (idx, result) =
+                result_rx.recv().expect("query pool runners exited without reporting all tasks");
             results[idx] = Some(result);
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every task index reported exactly once"))
-            .collect()
+        results.into_iter().map(|r| r.expect("every task index reported exactly once")).collect()
     }
 
     fn submit(&self, job: Job) {
@@ -246,11 +242,8 @@ mod tests {
     #[test]
     fn panicking_task_reports_instead_of_hanging() {
         let pool = QueryPool::new(2);
-        let tasks: Vec<Task<u32>> = vec![
-            Box::new(|| Ok(1)),
-            Box::new(|| panic!("boom in task")),
-            Box::new(|| Ok(3)),
-        ];
+        let tasks: Vec<Task<u32>> =
+            vec![Box::new(|| Ok(1)), Box::new(|| panic!("boom in task")), Box::new(|| Ok(3))];
         let results = pool.scatter(2, tasks);
         assert_eq!(results[0].as_ref().unwrap(), &1);
         assert!(results[1].as_ref().unwrap_err().to_string().contains("boom in task"));

@@ -29,6 +29,6 @@ pub mod metadata;
 pub mod worker;
 
 pub use config::{ClusterConfig, QueryOptions};
+pub use engine::{ArchiveStats, IngestReport, LogStore};
 pub use executor::QueryPool;
-pub use engine::{IngestReport, LogStore};
 pub use metadata::{LogBlockEntry, MetadataStore, TenantInfo};

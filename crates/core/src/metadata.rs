@@ -31,8 +31,7 @@ impl LogBlockEntry {
 }
 
 /// Per-tenant registration: retention policy and usage.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TenantInfo {
     /// Data older than this many milliseconds may be expired
     /// (None = keep forever, the archival tenants).
@@ -42,7 +41,6 @@ pub struct TenantInfo {
     /// Total archived bytes (the billing meter).
     pub archived_bytes: u64,
 }
-
 
 /// The controller's metadata database.
 #[derive(Debug, Default)]
@@ -67,12 +65,7 @@ impl MetadataStore {
 
     /// Registers (or updates) a tenant's retention policy.
     pub fn set_retention(&self, tenant: TenantId, retention_ms: Option<i64>) {
-        self.inner
-            .write()
-            .tenants
-            .entry(tenant)
-            .or_default()
-            .retention_ms = retention_ms;
+        self.inner.write().tenants.entry(tenant).or_default().retention_ms = retention_ms;
     }
 
     /// Tenant info snapshot.
@@ -112,11 +105,7 @@ impl MetadataStore {
             .blocks
             .get(&tenant)
             .map(|blocks| {
-                blocks
-                    .iter()
-                    .filter(|b| b.time_range().overlaps(&range))
-                    .cloned()
-                    .collect()
+                blocks.iter().filter(|b| b.time_range().overlaps(&range)).cloned().collect()
             })
             .unwrap_or_default()
     }

@@ -5,8 +5,10 @@
 //! accounting that feeds the traffic monitor. The data builder drains
 //! shards in the background (phase two, [`crate::databuilder`]).
 
-use logstore_codec::valser::{put_row, read_row};
-use logstore_codec::varint::{put_uvarint, read_uvarint};
+/// Raft batch payloads share the WAL's codec (including its corruption
+/// guards); re-exported for replica catch-up tooling and tests.
+pub use logstore_codec::batch::decode_batch;
+use logstore_codec::batch::encode_batch;
 use logstore_raft::{InProcCluster, RaftConfig};
 use logstore_types::{
     ColumnPredicate, Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId,
@@ -32,11 +34,11 @@ enum Backend {
 }
 
 impl Backend {
-    fn insert_batch(&mut self, batch: &RecordBatch) -> Result<()> {
+    fn insert_batch(&mut self, batch: RecordBatch) -> Result<()> {
         match self {
             Backend::Mem(rows) => {
-                for r in &batch.records {
-                    rows.insert(r.clone());
+                for r in batch.records {
+                    rows.insert(r);
                 }
                 Ok(())
             }
@@ -71,13 +73,11 @@ impl Backend {
     }
 
     fn drain_all(&mut self) -> Vec<LogRecord> {
+        // No checkpoint here: the WAL keeps covering the drained rows until
+        // the engine acks that they are durable on OSS (`ack_archived`).
         match self {
             Backend::Mem(rows) => rows.drain_oldest(usize::MAX),
-            Backend::Durable(store) => {
-                let drained = store.drain_for_archive(usize::MAX);
-                let _ = store.checkpoint();
-                drained
-            }
+            Backend::Durable(store) => store.drain_for_archive(usize::MAX),
         }
     }
 
@@ -85,6 +85,24 @@ impl Backend {
         match self {
             Backend::Mem(rows) => rows.drain_tenant(tenant),
             Backend::Durable(store) => store.drain_tenant(tenant),
+        }
+    }
+
+    fn restore(&mut self, rows: Vec<LogRecord>) {
+        match self {
+            Backend::Mem(store) => {
+                for r in rows {
+                    store.insert(r);
+                }
+            }
+            Backend::Durable(store) => store.restore_unarchived(rows),
+        }
+    }
+
+    fn checkpoint(&mut self) -> Result<usize> {
+        match self {
+            Backend::Mem(_) => Ok(0),
+            Backend::Durable(store) => store.checkpoint(),
         }
     }
 }
@@ -117,10 +135,9 @@ impl Worker {
         for &shard in shard_ids {
             let backend = match data_dir {
                 Some(dir) => {
-                    let shard_dir = dir.join(format!("worker-{}", id.raw())).join(format!(
-                        "shard-{}",
-                        shard.raw()
-                    ));
+                    let shard_dir = dir
+                        .join(format!("worker-{}", id.raw()))
+                        .join(format!("shard-{}", shard.raw()));
                     Backend::Durable(ShardStore::open(
                         shard_dir,
                         schema.clone(),
@@ -144,7 +161,11 @@ impl Worker {
             };
             shards.insert(
                 shard,
-                ShardState { backend: Mutex::new(backend), raft, window: Mutex::new(ShardWindow::default()) },
+                ShardState {
+                    backend: Mutex::new(backend),
+                    raft,
+                    window: Mutex::new(ShardWindow::default()),
+                },
             );
         }
         Ok(Worker { id, shards, backpressure_bytes })
@@ -170,7 +191,8 @@ impl Worker {
 
     /// Phase-one ingest of a batch into one shard: BFC admission check,
     /// Raft replication (when configured), row-store insert, accounting.
-    pub fn append(&self, shard: ShardId, batch: &RecordBatch) -> Result<()> {
+    /// Consumes the batch — records move into the store, never cloned.
+    pub fn append(&self, shard: ShardId, batch: RecordBatch) -> Result<()> {
         let state = self.shard(shard)?;
         {
             let backend = state.backend.lock();
@@ -183,7 +205,7 @@ impl Worker {
         }
         if let Some(raft) = &state.raft {
             let mut cluster = raft.lock();
-            let payload = encode_batch(batch);
+            let payload = encode_batch(&batch.records);
             cluster.propose(payload)?;
             // Drive the group until the entry is applied on the leader
             // (the paper's sync_queue wait, §4.2).
@@ -200,11 +222,18 @@ impl Worker {
                 }
             }
         }
+        // Window accounting happens only on success; tally before the
+        // records move into the backend.
+        let total = batch.len() as u64;
+        let mut per_tenant: HashMap<TenantId, u64> = HashMap::new();
+        for r in &batch.records {
+            *per_tenant.entry(r.tenant_id).or_default() += 1;
+        }
         state.backend.lock().insert_batch(batch)?;
         let mut window = state.window.lock();
-        window.total += batch.len() as u64;
-        for r in &batch.records {
-            *window.per_tenant.entry(r.tenant_id).or_default() += 1;
+        window.total += total;
+        for (tenant, n) in per_tenant {
+            *window.per_tenant.entry(tenant).or_default() += n;
         }
         Ok(())
     }
@@ -232,7 +261,11 @@ impl Worker {
 
     /// Drains every shard whose buffer exceeds `flush_bytes` (or all when
     /// `force`), returning `(shard, rows)` for the data builder.
-    pub fn drain_for_build(&self, flush_bytes: usize, force: bool) -> Vec<(ShardId, Vec<LogRecord>)> {
+    pub fn drain_for_build(
+        &self,
+        flush_bytes: usize,
+        force: bool,
+    ) -> Vec<(ShardId, Vec<LogRecord>)> {
         let mut out = Vec::new();
         for (&shard, state) in &self.shards {
             let mut backend = state.backend.lock();
@@ -252,6 +285,28 @@ impl Worker {
         Ok(self.shard(shard)?.backend.lock().drain_tenant(tenant))
     }
 
+    /// Puts drained rows that failed to archive back into the shard's
+    /// store. The shard's WAL still covers them (no ack happened), so this
+    /// restores queryability without re-logging anything.
+    pub fn restore_unarchived(&self, shard: ShardId, rows: Vec<LogRecord>) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        self.shard(shard)?.backend.lock().restore(rows);
+        Ok(())
+    }
+
+    /// The archive ack: called by the engine once drained rows are durable
+    /// on OSS. Truncates the shard's fully-archived WAL prefix and compacts
+    /// the replicated log. Checkpoint I/O errors propagate — the WAL keeps
+    /// the extra segments (at-least-once replay), but the condition is
+    /// loud instead of silently leaking disk.
+    pub fn ack_archived(&self, shard: ShardId) -> Result<()> {
+        let state = self.shard(shard)?;
+        state.backend.lock().checkpoint()?;
+        self.checkpoint_raft(shard)
+    }
+
     /// After the drained rows are durable on OSS, compacts the shard's
     /// replicated log up to the applied point (the checkpoint task the
     /// paper's controller schedules). No-op for unreplicated shards.
@@ -264,9 +319,7 @@ impl Worker {
         if applied > 0 {
             // The snapshot payload is the archive watermark; replicas that
             // fall behind rebuild their row store from OSS, not the log.
-            cluster
-                .node_mut(leader)
-                .compact(applied, applied.to_le_bytes().to_vec())?;
+            cluster.node_mut(leader).compact(applied, applied.to_le_bytes().to_vec())?;
         }
         Ok(())
     }
@@ -291,27 +344,6 @@ impl Worker {
             .map(|(&shard, state)| (shard, std::mem::take(&mut *state.window.lock())))
             .collect()
     }
-}
-
-fn encode_batch(batch: &RecordBatch) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_uvarint(&mut out, batch.len() as u64);
-    for r in &batch.records {
-        put_row(&mut out, &r.to_row());
-    }
-    out
-}
-
-/// Decodes a Raft batch payload (used by replica catch-up tooling/tests).
-pub fn decode_batch(payload: &[u8]) -> Result<Vec<LogRecord>> {
-    let mut pos = 0;
-    let n = read_uvarint(payload, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(n.min(1 << 20));
-    for _ in 0..n {
-        let row = read_row(payload, &mut pos)?;
-        out.push(LogRecord::from_row(&row)?);
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -349,9 +381,8 @@ mod tests {
     #[test]
     fn append_scan_and_window_metrics() {
         let w = worker(1);
-        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 10), rec(2, 20)]))
-            .unwrap();
-        w.append(ShardId(1), &RecordBatch::from_records(vec![rec(1, 30)])).unwrap();
+        w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 10), rec(2, 20)])).unwrap();
+        w.append(ShardId(1), RecordBatch::from_records(vec![rec(1, 30)])).unwrap();
         let hits = w.scan(ShardId(0), TenantId(1), TimeRange::all(), &[]).unwrap();
         assert_eq!(hits.len(), 1);
         let window = w.take_window();
@@ -365,7 +396,7 @@ mod tests {
     #[test]
     fn unknown_shard_is_cluster_error() {
         let w = worker(1);
-        let err = w.append(ShardId(9), &RecordBatch::new()).unwrap_err();
+        let err = w.append(ShardId(9), RecordBatch::new()).unwrap_err();
         assert!(matches!(err, Error::Cluster(_)));
     }
 
@@ -384,7 +415,7 @@ mod tests {
         let batch = RecordBatch::from_records((0..5).map(|i| rec(1, i)).collect());
         let mut hit_backpressure = false;
         for _ in 0..100 {
-            match w.append(ShardId(0), &batch) {
+            match w.append(ShardId(0), batch.clone()) {
                 Ok(()) => {}
                 Err(Error::Backpressure(_)) => {
                     hit_backpressure = true;
@@ -397,14 +428,36 @@ mod tests {
         // Draining relieves the pressure.
         let drained = w.drain_for_build(0, true);
         assert!(!drained.is_empty());
-        w.append(ShardId(0), &batch).unwrap();
+        w.append(ShardId(0), batch).unwrap();
+    }
+
+    #[test]
+    fn restore_unarchived_returns_rows_to_the_shard() {
+        let w = worker(1);
+        w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1), rec(2, 2)])).unwrap();
+        let mut drained = w.drain_for_build(0, true);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 0);
+        // Upload "failed": the engine hands the rows back.
+        let (shard, rows) = drained.pop().unwrap();
+        w.restore_unarchived(shard, rows).unwrap();
+        assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 2);
+        let hits = w.scan(ShardId(0), TenantId(1), TimeRange::all(), &[]).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn ack_archived_is_clean_for_memory_backends() {
+        let w = worker(1);
+        w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
+        w.drain_for_build(0, true);
+        w.ack_archived(ShardId(0)).unwrap();
     }
 
     #[test]
     fn raft_replicated_appends_apply() {
         let w = worker(3);
-        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1), rec(1, 2)]))
-            .unwrap();
+        w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1), rec(1, 2)])).unwrap();
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 2);
         let hits = w.scan(ShardId(0), TenantId(1), TimeRange::all(), &[]).unwrap();
         assert_eq!(hits.len(), 2);
@@ -413,7 +466,7 @@ mod tests {
     #[test]
     fn drain_for_build_respects_threshold() {
         let w = worker(1);
-        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
+        w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
         assert!(w.drain_for_build(usize::MAX, false).is_empty());
         let drained = w.drain_for_build(0, false);
         assert_eq!(drained.len(), 1);
@@ -424,8 +477,7 @@ mod tests {
     #[test]
     fn drain_tenant_for_rebalance() {
         let w = worker(1);
-        w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1), rec(2, 2)]))
-            .unwrap();
+        w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1), rec(2, 2)])).unwrap();
         let moved = w.drain_tenant(ShardId(0), TenantId(1)).unwrap();
         assert_eq!(moved.len(), 1);
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 1);
@@ -450,7 +502,7 @@ mod tests {
                 7,
             )
             .unwrap();
-            w.append(ShardId(0), &RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
+            w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
         }
         let w = Worker::new(
             WorkerId(0),
@@ -469,7 +521,7 @@ mod tests {
     #[test]
     fn batch_payload_roundtrip() {
         let batch = RecordBatch::from_records(vec![rec(1, 5), rec(2, 6)]);
-        let payload = encode_batch(&batch);
+        let payload = encode_batch(&batch.records);
         let decoded = decode_batch(&payload).unwrap();
         assert_eq!(decoded, batch.records);
     }

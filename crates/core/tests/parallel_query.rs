@@ -72,14 +72,11 @@ fn parallel_results_bit_identical_to_sequential() {
     ];
     for opts in &configs {
         for sql in QUERIES {
-            let reference = s
-                .query_with_options(sql, &opts.clone().with_parallelism(1))
-                .unwrap();
+            let reference = s.query_with_options(sql, &opts.clone().with_parallelism(1)).unwrap();
             // 0 = auto (the engine pool's width).
             for parallelism in [4usize, 8, 0] {
-                let exec = s
-                    .query_with_options(sql, &opts.clone().with_parallelism(parallelism))
-                    .unwrap();
+                let exec =
+                    s.query_with_options(sql, &opts.clone().with_parallelism(parallelism)).unwrap();
                 assert_eq!(
                     exec.result, reference.result,
                     "rows diverged at parallelism {parallelism} for {sql:?} with {opts:?}"
@@ -104,12 +101,12 @@ fn faults_surface_as_errors_never_as_wrong_data() {
     // Every read goes straight to OSS on this path, so a scheduled fault
     // must fail the query — a partial result would be wrong data.
     for faults in [1u64, 3] {
-        s.shared().store.inner().fail_next(faults);
+        s.shared().fault_layer().fail_next(faults);
         let err = s.query_with_options(sql, &opts).unwrap_err();
         assert!(err.to_string().contains("injected oss fault"), "unexpected error: {err}");
-        s.shared().store.inner().clear_faults();
+        s.shared().fault_layer().clear_faults();
     }
-    assert!(s.shared().store.inner().injected() >= 2);
+    assert!(s.shared().fault_layer().injected() >= 2);
 
     // With the faults cleared the same query is whole again.
     let after = s.query_with_options(sql, &opts).unwrap();
@@ -126,8 +123,7 @@ fn prefetch_fault_degrades_to_demand_reads() {
     let s = build_store(config, 1, 400);
 
     // Warm the footer/meta/latency blocks; the `log` column stays cold.
-    let warm = QueryOptions { use_prefetch: false, ..QueryOptions::default() }
-        .with_parallelism(1);
+    let warm = QueryOptions { use_prefetch: false, ..QueryOptions::default() }.with_parallelism(1);
     s.query_with_options("SELECT latency FROM request_log WHERE tenant_id = 1", &warm).unwrap();
 
     // The cold `log` column is now the first thing the next query touches
@@ -135,18 +131,14 @@ fn prefetch_fault_degrades_to_demand_reads() {
     // a wave GET; the wave must absorb it (counted, non-fatal) and the
     // scan must fall through to a demand read for the missing block.
     let sql = "SELECT log FROM request_log WHERE tenant_id = 1";
-    let injected_before = s.shared().store.inner().injected();
-    s.shared().store.inner().fail_next(1);
-    let degraded = s
-        .query_with_options(sql, &QueryOptions::default().with_parallelism(1))
-        .unwrap();
-    assert_eq!(s.shared().store.inner().injected(), injected_before + 1, "fault must fire");
+    let injected_before = s.shared().fault_layer().injected();
+    s.shared().fault_layer().fail_next(1);
+    let degraded = s.query_with_options(sql, &QueryOptions::default().with_parallelism(1)).unwrap();
+    assert_eq!(s.shared().fault_layer().injected(), injected_before + 1, "fault must fire");
     assert_eq!(degraded.stats.prefetch_errors, 1, "wave failure must be counted");
 
     // Same query with nothing scheduled: identical rows, zero errors.
-    let clean = s
-        .query_with_options(sql, &QueryOptions::default().with_parallelism(1))
-        .unwrap();
+    let clean = s.query_with_options(sql, &QueryOptions::default().with_parallelism(1)).unwrap();
     assert_eq!(clean.stats.prefetch_errors, 0);
     assert_eq!(degraded.result, clean.result, "degraded wave must not change results");
     assert_eq!(degraded.result.rows.len(), 440);

@@ -222,10 +222,8 @@ mod tests {
 
     #[test]
     fn producer_consumer_threads() {
-        let q: Arc<BfcQueue<u64>> = Arc::new(BfcQueue::new(BfcQueueConfig {
-            max_entries: 16,
-            max_bytes: 1 << 20,
-        }));
+        let q: Arc<BfcQueue<u64>> =
+            Arc::new(BfcQueue::new(BfcQueueConfig { max_entries: 16, max_bytes: 1 << 20 }));
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {

@@ -57,12 +57,8 @@ impl Balancer for GreedyBalancer {
             if traffic == 0 {
                 continue;
             }
-            let mut shards: BTreeSet<ShardId> = plan
-                .routes(tenant)
-                .into_iter()
-                .flatten()
-                .map(|r| r.shard)
-                .collect();
+            let mut shards: BTreeSet<ShardId> =
+                plan.routes(tenant).into_iter().flatten().map(|r| r.shard).collect();
             let total_needed =
                 (traffic as usize).div_ceil(config.per_tenant_shard_limit.max(1) as usize);
             // CalculateAddRoutesNum: edges to add beyond what exists. The
@@ -117,12 +113,8 @@ impl Balancer for MaxFlowBalancer {
         let t = g.add_node();
 
         // Deterministic orderings.
-        let mut tenants: Vec<TenantId> = snapshot
-            .tenant_traffic
-            .iter()
-            .filter(|(_, &tr)| tr > 0)
-            .map(|(t, _)| *t)
-            .collect();
+        let mut tenants: Vec<TenantId> =
+            snapshot.tenant_traffic.iter().filter(|(_, &tr)| tr > 0).map(|(t, _)| *t).collect();
         tenants.sort_unstable();
         let mut shards: Vec<ShardId> = snapshot.shard_capacity.keys().copied().collect();
         shards.sort_unstable();
@@ -271,11 +263,7 @@ mod tests {
     }
 
     fn config() -> FlowControlConfig {
-        FlowControlConfig {
-            alpha: 1.0,
-            per_tenant_shard_limit: 100,
-            check_interval_secs: 300,
-        }
+        FlowControlConfig { alpha: 1.0, per_tenant_shard_limit: 100, check_interval_secs: 300 }
     }
 
     fn single_hot_tenant_snapshot() -> (TrafficSnapshot, RoutingTable) {
@@ -366,8 +354,7 @@ mod tests {
             worker_capacity: s.worker_capacity.clone(),
             shard_to_worker: s.shard_to_worker.clone(),
         };
-        let result =
-            crate::sim::simulate(&maxflow, &s.tenant_traffic, &topo, &Default::default());
+        let result = crate::sim::simulate(&maxflow, &s.tenant_traffic, &topo, &Default::default());
         for (w, &load) in &result.worker_load {
             let cap = s.worker_capacity[w];
             assert!(

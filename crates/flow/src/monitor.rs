@@ -130,8 +130,7 @@ mod tests {
         s.shard_load.insert(ShardId(2), 50);
         s.shard_load.insert(ShardId(3), 0);
         s.shard_tenants.insert(ShardId(0), vec![(TenantId(1), 500)]);
-        s.shard_tenants
-            .insert(ShardId(1), vec![(TenantId(2), 100)]);
+        s.shard_tenants.insert(ShardId(1), vec![(TenantId(2), 100)]);
         s.shard_tenants.insert(ShardId(2), vec![(TenantId(3), 50)]);
         for w in 0..2u32 {
             s.worker_capacity.insert(WorkerId(w), 400);
@@ -163,17 +162,13 @@ mod tests {
     #[test]
     fn least_loaded_ordering() {
         let s = snapshot();
-        assert_eq!(
-            s.shards_by_load(),
-            vec![ShardId(3), ShardId(2), ShardId(1), ShardId(0)]
-        );
+        assert_eq!(s.shards_by_load(), vec![ShardId(3), ShardId(2), ShardId(1), ShardId(0)]);
     }
 
     #[test]
     fn hottest_tenant() {
         let mut s = snapshot();
-        s.shard_tenants
-            .insert(ShardId(0), vec![(TenantId(1), 300), (TenantId(2), 200)]);
+        s.shard_tenants.insert(ShardId(0), vec![(TenantId(1), 300), (TenantId(2), 200)]);
         assert_eq!(s.hottest_tenant_on(ShardId(0)), Some(TenantId(1)));
         assert_eq!(s.hottest_tenant_on(ShardId(3)), None);
     }

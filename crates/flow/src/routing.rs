@@ -171,10 +171,7 @@ mod tests {
         old.set_routes(TenantId(1), vec![(ShardId(0), 1.0)]).unwrap();
         let mut new = RoutingTable::new();
         new.set_routes(TenantId(1), vec![(ShardId(1), 0.5), (ShardId(2), 0.5)]).unwrap();
-        assert_eq!(
-            new.read_shards(&old, TenantId(1)),
-            vec![ShardId(0), ShardId(1), ShardId(2)]
-        );
+        assert_eq!(new.read_shards(&old, TenantId(1)), vec![ShardId(0), ShardId(1), ShardId(2)]);
         assert_eq!(new.read_shards(&old, TenantId(9)), Vec::<ShardId>::new());
     }
 

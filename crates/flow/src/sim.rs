@@ -30,8 +30,7 @@ impl ClusterTopology {
     pub fn homogeneous(workers: u32, shards_per_worker: u32, shard_capacity: u64) -> Self {
         let mut t = ClusterTopology::default();
         for w in 0..workers {
-            t.worker_capacity
-                .insert(WorkerId(w), shard_capacity * u64::from(shards_per_worker));
+            t.worker_capacity.insert(WorkerId(w), shard_capacity * u64::from(shards_per_worker));
             for s in 0..shards_per_worker {
                 let shard = ShardId(w * shards_per_worker + s);
                 t.shard_capacity.insert(shard, shard_capacity);
@@ -105,11 +104,7 @@ pub fn simulate(
                 continue;
             }
             *result.shard_load.entry(r.shard).or_default() += share;
-            result
-                .shard_tenants
-                .entry(r.shard)
-                .or_default()
-                .push((tenant, share));
+            result.shard_tenants.entry(r.shard).or_default().push((tenant, share));
             if let Some(w) = topology.shard_to_worker.get(&r.shard) {
                 *result.worker_load.entry(*w).or_default() += share;
             }
@@ -212,7 +207,12 @@ mod tests {
         for t in 0..4u64 {
             routes.set_routes(TenantId(t), vec![(ShardId(t as u32), 1.0)]).unwrap();
         }
-        let r = simulate(&routes, &rates(&[(0, 50), (1, 50), (2, 50), (3, 50)]), &topo, &SimConfig::default());
+        let r = simulate(
+            &routes,
+            &rates(&[(0, 50), (1, 50), (2, 50), (3, 50)]),
+            &topo,
+            &SimConfig::default(),
+        );
         assert_eq!(r.throughput, 200);
         assert!(r.avg_latency_ms < 3.0, "latency {} too high for ρ=0.5", r.avg_latency_ms);
         assert!((r.worker_utilization[&WorkerId(0)] - 0.5).abs() < 1e-9);
@@ -225,7 +225,12 @@ mod tests {
         for t in 0..4u64 {
             routes.set_routes(TenantId(t), vec![(ShardId(0), 1.0)]).unwrap();
         }
-        let r = simulate(&routes, &rates(&[(0, 100), (1, 100), (2, 100), (3, 100)]), &topo, &SimConfig::default());
+        let r = simulate(
+            &routes,
+            &rates(&[(0, 100), (1, 100), (2, 100), (3, 100)]),
+            &topo,
+            &SimConfig::default(),
+        );
         // All 400 units hit one shard of capacity 100.
         assert_eq!(r.throughput, 100);
         assert!(r.avg_latency_ms > 100.0, "expected saturated latency, got {}", r.avg_latency_ms);
@@ -238,7 +243,12 @@ mod tests {
         routes
             .set_routes(
                 TenantId(0),
-                vec![(ShardId(0), 0.25), (ShardId(1), 0.25), (ShardId(2), 0.25), (ShardId(3), 0.25)],
+                vec![
+                    (ShardId(0), 0.25),
+                    (ShardId(1), 0.25),
+                    (ShardId(2), 0.25),
+                    (ShardId(3), 0.25),
+                ],
             )
             .unwrap();
         let r = simulate(&routes, &rates(&[(0, 400)]), &topo, &SimConfig::default());
@@ -257,9 +267,7 @@ mod tests {
             topo.shard_to_worker.insert(ShardId(p), WorkerId(0));
         }
         let mut routes = RoutingTable::new();
-        routes
-            .set_routes(TenantId(0), vec![(ShardId(0), 0.5), (ShardId(1), 0.5)])
-            .unwrap();
+        routes.set_routes(TenantId(0), vec![(ShardId(0), 0.5), (ShardId(1), 0.5)]).unwrap();
         let r = simulate(&routes, &rates(&[(0, 200)]), &topo, &SimConfig::default());
         assert_eq!(r.throughput, 150);
     }

@@ -91,10 +91,7 @@ impl InvertedIndexWriter {
     }
 
     fn push(&mut self, kind: TermKind, term: &str, row_id: u32) {
-        let list = self
-            .terms
-            .entry((kind.tag(), term.to_string()))
-            .or_default();
+        let list = self.terms.entry((kind.tag(), term.to_string())).or_default();
         if list.last() != Some(&row_id) {
             list.push(row_id);
         }
@@ -153,12 +150,9 @@ impl InvertedDictReader {
         }
         let mut dict = Vec::with_capacity(n);
         for _ in 0..n {
-            let kind = *data
-                .get(pos)
-                .ok_or_else(|| Error::corruption("term kind truncated"))?;
+            let kind = *data.get(pos).ok_or_else(|| Error::corruption("term kind truncated"))?;
             pos += 1;
-            TermKind::from_tag(kind)
-                .ok_or_else(|| Error::corruption("unknown term kind"))?;
+            TermKind::from_tag(kind).ok_or_else(|| Error::corruption("unknown term kind"))?;
             let term = read_str(data, &mut pos)?.to_string();
             let offset = read_uvarint(data, &mut pos)? as usize;
             let len = read_uvarint(data, &mut pos)? as usize;

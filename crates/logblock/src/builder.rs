@@ -7,7 +7,9 @@
 //! object ready for upload.
 
 use crate::column::encode_block;
-use crate::meta::{col_member, index_data_member, index_member, BlockMeta, ColumnMeta, LogBlockMeta, META_MEMBER};
+use crate::meta::{
+    col_member, index_data_member, index_member, BlockMeta, ColumnMeta, LogBlockMeta, META_MEMBER,
+};
 use crate::pack::PackWriter;
 use logstore_codec::Compression;
 use logstore_index::bkd::u64_to_ord;
@@ -92,10 +94,8 @@ impl LogBlockBuilder {
             return Err(Error::invalid("logblock row limit reached"));
         }
         let row_id = self.row_count;
-        for (state, (value, col)) in self
-            .columns
-            .iter_mut()
-            .zip(row.iter().zip(&self.schema.columns))
+        for (state, (value, col)) in
+            self.columns.iter_mut().zip(row.iter().zip(&self.schema.columns))
         {
             match &mut state.index {
                 IndexState::None => {}
@@ -112,17 +112,13 @@ impl LogBlockBuilder {
                 IndexState::Bkd(w) => {
                     if !value.is_null() {
                         let ord = match col.data_type {
-                            DataType::Int64 => value.as_i64().ok_or_else(|| {
-                                Error::invalid("int64 column with non-int value")
-                            })?,
+                            DataType::Int64 => value
+                                .as_i64()
+                                .ok_or_else(|| Error::invalid("int64 column with non-int value"))?,
                             DataType::UInt64 => u64_to_ord(value.as_u64().ok_or_else(|| {
                                 Error::invalid("uint64 column with non-uint value")
                             })?),
-                            _ => {
-                                return Err(Error::invalid(
-                                    "bkd index on non-numeric column",
-                                ))
-                            }
+                            _ => return Err(Error::invalid("bkd index on non-numeric column")),
                         };
                         w.add(ord, row_id);
                     }
@@ -185,11 +181,8 @@ impl LogBlockBuilder {
             });
             index_payloads.push((index_bytes, state.data));
         }
-        let meta = LogBlockMeta {
-            schema: self.schema,
-            row_count: self.row_count,
-            columns: column_metas,
-        };
+        let meta =
+            LogBlockMeta { schema: self.schema, row_count: self.row_count, columns: column_metas };
         pack.add(META_MEMBER, meta.serialize())?;
         for (i, (index_bytes, data)) in index_payloads.into_iter().enumerate() {
             if let Some((dict, blob)) = index_bytes {
@@ -221,11 +214,8 @@ mod tests {
 
     #[test]
     fn builds_non_empty_pack() {
-        let mut b = LogBlockBuilder::with_options(
-            TableSchema::request_log(),
-            Compression::LzHigh,
-            16,
-        );
+        let mut b =
+            LogBlockBuilder::with_options(TableSchema::request_log(), Compression::LzHigh, 16);
         for i in 0..100 {
             b.add_row(&sample_row(1, 1000 + i, "10.0.0.1", i)).unwrap();
         }

@@ -204,12 +204,7 @@ mod tests {
     fn strings_with_nulls_and_empties() {
         roundtrip(
             DataType::String,
-            vec![
-                Value::from("hello"),
-                Value::Null,
-                Value::from(""),
-                Value::from("wörld ünïcode"),
-            ],
+            vec![Value::from("hello"), Value::Null, Value::from(""), Value::from("wörld ünïcode")],
         );
     }
 
@@ -223,9 +218,7 @@ mod tests {
     fn type_mismatch_rejected() {
         assert!(encode_block(DataType::Int64, &[Value::from("x")], Compression::None).is_err());
         assert!(encode_block(DataType::Bool, &[Value::I64(1)], Compression::None).is_err());
-        assert!(
-            encode_block(DataType::String, &[Value::Bool(true)], Compression::None).is_err()
-        );
+        assert!(encode_block(DataType::String, &[Value::Bool(true)], Compression::None).is_err());
     }
 
     #[test]

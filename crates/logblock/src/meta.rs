@@ -173,9 +173,7 @@ impl LogBlockMeta {
 }
 
 fn next_byte(data: &[u8], pos: &mut usize) -> Result<u8> {
-    let b = *data
-        .get(*pos)
-        .ok_or_else(|| Error::corruption("meta truncated"))?;
+    let b = *data.get(*pos).ok_or_else(|| Error::corruption("meta truncated"))?;
     *pos += 1;
     Ok(b)
 }
@@ -192,7 +190,8 @@ mod tests {
             let mut sma = Sma::new();
             sma.update(&Value::I64(i as i64));
             sma.update(&Value::I64(100 + i as i64));
-            let block = BlockMeta { row_start: 0, row_count: 2, sma: sma.clone(), offset: 0, len: 64 };
+            let block =
+                BlockMeta { row_start: 0, row_count: 2, sma: sma.clone(), offset: 0, len: 64 };
             columns.push(ColumnMeta {
                 compression: Compression::LzHigh,
                 sma,
@@ -222,10 +221,7 @@ mod tests {
     fn truncation_rejected_everywhere() {
         let bytes = sample_meta().serialize();
         for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                LogBlockMeta::deserialize(&bytes[..cut]).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(LogBlockMeta::deserialize(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -40,9 +40,7 @@ pub trait RangeSource {
 
 impl RangeSource for Vec<u8> {
     fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let end = offset
-            .checked_add(len)
-            .ok_or_else(|| Error::invalid("range overflow"))?;
+        let end = offset.checked_add(len).ok_or_else(|| Error::invalid("range overflow"))?;
         self.get(offset as usize..end as usize)
             .map(<[u8]>::to_vec)
             .ok_or_else(|| Error::invalid(format!("range {offset}+{len} beyond {}", self.len())))
@@ -144,8 +142,7 @@ impl<S: RangeSource> PackReader<S> {
         if prologue[4] != VERSION {
             return Err(Error::corruption(format!("unsupported pack version {}", prologue[4])));
         }
-        let manifest_len =
-            u32::from_le_bytes(prologue[5..9].try_into().expect("4 bytes")) as u64;
+        let manifest_len = u32::from_le_bytes(prologue[5..9].try_into().expect("4 bytes")) as u64;
         if manifest_len < 8 || PROLOGUE_LEN + manifest_len > source.size() {
             return Err(Error::corruption("pack manifest length out of range"));
         }
@@ -168,10 +165,7 @@ impl<S: RangeSource> PackReader<S> {
             let name = read_str(body, &mut pos)?.to_string();
             let offset = read_uvarint(body, &mut pos)?;
             let len = read_uvarint(body, &mut pos)?;
-            if offset
-                .checked_add(len)
-                .is_none_or(|end| end > payload_size)
-            {
+            if offset.checked_add(len).is_none_or(|end| end > payload_size) {
                 return Err(Error::corruption(format!("member '{name}' exceeds payload")));
             }
             members.push(MemberEntry { name, offset, len });
@@ -191,35 +185,28 @@ impl<S: RangeSource> PackReader<S> {
 
     /// Reads a whole member.
     pub fn read_member(&self, name: &str) -> Result<Vec<u8>> {
-        let entry = self
-            .entry(name)
-            .ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
+        let entry =
+            self.entry(name).ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
         self.source.read_at(self.payload_start + entry.offset, entry.len)
     }
 
     /// Reads a byte range inside a member.
     pub fn read_member_range(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let entry = self
-            .entry(name)
-            .ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
-        if offset
-            .checked_add(len)
-            .is_none_or(|end| end > entry.len)
-        {
+        let entry =
+            self.entry(name).ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
+        if offset.checked_add(len).is_none_or(|end| end > entry.len) {
             return Err(Error::invalid(format!(
                 "range {offset}+{len} exceeds member '{name}' of {} bytes",
                 entry.len
             )));
         }
-        self.source
-            .read_at(self.payload_start + entry.offset + offset, len)
+        self.source.read_at(self.payload_start + entry.offset + offset, len)
     }
 
     /// The absolute byte range `(offset, len)` of a member within the pack
     /// object — used by the prefetcher to plan parallel range GETs.
     pub fn member_object_range(&self, name: &str) -> Option<(u64, u64)> {
-        self.entry(name)
-            .map(|e| (self.payload_start + e.offset, e.len))
+        self.entry(name).map(|e| (self.payload_start + e.offset, e.len))
     }
 
     /// The underlying source.

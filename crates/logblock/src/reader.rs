@@ -90,11 +90,7 @@ impl<S: RangeSource> LogBlockReader<S> {
             IndexKind::Bkd => {
                 let dict = self.pack.read_member(&index_member(col))?;
                 let blob = self.pack.read_member(&index_data_member(col))?;
-                Ok(Some(ColumnIndex::Bkd(BkdReader::from_parts(
-                    &dict,
-                    blob,
-                    self.meta.row_count,
-                )?)))
+                Ok(Some(ColumnIndex::Bkd(BkdReader::from_parts(&dict, blob, self.meta.row_count)?)))
             }
         }
     }
@@ -114,15 +110,10 @@ impl<S: RangeSource> LogBlockReader<S> {
                 CachedDict::Inverted(InvertedDictReader::open(&bytes)?.0)
             }
             IndexKind::Bkd => CachedDict::Bkd(BkdDictReader::open(&bytes)?.0),
-            IndexKind::None => {
-                return Err(Error::invalid(format!("column {col} has no index")))
-            }
+            IndexKind::None => return Err(Error::invalid(format!("column {col} has no index"))),
         };
         let dict = std::sync::Arc::new(dict);
-        self.dicts
-            .lock()
-            .expect("dict lock")
-            .insert(col, std::sync::Arc::clone(&dict));
+        self.dicts.lock().expect("dict lock").insert(col, std::sync::Arc::clone(&dict));
         Ok(dict)
     }
 
@@ -164,11 +155,8 @@ impl<S: RangeSource> LogBlockReader<S> {
         };
         let mut out = Vec::new();
         for (offset, len) in dict.leaf_ranges(lo, hi) {
-            let bytes = self.pack.read_member_range(
-                &index_data_member(col),
-                offset as u64,
-                len as u64,
-            )?;
+            let bytes =
+                self.pack.read_member_range(&index_data_member(col), offset as u64, len as u64)?;
             dict.scan_leaf_bytes(&bytes, lo, hi, self.meta.row_count, &mut out)?;
         }
         out.sort_unstable();
@@ -187,9 +175,7 @@ impl<S: RangeSource> LogBlockReader<S> {
             .blocks
             .get(block)
             .ok_or_else(|| Error::invalid(format!("block {block} out of range")))?;
-        let bytes = self
-            .pack
-            .read_member_range(&col_member(col), bm.offset, bm.len)?;
+        let bytes = self.pack.read_member_range(&col_member(col), bm.offset, bm.len)?;
         decode_block(self.meta.schema.columns[col].data_type, &bytes, bm.row_count)
     }
 

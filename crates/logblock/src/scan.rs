@@ -183,9 +183,7 @@ pub fn evaluate_predicates<S: RangeSource>(
         // `logstore_index::inverted::MAX_EXACT_LEN`).
         let exact_indexable = !(dtype == DataType::String
             && p.op == CmpOp::Eq
-            && p.value.as_str().is_some_and(|s| {
-                s.len() > logstore_index::inverted::MAX_EXACT_LEN
-            }));
+            && p.value.as_str().is_some_and(|s| s.len() > logstore_index::inverted::MAX_EXACT_LEN));
         let use_index = use_skipping
             && index_capable(kind, dtype, p.op)
             && exact_indexable
@@ -196,9 +194,7 @@ pub fn evaluate_predicates<S: RangeSource>(
                 DataType::String => match p.op {
                     CmpOp::Eq => {
                         let Some(s) = p.value.as_str() else {
-                            return Err(Error::invalid(
-                                "string equality with non-string literal",
-                            ));
+                            return Err(Error::invalid("string equality with non-string literal"));
                         };
                         reader.index_lookup_exact(*col, s)?
                     }
@@ -219,12 +215,10 @@ pub fn evaluate_predicates<S: RangeSource>(
                     }
                     _ => unreachable!("index_capable gated"),
                 },
-                DataType::Int64 | DataType::UInt64 => {
-                    match numeric_range(dtype, p.op, &p.value)? {
-                        Some((lo, hi)) => reader.index_query_range(*col, lo, hi)?,
-                        None => Vec::new(),
-                    }
-                }
+                DataType::Int64 | DataType::UInt64 => match numeric_range(dtype, p.op, &p.value)? {
+                    Some((lo, hi)) => reader.index_query_range(*col, lo, hi)?,
+                    None => Vec::new(),
+                },
                 DataType::Bool => unreachable!("index_capable gated"),
             };
             result.intersect_with(&RowIdSet::from_iter(n, ids));
@@ -295,11 +289,8 @@ mod tests {
     /// 200 rows: ts 1000..1200, ip cycles 0..5, latency = i % 500,
     /// fail = (i % 10 == 0), log mentions "error" on failures.
     fn block() -> LogBlockReader<Vec<u8>> {
-        let mut b = LogBlockBuilder::with_options(
-            TableSchema::request_log(),
-            Compression::LzHigh,
-            32,
-        );
+        let mut b =
+            LogBlockBuilder::with_options(TableSchema::request_log(), Compression::LzHigh, 32);
         for i in 0..200u32 {
             let fail = i % 10 == 0;
             b.add_row(&[
@@ -309,7 +300,11 @@ mod tests {
                 Value::from("/api/query"),
                 Value::I64(i64::from(i) % 500),
                 Value::Bool(fail),
-                Value::from(if fail { format!("req {i} error timeout") } else { format!("req {i} ok") }),
+                Value::from(if fail {
+                    format!("req {i} error timeout")
+                } else {
+                    format!("req {i} ok")
+                }),
             ])
             .unwrap();
         }

@@ -20,7 +20,15 @@ fn arb_row() -> impl Strategy<Value = Vec<Value>> {
         "[a-e ]{0,20}".prop_map(Value::Str),
     )
         .prop_map(|(t, ts, ip, api, latency, fail, log)| {
-            vec![Value::U64(t), Value::I64(ts), ip, Value::Str(api.as_str().unwrap().into()), latency, fail, log]
+            vec![
+                Value::U64(t),
+                Value::I64(ts),
+                ip,
+                Value::Str(api.as_str().unwrap().into()),
+                latency,
+                fail,
+                log,
+            ]
         })
 }
 

@@ -63,9 +63,7 @@ impl ObjectStore for DiskStore {
 
     fn head(&self, path: &str) -> Result<u64> {
         let file = self.file_path(path)?;
-        fs::metadata(&file)
-            .map(|m| m.len())
-            .map_err(|e| map_not_found(e, path))
+        fs::metadata(&file).map(|m| m.len()).map_err(|e| map_not_found(e, path))
     }
 
     fn list(&self, prefix: &str) -> Result<Vec<String>> {

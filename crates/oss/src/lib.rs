@@ -18,11 +18,13 @@
 pub mod disk;
 pub mod fault;
 pub mod memory;
+pub mod retry;
 pub mod sim;
 pub mod store;
 
 pub use disk::DiskStore;
 pub use fault::{FaultScope, FaultyStore};
 pub use memory::MemoryStore;
+pub use retry::{RetryMetrics, RetryPolicy, RetryingStore};
 pub use sim::{LatencyModel, OssMetrics, SimulatedOss};
 pub use store::{validate_path, ObjectStore};

@@ -35,9 +35,7 @@ impl MemoryStore {
 impl ObjectStore for MemoryStore {
     fn put(&self, path: &str, data: &[u8]) -> Result<()> {
         validate_path(path)?;
-        self.objects
-            .write()
-            .insert(path.to_string(), Arc::new(data.to_vec()));
+        self.objects.write().insert(path.to_string(), Arc::new(data.to_vec()));
         Ok(())
     }
 

@@ -1,0 +1,328 @@
+//! Transient-failure retry decorator for object storage.
+//!
+//! Production OSS throttles (HTTP 503) and drops connections; the paper's
+//! archive path must tolerate that without losing acknowledged writes.
+//! [`RetryingStore`] wraps any backend and re-issues failed operations with
+//! exponential backoff and deterministic jitter. Only transient errors are
+//! retried — `NotFound`, corruption and invalid-argument failures surface
+//! immediately. Backoff time is *modelled* (accounted in [`RetryMetrics`])
+//! and only actually slept in proportion to `time_scale`, so unit tests run
+//! instantly while wall-clock harnesses can reproduce realistic pacing.
+
+use crate::store::ObjectStore;
+use logstore_types::{Error, Result};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Retry/backoff tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_backoff_us: u64,
+    /// Backoff cap, in microseconds (exponential growth saturates here).
+    pub max_backoff_us: u64,
+    /// Multiplicative jitter: each delay is scaled by a uniform factor in
+    /// `[1 - jitter, 1 + jitter]` so retry storms decorrelate.
+    pub jitter: f64,
+    /// Fraction of each modelled backoff actually slept (0.0 = never).
+    pub time_scale: f64,
+}
+
+impl RetryPolicy {
+    /// No retries at all: every error surfaces on the first attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            jitter: 0.0,
+            time_scale: 0.0,
+        }
+    }
+
+    /// The archive-path default: 6 attempts, 10 ms base backoff doubling
+    /// up to 2 s, 20% jitter, no real sleeping.
+    pub fn archival_default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_us: 10_000,
+            max_backoff_us: 2_000_000,
+            jitter: 0.2,
+            time_scale: 0.0,
+        }
+    }
+
+    /// Returns `self` with an explicit attempt budget.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::archival_default()
+    }
+}
+
+/// Counters exposed by [`RetryingStore`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RetryMetrics {
+    /// Operations issued through the decorator (first attempts).
+    pub operations: u64,
+    /// Re-issued attempts after a transient failure.
+    pub retries: u64,
+    /// Operations that failed even after the full attempt budget.
+    pub exhausted: u64,
+    /// Total modelled backoff time, nanoseconds.
+    pub backoff_ns: u64,
+}
+
+impl RetryMetrics {
+    /// Modelled backoff as a [`Duration`].
+    pub fn backoff(&self) -> Duration {
+        Duration::from_nanos(self.backoff_ns)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    operations: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    backoff_ns: AtomicU64,
+}
+
+/// An [`ObjectStore`] decorator that retries transient failures.
+#[derive(Debug)]
+pub struct RetryingStore<S> {
+    inner: S,
+    policy: RetryPolicy,
+    counters: Counters,
+    rng: Mutex<StdRng>,
+}
+
+/// Whether an error class may succeed on a retry of the same request.
+fn is_transient(e: &Error) -> bool {
+    matches!(e, Error::Io(_)) || e.is_retryable()
+}
+
+impl<S: ObjectStore> RetryingStore<S> {
+    /// Wraps `inner`; `seed` makes the backoff jitter deterministic.
+    pub fn new(inner: S, policy: RetryPolicy, seed: u64) -> Self {
+        RetryingStore {
+            inner,
+            policy,
+            counters: Counters::default(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the retry counters.
+    pub fn metrics(&self) -> RetryMetrics {
+        RetryMetrics {
+            operations: self.counters.operations.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            exhausted: self.counters.exhausted.load(Ordering::Relaxed),
+            backoff_ns: self.counters.backoff_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the retry counters (between experiment phases).
+    pub fn reset_metrics(&self) {
+        self.counters.operations.store(0, Ordering::Relaxed);
+        self.counters.retries.store(0, Ordering::Relaxed);
+        self.counters.exhausted.store(0, Ordering::Relaxed);
+        self.counters.backoff_ns.store(0, Ordering::Relaxed);
+    }
+
+    fn backoff(&self, attempt: u32) {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw_us = self
+            .policy
+            .base_backoff_us
+            .saturating_mul(1u64 << exp)
+            .min(self.policy.max_backoff_us.max(self.policy.base_backoff_us));
+        let jittered_ns = if self.policy.jitter > 0.0 {
+            let factor: f64 =
+                self.rng.lock().gen_range(1.0 - self.policy.jitter..=1.0 + self.policy.jitter);
+            (raw_us as f64 * 1_000.0 * factor) as u64
+        } else {
+            raw_us.saturating_mul(1_000)
+        };
+        self.counters.backoff_ns.fetch_add(jittered_ns, Ordering::Relaxed);
+        if self.policy.time_scale > 0.0 {
+            let sleep_ns = (jittered_ns as f64 * self.policy.time_scale) as u64;
+            if sleep_ns > 0 {
+                std::thread::sleep(Duration::from_nanos(sleep_ns));
+            }
+        }
+    }
+
+    fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.counters.operations.fetch_add(1, Ordering::Relaxed);
+        let attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < attempts && is_transient(&e) => {
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff(attempt);
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if is_transient(&e) {
+                        self.counters.exhausted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for RetryingStore<S> {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.run(|| self.inner.put(path, data))
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        self.run(|| self.inner.get(path))
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.run(|| self.inner.get_range(path, offset, len))
+    }
+
+    fn head(&self, path: &str) -> Result<u64> {
+        self.run(|| self.inner.head(path))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.run(|| self.inner.list(prefix))
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.run(|| self.inner.delete(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultScope, FaultyStore};
+    use crate::memory::MemoryStore;
+
+    fn retrying(max_attempts: u32) -> RetryingStore<FaultyStore<MemoryStore>> {
+        RetryingStore::new(
+            FaultyStore::new(MemoryStore::new(), FaultScope::All, 0.0, 1),
+            RetryPolicy::archival_default().with_max_attempts(max_attempts),
+            7,
+        )
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed() {
+        let s = retrying(4);
+        s.put("k", b"v").unwrap();
+        s.inner().fail_next(3);
+        assert_eq!(s.get("k").unwrap(), b"v", "3 faults < 4 attempts must succeed");
+        let m = s.metrics();
+        assert_eq!(m.retries, 3);
+        assert_eq!(m.exhausted, 0);
+        assert!(m.backoff_ns > 0, "retries must account backoff time");
+    }
+
+    #[test]
+    fn write_faults_are_absorbed_too() {
+        let s = retrying(4);
+        s.inner().fail_next(2);
+        s.put("k", b"v").unwrap();
+        assert_eq!(s.inner().inner().get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_error() {
+        let s = retrying(3);
+        s.put("k", b"v").unwrap();
+        s.inner().fail_next(10);
+        let err = s.get("k").unwrap_err();
+        assert!(err.to_string().contains("injected oss fault"), "{err}");
+        let m = s.metrics();
+        assert_eq!(m.retries, 2, "3 attempts = 2 retries");
+        assert_eq!(m.exhausted, 1);
+        s.inner().clear_faults();
+        assert_eq!(s.get("k").unwrap(), b"v");
+    }
+
+    #[test]
+    fn terminal_errors_are_not_retried() {
+        let s = retrying(5);
+        let err = s.get("missing").unwrap_err();
+        assert!(matches!(err, Error::NotFound(_)));
+        let m = s.metrics();
+        assert_eq!(m.retries, 0, "NotFound must not be retried");
+        assert_eq!(m.exhausted, 0);
+    }
+
+    #[test]
+    fn policy_none_passes_errors_straight_through() {
+        let s = RetryingStore::new(
+            FaultyStore::new(MemoryStore::new(), FaultScope::All, 0.0, 1),
+            RetryPolicy::none(),
+            7,
+        );
+        s.inner().fail_next(1);
+        assert!(s.put("k", b"v").is_err());
+        assert_eq!(s.metrics().retries, 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff_us: 100,
+            max_backoff_us: 400,
+            jitter: 0.0,
+            time_scale: 0.0,
+        };
+        let s = RetryingStore::new(
+            FaultyStore::new(MemoryStore::new(), FaultScope::All, 0.0, 1),
+            policy,
+            7,
+        );
+        s.put("k", b"v").unwrap();
+        s.inner().fail_next(4);
+        s.get("k").unwrap();
+        // 100 + 200 + 400 (capped) + 400 (capped) microseconds.
+        assert_eq!(s.metrics().backoff_ns, 1_100_000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_under_a_seed() {
+        let make = || {
+            let s = retrying(6);
+            s.put("k", b"v").unwrap();
+            s.inner().fail_next(4);
+            s.get("k").unwrap();
+            s.metrics().backoff_ns
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -135,7 +135,12 @@ pub struct SimulatedOss<S> {
 impl<S: ObjectStore> SimulatedOss<S> {
     /// Wraps `inner` with the given model; `seed` makes jitter deterministic.
     pub fn new(inner: S, model: LatencyModel, seed: u64) -> Self {
-        SimulatedOss { inner, model, counters: Counters::default(), rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        SimulatedOss {
+            inner,
+            model,
+            counters: Counters::default(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// Snapshot of the accumulated metrics.

@@ -69,9 +69,7 @@ pub fn validate_path(path: &str) -> Result<()> {
         if seg == "." || seg == ".." {
             return Err(Error::invalid(format!("object path '{path}' contains '{seg}'")));
         }
-        if !seg
-            .bytes()
-            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'='))
+        if !seg.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'='))
         {
             return Err(Error::invalid(format!("object path segment '{seg}' has invalid bytes")));
         }
@@ -81,9 +79,7 @@ pub fn validate_path(path: &str) -> Result<()> {
 
 /// Checks a `(offset, len)` range against an object size.
 pub fn check_range(path: &str, size: u64, offset: u64, len: u64) -> Result<()> {
-    let end = offset
-        .checked_add(len)
-        .ok_or_else(|| Error::invalid("range overflow"))?;
+    let end = offset.checked_add(len).ok_or_else(|| Error::invalid("range overflow"))?;
     if end > size {
         return Err(Error::invalid(format!(
             "range {offset}+{len} exceeds object '{path}' of {size} bytes"

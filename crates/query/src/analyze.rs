@@ -100,9 +100,7 @@ fn coerce(value: &Value, target: DataType, column: &str) -> Result<Value> {
                 value.clone()
             }
         }
-        (Value::U64(v), DataType::Int64) => {
-            Value::I64(i64::try_from(*v).map_err(|_| fail())?)
-        }
+        (Value::U64(v), DataType::Int64) => Value::I64(i64::try_from(*v).map_err(|_| fail())?),
         (Value::Str(s), DataType::Int64) => Value::I64(parse_datetime(s).map_err(|_| fail())?),
         (Value::Str(s), DataType::Bool) => match s.to_ascii_lowercase().as_str() {
             "true" => Value::Bool(true),
@@ -155,11 +153,8 @@ impl QueryScope {
             }
         }
         let contradictory = start > end;
-        let range = if contradictory {
-            TimeRange::new(start, start)
-        } else {
-            TimeRange::new(start, end)
-        };
+        let range =
+            if contradictory { TimeRange::new(start, start) } else { TimeRange::new(start, end) };
         QueryScope { tenant, range, contradictory }
     }
 
@@ -193,11 +188,7 @@ mod tests {
     fn rejects_unknown_columns_and_bad_coercions() {
         let schema = TableSchema::request_log();
         assert!(bind(&parse_query("SELECT ghost FROM t").unwrap(), &schema).is_err());
-        assert!(bind(
-            &parse_query("SELECT log FROM t WHERE ghost = 1").unwrap(),
-            &schema
-        )
-        .is_err());
+        assert!(bind(&parse_query("SELECT log FROM t WHERE ghost = 1").unwrap(), &schema).is_err());
         assert!(bind(
             &parse_query("SELECT log FROM t WHERE latency = 'not-a-date'").unwrap(),
             &schema
@@ -208,11 +199,7 @@ mod tests {
             &schema
         )
         .is_err());
-        assert!(bind(
-            &parse_query("SELECT log FROM t GROUP BY ghost").unwrap(),
-            &schema
-        )
-        .is_err());
+        assert!(bind(&parse_query("SELECT log FROM t GROUP BY ghost").unwrap(), &schema).is_err());
     }
 
     #[test]
@@ -238,9 +225,7 @@ mod tests {
 
     #[test]
     fn contradictory_window_detected() {
-        let q = bound(
-            "SELECT log FROM request_log WHERE ts > '1970-01-02' AND ts < '1970-01-01'",
-        );
+        let q = bound("SELECT log FROM request_log WHERE ts > '1970-01-02' AND ts < '1970-01-01'");
         let scope = QueryScope::extract(&q);
         assert!(scope.is_empty_window());
     }

@@ -88,9 +88,7 @@ pub struct Query {
 impl Query {
     /// True if the query aggregates (any aggregate item appears).
     pub fn is_aggregate(&self) -> bool {
-        self.projection
-            .iter()
-            .any(|s| matches!(s, SelectItem::CountStar | SelectItem::Agg(..)))
+        self.projection.iter().any(|s| matches!(s, SelectItem::CountStar | SelectItem::Agg(..)))
     }
 
     /// The aggregate items in projection order: `(function, column)`,

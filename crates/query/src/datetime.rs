@@ -56,7 +56,10 @@ pub fn parse_datetime(s: &str) -> Result<i64> {
         let h: i64 = tp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let mi: i64 = tp.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let sec: i64 = tp.next().unwrap_or("0").parse().map_err(|_| bad())?;
-        if tp.next().is_some() || !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&sec)
+        if tp.next().is_some()
+            || !(0..24).contains(&h)
+            || !(0..60).contains(&mi)
+            || !(0..60).contains(&sec)
         {
             return Err(bad());
         }
@@ -107,9 +110,17 @@ mod tests {
     #[test]
     fn invalid_literals_rejected() {
         for s in [
-            "", "2020", "2020-13-01", "2020-00-10", "2020-01-32", "2020-1-1-1",
-            "2020-01-01 25:00:00", "2020-01-01 00:61:00", "2020-01-01 00:00:00.abcd",
-            "2020-01-01 00:00:00.", "x-y-z",
+            "",
+            "2020",
+            "2020-13-01",
+            "2020-00-10",
+            "2020-01-32",
+            "2020-1-1-1",
+            "2020-01-01 25:00:00",
+            "2020-01-01 00:61:00",
+            "2020-01-01 00:00:00.abcd",
+            "2020-01-01 00:00:00.",
+            "x-y-z",
         ] {
             assert!(parse_datetime(s).is_err(), "'{s}' should be rejected");
         }

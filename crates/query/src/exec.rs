@@ -96,7 +96,9 @@ impl AggState {
     pub fn finalize(&self, func: AggFunc) -> Value {
         match func {
             AggFunc::Count => Value::U64(self.count),
-            AggFunc::Sum => Value::I64(self.sum.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64),
+            AggFunc::Sum => {
+                Value::I64(self.sum.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64)
+            }
             AggFunc::Min => self.min.clone().map_or(Value::Null, |v| v.0),
             AggFunc::Max => self.max.clone().map_or(Value::Null, |v| v.0),
             AggFunc::Avg => {
@@ -179,9 +181,7 @@ fn internal_columns(query: &Query, schema: &TableSchema) -> Result<(Vec<String>,
     let mut cols: Vec<String> = Vec::new();
     for item in &query.projection {
         match item {
-            SelectItem::AllColumns => {
-                cols.extend(schema.columns.iter().map(|c| c.name.clone()))
-            }
+            SelectItem::AllColumns => cols.extend(schema.columns.iter().map(|c| c.name.clone())),
             SelectItem::Column(c) => cols.push(c.clone()),
             SelectItem::CountStar | SelectItem::Agg(..) => {}
         }
@@ -296,9 +296,7 @@ pub fn collect_from_rows<'a>(
     let out_cols: Vec<usize> = cols
         .iter()
         .map(|c| {
-            schema
-                .column_index(c)
-                .ok_or_else(|| Error::Query(format!("unknown column '{c}'")))
+            schema.column_index(c).ok_or_else(|| Error::Query(format!("unknown column '{c}'")))
         })
         .collect::<Result<_>>()?;
     // Aggregate plumbing against full positional rows.
@@ -308,10 +306,7 @@ pub fn collect_from_rows<'a>(
         .iter()
         .map(|(_, col)| col.as_ref().and_then(|c| schema.column_index(c)))
         .collect();
-    let group_idx = query
-        .group_by
-        .as_ref()
-        .and_then(|g| schema.column_index(g));
+    let group_idx = query.group_by.as_ref().and_then(|g| schema.column_index(g));
     let n_items = agg_item_cols.len();
 
     let mut out_rows = Vec::new();
@@ -319,11 +314,7 @@ pub fn collect_from_rows<'a>(
     let mut global = vec![AggState::default(); n_items];
     for row in rows {
         stats.realtime_rows_scanned += 1;
-        let matches = query
-            .predicates
-            .iter()
-            .zip(&pred_cols)
-            .all(|(p, &c)| p.matches(&row[c]));
+        let matches = query.predicates.iter().zip(&pred_cols).all(|(p, &c)| p.matches(&row[c]));
         if !matches {
             continue;
         }
@@ -395,9 +386,7 @@ fn output_columns(query: &Query, schema: &TableSchema) -> Vec<String> {
     let mut out = Vec::new();
     for item in &query.projection {
         match item {
-            SelectItem::AllColumns => {
-                out.extend(schema.columns.iter().map(|c| c.name.clone()))
-            }
+            SelectItem::AllColumns => out.extend(schema.columns.iter().map(|c| c.name.clone())),
             SelectItem::Column(c) => out.push(c.clone()),
             SelectItem::CountStar => out.push("COUNT(*)".to_string()),
             SelectItem::Agg(func, c) => out.push(format!("{}({c})", func.name())),
@@ -408,11 +397,7 @@ fn output_columns(query: &Query, schema: &TableSchema) -> Vec<String> {
 
 /// Builds one output row from a group key + its finalized states following
 /// the projection order.
-fn project_agg_row(
-    query: &Query,
-    group_key: Option<&Value>,
-    states: &[AggState],
-) -> Vec<Value> {
+fn project_agg_row(query: &Query, group_key: Option<&Value>, states: &[AggState]) -> Vec<Value> {
     let items = query.aggregate_items();
     let mut agg_idx = 0;
     let mut row = Vec::with_capacity(query.projection.len());
@@ -449,8 +434,7 @@ pub fn finalize(partial: Partial, query: &Query, schema: &TableSchema) -> Result
                             .position(|(f, c)| *f == AggFunc::Count && c.is_none())
                             .ok_or_else(|| {
                                 Error::Query(
-                                    "ORDER BY COUNT(*) requires COUNT(*) in the projection"
-                                        .into(),
+                                    "ORDER BY COUNT(*) requires COUNT(*) in the projection".into(),
                                 )
                             })?;
                         entries.sort_by_key(|(_, s)| s[count_idx].count);
@@ -532,11 +516,8 @@ mod tests {
     }
 
     fn block(n: usize) -> LogBlockReader<Vec<u8>> {
-        let mut b = LogBlockBuilder::with_options(
-            schema(),
-            logstore_codec::Compression::LzHigh,
-            16,
-        );
+        let mut b =
+            LogBlockBuilder::with_options(schema(), logstore_codec::Compression::LzHigh, 16);
         for row in make_rows(n) {
             b.add_row(&row).unwrap();
         }
@@ -555,11 +536,7 @@ mod tests {
     }
 
     /// Naive oracle over the raw rows for one aggregate function.
-    fn oracle<'a>(
-        rows: impl Iterator<Item = &'a Vec<Value>>,
-        col: usize,
-        func: AggFunc,
-    ) -> Value {
+    fn oracle<'a>(rows: impl Iterator<Item = &'a Vec<Value>>, col: usize, func: AggFunc) -> Value {
         let mut state = AggState::default();
         for row in rows {
             state.update(Some(&row[col]));
@@ -674,10 +651,8 @@ mod tests {
 
     #[test]
     fn mismatched_partials_rejected() {
-        let r = merge_partials(vec![
-            Partial::Agg(vec![AggState::default()]),
-            Partial::Rows(vec![]),
-        ]);
+        let r =
+            merge_partials(vec![Partial::Agg(vec![AggState::default()]), Partial::Rows(vec![])]);
         assert!(r.is_err());
         assert_eq!(merge_partials(vec![]).unwrap(), Partial::Rows(vec![]));
     }

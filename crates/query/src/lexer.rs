@@ -153,9 +153,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 tokens.push(Token::Ident(input[start..i].to_string()));
             }
-            other => {
-                return Err(Error::Parse(format!("unexpected character '{}'", other as char)))
-            }
+            other => return Err(Error::Parse(format!("unexpected character '{}'", other as char))),
         }
     }
     Ok(tokens)
@@ -211,10 +209,7 @@ mod tests {
     #[test]
     fn string_escaping_and_unicode() {
         let toks = tokenize("'it''s' 'wörld'").unwrap();
-        assert_eq!(
-            toks,
-            vec![Token::StringLit("it's".into()), Token::StringLit("wörld".into())]
-        );
+        assert_eq!(toks, vec![Token::StringLit("it's".into()), Token::StringLit("wörld".into())]);
     }
 
     #[test]

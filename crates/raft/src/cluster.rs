@@ -115,12 +115,8 @@ impl InProcCluster {
 
     /// The unique reachable leader, if exactly one node is leading.
     pub fn sole_leader(&self) -> Option<NodeId> {
-        let leaders: Vec<NodeId> = self
-            .nodes
-            .iter()
-            .filter(|n| n.role() == Role::Leader)
-            .map(|n| n.id())
-            .collect();
+        let leaders: Vec<NodeId> =
+            self.nodes.iter().filter(|n| n.role() == Role::Leader).map(|n| n.id()).collect();
         (leaders.len() == 1).then(|| leaders[0])
     }
 
@@ -135,9 +131,8 @@ impl InProcCluster {
 
     /// Proposes on the current leader.
     pub fn propose(&mut self, payload: Vec<u8>) -> Result<u64> {
-        let leader = self
-            .any_leader()
-            .ok_or_else(|| logstore_types::Error::Raft("no leader".into()))?;
+        let leader =
+            self.any_leader().ok_or_else(|| logstore_types::Error::Raft("no leader".into()))?;
         self.nodes[leader.raw() as usize].propose(payload)
     }
 
@@ -251,10 +246,7 @@ mod tests {
         for _ in 0..50 {
             c.step();
         }
-        let laggard = (0..3u32)
-            .map(NodeId)
-            .find(|&n| n != leader)
-            .unwrap();
+        let laggard = (0..3u32).map(NodeId).find(|&n| n != leader).unwrap();
         c.isolate(laggard);
         // More commits while the laggard is away.
         for i in 10..30u8 {
@@ -270,9 +262,7 @@ mod tests {
         // discarded entries can now only reach the laggard as a snapshot.
         let leader_node = c.node_mut(leader);
         let applied_idx = leader_node.commit_index();
-        leader_node
-            .compact(applied_idx, b"archived-up-to-30".to_vec())
-            .expect("compact");
+        leader_node.compact(applied_idx, b"archived-up-to-30".to_vec()).expect("compact");
         assert_eq!(leader_node.snapshot_index(), applied_idx);
         assert!(leader_node.log_len() >= applied_idx, "log_len is absolute");
 
@@ -348,11 +338,8 @@ mod tests {
             c.step();
         }
         // Partition two followers away.
-        let followers: Vec<NodeId> = (0..5u32)
-            .map(NodeId)
-            .filter(|&n| n != leader)
-            .take(2)
-            .collect();
+        let followers: Vec<NodeId> =
+            (0..5u32).map(NodeId).filter(|&n| n != leader).take(2).collect();
         for &f in &followers {
             c.isolate(f);
         }

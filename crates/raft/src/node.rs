@@ -209,9 +209,8 @@ impl RaftNode {
 
     fn reset_election_timer(&mut self) {
         self.ticks = 0;
-        self.timeout = self
-            .rng
-            .gen_range(self.config.election_timeout_min..=self.config.election_timeout_max);
+        self.timeout =
+            self.rng.gen_range(self.config.election_timeout_min..=self.config.election_timeout_max);
     }
 
     fn start_election(&mut self) {
@@ -380,7 +379,12 @@ impl RaftNode {
                     }
                 }
             }
-            RaftMessage::InstallSnapshot { term, last_included_index, last_included_term, data } => {
+            RaftMessage::InstallSnapshot {
+                term,
+                last_included_index,
+                last_included_term,
+                data,
+            } => {
                 if term < self.term {
                     self.send(
                         from,
@@ -451,11 +455,7 @@ impl RaftNode {
         let mut candidate = self.last_log_index();
         while candidate > self.commit_index {
             if self.entry_term(candidate) == Some(self.term) {
-                let replicas = 1 + self
-                    .match_index
-                    .values()
-                    .filter(|&&m| m >= candidate)
-                    .count();
+                let replicas = 1 + self.match_index.values().filter(|&&m| m >= candidate).count();
                 if replicas >= self.majority() {
                     self.commit_index = candidate;
                     break;
@@ -616,19 +616,13 @@ mod tests {
             NodeId(1),
             RaftMessage::RequestVote { term: 1, last_log_index: 0, last_log_term: 0 },
         );
-        assert!(matches!(
-            out[0].message,
-            RaftMessage::RequestVoteResp { granted: true, .. }
-        ));
+        assert!(matches!(out[0].message, RaftMessage::RequestVoteResp { granted: true, .. }));
         // Second candidate in the same term is refused.
         let out = n.handle(
             NodeId(2),
             RaftMessage::RequestVote { term: 1, last_log_index: 0, last_log_term: 0 },
         );
-        assert!(matches!(
-            out[0].message,
-            RaftMessage::RequestVoteResp { granted: false, .. }
-        ));
+        assert!(matches!(out[0].message, RaftMessage::RequestVoteResp { granted: false, .. }));
     }
 
     #[test]
@@ -650,10 +644,7 @@ mod tests {
             NodeId(1),
             RaftMessage::RequestVote { term: 3, last_log_index: 5, last_log_term: 1 },
         );
-        assert!(matches!(
-            out[0].message,
-            RaftMessage::RequestVoteResp { granted: false, .. }
-        ));
+        assert!(matches!(out[0].message, RaftMessage::RequestVoteResp { granted: false, .. }));
     }
 
     #[test]
@@ -703,9 +694,6 @@ mod tests {
                 leader_commit: 0,
             },
         );
-        assert!(matches!(
-            out[0].message,
-            RaftMessage::AppendEntriesResp { success: false, .. }
-        ));
+        assert!(matches!(out[0].message, RaftMessage::AppendEntriesResp { success: false, .. }));
     }
 }

@@ -41,12 +41,9 @@ impl LogRecord {
         if row.len() < 2 {
             return Err(Error::invalid("row shorter than the two key columns"));
         }
-        let tenant_id = row[0]
-            .as_u64()
-            .ok_or_else(|| Error::invalid("tenant_id column must be UInt64"))?;
-        let ts = row[1]
-            .as_i64()
-            .ok_or_else(|| Error::invalid("ts column must be Int64"))?;
+        let tenant_id =
+            row[0].as_u64().ok_or_else(|| Error::invalid("tenant_id column must be UInt64"))?;
+        let ts = row[1].as_i64().ok_or_else(|| Error::invalid("ts column must be Int64"))?;
         Ok(LogRecord {
             tenant_id: TenantId(tenant_id),
             ts: Timestamp(ts),

@@ -220,10 +220,7 @@ mod tests {
     fn duplicate_columns_rejected() {
         let r = TableSchema::new(
             "t",
-            vec![
-                ColumnSchema::new("a", DataType::Int64),
-                ColumnSchema::new("a", DataType::String),
-            ],
+            vec![ColumnSchema::new("a", DataType::Int64), ColumnSchema::new("a", DataType::String)],
         );
         assert!(r.is_err());
     }

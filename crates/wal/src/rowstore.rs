@@ -60,10 +60,8 @@ impl RowStore {
         range: TimeRange,
         predicates: &[ColumnPredicate],
     ) -> Vec<LogRecord> {
-        let cols: Vec<Option<usize>> = predicates
-            .iter()
-            .map(|p| self.schema.column_index(&p.column))
-            .collect();
+        let cols: Vec<Option<usize>> =
+            predicates.iter().map(|p| self.schema.column_index(&p.column)).collect();
         self.rows
             .iter()
             .filter(|r| r.tenant_id == tenant && range.contains(r.ts))
@@ -166,11 +164,8 @@ mod tests {
         let range = TimeRange::new(Timestamp(0), Timestamp(100));
         let all = s.scan(TenantId(1), range, &[]);
         assert_eq!(all.len(), 2);
-        let slow = s.scan(
-            TenantId(1),
-            range,
-            &[ColumnPredicate::new("latency", CmpOp::Ge, 100i64)],
-        );
+        let slow =
+            s.scan(TenantId(1), range, &[ColumnPredicate::new("latency", CmpOp::Ge, 100i64)]);
         assert_eq!(slow.len(), 1);
         assert_eq!(slow[0].ts, Timestamp(20));
         let narrow = s.scan(TenantId(1), TimeRange::new(Timestamp(15), Timestamp(25)), &[]);

@@ -44,11 +44,7 @@ impl SegmentWriter {
     /// Creates (or truncates) a segment file.
     pub fn create(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
         Ok(SegmentWriter { path, writer: BufWriter::new(file), bytes_written: 0 })
     }
 
@@ -131,8 +127,7 @@ pub fn replay_segment(path: impl AsRef<Path>) -> Result<SegmentReplay> {
         if data.len() - pos < FRAME_HEADER {
             return Ok(SegmentReplay { payloads, valid_len: pos as u64, torn_tail: true });
         }
-        let len =
-            u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let stored_crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
         if len > MAX_PAYLOAD {
             return Err(Error::corruption("wal frame length implausible"));

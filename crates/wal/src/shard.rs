@@ -2,16 +2,20 @@
 //!
 //! `ShardStore` is phase one of the two-phase write for one shard: every
 //! batch is framed into the WAL first, then applied to the in-memory row
-//! store. On restart the WAL replays into a fresh row store. After the
-//! data builder archives rows to OSS, [`ShardStore::checkpoint`] truncates
-//! the archived WAL prefix.
+//! store. On restart the WAL replays into a fresh row store.
+//!
+//! The archive handshake is ack-based: the data builder drains rows with
+//! [`ShardStore::drain_for_archive`], uploads them, and only then acks via
+//! [`ShardStore::checkpoint`] — which truncates the archived WAL prefix.
+//! If the upload fails, [`ShardStore::restore_unarchived`] puts the rows
+//! back; since no checkpoint happened, the WAL still covers them and a
+//! crash at any point in the window replays every drained row.
 
 use crate::rowstore::RowStore;
 use crate::wal::{Lsn, Wal, WalConfig};
-use logstore_codec::valser::{put_row, read_row};
-use logstore_codec::varint::{put_uvarint, read_uvarint};
+use logstore_codec::batch::{decode_batch, encode_batch};
 use logstore_types::{
-    ColumnPredicate, Error, LogRecord, RecordBatch, Result, TableSchema, TenantId, TimeRange,
+    ColumnPredicate, LogRecord, RecordBatch, Result, TableSchema, TenantId, TimeRange,
 };
 use std::path::Path;
 
@@ -40,17 +44,18 @@ impl ShardStore {
         Ok(ShardStore { wal, rows, records_appended, records_archived: 0 })
     }
 
-    /// Appends a batch durably: WAL first, then the row store.
-    pub fn append_batch(&mut self, batch: &RecordBatch) -> Result<Lsn> {
+    /// Appends a batch durably: WAL first, then the row store. Consumes the
+    /// batch — records move into the row store, they are never cloned.
+    pub fn append_batch(&mut self, batch: RecordBatch) -> Result<Lsn> {
         for r in &batch.records {
             r.validate(self.rows.schema())?;
         }
-        let payload = encode_batch(batch);
+        let payload = encode_batch(&batch.records);
         let lsn = self.wal.append(&payload)?;
-        for r in &batch.records {
-            self.rows.insert(r.clone());
-        }
         self.records_appended += batch.len() as u64;
+        for r in batch.records {
+            self.rows.insert(r);
+        }
         Ok(lsn)
     }
 
@@ -98,8 +103,21 @@ impl ShardStore {
         drained
     }
 
-    /// After archived rows are durable on OSS, drops fully-archived WAL
-    /// segments. Conservative: only whole segments are removed.
+    /// Puts drained-but-unarchived rows back into the row store after a
+    /// failed upload. The rows are still covered by the WAL (no checkpoint
+    /// happened between the drain and this call), so they are *not*
+    /// re-appended — memory is restored for queries, durability was never
+    /// lost.
+    pub fn restore_unarchived(&mut self, rows: Vec<LogRecord>) {
+        self.records_archived = self.records_archived.saturating_sub(rows.len() as u64);
+        for r in rows {
+            self.rows.insert(r);
+        }
+    }
+
+    /// The archive ack: after drained rows are durable on OSS, drops
+    /// fully-archived WAL segments. Conservative: only whole segments are
+    /// removed.
     pub fn checkpoint(&mut self) -> Result<usize> {
         // Records map 1:1 onto batches only loosely; truncation is safe
         // only when *everything* buffered has been archived. Rotate first so
@@ -116,32 +134,6 @@ impl ShardStore {
     pub fn counters(&self) -> (u64, u64) {
         (self.records_appended, self.records_archived)
     }
-}
-
-fn encode_batch(batch: &RecordBatch) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_uvarint(&mut out, batch.len() as u64);
-    for r in &batch.records {
-        put_row(&mut out, &r.to_row());
-    }
-    out
-}
-
-fn decode_batch(payload: &[u8]) -> Result<Vec<LogRecord>> {
-    let mut pos = 0;
-    let n = read_uvarint(payload, &mut pos)? as usize;
-    if n > payload.len() {
-        return Err(Error::corruption("batch count implausible"));
-    }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let row = read_row(payload, &mut pos)?;
-        out.push(LogRecord::from_row(&row)?);
-    }
-    if pos != payload.len() {
-        return Err(Error::corruption("trailing bytes after batch"));
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -179,7 +171,7 @@ mod tests {
         let dir = temp_dir("roundtrip");
         let mut s =
             ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
-        s.append_batch(&RecordBatch::from_records(vec![rec(1, 10), rec(2, 20)])).unwrap();
+        s.append_batch(RecordBatch::from_records(vec![rec(1, 10), rec(2, 20)])).unwrap();
         let hits = s.scan(TenantId(1), TimeRange::all(), &[]);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].ts, Timestamp(10));
@@ -193,7 +185,7 @@ mod tests {
             let mut s =
                 ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
             for i in 0..50 {
-                s.append_batch(&RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+                s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
             }
             s.sync().unwrap();
             // Dropped without checkpoint — simulating a crash.
@@ -211,7 +203,7 @@ mod tests {
             ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
         let mut bad = rec(1, 1);
         bad.fields.pop();
-        assert!(s.append_batch(&RecordBatch::from_records(vec![bad])).is_err());
+        assert!(s.append_batch(RecordBatch::from_records(vec![bad])).is_err());
         assert_eq!(s.buffered_rows(), 0);
         // WAL stayed clean: reopen sees nothing.
         drop(s);
@@ -226,7 +218,7 @@ mod tests {
         let config = WalConfig { max_segment_bytes: 256, sync_on_append: false };
         let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
         for i in 0..100 {
-            s.append_batch(&RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+            s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
         }
         let drained = s.drain_for_archive(usize::MAX);
         assert_eq!(drained.len(), 100);
@@ -240,11 +232,56 @@ mod tests {
     }
 
     #[test]
+    fn restore_unarchived_rolls_back_a_failed_archive() {
+        let dir = temp_dir("restore");
+        let mut s =
+            ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
+        for i in 0..10 {
+            s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+        }
+        let drained = s.drain_for_archive(usize::MAX);
+        assert_eq!(s.buffered_rows(), 0);
+        assert_eq!(s.counters(), (10, 10));
+        // Upload "failed": put everything back.
+        s.restore_unarchived(drained);
+        assert_eq!(s.buffered_rows(), 10);
+        assert_eq!(s.counters(), (10, 0));
+        assert_eq!(s.scan(TenantId(1), TimeRange::all(), &[]).len(), 10);
+        // The rows were never re-appended: reopen replays exactly one copy.
+        drop(s);
+        let s = ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
+        assert_eq!(s.buffered_rows(), 10, "WAL must hold exactly one copy of each row");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn crash_between_drain_and_ack_replays_drained_rows() {
+        // The tentpole invariant: rows drained for archiving stay WAL-covered
+        // until the post-upload ack. A crash inside that window must lose
+        // nothing.
+        let dir = temp_dir("drain-crash");
+        {
+            let mut s =
+                ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
+            for i in 0..25 {
+                s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+            }
+            s.sync().unwrap();
+            let drained = s.drain_for_archive(usize::MAX);
+            assert_eq!(drained.len(), 25);
+            // Crash before the upload completed: no checkpoint() call.
+        }
+        let s = ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
+        assert_eq!(s.buffered_rows(), 25, "drained rows must replay after a crash");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn checkpoint_keeps_wal_while_rows_buffered() {
         let dir = temp_dir("keep");
         let mut s =
             ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
-        s.append_batch(&RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
+        s.append_batch(RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
         assert_eq!(s.checkpoint().unwrap(), 0);
         drop(s);
         let s = ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();

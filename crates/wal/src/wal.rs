@@ -1,8 +1,6 @@
 //! The write-ahead log: segments + rotation + truncation.
 
-use crate::segment::{
-    parse_segment_seq, replay_segment, segment_file_name, SegmentWriter,
-};
+use crate::segment::{parse_segment_seq, replay_segment, segment_file_name, SegmentWriter};
 use logstore_types::{Error, Result};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -92,10 +90,7 @@ impl Wal {
                 (SegmentWriter::create(dir.join(segment_file_name(0)))?, 0)
             }
         };
-        Ok((
-            Wal { dir, config, active, active_seq, segment_first_lsn, next_lsn },
-            replayed,
-        ))
+        Ok((Wal { dir, config, active, active_seq, segment_first_lsn, next_lsn }, replayed))
     }
 
     /// Appends a payload, returning its LSN.
@@ -237,10 +232,7 @@ mod tests {
             wal.sync().unwrap();
         }
         let (_, replayed) = Wal::open(&dir, WalConfig::default()).unwrap();
-        assert_eq!(
-            replayed,
-            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
-        );
+        assert_eq!(replayed, vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
         let _ = std::fs::remove_dir_all(dir);
     }
 

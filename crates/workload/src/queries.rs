@@ -59,9 +59,7 @@ pub fn tenant_queries<R: Rng + ?Sized>(
              AND api = '{api}' GROUP BY ip ORDER BY COUNT(*) DESC LIMIT 10"
         ),
         // 6. Failure count over the whole history.
-        format!(
-            "SELECT COUNT(*) FROM request_log WHERE tenant_id = {t} AND fail = true"
-        ),
+        format!("SELECT COUNT(*) FROM request_log WHERE tenant_id = {t} AND fail = true"),
     ]
 }
 

@@ -82,7 +82,8 @@ impl LogRecordGenerator {
         let api = APIS[self.rng.gen_range(0..APIS.len())];
         // Long-tailed latency: mostly fast, occasional stragglers.
         let base: f64 = self.rng.gen_range(1.0..20.0);
-        let tail: f64 = if self.rng.gen_bool(0.05) { self.rng.gen_range(100.0..2000.0) } else { 0.0 };
+        let tail: f64 =
+            if self.rng.gen_bool(0.05) { self.rng.gen_range(100.0..2000.0) } else { 0.0 };
         let latency = (base + tail) as i64;
         let fail = self.rng.gen_bool(self.fail_rate);
         let word = if fail {

@@ -45,8 +45,8 @@ fn main() {
     // The per-tenant OSS directories are physically separate — deleting or
     // billing one tenant never touches another tenant's objects.
     let shared = store.shared();
-    let t1_objects = shared.store.inner().list("tenants/1/").unwrap().len();
-    let t2_objects = shared.store.inner().list("tenants/2/").unwrap().len();
+    let t1_objects = shared.fault_layer().list("tenants/1/").unwrap().len();
+    let t2_objects = shared.fault_layer().list("tenants/2/").unwrap().len();
     println!("tenant 1 owns {t1_objects} objects under tenants/1/");
     println!("tenant 2 owns {t2_objects} objects under tenants/2/");
 
@@ -54,12 +54,8 @@ fn main() {
     let deleted = store.expire(Timestamp(now)).expect("expire");
     println!("\nexpiration at day 30 deleted {deleted} logblocks (tenant 1 keeps 7 days)");
 
-    let q1 = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-        .expect("query");
-    let q2 = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 2")
-        .expect("query");
+    let q1 = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");
+    let q2 = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 2").expect("query");
     println!("tenant 1 rows remaining: {}", q1.rows[0][0]);
     println!("tenant 2 rows remaining: {} (archive tenant keeps everything)", q2.rows[0][0]);
 

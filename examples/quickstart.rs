@@ -58,9 +58,8 @@ fn main() {
     }
 
     // Tenant isolation: tenant 7 sees only its own data.
-    let result = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 7")
-        .expect("count");
+    let result =
+        store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 7").expect("count");
     println!("\ntenant 7 owns {} row(s)", result.rows[0][0]);
 
     // Usage metering for billing.

@@ -37,22 +37,16 @@ fn main() {
 
     // A quiet background of small tenants...
     for t in 2..=20u64 {
-        store
-            .ingest((0..50).map(|i| record(t, i)).collect())
-            .expect("ingest");
+        store.ingest((0..50).map(|i| record(t, i)).collect()).expect("ingest");
     }
     // ...and one tenant spiking to 3x what a single shard may carry.
-    store
-        .ingest((0..15_000).map(|i| record(1, i)).collect())
-        .expect("ingest hot tenant");
+    store.ingest((0..15_000).map(|i| record(1, i)).collect()).expect("ingest hot tenant");
 
     // The controller's periodic tick (every 300 s in production) collects
     // the ingest window and rebalances.
     match store.control_tick().expect("control tick") {
         ControlAction::Rebalanced { routes_before, routes_after } => {
-            println!(
-                "hotspot detected: rebalanced, routes {routes_before} -> {routes_after}"
-            );
+            println!("hotspot detected: rebalanced, routes {routes_before} -> {routes_after}");
         }
         other => println!("controller action: {other:?}"),
     }
@@ -66,15 +60,11 @@ fn main() {
 
     // Reads keep working across the rebalance: the broker fans out to the
     // union of old and new shards while the switch-over settles.
-    let count = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-        .expect("query");
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");
     println!("tenant 1 still sees all {} of its rows", count.rows[0][0]);
 
     // A second quiet window converges (no further action).
-    store
-        .ingest((0..100).map(|i| record(1, 20_000 + i)).collect())
-        .expect("ingest");
+    store.ingest((0..100).map(|i| record(1, 20_000 + i)).collect()).expect("ingest");
     let action = store.control_tick().expect("control tick");
     println!("next tick with calm traffic: {action:?}");
 }

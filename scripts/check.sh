@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Full pre-merge check: release build, the whole test suite, and a
-# warnings-as-errors clippy pass over every workspace crate.
+# Full pre-merge check: formatting, release build, the whole test suite,
+# and a warnings-as-errors clippy pass over every workspace crate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 # --workspace: the root manifest is both a package and the workspace, so a
 # bare `cargo test -q` would only run the facade crate's suites.

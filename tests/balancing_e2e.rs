@@ -46,16 +46,12 @@ fn hot_tenant_gets_split_and_keeps_its_data_visible() {
     assert!(store.shared().controller.read_shards(TenantId(1)).len() >= 3);
 
     // Everything remains queryable mid-rebalance.
-    let count = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-        .expect("query");
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");
     assert_eq!(count.rows[0][0].as_u64().unwrap(), 8000);
 
     // New writes spread across the new routes and are visible too.
     store.ingest((8000..9000).map(|i| rec(1, i)).collect()).expect("ingest");
-    let count = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-        .expect("query");
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");
     assert_eq!(count.rows[0][0].as_u64().unwrap(), 9000);
 }
 
@@ -77,9 +73,7 @@ fn vacated_shard_rows_are_flushed_to_oss_not_migrated() {
             "vacated rows should be archived: {vacated:?}"
         );
     }
-    let count = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-        .expect("query");
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");
     assert_eq!(count.rows[0][0].as_u64().unwrap(), 8000, "no rows lost in the flush");
 }
 
@@ -129,15 +123,12 @@ fn scale_out_absorbs_a_saturating_tenant() {
     );
     assert!(store.shared().controller.read_shards(TenantId(1)).len() >= 4);
     // All rows remain visible.
-    let count = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1")
-        .expect("query");
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");
     assert_eq!(count.rows[0][0].as_u64().unwrap(), 8000);
     // New tenants may land on the new shards too.
     store.ingest((0..10).map(|i| rec(77, i)).collect()).expect("ingest");
-    let count = store
-        .query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 77")
-        .expect("query");
+    let count =
+        store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 77").expect("query");
     assert_eq!(count.rows[0][0].as_u64().unwrap(), 10);
 }
 

@@ -32,8 +32,7 @@ fn concurrent_ingest_flush_query_and_ticks() {
             std::thread::spawn(move || {
                 for round in 0..50i64 {
                     let tenant = w * 2 + (round % 2) as u64 + 1;
-                    let batch: Vec<_> =
-                        (0..20).map(|i| rec(tenant, round * 100 + i)).collect();
+                    let batch: Vec<_> = (0..20).map(|i| rec(tenant, round * 100 + i)).collect();
                     let report = store.ingest(batch).expect("ingest");
                     accepted.fetch_add(report.accepted, Ordering::Relaxed);
                     assert_eq!(report.rejected, 0);
@@ -59,9 +58,7 @@ fn concurrent_ingest_flush_query_and_ticks() {
                 // Results vary while writers run; the call must never fail
                 // or observe a torn state.
                 let _ = store
-                    .query(&format!(
-                        "SELECT COUNT(*) FROM request_log WHERE tenant_id = {tenant}"
-                    ))
+                    .query(&format!("SELECT COUNT(*) FROM request_log WHERE tenant_id = {tenant}"))
                     .expect("query during concurrent writes");
             }
         })
@@ -88,9 +85,7 @@ fn concurrent_ingest_flush_query_and_ticks() {
 #[test]
 fn concurrent_queries_share_the_cache() {
     let store = Arc::new(LogStore::open(ClusterConfig::for_testing()).expect("open"));
-    store
-        .ingest((0..2000).map(|i| rec(1, i)).collect())
-        .expect("ingest");
+    store.ingest((0..2000).map(|i| rec(1, i)).collect()).expect("ingest");
     store.flush().expect("flush");
     let readers: Vec<_> = (0..8)
         .map(|_| {

@@ -6,10 +6,8 @@ use logstore::types::{LogRecord, TenantId, Timestamp, Value};
 use std::path::{Path, PathBuf};
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "logstore-it-durable-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("logstore-it-durable-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -68,9 +66,7 @@ fn flushed_rows_do_not_replay_after_restart() {
     // is in-memory and new per engine, so only the WAL-recovered row is
     // visible. Exactly one copy of "fresh", zero copies of "archived".
     let store = LogStore::open(durable_config(&dir)).expect("reopen");
-    let result = store
-        .query("SELECT log FROM request_log WHERE tenant_id = 1")
-        .expect("query");
+    let result = store.query("SELECT log FROM request_log WHERE tenant_id = 1").expect("query");
     let logs: Vec<&str> = result.rows.iter().filter_map(|r| r[0].as_str()).collect();
     assert_eq!(logs, vec!["fresh"], "archived rows must not resurrect from the WAL");
     let _ = std::fs::remove_dir_all(dir);
@@ -89,9 +85,6 @@ fn replicated_durable_cluster_roundtrip() {
     }
     let r1 = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").unwrap();
     let r2 = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 2").unwrap();
-    assert_eq!(
-        r1.rows[0][0].as_u64().unwrap() + r2.rows[0][0].as_u64().unwrap(),
-        50
-    );
+    assert_eq!(r1.rows[0][0].as_u64().unwrap() + r2.rows[0][0].as_u64().unwrap(), 50);
     let _ = std::fs::remove_dir_all(dir);
 }

@@ -77,13 +77,9 @@ fn query_options_are_result_equivalent() {
          ORDER BY ts ASC LIMIT 20",
     ];
     for sql in queries {
-        let full = store
-            .query_with_options(sql, &QueryOptions::default())
-            .expect(sql);
+        let full = store.query_with_options(sql, &QueryOptions::default()).expect(sql);
         store.clear_cache();
-        let baseline = store
-            .query_with_options(sql, &QueryOptions::baseline())
-            .expect(sql);
+        let baseline = store.query_with_options(sql, &QueryOptions::baseline()).expect(sql);
         assert_eq!(full.result, baseline.result, "options changed results for {sql}");
     }
 }
@@ -101,15 +97,9 @@ fn aggregates_match_oracle_across_flush_boundary() {
     let schema = TableSchema::request_log();
     let lat = schema.column_index("latency").unwrap();
     let tenant1: Vec<_> = all.iter().filter(|r| r.tenant_id == TenantId(1)).collect();
-    let values: Vec<i64> = tenant1
-        .iter()
-        .filter_map(|r| r.to_row()[lat].as_i64())
-        .collect();
-    let (sum, min, max) = (
-        values.iter().sum::<i64>(),
-        *values.iter().min().unwrap(),
-        *values.iter().max().unwrap(),
-    );
+    let values: Vec<i64> = tenant1.iter().filter_map(|r| r.to_row()[lat].as_i64()).collect();
+    let (sum, min, max) =
+        (values.iter().sum::<i64>(), *values.iter().min().unwrap(), *values.iter().max().unwrap());
 
     let result = store
         .query(
@@ -201,10 +191,7 @@ fn full_text_column_equality_still_works_via_scan() {
             &QueryOptions::default(),
         )
         .expect("contains on full-text column");
-    assert_eq!(
-        contains.result.rows[0][0],
-        logstore::types::Value::U64(2)
-    );
+    assert_eq!(contains.result.rows[0][0], logstore::types::Value::U64(2));
     assert!(contains.stats.scan.index_lookups >= 1, "CONTAINS must use the token index");
 }
 

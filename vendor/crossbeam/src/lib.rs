@@ -106,21 +106,14 @@ pub mod channel {
                 if state.receivers == 0 {
                     return Err(SendError(value));
                 }
-                let full = self
-                    .0
-                    .capacity
-                    .is_some_and(|cap| state.queue.len() >= cap);
+                let full = self.0.capacity.is_some_and(|cap| state.queue.len() >= cap);
                 if !full {
                     state.queue.push_back(value);
                     drop(state);
                     self.0.not_empty.notify_one();
                     return Ok(());
                 }
-                state = self
-                    .0
-                    .not_full
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                state = self.0.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         }
     }
@@ -139,11 +132,7 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
-                state = self
-                    .0
-                    .not_empty
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                state = self.0.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         }
 
@@ -210,22 +199,14 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.0
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .senders += 1;
+            self.0.state.lock().unwrap_or_else(PoisonError::into_inner).senders += 1;
             Sender(Arc::clone(&self.0))
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.0
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .receivers += 1;
+            self.0.state.lock().unwrap_or_else(PoisonError::into_inner).receivers += 1;
             Receiver(Arc::clone(&self.0))
         }
     }

@@ -110,10 +110,8 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.0.take().expect("guard already waiting");
-        let (inner, result) = self
-            .0
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);
         WaitTimeoutResult(result.timed_out())
     }

@@ -253,9 +253,7 @@ impl StringPattern {
                         if chars[i] == '\\' && i + 1 < chars.len() {
                             set.push(chars[i + 1]);
                             i += 2;
-                        } else if i + 2 < chars.len()
-                            && chars[i + 1] == '-'
-                            && chars[i + 2] != ']'
+                        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']'
                         {
                             let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
                             assert!(lo <= hi, "bad class range in {pattern:?}");
@@ -595,9 +593,7 @@ mod tests {
     #[test]
     fn flat_map_and_boxed_compose() {
         let mut rng = rng();
-        let strat = (1usize..4)
-            .prop_flat_map(|n| collection::vec(Just(n), n..n + 1))
-            .boxed();
+        let strat = (1usize..4).prop_flat_map(|n| collection::vec(Just(n), n..n + 1)).boxed();
         for _ in 0..50 {
             let v = strat.generate(&mut rng);
             assert!(!v.is_empty());
