@@ -90,6 +90,11 @@ pub struct IngestReport {
     pub accepted: u64,
     /// Records rejected by backpressure (retry after throttling).
     pub rejected: u64,
+    /// True when the piggybacked build pass hit a terminal archive failure.
+    /// The accepted rows are still durable (WAL + row store) and will be
+    /// re-archived, but a persistently degraded archive path grows the row
+    /// store toward backpressure — details in [`LogStore::archive_stats`].
+    pub archive_degraded: bool,
 }
 
 /// Lifetime counters for the archive pipeline's failure path.
@@ -208,10 +213,12 @@ impl LogStore {
     /// An archive failure does not fail an accepted ingest: the accepted
     /// rows are durable in phase one (WAL + row store), `run_builder`
     /// restores any drained-but-not-uploaded rows, and a later pass
-    /// re-archives them. Failures are visible in [`LogStore::archive_stats`].
+    /// re-archives them. It is surfaced as [`IngestReport::archive_degraded`]
+    /// so writers notice before backpressure; counters are in
+    /// [`LogStore::archive_stats`].
     pub fn ingest(&self, records: Vec<LogRecord>) -> Result<IngestReport> {
-        let report = self.broker.ingest(RecordBatch::from_records(records))?;
-        let _archive_error = self.flush_if_needed();
+        let mut report = self.broker.ingest(RecordBatch::from_records(records))?;
+        report.archive_degraded = self.flush_if_needed().is_err();
         Ok(report)
     }
 
@@ -247,10 +254,10 @@ impl LogStore {
     /// is returned after the pass completes.
     fn run_builder(&self, force: bool) -> Result<BuildReport> {
         let mut total = BuildReport::default();
-        let mut first_error = None;
+        let mut first_error: Option<Error> = None;
         for worker in self.shared.worker_snapshot() {
             for (shard, rows) in worker.drain_for_build(self.config.rowstore_flush_bytes, force) {
-                let outcome = build_and_upload(
+                let mut outcome = build_and_upload(
                     rows,
                     &self.shared.schema,
                     &self.build_config,
@@ -258,15 +265,32 @@ impl LogStore {
                     &self.shared.metadata,
                 );
                 total.merge(&outcome.report);
-                if outcome.is_complete() {
-                    worker.ack_archived(shard)?;
+                // An ack/restore failure on one shard must not abort the
+                // pass: the remaining drained rows still need their ack or
+                // restore, or they would vanish from the row store with
+                // their in-flight archive ops left dangling.
+                let close = if outcome.is_complete() {
+                    worker.ack_archived(shard)
                 } else {
                     self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
                     self.archive_rows_restored
                         .fetch_add(outcome.unarchived.len() as u64, Ordering::Relaxed);
-                    worker.restore_unarchived(shard, outcome.unarchived)?;
                     if first_error.is_none() {
-                        first_error = outcome.error;
+                        first_error = outcome.error.take();
+                    }
+                    worker.restore_unarchived(shard, outcome.unarchived)
+                };
+                if let Err(e) = close {
+                    first_error.get_or_insert(e);
+                }
+            }
+            if force {
+                // Shards with nothing to drain produce no ack, yet may hold
+                // a truncation an earlier overlapping ack had to defer —
+                // apply it now that they are quiescent.
+                for shard in worker.shard_ids() {
+                    if let Err(e) = worker.truncate_quiescent(shard) {
+                        first_error.get_or_insert(e);
                     }
                 }
             }
@@ -289,35 +313,55 @@ impl LogStore {
         }
         let action = self.shared.controller.control_tick(&windows)?;
         if matches!(action, ControlAction::Rebalanced { .. }) {
+            // One bad tenant flush must not starve the others: every
+            // vacated route is processed this tick and the first error is
+            // returned afterwards (same contract as `run_builder`).
+            let mut first_error: Option<Error> = None;
             for (tenant, shard) in self.shared.controller.vacated_routes() {
-                let worker = self.shared.worker_for(shard)?;
-                let rows = worker.drain_tenant(shard, tenant)?;
-                if rows.is_empty() {
-                    continue;
+                if let Err(e) = self.flush_vacated_route(tenant, shard) {
+                    first_error.get_or_insert(e);
                 }
-                let outcome = build_and_upload(
-                    rows,
-                    &self.shared.schema,
-                    &self.build_config,
-                    self.shared.store.as_ref(),
-                    &self.shared.metadata,
-                );
-                if !outcome.is_complete() {
-                    // The flush-instead-of-migrate optimization failed:
-                    // put the rows back on their old shard. They stay
-                    // queryable there and the next build pass re-archives
-                    // them — a missed rebalance, never a lost row.
-                    self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
-                    self.archive_rows_restored
-                        .fetch_add(outcome.unarchived.len() as u64, Ordering::Relaxed);
-                    worker.restore_unarchived(shard, outcome.unarchived)?;
-                    if let Some(e) = outcome.error {
-                        return Err(e);
-                    }
-                }
+            }
+            if let Some(e) = first_error {
+                return Err(e);
             }
         }
         Ok(action)
+    }
+
+    /// Flushes one vacated tenant's rows off its old shard (the
+    /// flush-instead-of-migrate optimization, §4.1.5). On a terminal
+    /// upload failure the rows go back to the old shard — they stay
+    /// queryable there and the next build pass re-archives them: a missed
+    /// rebalance, never a lost row.
+    fn flush_vacated_route(&self, tenant: TenantId, shard: ShardId) -> Result<()> {
+        let worker = self.shared.worker_for(shard)?;
+        let rows = worker.drain_tenant(shard, tenant)?;
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut outcome = build_and_upload(
+            rows,
+            &self.shared.schema,
+            &self.build_config,
+            self.shared.store.as_ref(),
+            &self.shared.metadata,
+        );
+        if outcome.is_complete() {
+            // Close the tenant drain's in-flight archive op, or the
+            // shard's WAL truncation stays blocked forever.
+            worker.ack_tenant_archived(shard)
+        } else {
+            self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
+            self.archive_rows_restored
+                .fetch_add(outcome.unarchived.len() as u64, Ordering::Relaxed);
+            let error = outcome.error.take();
+            worker.restore_unarchived(shard, outcome.unarchived)?;
+            match error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        }
     }
 
     /// `ScaleCluster` (Algorithm 1 lines 25–27): adds `n` workers, each

@@ -105,6 +105,13 @@ impl Backend {
             Backend::Durable(store) => store.checkpoint(),
         }
     }
+
+    fn truncate_quiescent(&mut self) -> Result<usize> {
+        match self {
+            Backend::Mem(_) => Ok(0),
+            Backend::Durable(store) => store.truncate_if_quiescent(),
+        }
+    }
 }
 
 struct ShardState {
@@ -260,7 +267,11 @@ impl Worker {
     }
 
     /// Drains every shard whose buffer exceeds `flush_bytes` (or all when
-    /// `force`), returning `(shard, rows)` for the data builder.
+    /// `force`), returning `(shard, rows)` for the data builder. Every
+    /// returned pair opens an in-flight archive op on its shard that the
+    /// engine must close with exactly one [`Worker::ack_archived`] (upload
+    /// succeeded) or [`Worker::restore_unarchived`] (upload failed) —
+    /// WAL truncation stays blocked until all ops on a shard are closed.
     pub fn drain_for_build(
         &self,
         flush_bytes: usize,
@@ -280,7 +291,9 @@ impl Worker {
         out
     }
 
-    /// Drains one tenant from one shard (rebalance flush, §4.1.5).
+    /// Drains one tenant from one shard (rebalance flush, §4.1.5). A
+    /// non-empty drain opens an in-flight archive op; close it with
+    /// [`Worker::ack_tenant_archived`] or [`Worker::restore_unarchived`].
     pub fn drain_tenant(&self, shard: ShardId, tenant: TenantId) -> Result<Vec<LogRecord>> {
         Ok(self.shard(shard)?.backend.lock().drain_tenant(tenant))
     }
@@ -305,6 +318,25 @@ impl Worker {
         let state = self.shard(shard)?;
         state.backend.lock().checkpoint()?;
         self.checkpoint_raft(shard)
+    }
+
+    /// Acks a successful rebalance flush ([`Worker::drain_tenant`]): closes
+    /// the tenant drain's in-flight archive op so WAL truncation is not
+    /// blocked forever. Unlike [`Worker::ack_archived`] it does not compact
+    /// the replicated log — the shard's other tenants are still only in the
+    /// row store. Actual truncation happens only once the shard is
+    /// quiescent (no other archive in flight, nothing buffered).
+    pub fn ack_tenant_archived(&self, shard: ShardId) -> Result<()> {
+        self.shard(shard)?.backend.lock().checkpoint().map(|_| ())
+    }
+
+    /// Opportunistic WAL truncation: applies a truncation that an
+    /// overlapping ack had to defer, once the shard is quiescent (no
+    /// archive in flight, nothing buffered). Closes no archive op, so it
+    /// can never strip WAL coverage from a drain still in flight. Forced
+    /// build passes call this for shards that had nothing to drain.
+    pub fn truncate_quiescent(&self, shard: ShardId) -> Result<usize> {
+        self.shard(shard)?.backend.lock().truncate_quiescent()
     }
 
     /// After the drained rows are durable on OSS, compacts the shard's

@@ -10,6 +10,13 @@
 //! If the upload fails, [`ShardStore::restore_unarchived`] puts the rows
 //! back; since no checkpoint happened, the WAL still covers them and a
 //! crash at any point in the window replays every drained row.
+//!
+//! Drain→ack windows may overlap (the engine runs build passes from
+//! several threads, and rebalance flushes drain single tenants in
+//! parallel with full drains). Each drain opens an in-flight archive op;
+//! truncation only fires on the ack that closes the *last* one, so one
+//! pass's ack can never drop WAL segments that still cover another
+//! pass's drained-but-not-yet-uploaded rows.
 
 use crate::rowstore::RowStore;
 use crate::wal::{Lsn, Wal, WalConfig};
@@ -27,6 +34,10 @@ pub struct ShardStore {
     records_appended: u64,
     /// Records drained to the archiver so far.
     records_archived: u64,
+    /// Drains whose upload has neither been acked ([`ShardStore::checkpoint`])
+    /// nor rolled back ([`ShardStore::restore_unarchived`]) yet. Their rows
+    /// live only in WAL segments, so truncation must wait for all of them.
+    archives_inflight: u64,
 }
 
 impl ShardStore {
@@ -41,7 +52,7 @@ impl ShardStore {
                 records_appended += 1;
             }
         }
-        Ok(ShardStore { wal, rows, records_appended, records_archived: 0 })
+        Ok(ShardStore { wal, rows, records_appended, records_archived: 0, archives_inflight: 0 })
     }
 
     /// Appends a batch durably: WAL first, then the row store. Consumes the
@@ -89,40 +100,69 @@ impl ShardStore {
         &self.rows
     }
 
-    /// Drains up to `max_rows` oldest rows for archiving.
+    /// Drains up to `max_rows` oldest rows for archiving. A non-empty drain
+    /// opens an in-flight archive op that must be closed by exactly one
+    /// [`ShardStore::checkpoint`] (upload succeeded) or
+    /// [`ShardStore::restore_unarchived`] (upload failed).
     pub fn drain_for_archive(&mut self, max_rows: usize) -> Vec<LogRecord> {
         let drained = self.rows.drain_oldest(max_rows);
+        if !drained.is_empty() {
+            self.archives_inflight += 1;
+        }
         self.records_archived += drained.len() as u64;
         drained
     }
 
-    /// Drains one tenant's rows (rebalancing flush).
+    /// Drains one tenant's rows (rebalancing flush). Opens an in-flight
+    /// archive op exactly like [`ShardStore::drain_for_archive`].
     pub fn drain_tenant(&mut self, tenant: TenantId) -> Vec<LogRecord> {
         let drained = self.rows.drain_tenant(tenant);
+        if !drained.is_empty() {
+            self.archives_inflight += 1;
+        }
         self.records_archived += drained.len() as u64;
         drained
     }
 
     /// Puts drained-but-unarchived rows back into the row store after a
-    /// failed upload. The rows are still covered by the WAL (no checkpoint
-    /// happened between the drain and this call), so they are *not*
-    /// re-appended — memory is restored for queries, durability was never
-    /// lost.
+    /// failed upload, closing that drain's in-flight archive op. The rows
+    /// are still covered by the WAL (no checkpoint happened between the
+    /// drain and this call), so they are *not* re-appended — memory is
+    /// restored for queries, durability was never lost.
     pub fn restore_unarchived(&mut self, rows: Vec<LogRecord>) {
+        if rows.is_empty() {
+            return; // An empty drain opened no op; nothing to close.
+        }
+        self.archives_inflight = self.archives_inflight.saturating_sub(1);
         self.records_archived = self.records_archived.saturating_sub(rows.len() as u64);
         for r in rows {
             self.rows.insert(r);
         }
     }
 
-    /// The archive ack: after drained rows are durable on OSS, drops
-    /// fully-archived WAL segments. Conservative: only whole segments are
+    /// The archive ack: closes one in-flight archive op whose drained rows
+    /// are now durable on OSS, and drops fully-archived WAL segments when
+    /// that is provably safe. Conservative: only whole segments are
     /// removed.
     pub fn checkpoint(&mut self) -> Result<usize> {
+        self.archives_inflight = self.archives_inflight.saturating_sub(1);
+        self.truncate_if_quiescent()
+    }
+
+    /// Opportunistic checkpoint: truncates the WAL if that is provably
+    /// safe right now, *without* closing any in-flight archive op. Forced
+    /// build passes run this on shards that had nothing to drain, so
+    /// truncations deferred by overlapping acks are eventually applied.
+    pub fn truncate_if_quiescent(&mut self) -> Result<usize> {
         // Records map 1:1 onto batches only loosely; truncation is safe
-        // only when *everything* buffered has been archived. Rotate first so
-        // the (non-deletable) active segment is empty.
-        if self.rows.row_count() == 0 {
+        // only when *everything* ever appended is durable on OSS — i.e. no
+        // drain's upload is still in flight (its rows live only in WAL
+        // segments, anywhere in the prefix) and nothing is buffered
+        // (restored or freshly ingested rows rely on WAL coverage too).
+        // Otherwise defer: a later ack or opportunistic checkpoint that
+        // finds the shard quiescent truncates everything at once. Rotate
+        // first so the (non-deletable) active segment is empty.
+        if self.archives_inflight == 0 && self.rows.row_count() == 0 {
             self.wal.rotate_now()?;
             self.wal.truncate_until(self.wal.next_lsn())
         } else {
@@ -273,6 +313,88 @@ mod tests {
         }
         let s = ShardStore::open(&dir, TableSchema::request_log(), WalConfig::default()).unwrap();
         assert_eq!(s.buffered_rows(), 25, "drained rows must replay after a crash");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn overlapping_archive_acks_defer_truncation_until_the_last() {
+        // The drain→ack window of one build pass can overlap another's:
+        // pass A drains, new rows arrive and pass B drains them, then A
+        // acks while B's upload is still in flight. A's ack must not
+        // truncate the WAL segments covering B's rows.
+        let dir = temp_dir("overlap");
+        let config = WalConfig { max_segment_bytes: 256, sync_on_append: true };
+        {
+            let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
+            for i in 0..50 {
+                s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+            }
+            let a = s.drain_for_archive(usize::MAX);
+            assert_eq!(a.len(), 50);
+            for i in 50..80 {
+                s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+            }
+            let b = s.drain_for_archive(usize::MAX);
+            assert_eq!(b.len(), 30);
+            // A's upload finished first; B's is still in flight.
+            assert_eq!(s.checkpoint().unwrap(), 0, "ack with another archive in flight");
+            // Crash here: B's upload never completed, so its rows must
+            // still be WAL-covered (A's redundant replay is harmless —
+            // its rows are durable on OSS and acked).
+        }
+        let s = ShardStore::open(&dir, TableSchema::request_log(), config).unwrap();
+        assert_eq!(s.buffered_rows(), 80, "in-flight rows must survive the overlapping ack");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn last_overlapping_ack_truncates_everything() {
+        let dir = temp_dir("overlap-last");
+        let config = WalConfig { max_segment_bytes: 256, sync_on_append: true };
+        {
+            let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
+            for i in 0..50 {
+                s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+            }
+            s.drain_for_archive(usize::MAX);
+            for i in 50..80 {
+                s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
+            }
+            s.drain_for_archive(usize::MAX);
+            assert_eq!(s.checkpoint().unwrap(), 0);
+            assert!(s.checkpoint().unwrap() > 0, "the last ack finds the shard quiescent");
+        }
+        let s = ShardStore::open(&dir, TableSchema::request_log(), config).unwrap();
+        assert_eq!(s.buffered_rows(), 0, "fully-acked rows must not resurrect");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn inflight_tenant_drain_blocks_truncation() {
+        // A rebalance flush (drain_tenant) overlapping a full build pass:
+        // the pass's ack must keep the WAL until the tenant flush either
+        // acks or restores.
+        let dir = temp_dir("overlap-tenant");
+        let config = WalConfig { max_segment_bytes: 256, sync_on_append: true };
+        {
+            let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
+            for i in 0..40 {
+                s.append_batch(RecordBatch::from_records(vec![rec(1 + (i % 2) as u64, i)]))
+                    .unwrap();
+            }
+            let moved = s.drain_tenant(TenantId(2));
+            assert_eq!(moved.len(), 20);
+            let rest = s.drain_for_archive(usize::MAX);
+            assert_eq!(rest.len(), 20);
+            // The full pass acks first; the tenant flush is still in flight.
+            assert_eq!(s.checkpoint().unwrap(), 0, "tenant drain in flight blocks truncation");
+            // The tenant flush fails and rolls back: still no truncation —
+            // the restored rows live only in the WAL.
+            s.restore_unarchived(moved);
+            assert_eq!(s.buffered_rows(), 20);
+        }
+        let s = ShardStore::open(&dir, TableSchema::request_log(), config).unwrap();
+        assert_eq!(s.buffered_rows(), 40, "restored tenant rows must stay WAL-covered");
         let _ = std::fs::remove_dir_all(dir);
     }
 
