@@ -1,11 +1,18 @@
 //! Multi-level cache benchmarks: hit paths vs the simulated OSS miss path,
-//! and prefetch range merging.
+//! prefetch range merging, and the concurrent zipf hot/cold workload that
+//! exercises sharding, singleflight and run coalescing under contention.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use logstore_cache::prefetch::merge_ranges;
 use logstore_cache::tiered::{BlockKey, TieredCache};
+use logstore_cache::SizedLru;
 use logstore_oss::{LatencyModel, MemoryStore, ObjectStore, SimulatedOss};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn bench_cache_paths(c: &mut Criterion) {
     let store = SimulatedOss::new(MemoryStore::new(), LatencyModel::zero(), 1);
@@ -41,5 +48,132 @@ fn bench_merge_ranges(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache_paths, bench_merge_ranges);
+/// Zipf CDF over `n` ranks with skew `s` (rank r weighted 1/(r+1)^s).
+fn zipf_cdf(n: u64, s: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+/// The op mix of one thread: 80% zipf-hot point blocks, 20% cold scan
+/// starts (`u64::MAX` marks a scan op). Identical streams per seed, so
+/// every contender sees the same traffic.
+fn zipf_ops(cdf: &[f64], blocks: u64, scan: u64, seed: u64, ops: usize) -> Vec<(u64, bool)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                (rng.gen_range(0..blocks - scan), true)
+            } else {
+                let u: f64 = rng.gen();
+                (cdf.partition_point(|&c| c < u).min(cdf.len() - 1) as u64, false)
+            }
+        })
+        .collect()
+}
+
+/// 8 threads of zipf hot/cold traffic against the cache machinery itself
+/// (zero-latency fetches): measures lock contention, singleflight dedup
+/// and run-coalescing overhead, not origin latency. Cold scans draw from
+/// a per-iteration epoch namespace so they stay cold across iterations.
+fn bench_concurrent_zipf(c: &mut Criterion) {
+    const THREADS: u64 = 8;
+    const OPS: usize = 64;
+    const BLOCKS: u64 = 128;
+    const BLOCK: usize = 4096;
+    const SCAN: u64 = 8;
+    let cdf = zipf_cdf(BLOCKS, 1.1);
+    let ops: Vec<Vec<(u64, bool)>> =
+        (0..THREADS).map(|t| zipf_ops(&cdf, BLOCKS, SCAN, 0xBE7C4 + t, OPS)).collect();
+
+    let mut group = c.benchmark_group("cache/concurrent");
+    group.sample_size(30);
+
+    // Seed shape: one global lock, one GET-shaped fetch per block.
+    group.bench_function("zipf hot/cold, seed shape (1 lock, per-block)", |b| {
+        let lru = Mutex::new(SizedLru::new(BLOCKS as usize / 4 * BLOCK));
+        let epoch = AtomicU64::new(1);
+        b.iter(|| {
+            let e = epoch.fetch_add(1, Ordering::Relaxed);
+            std::thread::scope(|scope| {
+                for per_thread in &ops {
+                    let lru = &lru;
+                    scope.spawn(move || {
+                        for &(start, is_scan) in per_thread {
+                            let (path, n): (&str, u64) =
+                                if is_scan { ("cold", SCAN) } else { ("hot", 1) };
+                            for blk in start..start + n {
+                                let offset =
+                                    if is_scan { e * BLOCKS + blk } else { blk } * BLOCK as u64;
+                                let key = BlockKey { path: path.into(), offset };
+                                let hit = lru.lock().get(&key).cloned();
+                                let data: Arc<Vec<u8>> =
+                                    hit.unwrap_or_else(|| Arc::new(vec![blk as u8; BLOCK]));
+                                lru.lock().put(key, Arc::clone(&data), BLOCK);
+                                black_box(data);
+                            }
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    for shards in [1usize, 8] {
+        group.bench_function(
+            format!("zipf hot/cold, sharded+singleflight+coalesced ({shards} shards)"),
+            |b| {
+                let cache = TieredCache::memory_only_sharded(BLOCKS as usize / 4 * BLOCK, shards);
+                let epoch = AtomicU64::new(1);
+                b.iter(|| {
+                    let e = epoch.fetch_add(1, Ordering::Relaxed);
+                    std::thread::scope(|scope| {
+                        for per_thread in &ops {
+                            let cache = &cache;
+                            scope.spawn(move || {
+                                for &(start, is_scan) in per_thread {
+                                    if is_scan {
+                                        // Epoch-unique cold run: exercises the
+                                        // coalesced path end to end.
+                                        let blocks: Vec<(u64, u64)> = (start..start + SCAN)
+                                            .map(|b| {
+                                                ((e * BLOCKS + b) * BLOCK as u64, BLOCK as u64)
+                                            })
+                                            .collect();
+                                        let got = cache
+                                            .get_or_fetch_run("cold", &blocks, &|run| {
+                                                Ok(run
+                                                    .iter()
+                                                    .map(|&(o, l)| vec![o as u8; l as usize])
+                                                    .collect())
+                                            })
+                                            .unwrap();
+                                        black_box(got);
+                                    } else {
+                                        let key = BlockKey {
+                                            path: "hot".into(),
+                                            offset: start * BLOCK as u64,
+                                        };
+                                        let got = cache
+                                            .get_or_fetch(&key, || Ok(vec![start as u8; BLOCK]))
+                                            .unwrap();
+                                        black_box(got);
+                                    }
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_paths, bench_merge_ranges, bench_concurrent_zipf);
 criterion_main!(benches);

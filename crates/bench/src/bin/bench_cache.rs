@@ -1,0 +1,290 @@
+//! Concurrent block-cache benchmark: the seed cache (one global LRU lock,
+//! no miss dedup, per-block demand GETs) vs the concurrency-grade cache
+//! (sharded tiers + singleflight + coalesced run GETs) on a
+//! latency-simulated OSS under a zipf hot/cold workload.
+//!
+//! Eight reader threads hammer one object: zipf-distributed point reads
+//! (a hot head that thunders) mixed with sequential scans of cold runs
+//! (which the new path coalesces into single GETs). Axes: cache block
+//! size × shard count. Emits `BENCH_cache.json` with origin GET counts
+//! and wall-clock per configuration.
+
+use logstore_bench::print_table;
+use logstore_cache::{BlockKey, CachedObjectSource, SizedLru, TieredCache};
+use logstore_logblock::pack::RangeSource;
+use logstore_oss::{LatencyModel, MemoryStore, ObjectStore, SimulatedOss};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Fraction of modelled OSS latency actually slept.
+const TIME_SCALE: f64 = 0.05;
+/// Object size in cache blocks.
+const OBJECT_BLOCKS: u64 = 256;
+/// Reader threads.
+const THREADS: u64 = 8;
+/// Operations per thread.
+const OPS: u64 = 250;
+/// Blocks per sequential cold scan.
+const SCAN_BLOCKS: u64 = 8;
+/// Zipf skew of the point-read block distribution.
+const ZIPF_S: f64 = 1.1;
+
+/// The pre-rework cache shape: one `SizedLru` behind one mutex, probe →
+/// release → fetch → insert, no dedup, no coalescing. This is what every
+/// `get_or_fetch` call did at the seed.
+struct SeedCache {
+    lru: Mutex<SizedLru<BlockKey, Arc<Vec<u8>>>>,
+}
+
+impl SeedCache {
+    fn new(capacity: usize) -> Self {
+        SeedCache { lru: Mutex::new(SizedLru::new(capacity)) }
+    }
+
+    fn get_or_fetch(&self, key: &BlockKey, fetch: impl FnOnce() -> Vec<u8>) -> Arc<Vec<u8>> {
+        if let Some(hit) = self.lru.lock().get(key).cloned() {
+            return hit;
+        }
+        let data = Arc::new(fetch());
+        let size = data.len();
+        self.lru.lock().put(key.clone(), Arc::clone(&data), size);
+        data
+    }
+}
+
+/// Zipf-over-ranks sampler: rank r is drawn with weight 1/(r+1)^s, and a
+/// seeded shuffle maps ranks to block indices so the hot head is scattered
+/// across the object.
+struct ZipfBlocks {
+    cdf: Vec<f64>,
+    rank_to_block: Vec<u64>,
+}
+
+impl ZipfBlocks {
+    fn new(n: u64, s: f64, seed: u64) -> Self {
+        let mut weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        let mut rank_to_block: Vec<u64> = (0..n).collect();
+        use rand::seq::SliceRandom;
+        rank_to_block.shuffle(&mut StdRng::seed_from_u64(seed));
+        ZipfBlocks { cdf: weights, rank_to_block }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.rank_to_block[rank]
+    }
+}
+
+struct RunResult {
+    mode: &'static str,
+    block_kib: u64,
+    shards: usize,
+    wall_ms: f64,
+    origin_gets: u64,
+    bytes_from_origin: u64,
+    singleflight_waits: u64,
+    coalesced_gets: u64,
+}
+
+fn make_store(block_size: u64) -> (Arc<SimulatedOss<MemoryStore>>, u64) {
+    let object_len = OBJECT_BLOCKS * block_size;
+    let object: Vec<u8> = (0..=255u8).cycle().take(object_len as usize).collect();
+    let store = SimulatedOss::new(
+        MemoryStore::new(),
+        LatencyModel::oss_like().with_time_scale(TIME_SCALE),
+        11,
+    );
+    store.inner().put("obj", &object).unwrap();
+    (Arc::new(store), object_len)
+}
+
+/// One op stream, identical for every configuration (seeded per thread):
+/// 80% zipf point reads of one block, 20% sequential cold scans.
+fn workload_ops(thread: u64, zipf: &ZipfBlocks) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(0xCAC4E + thread);
+    let mut ops = Vec::with_capacity(OPS as usize);
+    for _ in 0..OPS {
+        if rng.gen_bool(0.2) {
+            let start = rng.gen_range(0..OBJECT_BLOCKS - SCAN_BLOCKS);
+            ops.push((start, SCAN_BLOCKS));
+        } else {
+            ops.push((zipf.sample(&mut rng), 1));
+        }
+    }
+    ops
+}
+
+fn run_seed(block_size: u64, cache_bytes: usize) -> RunResult {
+    let (store, _) = make_store(block_size);
+    let cache = SeedCache::new(cache_bytes);
+    let zipf = ZipfBlocks::new(OBJECT_BLOCKS, ZIPF_S, 99);
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ops = workload_ops(t, &zipf);
+            let cache = &cache;
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for (block, count) in ops {
+                    // Assemble the op's result buffer exactly like
+                    // `read_at` does, so both modes do equal work.
+                    let mut out = Vec::with_capacity((count * block_size) as usize);
+                    for b in block..block + count {
+                        let key = BlockKey { path: "obj".into(), offset: b * block_size };
+                        let data = cache.get_or_fetch(&key, || {
+                            store.get_range("obj", b * block_size, block_size).unwrap()
+                        });
+                        out.extend_from_slice(&data);
+                    }
+                    assert_eq!(out.len() as u64, count * block_size);
+                }
+            });
+        }
+    });
+    RunResult {
+        mode: "seed",
+        block_kib: block_size / 1024,
+        shards: 1,
+        wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+        origin_gets: store.metrics().get_requests,
+        bytes_from_origin: store.metrics().bytes_read,
+        singleflight_waits: 0,
+        coalesced_gets: 0,
+    }
+}
+
+fn run_new(block_size: u64, shards: usize, cache_bytes: usize) -> RunResult {
+    let (store, object_len) = make_store(block_size);
+    let cache = Arc::new(TieredCache::memory_only_sharded(cache_bytes, shards));
+    let src = Arc::new(CachedObjectSource::open_with_known_size(
+        Arc::clone(&store),
+        "obj",
+        Arc::clone(&cache),
+        block_size,
+        object_len,
+    ));
+    let zipf = ZipfBlocks::new(OBJECT_BLOCKS, ZIPF_S, 99);
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ops = workload_ops(t, &zipf);
+            let src = Arc::clone(&src);
+            scope.spawn(move || {
+                for (block, count) in ops {
+                    let data = src.read_at(block * block_size, count * block_size).unwrap();
+                    assert_eq!(data.len() as u64, count * block_size);
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    RunResult {
+        mode: "new",
+        block_kib: block_size / 1024,
+        shards: cache.shard_count(),
+        wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+        origin_gets: store.metrics().get_requests,
+        bytes_from_origin: stats.bytes_from_origin,
+        singleflight_waits: stats.singleflight_waits,
+        coalesced_gets: stats.coalesced_gets,
+    }
+}
+
+fn main() {
+    let block_sizes: &[u64] = &[16 * 1024, 64 * 1024, 256 * 1024];
+    let shard_counts: &[usize] = &[1, 4, 16];
+
+    println!(
+        "concurrent zipf hot/cold workload: {THREADS} threads x {OPS} ops, \
+         {OBJECT_BLOCKS}-block object, time scale {TIME_SCALE}"
+    );
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &block_size in block_sizes {
+        // The cache holds a quarter of the object at every block size, so
+        // cold scans must evict and the hot head stays resident.
+        let cache_bytes = (OBJECT_BLOCKS * block_size / 4) as usize;
+        results.push(run_seed(block_size, cache_bytes));
+        for &shards in shard_counts {
+            results.push(run_new(block_size, shards, cache_bytes));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                r.block_kib.to_string(),
+                r.shards.to_string(),
+                format!("{:.1}", r.wall_ms),
+                r.origin_gets.to_string(),
+                r.singleflight_waits.to_string(),
+                r.coalesced_gets.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "block cache under concurrency (seed vs sharded+singleflight+coalesced)",
+        &["mode", "block KiB", "shards", "wall ms", "origin GETs", "sf waits", "coalesced"],
+        &rows,
+    );
+
+    for &block_size in block_sizes {
+        let kib = block_size / 1024;
+        let seed = results.iter().find(|r| r.mode == "seed" && r.block_kib == kib).unwrap();
+        let best = results
+            .iter()
+            .filter(|r| r.mode == "new" && r.block_kib == kib)
+            .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+            .unwrap();
+        println!(
+            "{kib:>4} KiB blocks: {:.0} -> {:.0} origin GETs ({:.1}x), wall {:.0} -> {:.0} ms \
+             ({:.1}x, best at {} shards)",
+            seed.origin_gets as f64,
+            best.origin_gets as f64,
+            seed.origin_gets as f64 / best.origin_gets.max(1) as f64,
+            seed.wall_ms,
+            best.wall_ms,
+            seed.wall_ms / best.wall_ms,
+            best.shards,
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is offline — no serde).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"threads\": {THREADS}, \"ops_per_thread\": {OPS}, \
+         \"object_blocks\": {OBJECT_BLOCKS}, \"scan_blocks\": {SCAN_BLOCKS}, \
+         \"zipf_s\": {ZIPF_S}, \"time_scale\": {TIME_SCALE}}},\n"
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"block_kib\": {}, \"shards\": {}, \"wall_ms\": {:.2}, \
+             \"origin_gets\": {}, \"bytes_from_origin\": {}, \"singleflight_waits\": {}, \
+             \"coalesced_gets\": {}}}{}\n",
+            r.mode,
+            r.block_kib,
+            r.shards,
+            r.wall_ms,
+            r.origin_gets,
+            r.bytes_from_origin,
+            r.singleflight_waits,
+            r.coalesced_gets,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
+    println!("\nwrote BENCH_cache.json ({} runs)", results.len());
+}

@@ -10,13 +10,20 @@
 //!   blocks so nearby reads reuse each other's I/O;
 //! * a **parallel prefetcher** — a file's block list is deduplicated,
 //!   merged, and fetched by a thread pool before the query needs it.
+//!
+//! The read path is built for concurrency: both tiers are hash-sharded
+//! (one mutex and byte budget per shard), concurrent misses on the same
+//! block are deduplicated through a [`singleflight`] table, and runs of
+//! contiguous cold blocks are fetched with one coalesced origin GET.
 
 pub mod lru;
 pub mod prefetch;
+pub mod singleflight;
 pub mod source;
 pub mod tiered;
 
 pub use lru::SizedLru;
 pub use prefetch::{merge_ranges, PrefetchOutcome, Prefetcher};
+pub use singleflight::{FlightRole, SingleFlight};
 pub use source::CachedObjectSource;
-pub use tiered::{CacheStats, DiskBlockCache, MemoryBlockCache, TieredCache};
+pub use tiered::{BlockKey, CacheStats, DiskBlockCache, MemoryBlockCache, TieredCache};

@@ -5,6 +5,12 @@
 //! cache blocks (the Fig 9 "block alignment adapter") so that nearby reads
 //! — e.g. a LogBlock's manifest, meta and first column — share I/O through
 //! the [`TieredCache`].
+//!
+//! A demand read that misses a run of contiguous blocks fetches the whole
+//! run with **one** origin range GET (via
+//! [`TieredCache::get_or_fetch_run`] + `ObjectStore::get_block_run`), and
+//! a read for exactly one aligned block is served zero-copy as the cached
+//! `Arc` through [`RangeSource::read_at_shared`].
 
 use crate::tiered::{BlockKey, TieredCache};
 use logstore_logblock::pack::RangeSource;
@@ -72,12 +78,13 @@ impl<S: ObjectStore> CachedObjectSource<S> {
     }
 
     /// The block-aligned ranges `(offset, len)` covering `[offset, offset+len)`
-    /// — used by the prefetcher to plan parallel GETs.
+    /// — used by the prefetcher to plan parallel GETs. The blocks are
+    /// contiguous (each starts where the previous one ends).
     pub fn aligned_blocks(&self, offset: u64, len: u64) -> Vec<(u64, u64)> {
         if len == 0 || offset >= self.size {
             return Vec::new();
         }
-        let end = (offset + len).min(self.size);
+        let end = offset.saturating_add(len).min(self.size);
         let first = offset / self.block_size;
         let last = (end - 1) / self.block_size;
         (first..=last)
@@ -94,8 +101,35 @@ impl<S: ObjectStore> CachedObjectSource<S> {
     }
 
     /// Fetches one aligned block into the cache (prefetch worker entry).
+    /// Shares the cache's singleflight table with demand reads, so a
+    /// prefetch wave and a demand read never duplicate an origin GET.
     pub fn prefetch_block(&self, block_offset: u64, block_len: u64) -> Result<()> {
         self.fetch_block(block_offset, block_len).map(|_| ())
+    }
+
+    /// Checks `[offset, offset+len)` against the object, rejecting
+    /// overflowing or out-of-bounds ranges.
+    fn check_range(&self, offset: u64, len: u64) -> Result<()> {
+        let end = offset.checked_add(len).ok_or_else(|| {
+            logstore_types::Error::invalid(format!(
+                "range {offset}+{len} overflows in object '{}'",
+                self.path
+            ))
+        })?;
+        if end > self.size {
+            return Err(logstore_types::Error::invalid(format!(
+                "range {offset}+{len} beyond object '{}' of {} bytes",
+                self.path, self.size
+            )));
+        }
+        Ok(())
+    }
+
+    /// Resolves every aligned block covering the range through the cache,
+    /// coalescing runs of cold blocks into single origin GETs.
+    fn fetch_covering_blocks(&self, blocks: &[(u64, u64)]) -> Result<Vec<Arc<Vec<u8>>>> {
+        self.cache
+            .get_or_fetch_run(&self.path, blocks, &|run| self.store.get_block_run(&self.path, run))
     }
 }
 
@@ -104,20 +138,29 @@ impl<S: ObjectStore> RangeSource for CachedObjectSource<S> {
         if len == 0 {
             return Ok(Vec::new());
         }
-        if offset + len > self.size {
-            return Err(logstore_types::Error::invalid(format!(
-                "range {offset}+{len} beyond object '{}' of {} bytes",
-                self.path, self.size
-            )));
-        }
+        self.check_range(offset, len)?;
+        let blocks = self.aligned_blocks(offset, len);
+        let parts = self.fetch_covering_blocks(&blocks)?;
         let mut out = Vec::with_capacity(len as usize);
-        for (block_offset, block_len) in self.aligned_blocks(offset, len) {
-            let block = self.fetch_block(block_offset, block_len)?;
-            let start = offset.max(block_offset) - block_offset;
+        for (part, (block_offset, block_len)) in parts.iter().zip(&blocks) {
+            let start = offset.max(*block_offset) - block_offset;
             let end = (offset + len).min(block_offset + block_len) - block_offset;
-            out.extend_from_slice(&block[start as usize..end as usize]);
+            out.extend_from_slice(&part[start as usize..end as usize]);
         }
         Ok(out)
+    }
+
+    fn read_at_shared(&self, offset: u64, len: u64) -> Result<Arc<Vec<u8>>> {
+        if len > 0 && offset.is_multiple_of(self.block_size) {
+            self.check_range(offset, len)?;
+            let block_len = self.block_size.min(self.size - offset);
+            if len == block_len {
+                // Exactly one aligned block: hand out the cached buffer
+                // itself instead of copying it.
+                return self.fetch_block(offset, block_len);
+            }
+        }
+        self.read_at(offset, len).map(Arc::new)
     }
 
     fn size(&self) -> u64 {
@@ -130,11 +173,24 @@ mod tests {
     use super::*;
     use logstore_oss::{LatencyModel, MemoryStore, SimulatedOss};
 
-    fn setup(object: &[u8], block_size: u64) -> CachedObjectSource<SimulatedOss<MemoryStore>> {
+    type SimSource = CachedObjectSource<SimulatedOss<MemoryStore>>;
+
+    fn setup_with_store(
+        object: &[u8],
+        block_size: u64,
+    ) -> (Arc<SimulatedOss<MemoryStore>>, SimSource) {
         let store = SimulatedOss::new(MemoryStore::new(), LatencyModel::zero(), 1);
         store.inner().put("obj", object).unwrap();
+        let store = Arc::new(store);
         let cache = Arc::new(TieredCache::memory_only(1 << 20));
-        CachedObjectSource::open_with_block_size(Arc::new(store), "obj", cache, block_size).unwrap()
+        let src =
+            CachedObjectSource::open_with_block_size(Arc::clone(&store), "obj", cache, block_size)
+                .unwrap();
+        (store, src)
+    }
+
+    fn setup(object: &[u8], block_size: u64) -> SimSource {
+        setup_with_store(object, block_size).1
     }
 
     #[test]
@@ -153,6 +209,18 @@ mod tests {
     }
 
     #[test]
+    fn overflowing_range_is_rejected_not_wrapped() {
+        let src = setup(&[1u8; 100], 64);
+        // offset + len wraps u64; the old unchecked addition let this pass
+        // the bounds check and panic downstream.
+        let err = src.read_at(u64::MAX - 5, 10).unwrap_err();
+        assert!(matches!(err, logstore_types::Error::InvalidArgument(_)), "{err}");
+        let err = src.read_at(50, u64::MAX).unwrap_err();
+        assert!(matches!(err, logstore_types::Error::InvalidArgument(_)), "{err}");
+        assert!(src.read_at_shared(u64::MAX - 63, 64).is_err());
+    }
+
+    #[test]
     fn alignment_reduces_origin_requests() {
         let object = vec![7u8; 4096];
         let src = setup(&object, 1024);
@@ -162,6 +230,51 @@ mod tests {
         }
         assert_eq!(src.cache.stats().misses, 1);
         assert_eq!(src.cache.stats().memory_hits, 7);
+    }
+
+    #[test]
+    fn cold_spanning_read_coalesces_to_one_origin_get() {
+        let object: Vec<u8> = (0..=255u8).cycle().take(8192).collect();
+        let (store, src) = setup_with_store(&object, 1024);
+        let got = src.read_at(0, 8192).unwrap();
+        assert_eq!(got, object);
+        let stats = src.cache.stats();
+        assert_eq!(stats.misses, 8, "8 cold blocks");
+        assert_eq!(stats.coalesced_gets, 1);
+        assert_eq!(
+            store.metrics().get_requests,
+            1,
+            "a cold run of 8 blocks must be one origin GET"
+        );
+    }
+
+    #[test]
+    fn warm_blocks_split_coalesced_runs() {
+        let object: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let (store, src) = setup_with_store(&object, 1024);
+        // Warm block 1 (bytes 1024..2048) via a tiny read.
+        src.read_at(1500, 10).unwrap();
+        assert_eq!(store.metrics().get_requests, 1);
+        // Spanning read: runs [block 0] and [blocks 2, 3] → two more GETs.
+        let got = src.read_at(0, 4096).unwrap();
+        assert_eq!(got, object);
+        assert_eq!(store.metrics().get_requests, 3);
+    }
+
+    #[test]
+    fn full_block_read_shared_is_zero_copy() {
+        let object = vec![9u8; 3000];
+        let src = setup(&object, 1024);
+        let a = src.read_at_shared(1024, 1024).unwrap();
+        let b = src.read_at_shared(1024, 1024).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "full-block reads must share the cached Arc");
+        assert_eq!(*a, object[1024..2048]);
+        // The clipped tail block is also eligible.
+        let tail = src.read_at_shared(2048, 3000 - 2048).unwrap();
+        assert_eq!(*tail, object[2048..]);
+        // Unaligned reads still work through the copying path.
+        let partial = src.read_at_shared(100, 50).unwrap();
+        assert_eq!(*partial, object[100..150]);
     }
 
     #[test]

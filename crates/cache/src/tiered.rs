@@ -1,12 +1,28 @@
-//! The multi-level block cache (paper Fig 9).
+//! The multi-level block cache (paper Fig 9), built for concurrency.
 //!
 //! Memory tier → disk (SSD) tier → origin. Memory evictions spill to disk
 //! ("when its size exceeds the threshold, the memory cache will spill to
 //! the SSD block cache"); disk hits are promoted back to memory.
+//!
+//! Three mechanisms make the read path scale under parallel queries:
+//!
+//! * **Sharded tiers** — each tier's [`SizedLru`] is split into 2^k
+//!   hash-sharded shards with a per-shard mutex and a per-shard byte
+//!   budget, so parallel scans stop serializing on one global lock;
+//! * **Singleflight** — a per-key in-flight table dedups concurrent misses:
+//!   N readers of the same cold block perform exactly one origin GET
+//!   (errors propagate to all waiters and are never cached). The
+//!   prefetcher and demand reads share this table;
+//! * **Coalesced runs** — [`TieredCache::get_or_fetch_run`] fetches a
+//!   contiguous run of cold blocks with one origin range GET instead of
+//!   one GET per block.
 
 use crate::lru::SizedLru;
-use logstore_types::Result;
+use crate::singleflight::{FlightRole, SingleFlight};
+use logstore_codec::crc::crc32c;
+use logstore_types::{Error, Result};
 use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -20,7 +36,16 @@ pub struct BlockKey {
     pub offset: u64,
 }
 
-/// Hit/miss counters.
+/// A coalesced origin fetch: given a contiguous run of `(offset, len)`
+/// blocks, returns one buffer per requested block (see
+/// `logstore_oss::ObjectStore::get_block_run`).
+pub type FetchRunFn<'a> = dyn Fn(&[(u64, u64)]) -> Result<Vec<Vec<u8>>> + 'a;
+
+/// What a run-flight leader hands back: the first block plus the tail of
+/// blocks its coalesced GET also covered.
+type LedRun = (Arc<Vec<u8>>, Vec<Arc<Vec<u8>>>);
+
+/// Hit/miss and concurrency counters.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CacheStats {
     /// Served from the memory tier.
@@ -29,6 +54,17 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Fetched from the origin.
     pub misses: u64,
+    /// Bytes fetched from the origin (demand + prefetch alike).
+    pub bytes_from_origin: u64,
+    /// Origin range GETs that covered more than one aligned block — each
+    /// saved at least one round-trip over per-block fetching.
+    pub coalesced_gets: u64,
+    /// Lookups that blocked on another reader's in-flight fetch instead of
+    /// issuing their own origin GET (the thundering-herd savings).
+    pub singleflight_waits: u64,
+    /// Disk-tier spill writes that failed. Non-fatal by design: a cache
+    /// write can never fail a read.
+    pub spill_failures: u64,
 }
 
 impl CacheStats {
@@ -46,72 +82,172 @@ impl CacheStats {
             (self.memory_hits + self.disk_hits) as f64 / lookups as f64
         }
     }
+
+    /// Counter increments since `earlier` (counters are monotonic, so a
+    /// plain saturating field-wise subtraction).
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.saturating_sub(earlier.memory_hits),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bytes_from_origin: self.bytes_from_origin.saturating_sub(earlier.bytes_from_origin),
+            coalesced_gets: self.coalesced_gets.saturating_sub(earlier.coalesced_gets),
+            singleflight_waits: self.singleflight_waits.saturating_sub(earlier.singleflight_waits),
+            spill_failures: self.spill_failures.saturating_sub(earlier.spill_failures),
+        }
+    }
 }
 
-/// The in-memory tier.
+/// Rounds a requested shard count up to a power of two (minimum 1), so
+/// shard selection is a mask instead of a modulo.
+fn shard_count(requested: usize) -> usize {
+    requested.max(1).next_power_of_two()
+}
+
+/// Stable per-process shard selector for a key.
+fn shard_of(key: &BlockKey, mask: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) & mask
+}
+
+/// Splits a byte budget across shards, keeping the total within capacity.
+fn per_shard_budget(capacity_bytes: usize, shards: usize) -> usize {
+    capacity_bytes / shards
+}
+
+/// The in-memory tier: 2^k hash-sharded [`SizedLru`]s.
 pub struct MemoryBlockCache {
-    lru: Mutex<SizedLru<BlockKey, Arc<Vec<u8>>>>,
+    shards: Vec<Mutex<SizedLru<BlockKey, Arc<Vec<u8>>>>>,
+    mask: usize,
 }
 
 impl MemoryBlockCache {
-    /// Creates a tier bounded to `capacity_bytes`.
+    /// Creates a single-shard tier bounded to `capacity_bytes`.
     pub fn new(capacity_bytes: usize) -> Self {
-        MemoryBlockCache { lru: Mutex::new(SizedLru::new(capacity_bytes)) }
+        Self::new_sharded(capacity_bytes, 1)
+    }
+
+    /// Creates a tier of `shards` (rounded up to a power of two) shards
+    /// splitting `capacity_bytes` evenly.
+    pub fn new_sharded(capacity_bytes: usize, shards: usize) -> Self {
+        let n = shard_count(shards);
+        let budget = per_shard_budget(capacity_bytes, n);
+        MemoryBlockCache {
+            shards: (0..n).map(|_| Mutex::new(SizedLru::new(budget))).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Looks up a block.
     pub fn get(&self, key: &BlockKey) -> Option<Arc<Vec<u8>>> {
-        self.lru.lock().get(key).cloned()
+        self.shards[shard_of(key, self.mask)].lock().get(key).cloned()
     }
 
-    /// Inserts a block, returning spilled evictions.
+    /// True if the block is cached (no recency refresh — used by the
+    /// coalescing planner, which must not perturb LRU order or stats).
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.shards[shard_of(key, self.mask)].lock().contains(key)
+    }
+
+    /// Inserts a block, returning spilled evictions from its shard.
     pub fn put(&self, key: BlockKey, data: Arc<Vec<u8>>) -> Vec<(BlockKey, Arc<Vec<u8>>)> {
         let size = data.len();
-        self.lru.lock().put(key, data, size)
+        self.shards[shard_of(&key, self.mask)].lock().put(key, data, size)
     }
 
-    /// Bytes held.
+    /// Bytes held across all shards.
     pub fn used_bytes(&self) -> usize {
-        self.lru.lock().used_bytes()
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
     }
 
     /// Drops everything.
     pub fn clear(&self) {
-        self.lru.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 }
 
+/// A disk-tier index entry: where the block lives and what its bytes must
+/// look like. Length and CRC are validated on every read so a truncated or
+/// corrupted SSD file is treated as a miss, never served as data.
+#[derive(Debug, Clone)]
+struct DiskEntry {
+    file: PathBuf,
+    len: usize,
+    crc: u32,
+}
+
 /// The on-disk (SSD) tier: one file per cached block under a root dir, with
-/// an in-memory LRU index whose evictions delete files.
+/// a sharded in-memory LRU index whose evictions delete files.
 pub struct DiskBlockCache {
     root: PathBuf,
-    index: Mutex<SizedLru<BlockKey, PathBuf>>,
+    shards: Vec<Mutex<SizedLru<BlockKey, DiskEntry>>>,
+    mask: usize,
     seq: AtomicU64,
 }
 
 impl DiskBlockCache {
-    /// Opens (creating) a disk tier bounded to `capacity_bytes`.
+    /// Opens (creating) a single-shard disk tier bounded to `capacity_bytes`.
     pub fn open(root: impl AsRef<Path>, capacity_bytes: usize) -> Result<Self> {
+        Self::open_sharded(root, capacity_bytes, 1)
+    }
+
+    /// Opens (creating) a disk tier of `shards` (rounded up to a power of
+    /// two) index shards splitting `capacity_bytes` evenly.
+    pub fn open_sharded(
+        root: impl AsRef<Path>,
+        capacity_bytes: usize,
+        shards: usize,
+    ) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root)?;
+        let n = shard_count(shards);
+        let budget = per_shard_budget(capacity_bytes, n);
         Ok(DiskBlockCache {
             root,
-            index: Mutex::new(SizedLru::new(capacity_bytes)),
+            shards: (0..n).map(|_| Mutex::new(SizedLru::new(budget))).collect(),
+            mask: n - 1,
             seq: AtomicU64::new(0),
         })
     }
 
-    /// Looks up a block, reading its file.
+    /// Number of index shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Looks up a block, reading and validating its file. A vanished,
+    /// truncated or corrupted file is a miss: the index entry is evicted
+    /// and the file deleted, so garbage is never served.
     pub fn get(&self, key: &BlockKey) -> Option<Vec<u8>> {
-        let path = self.index.lock().get(key).cloned()?;
-        match std::fs::read(&path) {
-            Ok(data) => Some(data),
+        let shard = &self.shards[shard_of(key, self.mask)];
+        let entry = shard.lock().get(key).cloned()?;
+        match std::fs::read(&entry.file) {
+            Ok(data) if data.len() == entry.len && crc32c(&data) == entry.crc => Some(data),
+            Ok(_) => {
+                // Truncated or corrupted on disk; evict and delete.
+                shard.lock().remove(key);
+                let _ = std::fs::remove_file(&entry.file);
+                None
+            }
             Err(_) => {
                 // File vanished under us; drop the index entry.
-                self.index.lock().remove(key);
+                shard.lock().remove(key);
                 None
             }
         }
+    }
+
+    /// True if the block is indexed (no recency refresh, no file I/O).
+    pub fn contains(&self, key: &BlockKey) -> bool {
+        self.shards[shard_of(key, self.mask)].lock().contains(key)
     }
 
     /// Inserts a block (spilled from memory or fetched directly).
@@ -119,98 +255,262 @@ impl DiskBlockCache {
         let file =
             self.root.join(format!("blk-{}.cache", self.seq.fetch_add(1, Ordering::Relaxed)));
         std::fs::write(&file, data)?;
-        let evicted = self.index.lock().put(key, file, data.len());
-        for (_, old_file) in evicted {
-            let _ = std::fs::remove_file(old_file);
+        let entry = DiskEntry { file, len: data.len(), crc: crc32c(data) };
+        let evicted = self.shards[shard_of(&key, self.mask)].lock().put(key, entry, data.len());
+        for (_, old) in evicted {
+            let _ = std::fs::remove_file(old.file);
         }
         Ok(())
     }
 
-    /// Bytes accounted in the index.
+    /// Bytes accounted in the index, across all shards.
     pub fn used_bytes(&self) -> usize {
-        self.index.lock().used_bytes()
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
     }
 }
 
-/// Memory tier over disk tier over origin.
-pub struct TieredCache {
-    memory: MemoryBlockCache,
-    disk: Option<DiskBlockCache>,
+#[derive(Default)]
+struct Counters {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
+    bytes_from_origin: AtomicU64,
+    coalesced_gets: AtomicU64,
+    singleflight_waits: AtomicU64,
+    spill_failures: AtomicU64,
+}
+
+/// Memory tier over disk tier over origin, with per-key miss dedup.
+pub struct TieredCache {
+    memory: MemoryBlockCache,
+    disk: Option<DiskBlockCache>,
+    flights: SingleFlight<BlockKey, Arc<Vec<u8>>>,
+    counters: Counters,
 }
 
 impl TieredCache {
-    /// A memory-only cache.
+    /// A memory-only cache with a single shard.
     pub fn memory_only(capacity_bytes: usize) -> Self {
+        Self::memory_only_sharded(capacity_bytes, 1)
+    }
+
+    /// A memory-only cache split into `shards` hash shards.
+    pub fn memory_only_sharded(capacity_bytes: usize, shards: usize) -> Self {
         TieredCache {
-            memory: MemoryBlockCache::new(capacity_bytes),
+            memory: MemoryBlockCache::new_sharded(capacity_bytes, shards),
             disk: None,
-            memory_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            flights: SingleFlight::new(),
+            counters: Counters::default(),
         }
     }
 
-    /// Memory + disk tiers.
+    /// Memory + disk tiers (memory sharding matches the disk tier's).
     pub fn with_disk(memory_bytes: usize, disk: DiskBlockCache) -> Self {
+        let shards = disk.shard_count();
         TieredCache {
-            memory: MemoryBlockCache::new(memory_bytes),
+            memory: MemoryBlockCache::new_sharded(memory_bytes, shards),
             disk: Some(disk),
-            memory_hits: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            flights: SingleFlight::new(),
+            counters: Counters::default(),
         }
+    }
+
+    /// Number of memory-tier shards.
+    pub fn shard_count(&self) -> usize {
+        self.memory.shard_count()
     }
 
     /// Fetches a block through the tiers, calling `fetch` only on a full
     /// miss. Misses populate memory; memory evictions spill to disk.
+    /// Concurrent callers for the same key share one fetch.
     pub fn get_or_fetch(
         &self,
         key: &BlockKey,
         fetch: impl FnOnce() -> Result<Vec<u8>>,
     ) -> Result<Arc<Vec<u8>>> {
         if let Some(hit) = self.memory.get(key) {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let (result, role) = self.flights.run(key.clone(), || self.load_through_tiers(key, fetch));
+        if role == FlightRole::Waited {
+            self.counters.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// The flight-leader path: re-check memory (we may have lost the race
+    /// to a completed flight), then disk, then the origin.
+    fn load_through_tiers(
+        &self,
+        key: &BlockKey,
+        fetch: impl FnOnce() -> Result<Vec<u8>>,
+    ) -> Result<Arc<Vec<u8>>> {
+        if let Some(hit) = self.memory.get(key) {
+            self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         if let Some(disk) = &self.disk {
             if let Some(data) = disk.get(key) {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
                 let data = Arc::new(data);
-                self.insert(key.clone(), Arc::clone(&data))?;
+                self.insert(key.clone(), Arc::clone(&data));
                 return Ok(data);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let data = Arc::new(fetch()?);
-        self.insert(key.clone(), Arc::clone(&data))?;
+        self.counters.bytes_from_origin.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.insert(key.clone(), Arc::clone(&data));
         Ok(data)
     }
 
-    /// Inserts a block directly (prefetch path).
-    pub fn insert(&self, key: BlockKey, data: Arc<Vec<u8>>) -> Result<()> {
+    /// Fetches a *contiguous run* of aligned blocks of one object —
+    /// `blocks[i] = (offset, len)` with each block starting where the
+    /// previous one ends. Every block resolves through the same tiers and
+    /// singleflight table as [`TieredCache::get_or_fetch`]; blocks that
+    /// miss every tier are fetched with as few coalesced origin range GETs
+    /// as possible via `fetch_run(&[(offset, len), ...])`, which must
+    /// return one buffer per requested block (see
+    /// `logstore_oss::ObjectStore::get_block_run`).
+    pub fn get_or_fetch_run(
+        &self,
+        path: &str,
+        blocks: &[(u64, u64)],
+        fetch_run: &FetchRunFn<'_>,
+    ) -> Result<Vec<Arc<Vec<u8>>>> {
+        debug_assert!(
+            blocks.windows(2).all(|w| w[0].0 + w[0].1 == w[1].0),
+            "get_or_fetch_run requires contiguous blocks"
+        );
+        let mut out: Vec<Arc<Vec<u8>>> = Vec::with_capacity(blocks.len());
+        let mut i = 0;
+        while i < blocks.len() {
+            let key = BlockKey { path: path.to_string(), offset: blocks[i].0 };
+            if let Some(hit) = self.memory.get(&key) {
+                self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+                out.push(hit);
+                i += 1;
+                continue;
+            }
+            // Blocks the flight leader fetched beyond the first, handed out
+            // of the closure so the loop consumes them without re-probing
+            // (and without re-counting) the memory tier.
+            let tail: std::cell::RefCell<Vec<Arc<Vec<u8>>>> = std::cell::RefCell::new(Vec::new());
+            let (result, role) = self.flights.run(key.clone(), || {
+                let (first, rest) = self.lead_run(&key, blocks, i, fetch_run)?;
+                *tail.borrow_mut() = rest;
+                Ok(first)
+            });
+            if role == FlightRole::Waited {
+                self.counters.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            out.push(result?);
+            i += 1;
+            for block in tail.into_inner() {
+                out.push(block);
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Leader of a run flight for `blocks[start]`: serve from a tier if
+    /// possible, otherwise extend the fetch over the following blocks that
+    /// are cold in every tier and not already in flight, and fetch that
+    /// whole run with one origin GET.
+    fn lead_run(
+        &self,
+        key: &BlockKey,
+        blocks: &[(u64, u64)],
+        start: usize,
+        fetch_run: &FetchRunFn<'_>,
+    ) -> Result<LedRun> {
+        if let Some(hit) = self.memory.get(key) {
+            self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((hit, Vec::new()));
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(data) = disk.get(key) {
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let data = Arc::new(data);
+                self.insert(key.clone(), Arc::clone(&data));
+                return Ok((data, Vec::new()));
+            }
+        }
+        // Extend the run over subsequent cold blocks. Stop at the first
+        // block that is cached in any tier or already being fetched by
+        // someone else (racy check, but a lost race only costs one
+        // duplicate GET of identical immutable bytes — never wrong data).
+        let mut end = start + 1;
+        while end < blocks.len() {
+            let next = BlockKey { path: key.path.clone(), offset: blocks[end].0 };
+            let cached = self.memory.contains(&next)
+                || self.disk.as_ref().is_some_and(|d| d.contains(&next));
+            if cached || self.flights.is_in_flight(&next) {
+                break;
+            }
+            end += 1;
+        }
+        let run = &blocks[start..end];
+        let parts = fetch_run(run)?;
+        if parts.len() != run.len() {
+            return Err(Error::Internal(format!(
+                "coalesced fetch returned {} blocks for a run of {}",
+                parts.len(),
+                run.len()
+            )));
+        }
+        self.counters.misses.fetch_add(run.len() as u64, Ordering::Relaxed);
+        if run.len() > 1 {
+            self.counters.coalesced_gets.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut shared: Vec<Arc<Vec<u8>>> = Vec::with_capacity(parts.len());
+        for (part, (offset, len)) in parts.into_iter().zip(run) {
+            if part.len() as u64 != *len {
+                return Err(Error::corruption(format!(
+                    "coalesced fetch returned {} bytes for block {offset}+{len}",
+                    part.len()
+                )));
+            }
+            self.counters.bytes_from_origin.fetch_add(part.len() as u64, Ordering::Relaxed);
+            let part = Arc::new(part);
+            self.insert(BlockKey { path: key.path.clone(), offset: *offset }, Arc::clone(&part));
+            shared.push(part);
+        }
+        let first = shared.remove(0);
+        Ok((first, shared))
+    }
+
+    /// Inserts a block directly (prefetch path). Infallible by design: a
+    /// failed disk spill is counted in [`CacheStats::spill_failures`] but
+    /// can never fail the caller's read.
+    pub fn insert(&self, key: BlockKey, data: Arc<Vec<u8>>) {
         let spilled = self.memory.put(key, data);
         if let Some(disk) = &self.disk {
             for (k, v) in spilled {
-                disk.put(k, &v)?;
+                if disk.put(k, &v).is_err() {
+                    self.counters.spill_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        Ok(())
     }
 
     /// True if the block is in the memory tier right now.
     pub fn contains_in_memory(&self, key: &BlockKey) -> bool {
-        self.memory.get(key).is_some()
+        self.memory.contains(key)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            memory_hits: self.memory_hits.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            memory_hits: self.counters.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            bytes_from_origin: self.counters.bytes_from_origin.load(Ordering::Relaxed),
+            coalesced_gets: self.counters.coalesced_gets.load(Ordering::Relaxed),
+            singleflight_waits: self.counters.singleflight_waits.load(Ordering::Relaxed),
+            spill_failures: self.counters.spill_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -249,6 +549,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.bytes_from_origin, 3);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
     }
 
@@ -296,13 +597,179 @@ mod tests {
     }
 
     #[test]
+    fn disk_tier_rejects_corrupted_entries() {
+        let dir = temp_dir("corrupt");
+        let disk = DiskBlockCache::open(&dir, 1 << 20).unwrap();
+        let k = key("obj", 0);
+        disk.put(k.clone(), &[7u8; 64]).unwrap();
+        assert_eq!(disk.get(&k).unwrap(), vec![7u8; 64]);
+        // Flip one byte in the backing file.
+        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let mut bytes = std::fs::read(&file).unwrap();
+        bytes[10] ^= 0xff;
+        std::fs::write(&file, &bytes).unwrap();
+        assert!(disk.get(&k).is_none(), "corrupted entry must be a miss");
+        assert_eq!(disk.used_bytes(), 0, "corrupted entry must be evicted from the index");
+        assert!(disk.get(&k).is_none(), "entry stays gone");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn disk_tier_rejects_truncated_entries() {
+        let dir = temp_dir("truncate");
+        let disk = DiskBlockCache::open(&dir, 1 << 20).unwrap();
+        let k = key("obj", 0);
+        disk.put(k.clone(), &[3u8; 128]).unwrap();
+        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let bytes = std::fs::read(&file).unwrap();
+        std::fs::write(&file, &bytes[..17]).unwrap();
+        assert!(disk.get(&k).is_none(), "truncated entry must be a miss");
+        assert_eq!(disk.used_bytes(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn spill_failure_is_counted_not_fatal() {
+        let dir = temp_dir("spillfail");
+        let disk = DiskBlockCache::open(&dir, 1 << 20).unwrap();
+        let cache = TieredCache::with_disk(150, disk);
+        // Remove the disk root so every spill write fails.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let v1 = cache.get_or_fetch(&key("obj", 0), || Ok(vec![1u8; 100])).unwrap();
+        assert_eq!(v1.len(), 100);
+        // Evicting k1 spills — the spill fails, but this read must succeed.
+        let v2 = cache.get_or_fetch(&key("obj", 100), || Ok(vec![2u8; 100])).unwrap();
+        assert_eq!(v2.len(), 100);
+        assert_eq!(cache.stats().spill_failures, 1);
+        // k1 is simply gone (miss), not an error.
+        let v1b = cache.get_or_fetch(&key("obj", 0), || Ok(vec![1u8; 100])).unwrap();
+        assert_eq!(v1b.len(), 100);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
     fn direct_insert_supports_prefetch() {
         let cache = TieredCache::memory_only(1 << 20);
         let k = key("obj", 4096);
-        cache.insert(k.clone(), Arc::new(vec![7u8; 10])).unwrap();
+        cache.insert(k.clone(), Arc::new(vec![7u8; 10]));
         let v = cache.get_or_fetch(&k, || panic!("prefetched")).unwrap();
         assert_eq!(v.len(), 10);
         assert_eq!(cache.stats().memory_hits, 1);
         assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn sharded_cache_spreads_budget_and_serves_all_keys() {
+        let cache = TieredCache::memory_only_sharded(1 << 20, 8);
+        assert_eq!(cache.shard_count(), 8);
+        for i in 0..64u64 {
+            let k = key("obj", i * 4096);
+            let v = cache.get_or_fetch(&k, || Ok(vec![i as u8; 1024])).unwrap();
+            assert_eq!(*v, vec![i as u8; 1024]);
+        }
+        // Warm re-reads all hit.
+        for i in 0..64u64 {
+            let k = key("obj", i * 4096);
+            let v = cache.get_or_fetch(&k, || panic!("warm")).unwrap();
+            assert_eq!(*v, vec![i as u8; 1024]);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 64);
+        assert_eq!(stats.memory_hits, 64);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(TieredCache::memory_only_sharded(1 << 20, 0).shard_count(), 1);
+        assert_eq!(TieredCache::memory_only_sharded(1 << 20, 3).shard_count(), 4);
+        assert_eq!(TieredCache::memory_only_sharded(1 << 20, 8).shard_count(), 8);
+    }
+
+    #[test]
+    fn coalesced_run_fetches_cold_blocks_in_one_get() {
+        let cache = TieredCache::memory_only(1 << 20);
+        let gets = AtomicU64::new(0);
+        let blocks: Vec<(u64, u64)> = (0..8).map(|i| (i * 100, 100)).collect();
+        let fetch = |run: &[(u64, u64)]| {
+            gets.fetch_add(1, Ordering::Relaxed);
+            Ok(run.iter().map(|(off, len)| vec![(*off / 100) as u8; *len as usize]).collect())
+        };
+        let parts = cache.get_or_fetch_run("obj", &blocks, &fetch).unwrap();
+        assert_eq!(parts.len(), 8);
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(**p, vec![i as u8; 100]);
+        }
+        assert_eq!(gets.load(Ordering::Relaxed), 1, "8 cold blocks must coalesce into one GET");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.coalesced_gets, 1);
+        assert_eq!(stats.bytes_from_origin, 800);
+        // Everything is now cached.
+        let parts = cache.get_or_fetch_run("obj", &blocks, &fetch).unwrap();
+        assert_eq!(parts.len(), 8);
+        assert_eq!(gets.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats().memory_hits, 8);
+    }
+
+    #[test]
+    fn coalesced_run_splits_around_warm_blocks() {
+        let cache = TieredCache::memory_only(1 << 20);
+        // Warm block 2 of 5.
+        cache.insert(key("obj", 200), Arc::new(vec![2u8; 100]));
+        let gets = AtomicU64::new(0);
+        let blocks: Vec<(u64, u64)> = (0..5).map(|i| (i * 100, 100)).collect();
+        let fetch = |run: &[(u64, u64)]| {
+            gets.fetch_add(1, Ordering::Relaxed);
+            Ok(run.iter().map(|(off, len)| vec![(*off / 100) as u8; *len as usize]).collect())
+        };
+        let parts = cache.get_or_fetch_run("obj", &blocks, &fetch).unwrap();
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(**p, vec![i as u8; 100], "block {i}");
+        }
+        // Runs [0,1] and [3,4] → two GETs; the warm block breaks the run.
+        assert_eq!(gets.load(Ordering::Relaxed), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.coalesced_gets, 2);
+    }
+
+    #[test]
+    fn coalesced_run_error_propagates_and_is_not_cached() {
+        let cache = TieredCache::memory_only(1 << 20);
+        let blocks: Vec<(u64, u64)> = (0..3).map(|i| (i * 100, 100)).collect();
+        let failing = |_: &[(u64, u64)]| Err(logstore_types::Error::NotFound("object gone".into()));
+        assert!(cache.get_or_fetch_run("obj", &blocks, &failing).is_err());
+        let ok = |run: &[(u64, u64)]| Ok(run.iter().map(|(_, l)| vec![9u8; *l as usize]).collect());
+        let parts = cache.get_or_fetch_run("obj", &blocks, &ok).unwrap();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn coalesced_run_rejects_wrong_sized_parts() {
+        let cache = TieredCache::memory_only(1 << 20);
+        let blocks = vec![(0u64, 100u64), (100, 100)];
+        let short = |run: &[(u64, u64)]| Ok(run.iter().map(|_| vec![0u8; 1]).collect());
+        assert!(cache.get_or_fetch_run("obj", &blocks, &short).is_err());
+    }
+
+    #[test]
+    fn stats_delta_since() {
+        let a = CacheStats {
+            memory_hits: 10,
+            misses: 4,
+            bytes_from_origin: 1000,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            memory_hits: 25,
+            misses: 5,
+            bytes_from_origin: 1500,
+            ..Default::default()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.memory_hits, 15);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.bytes_from_origin, 500);
     }
 }

@@ -17,7 +17,7 @@
 use crate::config::QueryOptions;
 use crate::engine::{ClusterShared, IngestReport, Store};
 use crate::executor::Task;
-use logstore_cache::CachedObjectSource;
+use logstore_cache::{CacheStats, CachedObjectSource};
 use logstore_logblock::pack::RangeSource;
 use logstore_logblock::reader::LogBlockReader;
 use logstore_query::exec::{
@@ -44,6 +44,12 @@ pub struct QueryExecution {
     pub modelled_oss: Duration,
     /// Wall-clock execution time.
     pub wall: Duration,
+    /// Block-cache counter increments over this query's lifetime. Taken as
+    /// an engine-wide delta, so with concurrent queries the numbers include
+    /// their traffic too; scheduling-dependent counters (singleflight
+    /// waits) live here, NOT in [`QueryStats`], which stays bit-identical
+    /// at every parallelism setting.
+    pub cache: CacheStats,
 }
 
 /// One source of a LogBlock's bytes.
@@ -57,6 +63,13 @@ impl RangeSource for Source {
         match self {
             Source::Cached(s) => s.read_at(offset, len),
             Source::Direct(s) => s.read_at(offset, len),
+        }
+    }
+
+    fn read_at_shared(&self, offset: u64, len: u64) -> Result<Arc<Vec<u8>>> {
+        match self {
+            Source::Cached(s) => s.read_at_shared(offset, len),
+            Source::Direct(s) => s.read_at(offset, len).map(Arc::new),
         }
     }
 
@@ -137,6 +150,7 @@ impl Broker {
     pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryExecution> {
         let wall_start = std::time::Instant::now();
         let oss_before = self.shared.oss_sim().metrics().modelled_time_ns;
+        let cache_before = self.shared.cache.stats();
 
         let parsed = parse_query(sql)?;
         if parsed.table != self.shared.schema.name {
@@ -248,6 +262,7 @@ impl Broker {
             blocks_pruned_by_map: all_blocks.saturating_sub(visited),
             modelled_oss: Duration::from_nanos(oss_after.saturating_sub(oss_before)),
             wall: wall_start.elapsed(),
+            cache: self.shared.cache.stats().delta_since(&cache_before),
         })
     }
 }

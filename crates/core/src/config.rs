@@ -53,6 +53,10 @@ pub struct ClusterConfig {
     pub cache_disk_bytes: Option<usize>,
     /// Cache block alignment in bytes.
     pub cache_block_size: u64,
+    /// Hash-shard count for the block cache's tiers (rounded up to a power
+    /// of two). Each shard has its own mutex and byte budget, so parallel
+    /// scans don't serialize on one lock.
+    pub cache_shards: usize,
     /// Prefetch thread count (the paper evaluates 32).
     pub prefetch_threads: usize,
     /// Size of the engine's shared scatter/gather query pool: the upper
@@ -94,6 +98,7 @@ impl ClusterConfig {
             cache_memory_bytes: 8 << 20,
             cache_disk_bytes: None,
             cache_block_size: 64 * 1024,
+            cache_shards: 4,
             prefetch_threads: 4,
             query_threads: 4,
             flow: FlowControlConfig {
@@ -117,6 +122,7 @@ impl ClusterConfig {
         c.oss_latency = LatencyModel::oss_like();
         c.oss_retry = RetryPolicy::archival_default();
         c.cache_memory_bytes = 64 << 20;
+        c.cache_shards = 16;
         c.prefetch_threads = 32;
         c.query_threads = default_query_threads();
         c

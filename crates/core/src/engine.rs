@@ -145,10 +145,12 @@ impl LogStore {
                     .join(format!("logstore-ssd-cache-{}", std::process::id()));
                 TieredCache::with_disk(
                     config.cache_memory_bytes,
-                    DiskBlockCache::open(dir, disk_bytes)?,
+                    DiskBlockCache::open_sharded(dir, disk_bytes, config.cache_shards)?,
                 )
             }
-            None => TieredCache::memory_only(config.cache_memory_bytes),
+            None => {
+                TieredCache::memory_only_sharded(config.cache_memory_bytes, config.cache_shards)
+            }
         });
         let mut workers = Vec::with_capacity(config.workers as usize);
         let mut shard_to_worker = HashMap::new();

@@ -91,6 +91,77 @@ fn parallel_results_bit_identical_to_sequential() {
 }
 
 #[test]
+fn results_identical_at_any_cache_shard_count() {
+    // The sharded cache + coalesced read path must be invisible to query
+    // results: every (cache_shards, parallelism) combination returns the
+    // byte-identical rows and stats of a 1-shard sequential run. A small
+    // cache block size makes one LogBlock span many blocks, so the
+    // coalescing planner genuinely runs.
+    let mut reference: Option<Vec<_>> = None;
+    for shards in [1usize, 4] {
+        let mut config = ClusterConfig::for_testing();
+        config.cache_shards = shards;
+        config.cache_block_size = 2048;
+        let s = build_store(config, 6, 64);
+        let mut runs = Vec::new();
+        for sql in QUERIES {
+            let sequential =
+                s.query_with_options(sql, &QueryOptions::default().with_parallelism(1)).unwrap();
+            s.clear_cache();
+            let parallel =
+                s.query_with_options(sql, &QueryOptions::default().with_parallelism(8)).unwrap();
+            assert_eq!(
+                parallel.result, sequential.result,
+                "rows diverged at cache_shards={shards} for {sql:?}"
+            );
+            assert_eq!(
+                parallel.stats, sequential.stats,
+                "stats diverged at cache_shards={shards} for {sql:?}"
+            );
+            runs.push(sequential.result);
+        }
+        match &reference {
+            None => reference = Some(runs),
+            Some(reference) => {
+                assert_eq!(&runs, reference, "results changed between shard counts");
+            }
+        }
+    }
+}
+
+#[test]
+fn cold_scans_coalesce_origin_gets() {
+    // With small cache blocks, a cold column scan touches long runs of
+    // adjacent blocks; the coalesced demand path must fetch each run with
+    // one GET instead of one per block, and the query must surface that in
+    // its cache-stats delta.
+    let mut config = ClusterConfig::for_testing();
+    config.cache_block_size = 1024;
+    let s = build_store(config, 1, 400);
+
+    let sql = "SELECT log FROM request_log WHERE tenant_id = 1";
+    let opts = QueryOptions { use_prefetch: false, ..QueryOptions::default() }.with_parallelism(1);
+    let cold = s.query_with_options(sql, &opts).unwrap();
+    assert!(cold.cache.misses > 4, "small blocks must produce many cold misses");
+    assert!(cold.cache.coalesced_gets > 0, "adjacent cold blocks must coalesce: {:?}", cold.cache);
+    assert!(cold.cache.bytes_from_origin > 0);
+    // Strictly fewer origin round-trips than cold blocks fetched.
+    let oss_gets = s.oss_metrics().get_requests;
+    assert!(
+        oss_gets < cold.cache.misses,
+        "coalescing must save round-trips: {oss_gets} GETs for {} cold blocks",
+        cold.cache.misses
+    );
+
+    // A warm rerun is all memory hits: no new origin traffic.
+    let warm = s.query_with_options(sql, &opts).unwrap();
+    assert_eq!(warm.cache.misses, 0, "warm scan must not refetch: {:?}", warm.cache);
+    assert_eq!(warm.cache.bytes_from_origin, 0);
+    assert!(warm.cache.memory_hits > 0);
+    assert_eq!(warm.result, cold.result);
+}
+
+#[test]
 fn faults_surface_as_errors_never_as_wrong_data() {
     let s = build_store(ClusterConfig::for_testing(), 4, 32);
     let opts = QueryOptions { use_cache: false, use_prefetch: false, ..QueryOptions::default() }

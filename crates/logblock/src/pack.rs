@@ -34,6 +34,13 @@ pub trait RangeSource {
     /// out-of-range reads.
     fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>>;
 
+    /// Reads `len` bytes at `offset` into a shared buffer. Cached sources
+    /// override this to hand out the cache's own `Arc` for block-aligned
+    /// reads (zero-copy); the default just wraps [`RangeSource::read_at`].
+    fn read_at_shared(&self, offset: u64, len: u64) -> Result<std::sync::Arc<Vec<u8>>> {
+        self.read_at(offset, len).map(std::sync::Arc::new)
+    }
+
     /// Total size in bytes.
     fn size(&self) -> u64;
 }
@@ -54,6 +61,9 @@ impl RangeSource for Vec<u8> {
 impl<T: RangeSource + ?Sized> RangeSource for std::sync::Arc<T> {
     fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
         (**self).read_at(offset, len)
+    }
+    fn read_at_shared(&self, offset: u64, len: u64) -> Result<std::sync::Arc<Vec<u8>>> {
+        (**self).read_at_shared(offset, len)
     }
     fn size(&self) -> u64 {
         (**self).size()
@@ -188,6 +198,14 @@ impl<S: RangeSource> PackReader<S> {
         let entry =
             self.entry(name).ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
         self.source.read_at(self.payload_start + entry.offset, entry.len)
+    }
+
+    /// Reads a whole member into a shared buffer — zero-copy when the
+    /// source is cached and the member happens to be block-aligned.
+    pub fn read_member_shared(&self, name: &str) -> Result<std::sync::Arc<Vec<u8>>> {
+        let entry =
+            self.entry(name).ok_or_else(|| Error::NotFound(format!("pack member '{name}'")))?;
+        self.source.read_at_shared(self.payload_start + entry.offset, entry.len)
     }
 
     /// Reads a byte range inside a member.

@@ -40,7 +40,7 @@ impl<S: RangeSource> LogBlockReader<S> {
     /// Opens a LogBlock: reads manifest + meta member.
     pub fn open(source: S) -> Result<Self> {
         let pack = PackReader::open(source)?;
-        let meta = LogBlockMeta::deserialize(&pack.read_member(META_MEMBER)?)?;
+        let meta = LogBlockMeta::deserialize(&pack.read_member_shared(META_MEMBER)?)?;
         Ok(LogBlockReader { pack, meta, dicts: Mutex::new(HashMap::new()) })
     }
 
@@ -79,7 +79,7 @@ impl<S: RangeSource> LogBlockReader<S> {
         match cm.index {
             IndexKind::None => Ok(None),
             IndexKind::Inverted | IndexKind::FullText => {
-                let dict = self.pack.read_member(&index_member(col))?;
+                let dict = self.pack.read_member_shared(&index_member(col))?;
                 let blob = self.pack.read_member(&index_data_member(col))?;
                 Ok(Some(ColumnIndex::Inverted(InvertedIndexReader::from_parts(
                     &dict,
@@ -88,7 +88,7 @@ impl<S: RangeSource> LogBlockReader<S> {
                 )?)))
             }
             IndexKind::Bkd => {
-                let dict = self.pack.read_member(&index_member(col))?;
+                let dict = self.pack.read_member_shared(&index_member(col))?;
                 let blob = self.pack.read_member(&index_data_member(col))?;
                 Ok(Some(ColumnIndex::Bkd(BkdReader::from_parts(&dict, blob, self.meta.row_count)?)))
             }
@@ -104,7 +104,7 @@ impl<S: RangeSource> LogBlockReader<S> {
             .columns
             .get(col)
             .ok_or_else(|| Error::invalid(format!("column {col} out of range")))?;
-        let bytes = self.pack.read_member(&index_member(col))?;
+        let bytes = self.pack.read_member_shared(&index_member(col))?;
         let dict = match cm.index {
             IndexKind::Inverted | IndexKind::FullText => {
                 CachedDict::Inverted(InvertedDictReader::open(&bytes)?.0)

@@ -29,6 +29,40 @@ pub trait ObjectStore: Send + Sync {
     /// Deletes an object. Deleting a missing object is not an error
     /// (idempotent deletes simplify the expiration task).
     fn delete(&self, path: &str) -> Result<()>;
+
+    /// Fetches a *contiguous run* of block ranges — `blocks[i+1]` must
+    /// start where `blocks[i]` ends — with **one** range request, and
+    /// splits the payload back into one buffer per requested block.
+    ///
+    /// This is the transport half of the cache's read coalescing: under a
+    /// per-request latency model, fetching k adjacent cold blocks this way
+    /// costs one round-trip instead of k.
+    fn get_block_run(&self, path: &str, blocks: &[(u64, u64)]) -> Result<Vec<Vec<u8>>> {
+        let Some(&(start, first_len)) = blocks.first() else {
+            return Ok(Vec::new());
+        };
+        let mut end =
+            start.checked_add(first_len).ok_or_else(|| Error::invalid("range overflow"))?;
+        for pair in blocks.windows(2) {
+            let (prev, next) = (pair[0], pair[1]);
+            if next.0 != end {
+                return Err(Error::invalid(format!(
+                    "block run not contiguous: {}+{} then {}",
+                    prev.0, prev.1, next.0
+                )));
+            }
+            end = next.0.checked_add(next.1).ok_or_else(|| Error::invalid("range overflow"))?;
+        }
+        let payload = self.get_range(path, start, end - start)?;
+        let mut out = Vec::with_capacity(blocks.len());
+        let mut cursor = 0usize;
+        for (_, len) in blocks {
+            let next = cursor + *len as usize;
+            out.push(payload[cursor..next].to_vec());
+            cursor = next;
+        }
+        Ok(out)
+    }
 }
 
 impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
@@ -49,6 +83,9 @@ impl<T: ObjectStore + ?Sized> ObjectStore for Arc<T> {
     }
     fn delete(&self, path: &str) -> Result<()> {
         (**self).delete(path)
+    }
+    fn get_block_run(&self, path: &str, blocks: &[(u64, u64)]) -> Result<Vec<Vec<u8>>> {
+        (**self).get_block_run(path, blocks)
     }
 }
 
@@ -114,5 +151,27 @@ mod tests {
         assert!(check_range("p", 10, 9, 2).is_err());
         assert!(check_range("p", 10, u64::MAX, 2).is_err());
         assert!(check_range("p", 0, 0, 0).is_ok());
+    }
+
+    #[test]
+    fn block_run_splits_one_get() {
+        let store = crate::MemoryStore::new();
+        let object: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        store.put("obj", &object).unwrap();
+        let parts = store.get_block_run("obj", &[(100, 300), (400, 300), (700, 100)]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], object[100..400]);
+        assert_eq!(parts[1], object[400..700]);
+        assert_eq!(parts[2], object[700..800]);
+        assert_eq!(store.get_block_run("obj", &[]).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn block_run_rejects_gaps_and_overflow() {
+        let store = crate::MemoryStore::new();
+        store.put("obj", &[0u8; 100]).unwrap();
+        assert!(store.get_block_run("obj", &[(0, 10), (20, 10)]).is_err(), "gap");
+        assert!(store.get_block_run("obj", &[(0, 10), (5, 10)]).is_err(), "overlap");
+        assert!(store.get_block_run("obj", &[(u64::MAX, 2)]).is_err(), "overflow");
     }
 }
