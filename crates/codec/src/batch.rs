@@ -90,4 +90,45 @@ mod tests {
         let payload = encode_batch(&[rec(1, 1), rec(2, 2)]);
         assert!(decode_batch(&payload[..payload.len() - 1]).is_err());
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn value_strategy() -> BoxedStrategy<Value> {
+            prop_oneof![
+                Just(Value::Null),
+                any::<i64>().prop_map(Value::I64),
+                any::<u64>().prop_map(Value::U64),
+                ".{0,24}".prop_map(Value::Str),
+                any::<bool>().prop_map(Value::Bool),
+            ]
+            .boxed()
+        }
+
+        fn batch_strategy() -> BoxedStrategy<Vec<LogRecord>> {
+            let record = (any::<u64>(), any::<i64>(), collection::vec(value_strategy(), 0..6))
+                .prop_map(|(t, ts, fields)| LogRecord::new(TenantId(t), Timestamp(ts), fields));
+            collection::vec(record, 0..12).boxed()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn prop_batches_roundtrip(batch in batch_strategy()) {
+                let payload = encode_batch(&batch);
+                prop_assert_eq!(decode_batch(&payload).unwrap(), batch);
+            }
+
+            // Any strict truncation must surface as corruption — never a
+            // panic, and never a silently shorter batch (the leading count
+            // pins the expected record total).
+            #[test]
+            fn prop_truncation_is_detected(batch in batch_strategy(), cut in 1usize..32) {
+                let payload = encode_batch(&batch);
+                let cut = cut.min(payload.len());
+                prop_assert!(decode_batch(&payload[..payload.len() - cut]).is_err());
+            }
+        }
+    }
 }

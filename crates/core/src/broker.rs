@@ -26,7 +26,6 @@ use logstore_query::exec::{
 };
 use logstore_query::{analyze, parse_query, Query, QueryScope, SelectItem};
 use logstore_types::{Error, RecordBatch, Result, ShardId, Value};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -125,7 +124,11 @@ impl Broker {
     /// out to several shards; backpressure rejections are counted, not
     /// fatal — the client retries the rejected remainder (paper §4.2).
     pub fn ingest(&self, batch: RecordBatch) -> Result<IngestReport> {
-        let mut by_shard: HashMap<ShardId, Vec<logstore_types::LogRecord>> = HashMap::new();
+        // BTreeMap: sub-batches append in shard order, so the whole ingest
+        // (including any crash hook firing mid-batch) is deterministic for
+        // a given routing state — a simulation-replay requirement.
+        let mut by_shard: std::collections::BTreeMap<ShardId, Vec<logstore_types::LogRecord>> =
+            Default::default();
         for record in batch.records {
             let selector = self.round_robin.fetch_add(1, Ordering::Relaxed);
             let shard = self.shared.controller.pick_shard(record.tenant_id, selector)?;

@@ -99,6 +99,15 @@ impl ClusterController {
             .ok_or_else(|| logstore_types::Error::Cluster(format!("no route for {tenant}")))
     }
 
+    /// Reinstalls routes for a tenant recovered from durable shard state
+    /// (WAL replay found its rows on `shards`). Restored routes use equal
+    /// weights; the next control tick re-optimizes them. Without this, a
+    /// restart forgets every rebalance and rows replayed onto non-home
+    /// shards would be invisible to reads.
+    pub fn restore_routes(&self, tenant: TenantId, shards: &[ShardId]) -> Result<()> {
+        self.traffic.lock().restore_routes(tenant, shards)
+    }
+
     /// `(tenant, shard)` pairs present in the previous plan but absent from
     /// the current one — the shards whose buffered rows for that tenant
     /// should be "packaged and flushed to OSS" after a rebalance

@@ -13,12 +13,11 @@
 //! [`BuildOutcome::unarchived`] so the caller can restore them to the row
 //! store. No drained row is ever dropped on an error path.
 
-use crate::metadata::{LogBlockEntry, MetadataStore};
+use crate::metadata::{DrainId, LogBlockEntry, MetadataStore};
 use logstore_codec::Compression;
 use logstore_logblock::LogBlockBuilder;
 use logstore_oss::ObjectStore;
-use logstore_types::{Error, LogRecord, Result, TableSchema, TenantId};
-use std::collections::BTreeMap;
+use logstore_types::{partition_into_chunks, Error, LogRecord, Result, TableSchema, TenantId};
 
 /// Builder configuration.
 #[derive(Debug, Clone)]
@@ -84,37 +83,88 @@ pub fn build_and_upload<S: ObjectStore>(
     store: &S,
     metadata: &MetadataStore,
 ) -> BuildOutcome {
+    build_and_upload_drain(rows, schema, config, store, metadata, None)
+}
+
+/// [`build_and_upload`] for rows that came out of a durable shard drain.
+///
+/// With a [`DrainId`], registration is deferred and atomic: every chunk is
+/// built and uploaded first, then a single
+/// [`MetadataStore::commit_drain`] registers all blocks and records how
+/// many leading chunks of the drain are durable. WAL replay after a crash
+/// re-derives the identical chunk sequence (both sides use
+/// `partition_into_chunks`) and keeps exactly the committed prefix out of
+/// the row store — uploaded-but-uncommitted objects are garbage, never
+/// duplicates. Without a drain id (in-memory backends, tests) each chunk
+/// registers immediately, the pre-intent behavior.
+pub fn build_and_upload_drain<S: ObjectStore>(
+    rows: Vec<LogRecord>,
+    schema: &TableSchema,
+    config: &BuildConfig,
+    store: &S,
+    metadata: &MetadataStore,
+    drain: Option<DrainId>,
+) -> BuildOutcome {
     let mut outcome = BuildOutcome::default();
-    // Partition by tenant (BTreeMap for deterministic upload order).
-    let mut by_tenant: BTreeMap<TenantId, Vec<LogRecord>> = BTreeMap::new();
-    for r in rows {
-        by_tenant.entry(r.tenant_id).or_default().push(r);
-    }
-    let chunk_rows = config.max_rows_per_logblock.max(1);
-    for (tenant, mut records) in by_tenant {
+    // The canonical chunk sequence: tenants ascending, ts-sorted, capped.
+    // Identical on the WAL-replay side, so "chunk i of this drain" is
+    // unambiguous across crashes.
+    let chunks = partition_into_chunks(rows, config.max_rows_per_logblock);
+    // Blocks built in this pass but not yet registered (drain mode only).
+    let mut staged: Vec<(TenantId, LogBlockEntry, Vec<LogRecord>)> = Vec::new();
+    for chunk in chunks {
         if outcome.error.is_some() {
-            // A previous tenant failed terminally: stop issuing uploads and
-            // hand the remaining rows back untouched.
-            outcome.unarchived.append(&mut records);
+            // A previous chunk failed terminally: stop issuing uploads and
+            // hand the remaining rows back untouched. Stopping at the
+            // first failure is what keeps the committed set a prefix.
+            outcome.unarchived.extend(chunk.rows);
             continue;
         }
-        // LogBlocks are organized by (tenant, ts): sort, then chunk.
-        records.sort_by_key(|r| r.ts);
-        let mut start = 0;
-        while start < records.len() {
-            let end = (start + chunk_rows).min(records.len());
-            match upload_chunk(tenant, &records[start..end], schema, config, store, metadata) {
-                Ok((bytes_uploaded, rows_archived)) => {
-                    outcome.report.blocks_built += 1;
-                    outcome.report.rows_archived += rows_archived;
-                    outcome.report.bytes_uploaded += bytes_uploaded;
-                    start = end;
+        match upload_chunk(chunk.tenant, &chunk.rows, schema, config, store, metadata) {
+            Ok(entry) => {
+                if drain.is_some() {
+                    staged.push((chunk.tenant, entry, chunk.rows));
+                } else {
+                    match metadata.register_block(chunk.tenant, entry.clone()) {
+                        Ok(()) => {
+                            outcome.report.blocks_built += 1;
+                            outcome.report.rows_archived += entry.rows;
+                            outcome.report.bytes_uploaded += entry.bytes;
+                        }
+                        Err(e) => {
+                            outcome.error = Some(e);
+                            outcome.unarchived.extend(chunk.rows);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                // This chunk and everything after it is not durable.
+                outcome.error = Some(e);
+                outcome.unarchived.extend(chunk.rows);
+            }
+        }
+    }
+    if let Some(id) = drain {
+        if !staged.is_empty() {
+            let committed = staged.len() as u64;
+            let blocks: Vec<(TenantId, LogBlockEntry)> =
+                staged.iter().map(|(t, e, _)| (*t, e.clone())).collect();
+            match metadata.commit_drain(id, blocks, committed) {
+                Ok(()) => {
+                    for (_, entry, _) in staged {
+                        outcome.report.blocks_built += 1;
+                        outcome.report.rows_archived += entry.rows;
+                        outcome.report.bytes_uploaded += entry.bytes;
+                    }
                 }
                 Err(e) => {
-                    // This chunk and everything after it is not durable.
+                    // Nothing registered: every uploaded chunk is orphaned
+                    // garbage on OSS and its rows still need a home.
                     outcome.error = Some(e);
-                    outcome.unarchived.extend(records.drain(start..));
-                    break;
+                    for (_, _, rows) in staged {
+                        outcome.unarchived.extend(rows);
+                    }
                 }
             }
         }
@@ -122,9 +172,10 @@ pub fn build_and_upload<S: ObjectStore>(
     outcome
 }
 
-/// Builds, uploads and registers one LogBlock. Returns
-/// `(bytes_uploaded, rows_archived)` — on any error the chunk is not
-/// registered and its rows remain the caller's responsibility.
+/// Builds and uploads one LogBlock, returning its catalog entry. The
+/// caller decides when to register it — on any error the chunk is not on
+/// OSS (or not provably so) and its rows remain the caller's
+/// responsibility.
 fn upload_chunk<S: ObjectStore>(
     tenant: TenantId,
     chunk: &[LogRecord],
@@ -132,7 +183,7 @@ fn upload_chunk<S: ObjectStore>(
     config: &BuildConfig,
     store: &S,
     metadata: &MetadataStore,
-) -> Result<(u64, u64)> {
+) -> Result<LogBlockEntry> {
     let mut builder =
         LogBlockBuilder::with_options(schema.clone(), config.compression, config.block_rows);
     let (mut min_ts, mut max_ts) = (chunk[0].ts, chunk[0].ts);
@@ -148,11 +199,7 @@ fn upload_chunk<S: ObjectStore>(
     // queries; an uploaded-but-unregistered block merely wastes space until
     // the rows are re-archived under a fresh path).
     store.put(&path, &bytes)?;
-    metadata.register_block(
-        tenant,
-        LogBlockEntry { path, min_ts, max_ts, rows: chunk.len() as u64, bytes: bytes.len() as u64 },
-    )?;
-    Ok((bytes.len() as u64, chunk.len() as u64))
+    Ok(LogBlockEntry { path, min_ts, max_ts, rows: chunk.len() as u64, bytes: bytes.len() as u64 })
 }
 
 #[cfg(test)]
@@ -325,6 +372,93 @@ mod tests {
         }
         let wrapper = FailAfterFirst { inner: store, puts: std::sync::atomic::AtomicU64::new(0) };
         build_and_upload(rows, schema, &config(), &wrapper, metadata)
+    }
+
+    #[test]
+    fn drain_mode_commits_blocks_and_chunk_count_atomically() {
+        use crate::metadata::DrainId;
+        use logstore_types::ShardId;
+        use logstore_wal::DrainSeq;
+        let store = MemoryStore::new();
+        let metadata = MetadataStore::new();
+        let rows: Vec<LogRecord> = (0..120).map(|i| rec(4, i)).collect();
+        let id = DrainId { shard: ShardId(0), seq: DrainSeq { epoch: 1, counter: 1 } };
+        let outcome = build_and_upload_drain(
+            rows,
+            &TableSchema::request_log(),
+            &config(),
+            &store,
+            &metadata,
+            Some(id),
+        );
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.report.blocks_built, 3);
+        assert_eq!(metadata.all_blocks(TenantId(4)).len(), 3);
+        assert_eq!(metadata.drain_commit(id), Some(3));
+        // The same drain cannot commit twice.
+        let again = build_and_upload_drain(
+            (0..10).map(|i| rec(4, i)).collect(),
+            &TableSchema::request_log(),
+            &config(),
+            &store,
+            &metadata,
+            Some(id),
+        );
+        assert!(again.error.is_some());
+        assert_eq!(again.unarchived.len(), 10, "a failed commit hands every row back");
+        assert_eq!(metadata.all_blocks(TenantId(4)).len(), 3, "nothing extra registered");
+    }
+
+    #[test]
+    fn drain_mode_upload_failure_commits_nothing() {
+        use crate::metadata::DrainId;
+        use logstore_types::ShardId;
+        use logstore_wal::DrainSeq;
+        let store = FaultyStore::new(MemoryStore::new(), FaultScope::Writes, 0.0, 1);
+        let metadata = MetadataStore::new();
+        let rows: Vec<LogRecord> = (0..120).map(|i| rec(6, i)).collect();
+        let id = DrainId { shard: ShardId(1), seq: DrainSeq { epoch: 1, counter: 1 } };
+        // Fail the very first chunk: zero chunks durable → no commit row,
+        // so replay treats the drain as never-uploaded and restores all.
+        store.fail_next(1);
+        let outcome = build_and_upload_drain(
+            rows,
+            &TableSchema::request_log(),
+            &config(),
+            &store,
+            &metadata,
+            Some(id),
+        );
+        assert!(outcome.error.is_some());
+        assert_eq!(outcome.unarchived.len(), 120);
+        assert_eq!(metadata.drain_commit(id), None);
+        assert!(metadata.all_blocks(TenantId(6)).is_empty());
+    }
+
+    #[test]
+    fn drain_mode_partial_failure_commits_the_prefix() {
+        use crate::metadata::DrainId;
+        use logstore_types::ShardId;
+        use logstore_wal::DrainSeq;
+        let store = FaultyStore::new(MemoryStore::new(), FaultScope::Writes, 0.0, 1);
+        let metadata = MetadataStore::new();
+        let rows: Vec<LogRecord> = (0..120).map(|i| rec(8, i)).collect();
+        let id = DrainId { shard: ShardId(2), seq: DrainSeq { epoch: 2, counter: 5 } };
+        // 3 chunks; the 2nd PUT fails → exactly chunk 0 is durable.
+        store.fail_ops(&[1..2]);
+        let outcome = build_and_upload_drain(
+            rows,
+            &TableSchema::request_log(),
+            &config(),
+            &store,
+            &metadata,
+            Some(id),
+        );
+        assert!(outcome.error.is_some());
+        assert_eq!(outcome.report.blocks_built, 1);
+        assert_eq!(outcome.unarchived.len(), 70);
+        assert_eq!(metadata.drain_commit(id), Some(1));
+        assert_eq!(metadata.all_blocks(TenantId(8)).len(), 1);
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use crate::broker::{Broker, QueryExecution};
 use crate::config::{ClusterConfig, QueryOptions};
 use crate::controller::ClusterController;
-use crate::databuilder::{build_and_upload, BuildConfig, BuildReport};
+use crate::databuilder::{build_and_upload_drain, BuildConfig, BuildReport};
 use crate::executor::QueryPool;
-use crate::metadata::{MetadataStore, TenantInfo};
-use crate::worker::Worker;
+use crate::hooks::{noop_hooks, CrashHooks, CrashPoint};
+use crate::metadata::{DrainId, MetadataStore, TenantInfo};
+use crate::worker::{ArchiveCatalog, Worker};
 use logstore_cache::{CacheStats, DiskBlockCache, Prefetcher, TieredCache};
 use logstore_flow::ControlAction;
 use logstore_oss::{
@@ -52,6 +53,8 @@ pub struct ClusterShared {
     pub query_pool: QueryPool,
     /// Cache alignment block size.
     pub cache_block_size: u64,
+    /// Archive-pipeline crash hooks (no-op outside simulation).
+    pub hooks: Arc<dyn CrashHooks>,
 }
 
 impl ClusterShared {
@@ -117,25 +120,50 @@ pub struct LogStore {
     archive_rows_restored: AtomicU64,
 }
 
+/// Externally-owned parts a [`LogStore::open_with`] call can inject.
+///
+/// A simulated crash drops the engine but not the world: OSS and the
+/// metadata service are durable remote systems that survive a node crash,
+/// and the harness models that by owning both across engine incarnations.
+/// `hooks` is the crash-point injector. Every `None` falls back to what
+/// [`LogStore::open`] would build.
+#[derive(Default)]
+pub struct OpenParts {
+    /// The OSS stack (survives simulated crashes when shared).
+    pub store: Option<Arc<Store>>,
+    /// The metadata store (tenants, LogBlock map, drain commits).
+    pub metadata: Option<Arc<MetadataStore>>,
+    /// Archive-pipeline crash hooks.
+    pub hooks: Option<Arc<dyn CrashHooks>>,
+}
+
 impl LogStore {
     /// Builds and starts a cluster.
     pub fn open(config: ClusterConfig) -> Result<Self> {
-        let metadata = Arc::new(MetadataStore::new());
+        Self::open_with(config, OpenParts::default())
+    }
+
+    /// Builds and starts a cluster around externally-owned `parts`.
+    pub fn open_with(config: ClusterConfig, parts: OpenParts) -> Result<Self> {
+        let metadata = parts.metadata.unwrap_or_else(|| Arc::new(MetadataStore::new()));
+        let hooks = parts.hooks.unwrap_or_else(noop_hooks);
         let controller = ClusterController::new(&config, Arc::clone(&metadata));
-        let store = Arc::new(RetryingStore::new(
-            SimulatedOss::new(
-                FaultyStore::new(
-                    MemoryStore::new(),
-                    config.oss_fault_scope,
-                    config.oss_fault_probability,
+        let store = parts.store.unwrap_or_else(|| {
+            Arc::new(RetryingStore::new(
+                SimulatedOss::new(
+                    FaultyStore::new(
+                        MemoryStore::new(),
+                        config.oss_fault_scope,
+                        config.oss_fault_probability,
+                        config.seed,
+                    ),
+                    config.oss_latency.clone(),
                     config.seed,
                 ),
-                config.oss_latency.clone(),
+                config.oss_retry.clone(),
                 config.seed,
-            ),
-            config.oss_retry.clone(),
-            config.seed,
-        ));
+            ))
+        });
         let cache = Arc::new(match config.cache_disk_bytes {
             Some(disk_bytes) => {
                 let dir = config
@@ -152,6 +180,10 @@ impl LogStore {
                 TieredCache::memory_only_sharded(config.cache_memory_bytes, config.cache_shards)
             }
         });
+        let archive_catalog = ArchiveCatalog {
+            metadata: Arc::clone(&metadata),
+            chunk_rows: config.max_rows_per_logblock,
+        };
         let mut workers = Vec::with_capacity(config.workers as usize);
         let mut shard_to_worker = HashMap::new();
         for w in 0..config.workers {
@@ -169,7 +201,25 @@ impl LogStore {
                 config.raft_replicas,
                 config.data_dir.as_ref(),
                 config.seed,
+                Some(&archive_catalog),
+                Arc::clone(&hooks),
             )?));
+        }
+        // Recovery route restoration: WAL replay may have resurrected
+        // tenant rows on shards the freshly-built routing table does not
+        // cover (the tenant had been rebalanced off its home shard before
+        // the restart). Reinstall a route for every (tenant, shard) pair
+        // holding buffered rows, or those rows would be invisible to reads.
+        let mut recovered: std::collections::BTreeMap<TenantId, Vec<ShardId>> = Default::default();
+        for worker in &workers {
+            for shard in worker.shard_ids() {
+                for tenant in worker.buffered_tenants(shard)? {
+                    recovered.entry(tenant).or_default().push(shard);
+                }
+            }
+        }
+        for (tenant, shards) in recovered {
+            controller.restore_routes(tenant, &shards)?;
         }
         let shared = Arc::new(ClusterShared {
             schema: config.schema.clone(),
@@ -182,6 +232,7 @@ impl LogStore {
             prefetcher: Prefetcher::new(config.prefetch_threads),
             query_pool: QueryPool::new(config.query_threads),
             cache_block_size: config.cache_block_size,
+            hooks,
         });
         let broker = Broker::new(Arc::clone(&shared));
         let build_config = BuildConfig {
@@ -258,20 +309,32 @@ impl LogStore {
         let mut total = BuildReport::default();
         let mut first_error: Option<Error> = None;
         for worker in self.shared.worker_snapshot() {
-            for (shard, rows) in worker.drain_for_build(self.config.rowstore_flush_bytes, force) {
-                let mut outcome = build_and_upload(
+            let (drains, drain_error) =
+                worker.drain_for_build(self.config.rowstore_flush_bytes, force);
+            if let Some(e) = drain_error {
+                // Those shards' rows are already back in their row stores;
+                // the drains that did succeed still proceed.
+                first_error.get_or_insert(e);
+            }
+            for (shard, seq, rows) in drains {
+                self.shared.hooks.reached(CrashPoint::AfterDrain);
+                let drain_id = seq.map(|seq| DrainId { shard, seq });
+                let mut outcome = build_and_upload_drain(
                     rows,
                     &self.shared.schema,
                     &self.build_config,
                     self.shared.store.as_ref(),
                     &self.shared.metadata,
+                    drain_id,
                 );
+                self.shared.hooks.reached(CrashPoint::AfterUpload);
                 total.merge(&outcome.report);
                 // An ack/restore failure on one shard must not abort the
                 // pass: the remaining drained rows still need their ack or
                 // restore, or they would vanish from the row store with
                 // their in-flight archive ops left dangling.
                 let close = if outcome.is_complete() {
+                    self.shared.hooks.reached(CrashPoint::BeforeAck);
                     worker.ack_archived(shard)
                 } else {
                     self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
@@ -338,20 +401,24 @@ impl LogStore {
     /// rebalance, never a lost row.
     fn flush_vacated_route(&self, tenant: TenantId, shard: ShardId) -> Result<()> {
         let worker = self.shared.worker_for(shard)?;
-        let rows = worker.drain_tenant(shard, tenant)?;
-        if rows.is_empty() {
+        let Some((seq, rows)) = worker.drain_tenant(shard, tenant)? else {
             return Ok(());
-        }
-        let mut outcome = build_and_upload(
+        };
+        self.shared.hooks.reached(CrashPoint::AfterDrain);
+        let drain_id = seq.map(|seq| DrainId { shard, seq });
+        let mut outcome = build_and_upload_drain(
             rows,
             &self.shared.schema,
             &self.build_config,
             self.shared.store.as_ref(),
             &self.shared.metadata,
+            drain_id,
         );
+        self.shared.hooks.reached(CrashPoint::AfterUpload);
         if outcome.is_complete() {
             // Close the tenant drain's in-flight archive op, or the
             // shard's WAL truncation stays blocked forever.
+            self.shared.hooks.reached(CrashPoint::BeforeAck);
             worker.ack_tenant_archived(shard)
         } else {
             self.archive_failed_passes.fetch_add(1, Ordering::Relaxed);
@@ -379,6 +446,10 @@ impl LogStore {
             let next_shard = shard_map.keys().map(|s| s.raw() + 1).max().unwrap_or(0);
             let shard_ids: Vec<ShardId> =
                 (0..self.config.shards_per_worker).map(|s| ShardId(next_shard + s)).collect();
+            let archive_catalog = ArchiveCatalog {
+                metadata: Arc::clone(&self.shared.metadata),
+                chunk_rows: self.config.max_rows_per_logblock,
+            };
             let worker = Arc::new(Worker::new(
                 worker_id,
                 &shard_ids,
@@ -387,6 +458,8 @@ impl LogStore {
                 self.config.raft_replicas,
                 self.config.data_dir.as_ref(),
                 self.config.seed ^ u64::from(worker_id.raw()),
+                Some(&archive_catalog),
+                Arc::clone(&self.shared.hooks),
             )?);
             for &s in &shard_ids {
                 shard_map.insert(s, workers.len());
@@ -631,7 +704,8 @@ mod tests {
         assert_eq!(before, Some(0), "no compaction before the first flush");
         s.flush().unwrap();
         let after = s.shared().workers.read()[0].raft_snapshot_index(shard).unwrap();
-        assert_eq!(after, Some(20), "archived entries must be compacted away");
+        // 20 ingests plus the leader's election no-op barrier.
+        assert_eq!(after, Some(21), "archived entries must be compacted away");
         // Everything is still queryable (from OSS now).
         let result = s.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").unwrap();
         assert_eq!(result.rows[0][0], Value::U64(20));

@@ -1,0 +1,82 @@
+//! Crash-point hooks for deterministic simulation testing.
+//!
+//! The archive pipeline calls [`CrashHooks::reached`] at each named point
+//! of its protocol. In production the hooks are a no-op ([`NoopHooks`]);
+//! the simulation harness injects an implementation that panics with a
+//! [`SimCrash`] payload at a scheduled point, unwinds out of the engine,
+//! drops it mid-protocol and reopens from disk — exercising exactly the
+//! windows the drain-intent recovery protocol exists for. Plain dependency
+//! injection, no cfg gates: the production default costs one virtual call
+//! per point.
+//!
+//! Every hook site sits **outside** lock scopes, so an unwind never leaves
+//! a poisoned or held lock behind (locks are parking_lot, which recovers
+//! regardless, but hooks-outside-locks keeps the reopened engine's
+//! invariants trivially intact).
+
+use std::sync::Arc;
+
+/// Named points in the archive pipeline where a simulated crash can fire.
+///
+/// The lattice follows the protocol order for one drain:
+/// ingest (`AfterWalAppend`) → drain+intent (`AfterDrain`) →
+/// upload+commit (`AfterUpload`) → ack (`BeforeAck`) →
+/// checkpoint (`BeforeCheckpoint`) → WAL truncation (`BeforeTruncate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// An ingest batch is durable in the WAL and applied to the row store,
+    /// but the caller has not been acknowledged yet.
+    AfterWalAppend,
+    /// Rows left the row store; the drain intent is synced in the WAL; the
+    /// upload has not started.
+    AfterDrain,
+    /// The upload finished (blocks durable on OSS and the drain committed
+    /// in the metadata store), but the shard has not been acked.
+    AfterUpload,
+    /// The engine decided to ack an archived drain but hasn't called into
+    /// the shard yet.
+    BeforeAck,
+    /// Inside the ack, right before the shard closes the in-flight op and
+    /// considers truncation.
+    BeforeCheckpoint,
+    /// The shard is quiescent and about to drop WAL segments.
+    BeforeTruncate,
+}
+
+impl CrashPoint {
+    /// Every point, in protocol order.
+    pub const ALL: [CrashPoint; 6] = [
+        CrashPoint::AfterWalAppend,
+        CrashPoint::AfterDrain,
+        CrashPoint::AfterUpload,
+        CrashPoint::BeforeAck,
+        CrashPoint::BeforeCheckpoint,
+        CrashPoint::BeforeTruncate,
+    ];
+}
+
+/// Injectable observer of archive-pipeline crash points.
+pub trait CrashHooks: Send + Sync {
+    /// Called when execution reaches `point`. A simulation implementation
+    /// may panic with a [`SimCrash`] payload to abort the episode here;
+    /// the default does nothing.
+    fn reached(&self, point: CrashPoint) {
+        let _ = point;
+    }
+}
+
+/// The production hooks: every point is a no-op.
+pub struct NoopHooks;
+
+impl CrashHooks for NoopHooks {}
+
+/// A fresh no-op hook object (the default for [`crate::LogStore::open`]).
+pub fn noop_hooks() -> Arc<dyn CrashHooks> {
+    Arc::new(NoopHooks)
+}
+
+/// Panic payload identifying a simulated crash, so harnesses can
+/// `catch_unwind` and downcast to distinguish an injected crash from a
+/// genuine bug.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCrash(pub CrashPoint);

@@ -25,10 +25,13 @@ pub mod controller;
 pub mod databuilder;
 pub mod engine;
 pub mod executor;
+pub mod hooks;
 pub mod metadata;
 pub mod worker;
 
 pub use config::{ClusterConfig, QueryOptions};
-pub use engine::{ArchiveStats, IngestReport, LogStore};
+pub use engine::{ArchiveStats, IngestReport, LogStore, OpenParts, Store};
 pub use executor::QueryPool;
-pub use metadata::{LogBlockEntry, MetadataStore, TenantInfo};
+pub use hooks::{noop_hooks, CrashHooks, CrashPoint, NoopHooks, SimCrash};
+pub use metadata::{DrainId, LogBlockEntry, MetadataStore, TenantInfo};
+pub use worker::ArchiveCatalog;

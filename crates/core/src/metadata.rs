@@ -4,9 +4,21 @@
 //! of Fig 8 ① — the first level of data skipping — and the unit of
 //! per-tenant expiration and billing (paper §3.1).
 
-use logstore_types::{Error, Result, TenantId, TimeRange, Timestamp};
+use logstore_types::{Error, Result, ShardId, TenantId, TimeRange, Timestamp};
+use logstore_wal::DrainSeq;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+
+/// Durable identity of one shard drain across the whole cluster: the
+/// shard plus its per-shard [`DrainSeq`]. The key of the drain-commit
+/// table that makes the archive upload exactly-once across crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DrainId {
+    /// The shard the rows were drained from.
+    pub shard: ShardId,
+    /// That shard's drain sequence number.
+    pub seq: DrainSeq,
+}
 
 /// One archived LogBlock of one tenant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +67,10 @@ struct Inner {
     // shard; overlapping across shards is fine — pruning uses time ranges).
     blocks: HashMap<TenantId, Vec<LogBlockEntry>>,
     next_block_seq: u64,
+    // Drain-commit table: how many leading chunks of each drain are
+    // durable and registered. WAL replay consults this (via the worker's
+    // resolver) to keep committed rows out of the row store.
+    drain_commits: HashMap<DrainId, u64>,
 }
 
 impl MetadataStore {
@@ -95,6 +111,43 @@ impl MetadataStore {
         info.archived_bytes += entry.bytes;
         inner.blocks.entry(tenant).or_default().push(entry);
         Ok(())
+    }
+
+    /// Atomically registers every block an archive drain uploaded and
+    /// records that its first `chunks` chunks are durable. One metadata
+    /// transaction is what makes the upload exactly-once: a crash before
+    /// this call leaves no trace (replay restores every drained row, the
+    /// orphaned objects are garbage, not duplicates); a crash after it
+    /// leaves the commit visible, so replay keeps the registered rows out.
+    pub fn commit_drain(
+        &self,
+        id: DrainId,
+        blocks: Vec<(TenantId, LogBlockEntry)>,
+        chunks: u64,
+    ) -> Result<()> {
+        for (_, entry) in &blocks {
+            if entry.min_ts > entry.max_ts {
+                return Err(Error::invalid("block time range inverted"));
+            }
+        }
+        let mut inner = self.inner.write();
+        if inner.drain_commits.contains_key(&id) {
+            return Err(Error::invalid(format!("drain {id:?} committed twice")));
+        }
+        for (tenant, entry) in blocks {
+            let info = inner.tenants.entry(tenant).or_default();
+            info.archived_rows += entry.rows;
+            info.archived_bytes += entry.bytes;
+            inner.blocks.entry(tenant).or_default().push(entry);
+        }
+        inner.drain_commits.insert(id, chunks);
+        Ok(())
+    }
+
+    /// How many leading chunks of drain `id` were committed (`None` if the
+    /// drain never committed).
+    pub fn drain_commit(&self, id: DrainId) -> Option<u64> {
+        self.inner.read().drain_commits.get(&id).copied()
     }
 
     /// LogBlock-map pruning (Fig 8 ①): blocks of `tenant` overlapping

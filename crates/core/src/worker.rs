@@ -5,6 +5,8 @@
 //! accounting that feeds the traffic monitor. The data builder drains
 //! shards in the background (phase two, [`crate::databuilder`]).
 
+use crate::hooks::{CrashHooks, CrashPoint};
+use crate::metadata::{DrainId, MetadataStore};
 /// Raft batch payloads share the WAL's codec (including its corruption
 /// guards); re-exported for replica catch-up tooling and tests.
 pub use logstore_codec::batch::decode_batch;
@@ -14,10 +16,38 @@ use logstore_types::{
     ColumnPredicate, Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId,
     TimeRange, WorkerId,
 };
-use logstore_wal::{RowStore, ShardStore, WalConfig};
+use logstore_wal::{DrainResolver, DrainSeq, RowStore, ShardStore, WalConfig};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Links durable shards to the metadata store's drain-commit table, so
+/// WAL replay can tell committed (on-OSS) drain rows from lost ones.
+#[derive(Clone)]
+pub struct ArchiveCatalog {
+    /// The cluster metadata store holding the drain-commit table.
+    pub metadata: Arc<MetadataStore>,
+    /// The uploader's chunk row cap (`max_rows_per_logblock`) — replay
+    /// must re-chunk a drain exactly the way the uploader did.
+    pub chunk_rows: usize,
+}
+
+/// Per-shard [`DrainResolver`] over the metadata store.
+struct CatalogResolver {
+    catalog: ArchiveCatalog,
+    shard: ShardId,
+}
+
+impl DrainResolver for CatalogResolver {
+    fn committed_chunks(&self, seq: DrainSeq) -> Option<u64> {
+        self.catalog.metadata.drain_commit(DrainId { shard: self.shard, seq })
+    }
+
+    fn chunk_rows(&self) -> usize {
+        self.catalog.chunk_rows
+    }
+}
 
 /// Per-shard ingest counters for one monitoring window.
 #[derive(Debug, Default, Clone)]
@@ -72,19 +102,34 @@ impl Backend {
         }
     }
 
-    fn drain_all(&mut self) -> Vec<LogRecord> {
+    fn drain_all(&mut self) -> Result<Option<(Option<DrainSeq>, Vec<LogRecord>)>> {
         // No checkpoint here: the WAL keeps covering the drained rows until
         // the engine acks that they are durable on OSS (`ack_archived`).
+        // Durable drains carry the seq of the WAL drain intent the shard
+        // logged; memory drains have no replay to reconcile (`None`).
         match self {
-            Backend::Mem(rows) => rows.drain_oldest(usize::MAX),
-            Backend::Durable(store) => store.drain_for_archive(usize::MAX),
+            Backend::Mem(rows) => {
+                let drained = rows.drain_oldest(usize::MAX);
+                Ok((!drained.is_empty()).then_some((None, drained)))
+            }
+            Backend::Durable(store) => {
+                Ok(store.drain_for_archive(usize::MAX)?.map(|(seq, rows)| (Some(seq), rows)))
+            }
         }
     }
 
-    fn drain_tenant(&mut self, tenant: TenantId) -> Vec<LogRecord> {
+    fn drain_tenant(
+        &mut self,
+        tenant: TenantId,
+    ) -> Result<Option<(Option<DrainSeq>, Vec<LogRecord>)>> {
         match self {
-            Backend::Mem(rows) => rows.drain_tenant(tenant),
-            Backend::Durable(store) => store.drain_tenant(tenant),
+            Backend::Mem(rows) => {
+                let drained = rows.drain_tenant(tenant);
+                Ok((!drained.is_empty()).then_some((None, drained)))
+            }
+            Backend::Durable(store) => {
+                Ok(store.drain_tenant(tenant)?.map(|(seq, rows)| (Some(seq), rows)))
+            }
         }
     }
 
@@ -99,10 +144,10 @@ impl Backend {
         }
     }
 
-    fn checkpoint(&mut self) -> Result<usize> {
+    fn close_archive_op(&mut self) {
         match self {
-            Backend::Mem(_) => Ok(0),
-            Backend::Durable(store) => store.checkpoint(),
+            Backend::Mem(_) => {}
+            Backend::Durable(store) => store.ack_archive_op(),
         }
     }
 
@@ -110,6 +155,20 @@ impl Backend {
         match self {
             Backend::Mem(_) => Ok(0),
             Backend::Durable(store) => store.truncate_if_quiescent(),
+        }
+    }
+
+    fn counters(&self) -> Option<(u64, u64)> {
+        match self {
+            Backend::Mem(_) => None,
+            Backend::Durable(store) => Some(store.counters()),
+        }
+    }
+
+    fn tenants(&self) -> Vec<TenantId> {
+        match self {
+            Backend::Mem(rows) => rows.tenants(),
+            Backend::Durable(store) => store.row_store().tenants(),
         }
     }
 }
@@ -120,15 +179,25 @@ struct ShardState {
     window: Mutex<ShardWindow>,
 }
 
+/// One shard's drained rows: the shard, the WAL drain intent it logged
+/// (None for in-memory backends), and the rows themselves.
+pub type DrainedShard = (ShardId, Option<DrainSeq>, Vec<LogRecord>);
+
 /// One worker node.
 pub struct Worker {
     id: WorkerId,
     shards: HashMap<ShardId, ShardState>,
     backpressure_bytes: usize,
+    hooks: Arc<dyn CrashHooks>,
 }
 
 impl Worker {
-    /// Creates a worker owning `shard_ids`.
+    /// Creates a worker owning `shard_ids`. Durable shards (those with a
+    /// `data_dir`) replay their WAL on open; with an [`ArchiveCatalog`]
+    /// the replay reconciles drain intents against the drain-commit table
+    /// so rows already on OSS are not resurrected. `hooks` injects
+    /// simulated crash points ([`crate::hooks::noop_hooks`] in production).
+    #[allow(clippy::too_many_arguments)] // construction-time wiring, called once per worker
     pub fn new(
         id: WorkerId,
         shard_ids: &[ShardId],
@@ -137,6 +206,8 @@ impl Worker {
         raft_replicas: usize,
         data_dir: Option<&PathBuf>,
         seed: u64,
+        archive_catalog: Option<&ArchiveCatalog>,
+        hooks: Arc<dyn CrashHooks>,
     ) -> Result<Self> {
         let mut shards = HashMap::new();
         for &shard in shard_ids {
@@ -145,11 +216,16 @@ impl Worker {
                     let shard_dir = dir
                         .join(format!("worker-{}", id.raw()))
                         .join(format!("shard-{}", shard.raw()));
-                    Backend::Durable(ShardStore::open(
-                        shard_dir,
-                        schema.clone(),
-                        WalConfig::default(),
-                    )?)
+                    let store = match archive_catalog {
+                        Some(catalog) => ShardStore::open_with(
+                            shard_dir,
+                            schema.clone(),
+                            WalConfig::default(),
+                            &CatalogResolver { catalog: catalog.clone(), shard },
+                        )?,
+                        None => ShardStore::open(shard_dir, schema.clone(), WalConfig::default())?,
+                    };
+                    Backend::Durable(store)
                 }
                 None => Backend::Mem(RowStore::new(schema.clone())),
             };
@@ -175,7 +251,7 @@ impl Worker {
                 },
             );
         }
-        Ok(Worker { id, shards, backpressure_bytes })
+        Ok(Worker { id, shards, backpressure_bytes, hooks })
     }
 
     /// This worker's id.
@@ -242,6 +318,11 @@ impl Worker {
         for (tenant, n) in per_tenant {
             *window.per_tenant.entry(tenant).or_default() += n;
         }
+        drop(window);
+        // The batch is durable (WAL + row store) but the caller has not
+        // seen Ok yet — the simulated-crash window where rows are
+        // "in doubt": present after recovery, never acknowledged.
+        self.hooks.reached(CrashPoint::AfterWalAppend);
         Ok(())
     }
 
@@ -266,36 +347,60 @@ impl Worker {
         Ok(self.shard(shard)?.backend.lock().rows())
     }
 
+    /// Tenants with buffered rows on one shard. On a durable shard right
+    /// after open this is the set WAL replay resurrected — the input to
+    /// recovery route restoration.
+    pub fn buffered_tenants(&self, shard: ShardId) -> Result<Vec<TenantId>> {
+        Ok(self.shard(shard)?.backend.lock().tenants())
+    }
+
     /// Drains every shard whose buffer exceeds `flush_bytes` (or all when
-    /// `force`), returning `(shard, rows)` for the data builder. Every
-    /// returned pair opens an in-flight archive op on its shard that the
-    /// engine must close with exactly one [`Worker::ack_archived`] (upload
-    /// succeeded) or [`Worker::restore_unarchived`] (upload failed) —
-    /// WAL truncation stays blocked until all ops on a shard are closed.
+    /// `force`), returning `(shard, drain seq, rows)` for the data builder
+    /// (the seq is `Some` for durable shards, naming the WAL drain intent
+    /// the shard logged). Every returned entry opens an in-flight archive
+    /// op on its shard that the engine must close with exactly one
+    /// [`Worker::ack_archived`] (upload succeeded) or
+    /// [`Worker::restore_unarchived`] (upload failed) — WAL truncation
+    /// stays blocked until all ops on a shard are closed.
+    ///
+    /// A shard whose drain intent fails to log is skipped (its rows are
+    /// already back in the row store); the first such error is returned
+    /// alongside the successful drains so the pass keeps going.
     pub fn drain_for_build(
         &self,
         flush_bytes: usize,
         force: bool,
-    ) -> Vec<(ShardId, Vec<LogRecord>)> {
+    ) -> (Vec<DrainedShard>, Option<Error>) {
         let mut out = Vec::new();
+        let mut first_error = None;
         for (&shard, state) in &self.shards {
             let mut backend = state.backend.lock();
             if force || backend.bytes() >= flush_bytes {
-                let rows = backend.drain_all();
-                if !rows.is_empty() {
-                    out.push((shard, rows));
+                match backend.drain_all() {
+                    Ok(Some((seq, rows))) => out.push((shard, seq, rows)),
+                    Ok(None) => {}
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
                 }
             }
         }
-        out.sort_by_key(|(s, _)| *s);
-        out
+        out.sort_by_key(|(s, _, _)| *s);
+        (out, first_error)
     }
 
     /// Drains one tenant from one shard (rebalance flush, §4.1.5). A
-    /// non-empty drain opens an in-flight archive op; close it with
-    /// [`Worker::ack_tenant_archived`] or [`Worker::restore_unarchived`].
-    pub fn drain_tenant(&self, shard: ShardId, tenant: TenantId) -> Result<Vec<LogRecord>> {
-        Ok(self.shard(shard)?.backend.lock().drain_tenant(tenant))
+    /// non-empty drain (`Some`) opens an in-flight archive op; close it
+    /// with [`Worker::ack_tenant_archived`] or
+    /// [`Worker::restore_unarchived`].
+    pub fn drain_tenant(
+        &self,
+        shard: ShardId,
+        tenant: TenantId,
+    ) -> Result<Option<(Option<DrainSeq>, Vec<LogRecord>)>> {
+        self.shard(shard)?.backend.lock().drain_tenant(tenant)
     }
 
     /// Puts drained rows that failed to archive back into the shard's
@@ -316,7 +421,13 @@ impl Worker {
     /// loud instead of silently leaking disk.
     pub fn ack_archived(&self, shard: ShardId) -> Result<()> {
         let state = self.shard(shard)?;
-        state.backend.lock().checkpoint()?;
+        self.hooks.reached(CrashPoint::BeforeCheckpoint);
+        state.backend.lock().close_archive_op();
+        // A crash between the two lock scopes leaves the op closed but the
+        // WAL untruncated — replay reconciles via the drain commit, and a
+        // later quiescent pass truncates.
+        self.hooks.reached(CrashPoint::BeforeTruncate);
+        state.backend.lock().truncate_quiescent()?;
         self.checkpoint_raft(shard)
     }
 
@@ -327,7 +438,11 @@ impl Worker {
     /// row store. Actual truncation happens only once the shard is
     /// quiescent (no other archive in flight, nothing buffered).
     pub fn ack_tenant_archived(&self, shard: ShardId) -> Result<()> {
-        self.shard(shard)?.backend.lock().checkpoint().map(|_| ())
+        let state = self.shard(shard)?;
+        self.hooks.reached(CrashPoint::BeforeCheckpoint);
+        state.backend.lock().close_archive_op();
+        self.hooks.reached(CrashPoint::BeforeTruncate);
+        state.backend.lock().truncate_quiescent().map(|_| ())
     }
 
     /// Opportunistic WAL truncation: applies a truncation that an
@@ -337,6 +452,14 @@ impl Worker {
     /// build passes call this for shards that had nothing to drain.
     pub fn truncate_quiescent(&self, shard: ShardId) -> Result<usize> {
         self.shard(shard)?.backend.lock().truncate_quiescent()
+    }
+
+    /// Lifetime `(appended, archived)` record counters of a durable shard
+    /// (`None` for in-memory backends). The accounting invariant —
+    /// `buffered == appended − archived` — is what the simulation harness
+    /// checks after every recovery.
+    pub fn shard_counters(&self, shard: ShardId) -> Result<Option<(u64, u64)>> {
+        Ok(self.shard(shard)?.backend.lock().counters())
     }
 
     /// After the drained rows are durable on OSS, compacts the shard's
@@ -406,6 +529,8 @@ mod tests {
             replicas,
             None,
             7,
+            None,
+            crate::hooks::noop_hooks(),
         )
         .unwrap()
     }
@@ -442,6 +567,8 @@ mod tests {
             1,
             None,
             7,
+            None,
+            crate::hooks::noop_hooks(),
         )
         .unwrap();
         let batch = RecordBatch::from_records((0..5).map(|i| rec(1, i)).collect());
@@ -458,7 +585,8 @@ mod tests {
         }
         assert!(hit_backpressure);
         // Draining relieves the pressure.
-        let drained = w.drain_for_build(0, true);
+        let (drained, err) = w.drain_for_build(0, true);
+        assert!(err.is_none());
         assert!(!drained.is_empty());
         w.append(ShardId(0), batch).unwrap();
     }
@@ -467,11 +595,12 @@ mod tests {
     fn restore_unarchived_returns_rows_to_the_shard() {
         let w = worker(1);
         w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1), rec(2, 2)])).unwrap();
-        let mut drained = w.drain_for_build(0, true);
+        let (mut drained, err) = w.drain_for_build(0, true);
+        assert!(err.is_none());
         assert_eq!(drained.len(), 1);
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 0);
         // Upload "failed": the engine hands the rows back.
-        let (shard, rows) = drained.pop().unwrap();
+        let (shard, _seq, rows) = drained.pop().unwrap();
         w.restore_unarchived(shard, rows).unwrap();
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 2);
         let hits = w.scan(ShardId(0), TenantId(1), TimeRange::all(), &[]).unwrap();
@@ -499,8 +628,9 @@ mod tests {
     fn drain_for_build_respects_threshold() {
         let w = worker(1);
         w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
-        assert!(w.drain_for_build(usize::MAX, false).is_empty());
-        let drained = w.drain_for_build(0, false);
+        assert!(w.drain_for_build(usize::MAX, false).0.is_empty());
+        let (drained, err) = w.drain_for_build(0, false);
+        assert!(err.is_none());
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].0, ShardId(0));
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 0);
@@ -510,9 +640,10 @@ mod tests {
     fn drain_tenant_for_rebalance() {
         let w = worker(1);
         w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1), rec(2, 2)])).unwrap();
-        let moved = w.drain_tenant(ShardId(0), TenantId(1)).unwrap();
+        let (_seq, moved) = w.drain_tenant(ShardId(0), TenantId(1)).unwrap().unwrap();
         assert_eq!(moved.len(), 1);
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 1);
+        assert!(w.drain_tenant(ShardId(0), TenantId(1)).unwrap().is_none());
     }
 
     #[test]
@@ -532,6 +663,8 @@ mod tests {
                 1,
                 Some(&dir),
                 7,
+                None,
+                crate::hooks::noop_hooks(),
             )
             .unwrap();
             w.append(ShardId(0), RecordBatch::from_records(vec![rec(1, 1)])).unwrap();
@@ -544,6 +677,8 @@ mod tests {
             1,
             Some(&dir),
             7,
+            None,
+            crate::hooks::noop_hooks(),
         )
         .unwrap();
         assert_eq!(w.buffered_rows(ShardId(0)).unwrap(), 1);

@@ -84,6 +84,25 @@ impl TrafficController {
         Ok(())
     }
 
+    /// Reinstalls a tenant's routes from recovered state (equal weights).
+    ///
+    /// Routing tables live in controller memory and die with the process,
+    /// but a restarted worker replays its WAL — so a tenant rebalanced off
+    /// its home shard can hold durable rows on shards the rebuilt table
+    /// knows nothing about. Recovery calls this for every tenant found in
+    /// a replayed row store; without it those rows are unreachable by
+    /// reads until the tenant happens to be rebalanced there again.
+    pub fn restore_routes(
+        &mut self,
+        tenant: TenantId,
+        shards: &[logstore_types::ShardId],
+    ) -> Result<()> {
+        if shards.is_empty() {
+            return Ok(());
+        }
+        self.routes.set_routes(tenant, shards.iter().map(|&s| (s, 1.0)).collect())
+    }
+
     /// The current routing table.
     pub fn routes(&self) -> &RoutingTable {
         &self.routes

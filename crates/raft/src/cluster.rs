@@ -97,7 +97,11 @@ impl InProcCluster {
                 self.snapshots[i] = Some(snapshot);
             }
             for entry in node.take_committed(usize::MAX) {
-                self.applied[i].push(entry.payload);
+                // Leaders append an empty no-op barrier on election; it
+                // carries no application payload.
+                if !entry.payload.is_empty() {
+                    self.applied[i].push(entry.payload);
+                }
             }
         }
     }

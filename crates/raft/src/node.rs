@@ -237,9 +237,17 @@ impl RaftNode {
     fn become_leader(&mut self) {
         self.role = Role::Leader;
         self.ticks = 0;
-        let next = self.last_log_index() + 1;
+        // §5.4.2: entries inherited from earlier terms can only commit
+        // once an entry of the leader's own term does. Without client
+        // traffic that never happens, so append an empty no-op barrier
+        // immediately (consumers skip empty payloads).
+        let index = self.last_log_index() + 1;
+        self.log.push(LogEntry { term: self.term, index, payload: Vec::new() });
+        if self.peers.is_empty() {
+            self.commit_index = index;
+        }
         for peer in self.peers.clone() {
-            self.next_index.insert(peer, next);
+            self.next_index.insert(peer, index);
             self.match_index.insert(peer, 0);
             self.send_append(peer);
         }
@@ -269,7 +277,9 @@ impl RaftNode {
         }
         let prev_log_index = next - 1;
         let prev_log_term = self.entry_term(prev_log_index).unwrap_or(0);
-        let start = (prev_log_index - self.snapshot_index) as usize;
+        // Clamped: a reordered response could still leave next_index past
+        // our log end; an empty append then probes the follower backwards.
+        let start = ((prev_log_index - self.snapshot_index) as usize).min(self.log.len());
         let end = (start + self.config.max_entries_per_append).min(self.log.len());
         let entries = self.log[start..end].to_vec();
         let msg = RaftMessage::AppendEntries {
@@ -353,6 +363,12 @@ impl RaftNode {
                         // Append, truncating any conflicting suffix.
                         // Entries at or below the compaction point are
                         // already part of the snapshot; skip them.
+                        // The reported match covers only what this append
+                        // verified — a stale suffix beyond it may still
+                        // conflict with the leader, so claiming the full
+                        // log length would let the leader's next_index run
+                        // past its own log.
+                        let match_index = prev_log_index + entries.len() as u64;
                         for entry in entries {
                             let Some(pos) = self.phys(entry.index) else { continue };
                             if pos < self.log.len() {
@@ -364,7 +380,6 @@ impl RaftNode {
                                 self.log.push(entry);
                             }
                         }
-                        let match_index = self.last_log_index();
                         if leader_commit > self.commit_index {
                             self.commit_index = leader_commit.min(match_index);
                         }
@@ -420,12 +435,14 @@ impl RaftNode {
                         self.last_applied = self.last_applied.max(last_included_index);
                         self.pending_snapshot = Some((last_included_index, data));
                     }
+                    // Only the snapshot itself is known to match the
+                    // leader; any retained suffix is unverified.
                     self.send(
                         from,
                         RaftMessage::AppendEntriesResp {
                             term: self.term,
                             success: true,
-                            match_index: self.last_log_index(),
+                            match_index: self.snapshot_index,
                         },
                     );
                 }
@@ -570,12 +587,14 @@ mod tests {
             n.tick();
         }
         assert_eq!(n.role(), Role::Leader);
+        // Index 1 is the election no-op barrier.
         let idx = n.propose(b"x".to_vec()).unwrap();
-        assert_eq!(idx, 1);
-        assert_eq!(n.commit_index(), 1);
+        assert_eq!(idx, 2);
+        assert_eq!(n.commit_index(), 2);
         let applied = n.take_committed(10);
-        assert_eq!(applied.len(), 1);
-        assert_eq!(applied[0].payload, b"x");
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].payload, b"");
+        assert_eq!(applied[1].payload, b"x");
         assert_eq!(n.apply_queue_len(), 0);
     }
 
@@ -602,7 +621,8 @@ mod tests {
             n.handle(NodeId(1), RaftMessage::RequestVoteResp { term: n.term(), granted: true });
         }
         assert_eq!(n.role(), Role::Leader);
-        for i in 0..5 {
+        // The election no-op already occupies one sync-queue slot.
+        for i in 0..4 {
             n.propose(vec![i]).unwrap();
         }
         let err = n.propose(vec![9]).unwrap_err();

@@ -1,0 +1,80 @@
+//! The crash injector: an armable [`CrashHooks`] implementation.
+
+use logstore_core::{CrashHooks, CrashPoint, SimCrash};
+use parking_lot::Mutex;
+
+/// Crash-point injector handed to every engine incarnation of an episode.
+///
+/// At most one crash is armed at a time: `(point, countdown)` fires a
+/// [`SimCrash`] panic the `countdown`-th time the pipeline reaches
+/// `point` (0 = the very next time). Firing disarms the injector first,
+/// so the recovery that follows — and anything after it — runs clean
+/// until the schedule arms the next crash.
+#[derive(Default)]
+pub struct ArmedCrashes {
+    armed: Mutex<Option<(CrashPoint, u64)>>,
+    fired: Mutex<Vec<CrashPoint>>,
+}
+
+impl ArmedCrashes {
+    /// A fresh, disarmed injector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a crash: panic on the `countdown`-th future visit of `point`.
+    pub fn arm(&self, point: CrashPoint, countdown: u64) {
+        *self.armed.lock() = Some((point, countdown));
+    }
+
+    /// Disarms any pending crash.
+    pub fn disarm(&self) {
+        *self.armed.lock() = None;
+    }
+
+    /// Every crash fired so far, in order.
+    pub fn fired(&self) -> Vec<CrashPoint> {
+        self.fired.lock().clone()
+    }
+}
+
+impl CrashHooks for ArmedCrashes {
+    fn reached(&self, point: CrashPoint) {
+        let mut armed = self.armed.lock();
+        match armed.as_mut() {
+            Some((p, countdown)) if *p == point => {
+                if *countdown == 0 {
+                    *armed = None;
+                    drop(armed);
+                    self.fired.lock().push(point);
+                    std::panic::panic_any(SimCrash(point));
+                }
+                *countdown -= 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_countdown_and_disarms() {
+        let crashes = ArmedCrashes::new();
+        crashes.arm(CrashPoint::AfterDrain, 2);
+        crashes.reached(CrashPoint::AfterDrain);
+        crashes.reached(CrashPoint::AfterUpload); // other points don't count down
+        crashes.reached(CrashPoint::AfterDrain);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crashes.reached(CrashPoint::AfterDrain)
+        }));
+        let payload = unwound.unwrap_err();
+        let crash = payload.downcast_ref::<SimCrash>().expect("SimCrash payload");
+        assert_eq!(crash.0, CrashPoint::AfterDrain);
+        assert_eq!(crashes.fired(), vec![CrashPoint::AfterDrain]);
+        // Disarmed: the same point no longer fires.
+        crashes.reached(CrashPoint::AfterDrain);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic whole-engine simulation testing for LogStore.
+//!
+//! One `u64` seed expands into a [`SimPlan`]: a schedule that interleaves
+//! multi-tenant ingest, forced and threshold flushes, traffic-control
+//! ticks, queries, OSS fault windows and **simulated crashes** at named
+//! points of the archive protocol ([`logstore_core::CrashPoint`]). An
+//! [`Episode`] drives a real engine through the schedule while maintaining
+//! an in-memory oracle of every acknowledged row; a crash drops the engine
+//! mid-protocol and reopens it from disk against the same (surviving) OSS
+//! and metadata store, exactly like a node restart.
+//!
+//! After every recovery — and on demand — the harness checks:
+//!
+//! * **No acknowledged row is lost** and **no row is duplicated** (row
+//!   identity is a unique id the harness hides in the `latency` column).
+//! * Rows from a batch whose ingest crashed mid-call are *in doubt*: they
+//!   may survive (the WAL covered them) or not, but each must resolve to
+//!   exactly zero or one copy.
+//! * Query results are **bit-identical** at `parallelism` 1 and the full
+//!   pool width, and `COUNT(*)` / predicate counts equal the oracle's.
+//! * Shard accounting holds: `buffered == appended − archived`.
+//! * At episode end, after one clean flush, every tenant's LogBlock rows
+//!   on OSS sum to exactly its acknowledged row count.
+//!
+//! Every failure carries the seed and a replay hint
+//! (`SIMTEST_SEED=<seed> cargo test -p logstore-simtest`); the same seed
+//! replays the same episode.
+
+mod crash;
+mod episode;
+mod plan;
+
+pub use crash::ArmedCrashes;
+pub use episode::{Episode, EpisodeReport, SimFailure};
+pub use plan::{SimOp, SimPlan};

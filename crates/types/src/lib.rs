@@ -5,6 +5,7 @@
 //! helpers — so that substrate crates (codec, index, logblock, ...) can
 //! interoperate without depending on each other.
 
+pub mod archive;
 pub mod error;
 pub mod ids;
 pub mod predicate;
@@ -13,6 +14,7 @@ pub mod schema;
 pub mod time;
 pub mod value;
 
+pub use archive::{partition_into_chunks, ArchiveChunk};
 pub use error::{Error, Result};
 pub use ids::{BrokerId, NodeId, ShardId, TenantId, WorkerId};
 pub use predicate::{CmpOp, ColumnPredicate};

@@ -21,5 +21,5 @@ pub mod shard;
 pub mod wal;
 
 pub use rowstore::RowStore;
-pub use shard::ShardStore;
+pub use shard::{DrainResolver, DrainSeq, NoCommittedDrains, ShardStore};
 pub use wal::{Lsn, Wal, WalConfig};

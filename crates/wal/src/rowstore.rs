@@ -112,6 +112,48 @@ impl RowStore {
         drained
     }
 
+    /// Removes one buffered copy of each record in `targets` (multiset
+    /// removal by value equality), returning how many were found. WAL
+    /// replay uses this to re-apply a drain intent: the drained rows are
+    /// somewhere in the store (their appends replayed earlier), in
+    /// unknown positions because earlier drains already removed others.
+    pub fn remove_batch(&mut self, targets: &[LogRecord]) -> usize {
+        if targets.is_empty() {
+            return 0;
+        }
+        // Bucket the targets by (tenant, ts) so the scan below compares
+        // full records only against plausible candidates.
+        let mut pending: HashMap<(TenantId, i64), Vec<&LogRecord>> = HashMap::new();
+        for t in targets {
+            pending.entry((t.tenant_id, t.ts.millis())).or_default().push(t);
+        }
+        let mut kept = Vec::with_capacity(self.rows.len());
+        let mut removed = 0;
+        for r in self.rows.drain(..) {
+            let mut matched = false;
+            if let Some(cands) = pending.get_mut(&(r.tenant_id, r.ts.millis())) {
+                if let Some(i) = cands.iter().position(|t| **t == r) {
+                    cands.swap_remove(i);
+                    matched = true;
+                }
+            }
+            if matched {
+                removed += 1;
+                self.bytes = self.bytes.saturating_sub(r.approx_size());
+                if let Some(count) = self.per_tenant_rows.get_mut(&r.tenant_id) {
+                    *count = count.saturating_sub(1);
+                    if *count == 0 {
+                        self.per_tenant_rows.remove(&r.tenant_id);
+                    }
+                }
+            } else {
+                kept.push(r);
+            }
+        }
+        self.rows = kept;
+        removed
+    }
+
     /// Tenants with buffered rows.
     pub fn tenants(&self) -> Vec<TenantId> {
         let mut t: Vec<TenantId> = self.per_tenant_rows.keys().copied().collect();
@@ -195,6 +237,25 @@ mod tests {
         assert_eq!(s.tenant_rows(TenantId(1)), 1);
         assert!(s.drain_oldest(100).len() == 1);
         assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn remove_batch_is_multiset_removal() {
+        // Two identical rows buffered, one in the removal set: exactly one
+        // copy goes, byte/tenant accounting follows.
+        let dup = rec(1, 10, 5);
+        let mut s = store_with(vec![dup.clone(), dup.clone(), rec(2, 20, 6)]);
+        let before = s.bytes();
+        assert_eq!(s.remove_batch(std::slice::from_ref(&dup)), 1);
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.tenant_rows(TenantId(1)), 1);
+        assert!(s.bytes() < before);
+        // Absent rows are simply not found.
+        assert_eq!(s.remove_batch(&[rec(9, 9, 9)]), 0);
+        // Removing the second copy empties the tenant.
+        assert_eq!(s.remove_batch(&[dup]), 1);
+        assert_eq!(s.tenant_rows(TenantId(1)), 0);
+        assert_eq!(s.tenants(), vec![TenantId(2)]);
     }
 
     #[test]

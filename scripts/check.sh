@@ -10,3 +10,11 @@ cargo build --release
 # bare `cargo test -q` would only run the facade crate's suites.
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
+
+# Simulation stage: a fixed, bounded seed sweep of whole-engine episodes
+# plus the raft churn sweep (release mode keeps wall-clock low). The
+# per-episode seeds are fixed so a red run here reproduces anywhere; any
+# failure already prints its own `SIMTEST_SEED=<seed>` replay command.
+echo "== simulation sweep (replay any failure with SIMTEST_SEED=<seed>) =="
+cargo test --release -q -p logstore-simtest
+cargo test --release -q -p logstore-raft --test churn

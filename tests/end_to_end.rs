@@ -2,8 +2,9 @@
 //! validated against an in-memory oracle.
 
 use logstore::core::{ClusterConfig, LogStore, QueryOptions};
+use logstore::oss::{FaultScope, RetryPolicy};
 use logstore::query::{analyze, parse_query};
-use logstore::types::{TableSchema, TenantId, Timestamp};
+use logstore::types::{TableSchema, TenantId, Timestamp, Value};
 use logstore::workload::{LogRecordGenerator, WorkloadSpec};
 
 /// Builds a loaded store plus the raw records for oracle checks.
@@ -229,4 +230,162 @@ fn data_survives_many_flush_cycles() {
         sum += result.rows[0][0].as_u64().unwrap();
     }
     assert_eq!(sum, total);
+}
+
+#[test]
+fn empty_tenant_queries_are_well_formed() {
+    // A tenant with no rows anywhere (no route, no row-store data, no
+    // LogBlocks) must query cleanly, before and after a flush.
+    let (store, _) = loaded_store(500);
+    for _ in 0..2 {
+        let count =
+            store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 555").expect("count");
+        assert_eq!(count.rows[0][0].as_u64(), Some(0));
+        let rows = store
+            .query(
+                "SELECT ts, log FROM request_log WHERE tenant_id = 555 \
+                 AND log CONTAINS 'timeout' ORDER BY ts ASC LIMIT 5",
+            )
+            .expect("select");
+        assert!(rows.rows.is_empty(), "phantom rows for an empty tenant: {:?}", rows.rows);
+        let grouped = store
+            .query(
+                "SELECT api, COUNT(*) FROM request_log WHERE tenant_id = 555 \
+                 GROUP BY api ORDER BY COUNT(*) DESC",
+            )
+            .expect("group");
+        assert!(grouped.rows.is_empty());
+        store.flush().expect("flush");
+    }
+}
+
+#[test]
+fn query_spans_row_store_and_oss_after_partial_archive() {
+    // Fail one block upload mid-flush with no retries: the chunk prefix
+    // before it commits to OSS, the rest is restored to the row store.
+    // Queries must see exactly one copy of every row across both sources.
+    let mut config = ClusterConfig::for_testing();
+    config.oss_fault_scope = FaultScope::Writes;
+    config.oss_retry = RetryPolicy::none();
+    config.max_rows_per_logblock = 100;
+    let store = LogStore::open(config).expect("open");
+
+    let records: Vec<_> = (0..1_000i64)
+        .map(|i| {
+            logstore::types::LogRecord::new(
+                TenantId(1 + i as u64 % 2),
+                Timestamp(i),
+                vec![
+                    Value::from("10.0.0.1"),
+                    Value::from("/api"),
+                    Value::I64(i),
+                    Value::Bool(i % 2 == 0),
+                    Value::from(if i % 9 == 0 { "timeout" } else { "ok" }),
+                ],
+            )
+        })
+        .collect();
+    store.ingest(records).expect("ingest");
+
+    // The 4th upcoming write fails; everything after it in that drain is
+    // abandoned and restored.
+    let faults = store.shared().fault_layer();
+    faults.fail_ops(&[faults.op_index() + 3..faults.op_index() + 4]);
+    store.flush().expect_err("the scheduled upload fault must fail the flush");
+    assert!(faults.injected() >= 1, "the scheduled fault never fired");
+
+    // Both sources are non-trivially populated: committed blocks on OSS
+    // plus restored rows still buffered.
+    assert!(store.block_count() > 0, "no chunk committed before the fault");
+    let buffered: usize = {
+        let workers = store.shared().workers.read();
+        workers
+            .iter()
+            .flat_map(|w| w.shard_ids().into_iter().map(|s| w.buffered_rows(s).unwrap()))
+            .sum()
+    };
+    assert!(buffered > 0, "no rows restored to the row store");
+
+    for (tenant, expect) in [(1u64, 500u64), (2, 500)] {
+        let count = store
+            .query(&format!("SELECT COUNT(*) FROM request_log WHERE tenant_id = {tenant}"))
+            .expect("count");
+        assert_eq!(count.rows[0][0].as_u64(), Some(expect), "tenant {tenant} row count");
+    }
+    // An ordered scan spanning both sources returns every row exactly once.
+    let scan = store
+        .query("SELECT ts FROM request_log WHERE tenant_id = 1 ORDER BY ts ASC")
+        .expect("scan");
+    let ts: Vec<i64> = scan.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    let expect: Vec<i64> = (0..1_000).filter(|i| i % 2 == 0).collect();
+    assert_eq!(ts, expect, "ordered scan across row store + OSS");
+
+    // The backlog drains once faults clear, and results are unchanged.
+    faults.clear_faults();
+    store.flush().expect("clean flush");
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 2").expect("count");
+    assert_eq!(count.rows[0][0].as_u64(), Some(500));
+}
+
+#[test]
+fn rebalanced_tenant_stays_fully_queryable() {
+    // A tenant split across shards by the traffic controller — with some
+    // routes later vacated and their rows force-flushed to OSS — must
+    // stay exactly-once queryable through the whole lifecycle.
+    let mut config = ClusterConfig::for_testing();
+    config.shard_capacity = 5_000;
+    config.flow.per_tenant_shard_limit = 2_000;
+    let store = LogStore::open(config).expect("open");
+    for t in 2..=6u64 {
+        store
+            .ingest((0..100).map(|i| mk_row(t, i, "background")).collect())
+            .expect("background ingest");
+    }
+    store.ingest((0..8_000).map(|i| mk_row(1, i, "hot")).collect()).expect("hot ingest");
+
+    let action = store.control_tick().expect("tick");
+    assert!(
+        matches!(action, logstore::flow::ControlAction::Rebalanced { .. }),
+        "expected a rebalance, got {action:?}"
+    );
+    assert!(store.shared().controller.read_shards(TenantId(1)).len() >= 3);
+
+    // Mid-rebalance: counts and ordered scans both exact.
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("count");
+    assert_eq!(count.rows[0][0].as_u64(), Some(8_000));
+
+    // Archive everything, then land fresh rows on the post-rebalance
+    // routes so the tenant spans OSS blocks and multiple shards' buffers.
+    store.flush().expect("flush");
+    store.ingest((8_000..9_000).map(|i| mk_row(1, i, "fresh")).collect()).expect("ingest");
+
+    let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("count");
+    assert_eq!(count.rows[0][0].as_u64(), Some(9_000));
+    let scan = store
+        .query("SELECT ts FROM request_log WHERE tenant_id = 1 ORDER BY ts ASC")
+        .expect("scan");
+    let ts: Vec<i64> = scan.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    assert_eq!(ts.len(), 9_000, "rebalanced tenant lost or duplicated rows");
+    assert_eq!(ts, (0..9_000).collect::<Vec<i64>>(), "ordered scan must be exact");
+    // Background tenants are untouched by the rebalance.
+    for t in 2..=6u64 {
+        let count = store
+            .query(&format!("SELECT COUNT(*) FROM request_log WHERE tenant_id = {t}"))
+            .expect("count");
+        assert_eq!(count.rows[0][0].as_u64(), Some(100));
+    }
+}
+
+fn mk_row(t: u64, i: i64, msg: &str) -> logstore::types::LogRecord {
+    logstore::types::LogRecord::new(
+        TenantId(t),
+        Timestamp(i),
+        vec![
+            Value::from("10.0.0.1"),
+            Value::from("/api"),
+            Value::I64(i),
+            Value::Bool(false),
+            Value::from(msg),
+        ],
+    )
 }
