@@ -6,6 +6,8 @@
 //! the harness outputs uniform: aligned text tables and percentile
 //! summaries.
 
+#![forbid(unsafe_code)]
+
 pub mod balancing;
 pub mod dataset;
 

@@ -16,6 +16,8 @@
 //! block are deduplicated through a [`singleflight`] table, and runs of
 //! contiguous cold blocks are fetched with one coalesced origin GET.
 
+#![forbid(unsafe_code)]
+
 pub mod lru;
 pub mod prefetch;
 pub mod singleflight;

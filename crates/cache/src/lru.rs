@@ -3,7 +3,11 @@
 //! Both cache tiers bound *bytes*, not entry counts — a handful of large
 //! column blocks must not evict hundreds of small metadata objects by
 //! count alone. Recency is tracked with a monotonic tick and a BTreeMap
-//! recency index (O(log n) per op, no unsafe pointer chasing).
+//! recency index (O(log n) per op). Classic intrusive-list LRUs buy O(1)
+//! recency updates with unsafe pointer chasing; this one deliberately
+//! doesn't — the crate is `#![forbid(unsafe_code)]` (enforced by
+//! `xtask lint`), and the BTreeMap index keeps every op safe at a cost
+//! that disappears into the surrounding OSS latencies.
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;

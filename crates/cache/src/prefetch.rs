@@ -8,9 +8,9 @@
 
 use crate::source::CachedObjectSource;
 use logstore_oss::ObjectStore;
+use logstore_sync::OrderedMutex;
 use logstore_types::Result;
 use std::collections::BTreeSet;
-use std::sync::Mutex;
 
 /// Merges overlapping/adjacent `(offset, len)` ranges into a minimal sorted
 /// list (the dedup step of Fig 10).
@@ -103,19 +103,22 @@ impl Prefetcher {
         if total == 0 {
             return PrefetchOutcome::default();
         }
-        let queue = Mutex::new(work.into_iter().enumerate());
+        let queue = OrderedMutex::new("cache.prefetch.queue", work.into_iter().enumerate());
         // (block index, error) of the earliest failure, by block order —
         // not completion order, so the report is deterministic.
-        let first_error: Mutex<Option<(usize, logstore_types::Error)>> = Mutex::new(None);
+        let first_error: OrderedMutex<Option<(usize, logstore_types::Error)>> =
+            OrderedMutex::new("cache.prefetch.first_error", None);
         let errors = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(total) {
                 scope.spawn(|| loop {
-                    let next = queue.lock().expect("queue lock").next();
+                    // Pop under a transient guard; the block fetch below
+                    // (an OSS GET) must run with no lock held.
+                    let next = queue.lock().next();
                     let Some((idx, (offset, len))) = next else { return };
                     if let Err(e) = source.prefetch_block(offset, len) {
                         errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let mut slot = first_error.lock().expect("error lock");
+                        let mut slot = first_error.lock();
                         if slot.as_ref().is_none_or(|(held, _)| idx < *held) {
                             *slot = Some((idx, e));
                         }
@@ -127,7 +130,7 @@ impl Prefetcher {
         PrefetchOutcome {
             fetched: total - errors,
             errors,
-            first_error: first_error.into_inner().expect("error lock").map(|(_, e)| e),
+            first_error: first_error.into_inner().map(|(_, e)| e),
         }
     }
 }

@@ -11,8 +11,8 @@
 //! is removed from the table before its result is published, so the next
 //! arrival starts a fresh attempt.
 
+use logstore_sync::{OrderedCondvar, OrderedMutex};
 use logstore_types::{Error, Result};
-use parking_lot::{Condvar, Mutex};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -20,13 +20,16 @@ use std::sync::Arc;
 
 /// One in-flight fetch: the leader publishes into `slot` and wakes waiters.
 struct Flight<V> {
-    slot: Mutex<Option<Result<V, Arc<Error>>>>,
-    done: Condvar,
+    slot: OrderedMutex<Option<Result<V, Arc<Error>>>>,
+    done: OrderedCondvar,
 }
 
 impl<V> Flight<V> {
     fn new() -> Self {
-        Flight { slot: Mutex::new(None), done: Condvar::new() }
+        Flight {
+            slot: OrderedMutex::new("cache.singleflight.slot", None),
+            done: OrderedCondvar::new("cache.singleflight.done"),
+        }
     }
 }
 
@@ -41,13 +44,13 @@ pub enum FlightRole {
 
 /// A table of in-flight fetches, keyed by cache key.
 pub struct SingleFlight<K, V> {
-    table: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    table: OrderedMutex<HashMap<K, Arc<Flight<V>>>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
     /// An empty table.
     pub fn new() -> Self {
-        SingleFlight { table: Mutex::new(HashMap::new()) }
+        SingleFlight { table: OrderedMutex::new("cache.singleflight.table", HashMap::new()) }
     }
 
     /// Number of keys currently in flight (tests / introspection).

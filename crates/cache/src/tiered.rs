@@ -20,8 +20,8 @@
 use crate::lru::SizedLru;
 use crate::singleflight::{FlightRole, SingleFlight};
 use logstore_codec::crc::crc32c;
+use logstore_sync::OrderedMutex;
 use logstore_types::{Error, Result};
-use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,7 +118,9 @@ fn per_shard_budget(capacity_bytes: usize, shards: usize) -> usize {
 
 /// The in-memory tier: 2^k hash-sharded [`SizedLru`]s.
 pub struct MemoryBlockCache {
-    shards: Vec<Mutex<SizedLru<BlockKey, Arc<Vec<u8>>>>>,
+    // One shared label for the whole pool: shards are hash-selected and a
+    // thread never holds two at once (the lock analysis would flag it).
+    shards: Vec<OrderedMutex<SizedLru<BlockKey, Arc<Vec<u8>>>>>,
     mask: usize,
 }
 
@@ -134,7 +136,9 @@ impl MemoryBlockCache {
         let n = shard_count(shards);
         let budget = per_shard_budget(capacity_bytes, n);
         MemoryBlockCache {
-            shards: (0..n).map(|_| Mutex::new(SizedLru::new(budget))).collect(),
+            shards: (0..n)
+                .map(|_| OrderedMutex::new("cache.memory.shard", SizedLru::new(budget)))
+                .collect(),
             mask: n - 1,
         }
     }
@@ -188,7 +192,7 @@ struct DiskEntry {
 /// a sharded in-memory LRU index whose evictions delete files.
 pub struct DiskBlockCache {
     root: PathBuf,
-    shards: Vec<Mutex<SizedLru<BlockKey, DiskEntry>>>,
+    shards: Vec<OrderedMutex<SizedLru<BlockKey, DiskEntry>>>,
     mask: usize,
     seq: AtomicU64,
 }
@@ -212,7 +216,9 @@ impl DiskBlockCache {
         let budget = per_shard_budget(capacity_bytes, n);
         Ok(DiskBlockCache {
             root,
-            shards: (0..n).map(|_| Mutex::new(SizedLru::new(budget))).collect(),
+            shards: (0..n)
+                .map(|_| OrderedMutex::new("cache.disk.shard", SizedLru::new(budget)))
+                .collect(),
             mask: n - 1,
             seq: AtomicU64::new(0),
         })

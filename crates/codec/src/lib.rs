@@ -16,6 +16,8 @@
 //! Plus the supporting primitives every storage format needs:
 //! [`varint`] (LEB128 + zigzag) and [`crc`] (CRC32C).
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod crc;
 pub mod delta;

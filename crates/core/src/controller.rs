@@ -12,16 +12,21 @@ use logstore_flow::balancer::{Balancer, GreedyBalancer, MaxFlowBalancer};
 use logstore_flow::sim::ClusterTopology;
 use logstore_flow::{ConsistentHashRing, ControlAction, TrafficController, TrafficSnapshot};
 use logstore_oss::ObjectStore;
+use logstore_sync::{OrderedMutex, OrderedRwLock};
 use logstore_types::{Result, ShardId, TenantId, Timestamp, WorkerId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The engine-side controller.
+///
+/// Lock order (enforced by the `logstore-sync` analysis in debug builds):
+/// `traffic` → `ring` (pick_shard, read_shards) and `topology` → `ring`
+/// (register_worker). `ring` is always innermost; never take `traffic` or
+/// `topology` while holding it.
 pub struct ClusterController {
-    topology: parking_lot::RwLock<ClusterTopology>,
-    ring: parking_lot::RwLock<ConsistentHashRing>,
-    traffic: Mutex<TrafficController>,
+    topology: OrderedRwLock<ClusterTopology>,
+    ring: OrderedRwLock<ConsistentHashRing>,
+    traffic: OrderedMutex<TrafficController>,
     balancer_kind: BalancerKind,
     metadata: Arc<MetadataStore>,
 }
@@ -43,9 +48,9 @@ impl ClusterController {
         };
         let traffic = TrafficController::new(config.flow.clone(), balancer);
         ClusterController {
-            topology: parking_lot::RwLock::new(topology),
-            ring: parking_lot::RwLock::new(ring),
-            traffic: Mutex::new(traffic),
+            topology: OrderedRwLock::new("core.controller.topology", topology),
+            ring: OrderedRwLock::new("core.controller.ring", ring),
+            traffic: OrderedMutex::new("core.controller.traffic", traffic),
             balancer_kind: config.balancer,
             metadata,
         }

@@ -36,9 +36,9 @@ pub struct ClusterShared {
     /// The served schema.
     pub schema: TableSchema,
     /// Workers, indexed by `WorkerId.raw()`. Grows under `ScaleCluster`.
-    pub workers: parking_lot::RwLock<Vec<Arc<Worker>>>,
+    pub workers: logstore_sync::OrderedRwLock<Vec<Arc<Worker>>>,
     /// Shard placement. Grows under `ScaleCluster`.
-    pub shard_to_worker: parking_lot::RwLock<HashMap<ShardId, usize>>,
+    pub shard_to_worker: logstore_sync::OrderedRwLock<HashMap<ShardId, usize>>,
     /// The controller (routing, traffic control, expiration).
     pub controller: ClusterController,
     /// Metadata / LogBlock map.
@@ -223,8 +223,11 @@ impl LogStore {
         }
         let shared = Arc::new(ClusterShared {
             schema: config.schema.clone(),
-            workers: parking_lot::RwLock::new(workers),
-            shard_to_worker: parking_lot::RwLock::new(shard_to_worker),
+            workers: logstore_sync::OrderedRwLock::new("core.engine.workers", workers),
+            shard_to_worker: logstore_sync::OrderedRwLock::new(
+                "core.engine.shard_map",
+                shard_to_worker,
+            ),
             controller,
             metadata,
             store,

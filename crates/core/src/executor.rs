@@ -11,9 +11,10 @@
 //! indexed results left to right, so merge order — and with it row order,
 //! first-error selection and stats totals — is independent of scheduling.
 
+use logstore_sync::OrderedMutex;
 use logstore_types::{Error, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A unit of work submitted to the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -75,8 +76,9 @@ impl QueryPool {
         if parallelism <= 1 || total <= 1 {
             return tasks.into_iter().map(run_task).collect();
         }
-        let slots: Arc<Vec<Mutex<Option<Task<T>>>>> =
-            Arc::new(tasks.into_iter().map(|t| Mutex::new(Some(t))).collect());
+        let slots: Arc<Vec<OrderedMutex<Option<Task<T>>>>> = Arc::new(
+            tasks.into_iter().map(|t| OrderedMutex::new("core.executor.slot", Some(t))).collect(),
+        );
         let cursor = Arc::new(AtomicUsize::new(0));
         let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, Result<T>)>();
         let runners = parallelism.min(total);
@@ -89,11 +91,9 @@ impl QueryPool {
                 if idx >= slots.len() {
                     return;
                 }
-                let task = slots[idx]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .take()
-                    .expect("task claimed twice");
+                // Claim under a transient guard; the task itself (which
+                // may issue OSS reads) runs with no lock held.
+                let task = slots[idx].lock().take().expect("task claimed twice");
                 // A send can only fail if the gatherer gave up; nothing
                 // left to do with the result then.
                 let _ = result_tx.send((idx, run_task(task)));

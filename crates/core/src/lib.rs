@@ -19,6 +19,8 @@
 //! query-optimization experiments need (they measure algorithms, not
 //! network stacks). Substitutions are documented in `DESIGN.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod broker;
 pub mod config;
 pub mod controller;

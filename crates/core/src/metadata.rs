@@ -4,9 +4,9 @@
 //! of Fig 8 ① — the first level of data skipping — and the unit of
 //! per-tenant expiration and billing (paper §3.1).
 
+use logstore_sync::OrderedRwLock;
 use logstore_types::{Error, Result, ShardId, TenantId, TimeRange, Timestamp};
 use logstore_wal::DrainSeq;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 
 /// Durable identity of one shard drain across the whole cluster: the
@@ -55,9 +55,15 @@ pub struct TenantInfo {
 }
 
 /// The controller's metadata database.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetadataStore {
-    inner: RwLock<Inner>,
+    inner: OrderedRwLock<Inner>,
+}
+
+impl Default for MetadataStore {
+    fn default() -> Self {
+        MetadataStore { inner: OrderedRwLock::new("core.metadata.inner", Inner::default()) }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -12,12 +12,12 @@ use crate::metadata::{DrainId, MetadataStore};
 pub use logstore_codec::batch::decode_batch;
 use logstore_codec::batch::encode_batch;
 use logstore_raft::{InProcCluster, RaftConfig};
+use logstore_sync::OrderedMutex;
 use logstore_types::{
     ColumnPredicate, Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId,
     TimeRange, WorkerId,
 };
 use logstore_wal::{DrainResolver, DrainSeq, RowStore, ShardStore, WalConfig};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -173,10 +173,13 @@ impl Backend {
     }
 }
 
+// One label per field across all shards: the worker never holds two
+// shard locks — or two of backend/raft/window — at once (each is taken
+// in its own scope), and the debug lock analysis enforces that.
 struct ShardState {
-    backend: Mutex<Backend>,
-    raft: Option<Mutex<InProcCluster>>,
-    window: Mutex<ShardWindow>,
+    backend: OrderedMutex<Backend>,
+    raft: Option<OrderedMutex<InProcCluster>>,
+    window: OrderedMutex<ShardWindow>,
 }
 
 /// One shard's drained rows: the shard, the WAL drain intent it logged
@@ -238,16 +241,16 @@ impl Worker {
                 cluster
                     .run_until_leader(500)
                     .ok_or_else(|| Error::Raft("shard group failed to elect".into()))?;
-                Some(Mutex::new(cluster))
+                Some(OrderedMutex::new("core.worker.raft", cluster))
             } else {
                 None
             };
             shards.insert(
                 shard,
                 ShardState {
-                    backend: Mutex::new(backend),
+                    backend: OrderedMutex::new("core.worker.backend", backend),
                     raft,
-                    window: Mutex::new(ShardWindow::default()),
+                    window: OrderedMutex::new("core.worker.window", ShardWindow::default()),
                 },
             );
         }

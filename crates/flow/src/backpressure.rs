@@ -8,8 +8,8 @@
 //! rejected and the rejection propagates upstream until the client slows
 //! down.
 
+use logstore_sync::{OrderedCondvar, OrderedMutex};
 use logstore_types::{Error, Result};
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -50,8 +50,8 @@ struct Inner<T> {
 /// high watermark — the paper's BFC building block.
 pub struct BfcQueue<T> {
     config: BfcQueueConfig,
-    inner: Mutex<Inner<T>>,
-    available: Condvar,
+    inner: OrderedMutex<Inner<T>>,
+    available: OrderedCondvar,
     pushed: AtomicU64,
     rejected: AtomicU64,
     popped: AtomicU64,
@@ -62,8 +62,11 @@ impl<T> BfcQueue<T> {
     pub fn new(config: BfcQueueConfig) -> Self {
         BfcQueue {
             config,
-            inner: Mutex::new(Inner { queue: VecDeque::new(), bytes: 0, closed: false }),
-            available: Condvar::new(),
+            inner: OrderedMutex::new(
+                "flow.bfc.inner",
+                Inner { queue: VecDeque::new(), bytes: 0, closed: false },
+            ),
+            available: OrderedCondvar::new("flow.bfc.available"),
             pushed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             popped: AtomicU64::new(0),

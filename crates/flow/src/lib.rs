@@ -20,6 +20,8 @@
 //! * [`sim`] — a queueing-theoretic traffic simulator used by tests and the
 //!   Figure 12–14 harnesses.
 
+#![forbid(unsafe_code)]
+
 pub mod backpressure;
 pub mod balancer;
 pub mod consistent;

@@ -7,6 +7,8 @@
 //! implements all three from scratch, plus the row-id bitmap used to combine
 //! per-predicate results.
 
+#![forbid(unsafe_code)]
+
 pub mod bkd;
 pub mod inverted;
 pub mod postings;

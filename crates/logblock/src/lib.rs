@@ -27,6 +27,8 @@
 //! ranges a query needs — which is what makes the data-skipping strategy
 //! (implemented in [`scan`]) pay off on high-latency object storage.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod column;
 pub mod meta;

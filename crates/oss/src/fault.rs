@@ -20,8 +20,8 @@
 //! long-lived engine can move through fault windows mid-episode.
 
 use crate::store::ObjectStore;
+use logstore_sync::OrderedMutex;
 use logstore_types::{Error, Result};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
@@ -51,8 +51,8 @@ struct FaultPlan {
 /// An [`ObjectStore`] decorator that fails operations on a schedule.
 pub struct FaultyStore<S> {
     inner: S,
-    plan: Mutex<FaultPlan>,
-    rng: Mutex<StdRng>,
+    plan: OrderedMutex<FaultPlan>,
+    rng: OrderedMutex<StdRng>,
     /// Fail the next N in-scope operations unconditionally.
     fail_next: AtomicU64,
     /// Lifetime count of in-scope operations (the index space of
@@ -68,8 +68,11 @@ impl<S: ObjectStore> FaultyStore<S> {
     pub fn new(inner: S, scope: FaultScope, probability: f64, seed: u64) -> Self {
         FaultyStore {
             inner,
-            plan: Mutex::new(FaultPlan { scope, probability, fail_ops: Vec::new() }),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            plan: OrderedMutex::new(
+                "oss.fault.plan",
+                FaultPlan { scope, probability, fail_ops: Vec::new() },
+            ),
+            rng: OrderedMutex::new("oss.fault.rng", StdRng::seed_from_u64(seed)),
             fail_next: AtomicU64::new(0),
             ops: AtomicU64::new(0),
             injected: AtomicU64::new(0),
@@ -123,6 +126,7 @@ impl<S: ObjectStore> FaultyStore<S> {
     }
 
     fn maybe_fail(&self, is_read: bool, op: &str) -> Result<()> {
+        logstore_sync::assert_no_locks_held("FaultyStore OSS request");
         let (in_scope, probability, op_scheduled) = {
             let plan = self.plan.lock();
             let in_scope = match plan.scope {

@@ -15,6 +15,8 @@
 //!   knob so unit tests run instantly while figure harnesses can produce
 //!   wall-clock shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod disk;
 pub mod fault;
 pub mod memory;

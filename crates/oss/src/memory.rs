@@ -1,8 +1,8 @@
 //! In-memory object store (tests, and the substrate under [`crate::SimulatedOss`]).
 
 use crate::store::{check_range, validate_path, ObjectStore};
+use logstore_sync::OrderedRwLock;
 use logstore_types::{Error, Result};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -10,15 +10,21 @@ use std::sync::Arc;
 ///
 /// Objects are stored behind `Arc` so concurrent readers share payloads
 /// without copying under the lock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryStore {
-    objects: RwLock<BTreeMap<String, Arc<Vec<u8>>>>,
+    objects: OrderedRwLock<BTreeMap<String, Arc<Vec<u8>>>>,
+}
+
+impl Default for MemoryStore {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl MemoryStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        Self::default()
+        MemoryStore { objects: OrderedRwLock::new("oss.memory.objects", BTreeMap::new()) }
     }
 
     /// Number of stored objects.

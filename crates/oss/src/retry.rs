@@ -10,8 +10,8 @@
 //! instantly while wall-clock harnesses can reproduce realistic pacing.
 
 use crate::store::ObjectStore;
+use logstore_sync::OrderedMutex;
 use logstore_types::{Error, Result};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,7 +104,7 @@ pub struct RetryingStore<S> {
     inner: S,
     policy: RetryPolicy,
     counters: Counters,
-    rng: Mutex<StdRng>,
+    rng: OrderedMutex<StdRng>,
 }
 
 /// Whether an error class may succeed on a retry of the same request.
@@ -119,7 +119,7 @@ impl<S: ObjectStore> RetryingStore<S> {
             inner,
             policy,
             counters: Counters::default(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: OrderedMutex::new("oss.retry.rng", StdRng::seed_from_u64(seed)),
         }
     }
 
@@ -175,6 +175,10 @@ impl<S: ObjectStore> RetryingStore<S> {
     }
 
     fn run<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        // An OSS request may block for tens of milliseconds per attempt
+        // (plus backoff); issuing one while holding any engine lock would
+        // stall every thread contending on it. Debug builds fail loudly.
+        logstore_sync::assert_no_locks_held("RetryingStore OSS request");
         self.counters.operations.fetch_add(1, Ordering::Relaxed);
         let attempts = self.policy.max_attempts.max(1);
         let mut attempt = 1;

@@ -18,8 +18,8 @@
 //! and host-independent.
 
 use crate::store::ObjectStore;
+use logstore_sync::OrderedMutex;
 use logstore_types::Result;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -129,7 +129,7 @@ pub struct SimulatedOss<S> {
     inner: S,
     model: LatencyModel,
     counters: Counters,
-    rng: Mutex<StdRng>,
+    rng: OrderedMutex<StdRng>,
 }
 
 impl<S: ObjectStore> SimulatedOss<S> {
@@ -139,7 +139,7 @@ impl<S: ObjectStore> SimulatedOss<S> {
             inner,
             model,
             counters: Counters::default(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: OrderedMutex::new("oss.sim.rng", StdRng::seed_from_u64(seed)),
         }
     }
 
@@ -172,6 +172,10 @@ impl<S: ObjectStore> SimulatedOss<S> {
     }
 
     fn charge(&self, base_us: u64, bytes: u64) {
+        // `charge` runs at the entry of every simulated request: the
+        // modelled (and possibly slept) latency is exactly why no engine
+        // lock may be held across an OSS call. Debug builds fail loudly.
+        logstore_sync::assert_no_locks_held("SimulatedOss request");
         let raw_ns = base_us.saturating_mul(1_000) + bytes.saturating_mul(self.model.per_byte_ns);
         let jittered = if self.model.jitter > 0.0 {
             let factor: f64 = {

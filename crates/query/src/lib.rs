@@ -25,6 +25,8 @@
 //! * [`exec`] — evaluation over LogBlocks (via the data-skipping scanner)
 //!   and over real-time-store records, plus partial-result merging.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod ast;
 pub mod datetime;

@@ -14,6 +14,8 @@
 //! ([`cluster::InProcCluster`]) with partition and message-loss injection
 //! for tests and benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod message;
 pub mod node;

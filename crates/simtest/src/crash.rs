@@ -1,7 +1,7 @@
 //! The crash injector: an armable [`CrashHooks`] implementation.
 
 use logstore_core::{CrashHooks, CrashPoint, SimCrash};
-use parking_lot::Mutex;
+use logstore_sync::OrderedMutex;
 
 /// Crash-point injector handed to every engine incarnation of an episode.
 ///
@@ -10,16 +10,24 @@ use parking_lot::Mutex;
 /// `point` (0 = the very next time). Firing disarms the injector first,
 /// so the recovery that follows — and anything after it — runs clean
 /// until the schedule arms the next crash.
-#[derive(Default)]
 pub struct ArmedCrashes {
-    armed: Mutex<Option<(CrashPoint, u64)>>,
-    fired: Mutex<Vec<CrashPoint>>,
+    armed: OrderedMutex<Option<(CrashPoint, u64)>>,
+    fired: OrderedMutex<Vec<CrashPoint>>,
+}
+
+impl Default for ArmedCrashes {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ArmedCrashes {
     /// A fresh, disarmed injector.
     pub fn new() -> Self {
-        Self::default()
+        ArmedCrashes {
+            armed: OrderedMutex::new("simtest.crash.armed", None),
+            fired: OrderedMutex::new("simtest.crash.fired", Vec::new()),
+        }
     }
 
     /// Arms a crash: panic on the `countdown`-th future visit of `point`.

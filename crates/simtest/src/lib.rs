@@ -26,6 +26,8 @@
 //! (`SIMTEST_SEED=<seed> cargo test -p logstore-simtest`); the same seed
 //! replays the same episode.
 
+#![forbid(unsafe_code)]
+
 mod crash;
 mod episode;
 mod plan;

@@ -5,6 +5,8 @@
 //! helpers — so that substrate crates (codec, index, logblock, ...) can
 //! interoperate without depending on each other.
 
+#![forbid(unsafe_code)]
+
 pub mod archive;
 pub mod error;
 pub mod ids;

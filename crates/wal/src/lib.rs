@@ -15,6 +15,8 @@
 //! * [`shard::ShardStore`] — WAL + row store glued together with crash
 //!   recovery, the per-shard storage unit a worker manages.
 
+#![forbid(unsafe_code)]
+
 pub mod rowstore;
 pub mod segment;
 pub mod shard;

@@ -10,6 +10,8 @@
 //! * [`records`] — realistic `request_log` record synthesis.
 //! * [`queries`] — the six per-tenant query templates of §6.3.
 
+#![forbid(unsafe_code)]
+
 pub mod queries;
 pub mod records;
 pub mod spec;

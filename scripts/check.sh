@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
-# Full pre-merge check: formatting, release build, the whole test suite,
-# and a warnings-as-errors clippy pass over every workspace crate.
+# Full pre-merge check: formatting, lint gate, release build, the whole
+# test suite, a warnings-as-errors clippy pass, the simulation sweep, and
+# a release-mode lock-analysis pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
+
+# Repo lint gate: raw-lock ban, unwrap burn-down, simtest determinism,
+# CrashPoint coverage, forbid(unsafe_code). See DESIGN.md §Static &
+# dynamic analysis.
+cargo run -q -p xtask -- lint
+
 cargo build --release
 # --workspace: the root manifest is both a package and the workspace, so a
-# bare `cargo test -q` would only run the facade crate's suites.
+# bare `cargo test -q` would only run the facade crate's suites. Debug
+# tests run with the logstore-sync lock-order analysis active.
 cargo test --workspace -q
 cargo clippy --workspace -- -D warnings
 
@@ -18,3 +26,28 @@ cargo clippy --workspace -- -D warnings
 echo "== simulation sweep (replay any failure with SIMTEST_SEED=<seed>) =="
 cargo test --release -q -p logstore-simtest
 cargo test --release -q -p logstore-raft --test churn
+
+# Lock-analysis stage: the same detector that runs in every debug test,
+# but over *release* interleavings — optimized code races harder. Covers
+# the simtest episode sweep, the cache herd, and the engine lock-order
+# regression tests.
+echo "== release lock-analysis sweep =="
+cargo test --release -q -p logstore-simtest --features lock-analysis
+cargo test --release -q -p logstore-cache --features lock-analysis --test concurrency
+cargo test --release -q --features lock-analysis --test lock_order --test concurrency
+
+# Optional deep-checking stage: run under Miri / ThreadSanitizer when the
+# toolchains are installed (they are not in the offline CI container;
+# both skip gracefully).
+if cargo miri --version >/dev/null 2>&1; then
+    echo "== miri (logstore-sync) =="
+    cargo miri test -p logstore-sync
+else
+    echo "== miri not installed; skipping =="
+fi
+if rustc -Z help 2>/dev/null | grep -q sanitizer && [ "${RUN_TSAN:-0}" = "1" ]; then
+    echo "== thread sanitizer (cache herd) =="
+    RUSTFLAGS="-Z sanitizer=thread" cargo test -p logstore-cache --test concurrency
+else
+    echo "== thread sanitizer unavailable or RUN_TSAN unset; skipping =="
+fi

@@ -19,6 +19,8 @@
 //! details, and `DESIGN.md` in the repository root for the system
 //! inventory and experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use logstore_cache as cache;
 pub use logstore_codec as codec;
 pub use logstore_core as core;

@@ -1,0 +1,293 @@
+//! Repo lint gate (`cargo run -p xtask -- lint`).
+//!
+//! Token-level source checks that `cargo check` can't express:
+//!
+//! 1. **No raw locks** — every `Mutex`/`RwLock`/`Condvar` outside
+//!    `crates/sync` and `vendor/` must go through the labeled
+//!    `logstore_sync` wrappers so the debug lock-order analysis sees it
+//!    (allowlist: `xtask/lint-allow-locks.txt`).
+//! 2. **Unwrap burn-down** — `.unwrap()` / `.expect(` in non-test code
+//!    under `crates/core/src` is budgeted per file
+//!    (`xtask/lint-allow-unwrap.txt`); counts may only shrink.
+//! 3. **Simtest determinism** — no wall-clock or sleep APIs in
+//!    `crates/simtest/src` (seeded simulations must not observe time).
+//! 4. **CrashPoint coverage** — every `CrashPoint` variant is referenced
+//!    by at least one call site outside its defining module.
+//! 5. **`#![forbid(unsafe_code)]`** in every non-vendor crate root.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut failures: Vec<String> = Vec::new();
+    check_raw_locks(&root, &mut failures);
+    check_unwrap_budget(&root, &mut failures);
+    check_simtest_determinism(&root, &mut failures);
+    check_crashpoint_coverage(&root, &mut failures);
+    check_forbid_unsafe(&root, &mut failures);
+    if failures.is_empty() {
+        println!("xtask lint: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("xtask lint: {f}");
+        }
+        eprintln!("xtask lint: {} failure(s)", failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: xtask runs via `cargo run -p xtask`, whose cwd is
+/// the workspace root, but fall back to CARGO_MANIFEST_DIR/.. for direct
+/// invocations.
+fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("xtask has a parent").to_path_buf()
+}
+
+/// Every `.rs` file under `dir`, recursively, sorted for stable reports.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).display().to_string().replace('\\', "/")
+}
+
+/// Strips `//` line comments (good enough for token scanning; the repo
+/// has no raw-lock tokens inside string literals).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// True when `hay[idx..]` starts a standalone token `needle` — i.e. the
+/// preceding char is not part of an identifier (rejects `OrderedMutex::new`
+/// matching `Mutex::new`).
+fn token_at(hay: &str, idx: usize, _needle: &str) -> bool {
+    idx == 0 || !hay.as_bytes()[idx - 1].is_ascii_alphanumeric() && hay.as_bytes()[idx - 1] != b'_'
+}
+
+fn find_token(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let idx = start + pos;
+        if token_at(line, idx, needle) {
+            return true;
+        }
+        start = idx + needle.len();
+    }
+    false
+}
+
+/// Loads a `#`-commented allowlist file into repo-relative path strings
+/// (with optional per-line numeric payloads).
+fn load_allowlist(path: &Path) -> Vec<(String, Option<u64>)> {
+    let text = fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read allowlist {}: {e}", path.display()));
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| match l.split_once(' ') {
+            Some((p, n)) => (p.to_string(), n.trim().parse::<u64>().ok()),
+            None => (l.to_string(), None),
+        })
+        .collect()
+}
+
+/// Check 1: raw lock construction outside the sync crate.
+fn check_raw_locks(root: &Path, failures: &mut Vec<String>) {
+    const CONSTRUCTORS: [&str; 3] = ["Mutex::new", "RwLock::new", "Condvar::new"];
+    const IMPORTS: [&str; 2] = ["use parking_lot", "parking_lot::"];
+    let allow: Vec<String> = load_allowlist(&root.join("xtask/lint-allow-locks.txt"))
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    let mut files = rust_files(&root.join("crates"));
+    files.extend(rust_files(&root.join("src")));
+    for file in files {
+        let path = rel(root, &file);
+        if path.starts_with("crates/sync/") || allow.iter().any(|a| a == &path) {
+            continue;
+        }
+        let text = fs::read_to_string(&file).expect("read source file");
+        for (lineno, line) in text.lines().enumerate() {
+            let code = strip_line_comment(line);
+            let raw_ctor = CONSTRUCTORS.iter().any(|c| find_token(code, c));
+            let raw_import = IMPORTS.iter().any(|i| code.contains(i));
+            if raw_ctor || raw_import {
+                failures.push(format!(
+                    "{path}:{}: raw lock (use logstore_sync::Ordered* with a site label, \
+                     or add the file to xtask/lint-allow-locks.txt with justification)",
+                    lineno + 1
+                ));
+            }
+        }
+    }
+}
+
+/// Check 2: unwrap/expect burn-down in non-test core code.
+fn check_unwrap_budget(root: &Path, failures: &mut Vec<String>) {
+    let budgets = load_allowlist(&root.join("xtask/lint-allow-unwrap.txt"));
+    for file in rust_files(&root.join("crates/core/src")) {
+        let path = rel(root, &file);
+        let text = fs::read_to_string(&file).expect("read source file");
+        let mut count: u64 = 0;
+        for line in text.lines() {
+            if line.contains("#[cfg(test)]") {
+                break; // test modules sit at the bottom of each file
+            }
+            let code = strip_line_comment(line);
+            count += code.matches(".unwrap()").count() as u64;
+            count += code.matches(".expect(").count() as u64;
+        }
+        let budget = budgets.iter().find(|(p, _)| p == &path).and_then(|(_, n)| *n).unwrap_or(0);
+        if count > budget {
+            failures.push(format!(
+                "{path}: {count} unwrap/expect in non-test code exceeds budget {budget} \
+                 (xtask/lint-allow-unwrap.txt; convert to Result or justify + raise is forbidden \
+                 — budgets only shrink)"
+            ));
+        } else if count < budget {
+            println!(
+                "xtask lint: note: {path} is under its unwrap budget ({count} < {budget}); \
+                 lower it in xtask/lint-allow-unwrap.txt to lock in the progress"
+            );
+        }
+    }
+}
+
+/// Check 3: wall-clock and sleep APIs in the deterministic simulator.
+fn check_simtest_determinism(root: &Path, failures: &mut Vec<String>) {
+    const BANNED: [&str; 3] = ["Instant::now", "SystemTime::now", "thread::sleep"];
+    for file in rust_files(&root.join("crates/simtest/src")) {
+        let path = rel(root, &file);
+        let text = fs::read_to_string(&file).expect("read source file");
+        for (lineno, line) in text.lines().enumerate() {
+            let code = strip_line_comment(line);
+            for banned in BANNED {
+                if code.contains(banned) {
+                    failures.push(format!(
+                        "{path}:{}: `{banned}` in the deterministic simulator \
+                         (drive virtual time through the episode scheduler instead)",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Check 4: every `CrashPoint` variant has a call site.
+fn check_crashpoint_coverage(root: &Path, failures: &mut Vec<String>) {
+    let hooks = root.join("crates/core/src/hooks.rs");
+    let text = fs::read_to_string(&hooks).expect("read hooks.rs");
+    let mut variants: Vec<String> = Vec::new();
+    let mut in_enum = false;
+    for line in text.lines() {
+        let code = strip_line_comment(line).trim().to_string();
+        if code.starts_with("pub enum CrashPoint") {
+            in_enum = true;
+            continue;
+        }
+        if in_enum {
+            if code.starts_with('}') {
+                break;
+            }
+            if let Some(name) = code.strip_suffix(',') {
+                if !name.is_empty()
+                    && name.chars().next().is_some_and(char::is_uppercase)
+                    && name.chars().all(char::is_alphanumeric)
+                {
+                    variants.push(name.to_string());
+                }
+            }
+        }
+    }
+    if variants.is_empty() {
+        failures.push("crates/core/src/hooks.rs: CrashPoint enum not found by lint".to_string());
+        return;
+    }
+    let sources: Vec<(String, String)> = rust_files(&root.join("crates"))
+        .into_iter()
+        .filter(|f| rel(root, f) != "crates/core/src/hooks.rs")
+        .map(|f| {
+            let text = fs::read_to_string(&f).expect("read source file");
+            (rel(root, &f), text)
+        })
+        .collect();
+    for variant in variants {
+        let mut reference = format!("CrashPoint::{variant}");
+        let found = sources.iter().any(|(_, text)| text.contains(&reference));
+        if !found {
+            let _ = write!(
+                reference,
+                " has no call site outside hooks.rs — a crash point nothing reaches \
+                 tests nothing; wire it into the pipeline or remove the variant"
+            );
+            failures.push(reference);
+        }
+    }
+}
+
+/// Check 5: `#![forbid(unsafe_code)]` in every non-vendor crate root.
+fn check_forbid_unsafe(root: &Path, failures: &mut Vec<String>) {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.exists() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.push(root.join("src/lib.rs"));
+    roots.push(root.join("xtask/src/main.rs"));
+    roots.sort();
+    for lib in roots {
+        let path = rel(root, &lib);
+        let text = fs::read_to_string(&lib).expect("read crate root");
+        if !text.contains("#![forbid(unsafe_code)]") {
+            failures.push(format!("{path}: missing `#![forbid(unsafe_code)]`"));
+        }
+    }
+}
