@@ -1,7 +1,7 @@
 //! WAL append throughput: the phase-one durability cost.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use logstore_wal::{Wal, WalConfig};
+use logstore_wal::{FlushPolicy, Wal, WalConfig};
 use std::hint::black_box;
 
 fn bench_append(c: &mut Criterion) {
@@ -9,12 +9,14 @@ fn bench_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal/append");
     group.sample_size(10);
     group.throughput(Throughput::Bytes(payload.len() as u64));
-    for (name, sync) in [("buffered", false), ("fsync-every-append", true)] {
+    for (name, flush) in
+        [("buffered", FlushPolicy::Flush), ("fsync-every-append", FlushPolicy::Sync)]
+    {
         group.bench_function(name, |b| {
             let dir = std::env::temp_dir()
                 .join(format!("logstore-walbench-{name}-{}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
-            let config = WalConfig { max_segment_bytes: 256 << 20, sync_on_append: sync };
+            let config = WalConfig { max_segment_bytes: 256 << 20, flush, ..WalConfig::default() };
             let (mut wal, _) = Wal::open(&dir, config).unwrap();
             b.iter(|| wal.append(black_box(&payload)).unwrap());
             drop(wal);

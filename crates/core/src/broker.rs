@@ -141,7 +141,18 @@ impl Broker {
             match worker.append(shard, RecordBatch::from_records(records)) {
                 Ok(()) => report.accepted += n,
                 Err(Error::Backpressure(_)) => report.rejected += n,
-                Err(e) => return Err(e),
+                // Routing/topology errors mean the request itself is bad
+                // (unknown shard, no worker) — those stay fatal.
+                Err(e @ Error::Cluster(_)) => return Err(e),
+                // A per-shard append failure (WAL, group commit, Raft)
+                // degrades the report instead of erasing the other
+                // sub-batches' outcomes; the rows were never acked.
+                Err(e) => {
+                    report.failed += n;
+                    if report.first_failure.is_none() {
+                        report.first_failure = Some(e.to_string());
+                    }
+                }
             }
         }
         Ok(report)

@@ -76,6 +76,10 @@ pub struct ClusterConfig {
     /// recovers from it on reopen (phase-one durability). When `None`, the
     /// row store is memory-only (fastest; fine for benchmarks).
     pub data_dir: Option<std::path::PathBuf>,
+    /// Per-shard WAL tuning: flush policy, segment size, and the
+    /// group-commit knobs (`group_commit_window`, `max_group_bytes`).
+    /// Ignored when `data_dir` is `None`.
+    pub wal: logstore_wal::WalConfig,
 }
 
 impl ClusterConfig {
@@ -110,6 +114,7 @@ impl ClusterConfig {
             raft_replicas: 1,
             seed: 42,
             data_dir: None,
+            wal: logstore_wal::WalConfig::default(),
         }
     }
 

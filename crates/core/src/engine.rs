@@ -87,12 +87,20 @@ impl ClusterShared {
 }
 
 /// Outcome of an ingest call.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct IngestReport {
     /// Records accepted into phase one.
     pub accepted: u64,
     /// Records rejected by backpressure (retry after throttling).
     pub rejected: u64,
+    /// Records whose shard append failed terminally (WAL/group-commit or
+    /// replication error). Like `archive_degraded`, a per-shard failure
+    /// degrades the report instead of failing the whole multi-shard
+    /// ingest: the other sub-batches' outcomes still stand. Failed rows
+    /// were never acknowledged durable — the client re-sends them.
+    pub failed: u64,
+    /// The first append failure behind `failed`, for diagnostics.
+    pub first_failure: Option<String>,
     /// True when the piggybacked build pass hit a terminal archive failure.
     /// The accepted rows are still durable (WAL + row store) and will be
     /// re-archived, but a persistently degraded archive path grows the row
@@ -200,6 +208,7 @@ impl LogStore {
                 config.rowstore_backpressure_bytes,
                 config.raft_replicas,
                 config.data_dir.as_ref(),
+                config.wal.clone(),
                 config.seed,
                 Some(&archive_catalog),
                 Arc::clone(&hooks),
@@ -233,7 +242,7 @@ impl LogStore {
             store,
             cache,
             prefetcher: Prefetcher::new(config.prefetch_threads),
-            query_pool: QueryPool::new(config.query_threads),
+            query_pool: QueryPool::new(config.query_threads)?,
             cache_block_size: config.cache_block_size,
             hooks,
         });
@@ -460,6 +469,7 @@ impl LogStore {
                 self.config.rowstore_backpressure_bytes,
                 self.config.raft_replicas,
                 self.config.data_dir.as_ref(),
+                self.config.wal.clone(),
                 self.config.seed ^ u64::from(worker_id.raw()),
                 Some(&archive_catalog),
                 Arc::clone(&self.shared.hooks),

@@ -34,24 +34,26 @@ pub struct QueryPool {
 }
 
 impl QueryPool {
-    /// Spawns a pool of `threads` workers (minimum 1).
-    pub fn new(threads: usize) -> Self {
+    /// Spawns a pool of `threads` workers (minimum 1). Fails if the OS
+    /// refuses a thread — engine construction surfaces that instead of
+    /// panicking halfway through startup.
+    pub fn new(threads: usize) -> Result<Self> {
         let threads = threads.max(1);
         let (sender, receiver) = crossbeam::channel::unbounded::<Job>();
-        let handles = (0..threads)
-            .map(|i| {
-                let receiver = receiver.clone();
-                std::thread::Builder::new()
-                    .name(format!("query-pool-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = receiver.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn query pool thread")
-            })
-            .collect();
-        QueryPool { sender: Some(sender), handles, threads }
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let receiver = receiver.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("query-pool-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        job();
+                    }
+                })
+                .map_err(|e| Error::Internal(format!("spawn query pool thread: {e}")))?;
+            handles.push(handle);
+        }
+        Ok(QueryPool { sender: Some(sender), handles, threads })
     }
 
     /// Pool size.
@@ -92,8 +94,15 @@ impl QueryPool {
                     return;
                 }
                 // Claim under a transient guard; the task itself (which
-                // may issue OSS reads) runs with no lock held.
-                let task = slots[idx].lock().take().expect("task claimed twice");
+                // may issue OSS reads) runs with no lock held. The cursor
+                // hands each index out once, so an empty slot means state
+                // corruption — report it as this index's result rather
+                // than unwinding inside a pool worker.
+                let Some(task) = slots[idx].lock().take() else {
+                    let _ = result_tx
+                        .send((idx, Err(Error::Internal("query task slot claimed twice".into()))));
+                    continue;
+                };
                 // A send can only fail if the gatherer gave up; nothing
                 // left to do with the result then.
                 let _ = result_tx.send((idx, run_task(task)));
@@ -102,16 +111,34 @@ impl QueryPool {
         drop(result_tx);
         let mut results: Vec<Option<Result<T>>> = (0..total).map(|_| None).collect();
         for _ in 0..total {
-            let (idx, result) =
-                result_rx.recv().expect("query pool runners exited without reporting all tasks");
-            results[idx] = Some(result);
+            match result_rx.recv() {
+                Ok((idx, result)) => results[idx] = Some(result),
+                // Every runner sender dropped before all indices reported:
+                // a pool worker died. The fill below turns each missing
+                // slot into an error instead of hanging or panicking.
+                Err(_) => break,
+            }
         }
-        results.into_iter().map(|r| r.expect("every task index reported exactly once")).collect()
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| Err(Error::Internal("query pool lost a task result".into())))
+            })
+            .collect()
     }
 
     fn submit(&self, job: Job) {
-        let sent = self.sender.as_ref().expect("pool alive while queries run").send(job);
-        assert!(sent.is_ok(), "query pool workers alive");
+        // The sender lives until Drop takes it, so a live pool always
+        // sends; if the channel is somehow gone or disconnected, degrade
+        // to running the job inline rather than panicking mid-query.
+        match &self.sender {
+            Some(sender) => {
+                if let Err(e) = sender.send(job) {
+                    (e.0)();
+                }
+            }
+            None => job(),
+        }
     }
 }
 
@@ -162,7 +189,7 @@ mod tests {
 
     #[test]
     fn results_come_back_in_submission_order() {
-        let pool = QueryPool::new(4);
+        let pool = QueryPool::new(4).unwrap();
         for parallelism in [1, 2, 4, 16] {
             let counter = Arc::new(AtomicU64::new(0));
             let results = pool.scatter(parallelism, tasks_counting(32, &counter));
@@ -174,7 +201,7 @@ mod tests {
 
     #[test]
     fn errors_keep_their_task_index() {
-        let pool = QueryPool::new(4);
+        let pool = QueryPool::new(4).unwrap();
         let tasks: Vec<Task<u32>> = (0..8)
             .map(|i| {
                 let task: Task<u32> = Box::new(move || {
@@ -200,7 +227,7 @@ mod tests {
 
     #[test]
     fn parallelism_one_runs_inline() {
-        let pool = QueryPool::new(4);
+        let pool = QueryPool::new(4).unwrap();
         let caller = std::thread::current().id();
         let results = pool.scatter(
             1,
@@ -215,7 +242,7 @@ mod tests {
 
     #[test]
     fn tasks_actually_run_concurrently() {
-        let pool = QueryPool::new(8);
+        let pool = QueryPool::new(8).unwrap();
         let make = || -> Vec<Task<()>> {
             (0..8)
                 .map(|_| {
@@ -241,7 +268,7 @@ mod tests {
 
     #[test]
     fn panicking_task_reports_instead_of_hanging() {
-        let pool = QueryPool::new(2);
+        let pool = QueryPool::new(2).unwrap();
         let tasks: Vec<Task<u32>> =
             vec![Box::new(|| Ok(1)), Box::new(|| panic!("boom in task")), Box::new(|| Ok(3))];
         let results = pool.scatter(2, tasks);
@@ -258,7 +285,7 @@ mod tests {
     fn shared_pool_bounds_concurrency_across_queries() {
         // 2-thread pool, two 4-task scatters from two caller threads: at
         // most 2 tasks may ever be in flight simultaneously.
-        let pool = Arc::new(QueryPool::new(2));
+        let pool = Arc::new(QueryPool::new(2).unwrap());
         let in_flight = Arc::new(AtomicU64::new(0));
         let peak = Arc::new(AtomicU64::new(0));
         let make = |in_flight: &Arc<AtomicU64>, peak: &Arc<AtomicU64>| -> Vec<Task<()>> {

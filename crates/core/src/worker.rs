@@ -17,7 +17,9 @@ use logstore_types::{
     ColumnPredicate, Error, LogRecord, RecordBatch, Result, ShardId, TableSchema, TenantId,
     TimeRange, WorkerId,
 };
-use logstore_wal::{DrainResolver, DrainSeq, RowStore, ShardStore, WalConfig};
+use logstore_wal::{
+    DrainResolver, DrainSeq, GroupCommitWal, PendingDrain, RowStore, ShardStore, WalConfig,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -64,15 +66,22 @@ enum Backend {
 }
 
 impl Backend {
-    fn insert_batch(&mut self, batch: RecordBatch) -> Result<()> {
+    /// Applies a batch that is already durable (WAL lsn known) — or, for
+    /// in-memory backends, simply inserts it. The fast path's under-lock
+    /// half; the WAL append happened outside this lock.
+    fn apply_appended(&mut self, batch: RecordBatch, wal_lsn: Option<logstore_wal::Lsn>) {
         match self {
             Backend::Mem(rows) => {
                 for r in batch.records {
                     rows.insert(r);
                 }
-                Ok(())
             }
-            Backend::Durable(store) => store.append_batch(batch).map(|_| ()),
+            Backend::Durable(store) => {
+                // The fast path always supplies the lsn for durable
+                // shards; lsn 0 is never allocated, so confirming it is
+                // inert if a caller ever omits one.
+                store.apply_appended(batch, wal_lsn.unwrap_or(0));
+            }
         }
     }
 
@@ -102,34 +111,37 @@ impl Backend {
         }
     }
 
-    fn drain_all(&mut self) -> Result<Option<(Option<DrainSeq>, Vec<LogRecord>)>> {
-        // No checkpoint here: the WAL keeps covering the drained rows until
-        // the engine acks that they are durable on OSS (`ack_archived`).
-        // Durable drains carry the seq of the WAL drain intent the shard
-        // logged; memory drains have no replay to reconcile (`None`).
+    /// First half of a drain under the shard lock: removes the rows and
+    /// (on durable shards) opens the in-flight archive op. Durable drains
+    /// return the pending intent still to be logged — the caller appends
+    /// it durably *outside* this lock (group commit may block on an
+    /// fsync) and rolls back via `restore` on failure. Memory drains
+    /// complete immediately (`BegunDrain::Mem`).
+    ///
+    /// No checkpoint here: the WAL keeps covering the drained rows until
+    /// the engine acks that they are durable on OSS (`ack_archived`).
+    fn begin_drain_all(&mut self) -> Option<BegunDrain> {
         match self {
             Backend::Mem(rows) => {
                 let drained = rows.drain_oldest(usize::MAX);
-                Ok((!drained.is_empty()).then_some((None, drained)))
+                (!drained.is_empty()).then_some(BegunDrain::Mem(drained))
             }
-            Backend::Durable(store) => {
-                Ok(store.drain_for_archive(usize::MAX)?.map(|(seq, rows)| (Some(seq), rows)))
-            }
+            Backend::Durable(store) => store
+                .begin_drain_all(usize::MAX)
+                .map(|pending| BegunDrain::Durable(store.wal_handle(), pending)),
         }
     }
 
-    fn drain_tenant(
-        &mut self,
-        tenant: TenantId,
-    ) -> Result<Option<(Option<DrainSeq>, Vec<LogRecord>)>> {
+    /// First half of a tenant drain (see [`Backend::begin_drain_all`]).
+    fn begin_drain_tenant(&mut self, tenant: TenantId) -> Option<BegunDrain> {
         match self {
             Backend::Mem(rows) => {
                 let drained = rows.drain_tenant(tenant);
-                Ok((!drained.is_empty()).then_some((None, drained)))
+                (!drained.is_empty()).then_some(BegunDrain::Mem(drained))
             }
-            Backend::Durable(store) => {
-                Ok(store.drain_tenant(tenant)?.map(|(seq, rows)| (Some(seq), rows)))
-            }
+            Backend::Durable(store) => store
+                .begin_drain_tenant(tenant)
+                .map(|pending| BegunDrain::Durable(store.wal_handle(), pending)),
         }
     }
 
@@ -173,11 +185,48 @@ impl Backend {
     }
 }
 
+/// A drain begun under the shard lock, to be completed outside it.
+enum BegunDrain {
+    /// Memory backend: the drain is already complete.
+    Mem(Vec<LogRecord>),
+    /// Durable backend: the intent in `PendingDrain` must still be
+    /// appended durably on the WAL handle, with no shard lock held.
+    Durable(Arc<GroupCommitWal>, PendingDrain),
+}
+
+/// A logged drain: the intent's seq (`None` on memory backends) plus the
+/// drained rows, ready for the archive pipeline.
+type LoggedDrain = (Option<DrainSeq>, Vec<LogRecord>);
+
+/// Logs a begun drain's intent (outside any lock) and produces the
+/// `(seq, rows)` the archive pipeline consumes. On append failure the
+/// drained rows come back with the error so the caller can re-lock and
+/// restore them.
+fn log_drain_intent(begun: BegunDrain) -> Result<LoggedDrain, (Error, Vec<LogRecord>)> {
+    match begun {
+        BegunDrain::Mem(rows) => Ok((None, rows)),
+        BegunDrain::Durable(wal, pending) => match wal.append_durable(&pending.intent) {
+            Ok(lsn) => {
+                // Intents have no row-store apply; confirm immediately so
+                // they never pin WAL truncation (the open archive op
+                // blocks it for the whole drain window instead).
+                wal.confirm_applied(lsn);
+                Ok((Some(pending.seq), pending.rows))
+            }
+            Err(e) => Err((e, pending.rows)),
+        },
+    }
+}
+
 // One label per field across all shards: the worker never holds two
 // shard locks — or two of backend/raft/window — at once (each is taken
 // in its own scope), and the debug lock analysis enforces that.
 struct ShardState {
     backend: OrderedMutex<Backend>,
+    /// The durable shard's WAL, shared outside the backend lock so the
+    /// ingest fast path stages/commits groups without serializing on the
+    /// shard (`None` for in-memory backends).
+    wal: Option<Arc<GroupCommitWal>>,
     raft: Option<OrderedMutex<InProcCluster>>,
     window: OrderedMutex<ShardWindow>,
 }
@@ -190,6 +239,7 @@ pub type DrainedShard = (ShardId, Option<DrainSeq>, Vec<LogRecord>);
 pub struct Worker {
     id: WorkerId,
     shards: HashMap<ShardId, ShardState>,
+    schema: TableSchema,
     backpressure_bytes: usize,
     hooks: Arc<dyn CrashHooks>,
 }
@@ -208,6 +258,7 @@ impl Worker {
         backpressure_bytes: usize,
         raft_replicas: usize,
         data_dir: Option<&PathBuf>,
+        wal_config: WalConfig,
         seed: u64,
         archive_catalog: Option<&ArchiveCatalog>,
         hooks: Arc<dyn CrashHooks>,
@@ -223,10 +274,10 @@ impl Worker {
                         Some(catalog) => ShardStore::open_with(
                             shard_dir,
                             schema.clone(),
-                            WalConfig::default(),
+                            wal_config.clone(),
                             &CatalogResolver { catalog: catalog.clone(), shard },
                         )?,
-                        None => ShardStore::open(shard_dir, schema.clone(), WalConfig::default())?,
+                        None => ShardStore::open(shard_dir, schema.clone(), wal_config.clone())?,
                     };
                     Backend::Durable(store)
                 }
@@ -245,16 +296,21 @@ impl Worker {
             } else {
                 None
             };
+            let wal = match &backend {
+                Backend::Durable(store) => Some(store.wal_handle()),
+                Backend::Mem(_) => None,
+            };
             shards.insert(
                 shard,
                 ShardState {
                     backend: OrderedMutex::new("core.worker.backend", backend),
+                    wal,
                     raft,
                     window: OrderedMutex::new("core.worker.window", ShardWindow::default()),
                 },
             );
         }
-        Ok(Worker { id, shards, backpressure_bytes, hooks })
+        Ok(Worker { id, shards, schema: schema.clone(), backpressure_bytes, hooks })
     }
 
     /// This worker's id.
@@ -275,11 +331,27 @@ impl Worker {
             .ok_or_else(|| Error::Cluster(format!("{shard} not on worker {}", self.id)))
     }
 
-    /// Phase-one ingest of a batch into one shard: BFC admission check,
-    /// Raft replication (when configured), row-store insert, accounting.
+    /// Phase-one ingest of a batch into one shard — the lock-light fast
+    /// path. Validation and encoding run with no locks held; the BFC
+    /// admission check and the final row-store apply each take the shard
+    /// lock only briefly; the (possibly fsyncing) WAL group append runs
+    /// with *no* locks held, so concurrent producers coalesce into shared
+    /// group commits instead of queueing on the shard.
+    ///
+    /// Replication overlaps local persistence: the batch is submitted to
+    /// the Raft group (short `propose` critical section) *before* the WAL
+    /// append, and the quorum wait happens after it — the ack requires
+    /// the later of quorum and local-durable, not their sum.
     /// Consumes the batch — records move into the store, never cloned.
     pub fn append(&self, shard: ShardId, batch: RecordBatch) -> Result<()> {
         let state = self.shard(shard)?;
+        // Validate + encode outside every lock (per-producer CPU work).
+        for r in &batch.records {
+            r.validate(&self.schema)?;
+        }
+        let wal_payload =
+            state.wal.as_ref().map(|_| ShardStore::encode_batch_payload(&batch.records));
+        // BFC admission under a short shard-lock scope.
         {
             let backend = state.backend.lock();
             if backend.bytes() + batch.approx_size() > self.backpressure_bytes {
@@ -289,18 +361,27 @@ impl Worker {
                 )));
             }
         }
-        if let Some(raft) = &state.raft {
+        // Submit to replication first: propose only (short raft lock),
+        // capturing the log index to wait on after local persistence.
+        let raft_index = match &state.raft {
+            Some(raft) => Some(raft.lock().propose(encode_batch(&batch.records))?),
+            None => None,
+        };
+        // Local WAL persistence with no locks held — producers staging
+        // concurrently ride one group commit.
+        let wal_lsn = match (&state.wal, wal_payload) {
+            (Some(wal), Some(payload)) => Some(wal.append(&payload)?),
+            _ => None,
+        };
+        // Now wait for quorum (the paper's sync_queue wait, §4.2): drive
+        // the group until the proposed entry commits on the leader.
+        if let (Some(raft), Some(index)) = (&state.raft, raft_index) {
             let mut cluster = raft.lock();
-            let payload = encode_batch(&batch.records);
-            cluster.propose(payload)?;
-            // Drive the group until the entry is applied on the leader
-            // (the paper's sync_queue wait, §4.2).
             let leader = cluster
                 .any_leader()
                 .ok_or_else(|| Error::Raft("shard group lost its leader".into()))?;
-            let target = cluster.applied(leader).len() + 1;
             let mut steps = 0;
-            while cluster.applied(leader).len() < target {
+            while cluster.node(leader).commit_index() < index {
                 cluster.step();
                 steps += 1;
                 if steps > 1000 {
@@ -315,7 +396,7 @@ impl Worker {
         for r in &batch.records {
             *per_tenant.entry(r.tenant_id).or_default() += 1;
         }
-        state.backend.lock().insert_batch(batch)?;
+        state.backend.lock().apply_appended(batch, wal_lsn);
         let mut window = state.window.lock();
         window.total += total;
         for (tenant, n) in per_tenant {
@@ -377,15 +458,23 @@ impl Worker {
         let mut out = Vec::new();
         let mut first_error = None;
         for (&shard, state) in &self.shards {
-            let mut backend = state.backend.lock();
-            if force || backend.bytes() >= flush_bytes {
-                match backend.drain_all() {
-                    Ok(Some((seq, rows))) => out.push((shard, seq, rows)),
-                    Ok(None) => {}
-                    Err(e) => {
-                        if first_error.is_none() {
-                            first_error = Some(e);
-                        }
+            let begun = {
+                let mut backend = state.backend.lock();
+                if force || backend.bytes() >= flush_bytes {
+                    backend.begin_drain_all()
+                } else {
+                    None
+                }
+            };
+            let Some(begun) = begun else { continue };
+            // The intent append (group commit; may fsync) runs with the
+            // shard lock released so ingest keeps flowing during the drain.
+            match log_drain_intent(begun) {
+                Ok((seq, rows)) => out.push((shard, seq, rows)),
+                Err((e, rows)) => {
+                    state.backend.lock().restore(rows);
+                    if first_error.is_none() {
+                        first_error = Some(e);
                     }
                 }
             }
@@ -403,7 +492,17 @@ impl Worker {
         shard: ShardId,
         tenant: TenantId,
     ) -> Result<Option<(Option<DrainSeq>, Vec<LogRecord>)>> {
-        self.shard(shard)?.backend.lock().drain_tenant(tenant)
+        let state = self.shard(shard)?;
+        let Some(begun) = state.backend.lock().begin_drain_tenant(tenant) else {
+            return Ok(None);
+        };
+        match log_drain_intent(begun) {
+            Ok((seq, rows)) => Ok(Some((seq, rows))),
+            Err((e, rows)) => {
+                state.backend.lock().restore(rows);
+                Err(e)
+            }
+        }
     }
 
     /// Puts drained rows that failed to archive back into the shard's
@@ -531,6 +630,7 @@ mod tests {
             1 << 20,
             replicas,
             None,
+            WalConfig::default(),
             7,
             None,
             crate::hooks::noop_hooks(),
@@ -569,6 +669,7 @@ mod tests {
             2000, // fits one batch, not many
             1,
             None,
+            WalConfig::default(),
             7,
             None,
             crate::hooks::noop_hooks(),
@@ -665,6 +766,7 @@ mod tests {
                 1 << 20,
                 1,
                 Some(&dir),
+                WalConfig::default(),
                 7,
                 None,
                 crate::hooks::noop_hooks(),
@@ -679,6 +781,7 @@ mod tests {
             1 << 20,
             1,
             Some(&dir),
+            WalConfig::default(),
             7,
             None,
             crate::hooks::noop_hooks(),

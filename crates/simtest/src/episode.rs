@@ -228,6 +228,18 @@ impl Episode {
                                 ),
                             ));
                         }
+                        if r.failed != 0 {
+                            // The harness injects no WAL or replication
+                            // faults, so a degraded append is a real bug.
+                            return Err(self.failure(
+                                step,
+                                format!(
+                                    "{} rows failed to append: {}",
+                                    r.failed,
+                                    r.first_failure.as_deref().unwrap_or("(no detail)")
+                                ),
+                            ));
+                        }
                         let acked = self.oracle.entry(*tenant).or_default();
                         for row in batch {
                             acked.insert(uid_of(&row), row);

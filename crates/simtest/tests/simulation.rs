@@ -90,6 +90,43 @@ fn acceptance_faults_and_crashes() {
     assert!(report.blocks > 0);
 }
 
+/// Focused sweep over every crash point, several seeds each, with the
+/// group-commit WAL as the durable path (it is the only durable path).
+/// Each episode ingests, arms exactly one point, triggers it (via ingest
+/// for the WAL-append point, via flush for the archive-pipeline points),
+/// recovers and runs the full differential battery — so a torn or
+/// misframed group tail at any protocol point shows up as loss,
+/// duplication or a counter mismatch.
+#[test]
+fn per_crash_point_group_commit_sweep() {
+    for point in CrashPoint::ALL {
+        for seed in [5u64, 17, 29] {
+            let trigger = if point == CrashPoint::AfterWalAppend {
+                SimOp::Ingest { tenant: 1, rows: 48 }
+            } else {
+                SimOp::FlushAll
+            };
+            let ops = vec![
+                SimOp::Ingest { tenant: 1, rows: 96 },
+                SimOp::Ingest { tenant: 2, rows: 64 },
+                SimOp::ArmCrash { point, countdown: 0 },
+                trigger,
+                SimOp::CheckQueries { tenant: 1 },
+                SimOp::CheckQueries { tenant: 2 },
+                SimOp::Ingest { tenant: 1, rows: 32 },
+                SimOp::FlushAll,
+                SimOp::CheckInvariants,
+            ];
+            let report = run_or_die(&SimPlan { seed: seed ^ (point as u64) << 8, ops });
+            assert_eq!(
+                report.crash_points,
+                vec![point],
+                "seed {seed}: expected exactly one crash at {point:?}"
+            );
+        }
+    }
+}
+
 /// Same seed, same trace: the episode is a pure function of its seed.
 /// Control ticks are filtered — the balancer's *decisions* are checked by
 /// the invariant battery, but its snapshot assembly iterates hash maps and

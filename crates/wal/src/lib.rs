@@ -10,6 +10,9 @@
 //!
 //! * [`segment`] — CRC-framed, length-prefixed record files with rotation.
 //! * [`wal::Wal`] — the append/replay/truncate interface over segments.
+//! * [`group::GroupCommitWal`] — the concurrent leader-based group-commit
+//!   front end over the same segment files (one coalesced frame + barrier
+//!   per epoch of staged producers).
 //! * [`rowstore::RowStore`] — the in-memory real-time store, scannable by
 //!   queries for data that has not been archived yet.
 //! * [`shard::ShardStore`] — WAL + row store glued together with crash
@@ -17,11 +20,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod group;
 pub mod rowstore;
 pub mod segment;
 pub mod shard;
 pub mod wal;
 
+pub use group::{GroupCommitStats, GroupCommitWal};
 pub use rowstore::RowStore;
-pub use shard::{DrainResolver, DrainSeq, NoCommittedDrains, ShardStore};
-pub use wal::{Lsn, Wal, WalConfig};
+pub use shard::{DrainResolver, DrainSeq, NoCommittedDrains, PendingDrain, ShardStore};
+pub use wal::{FlushPolicy, Lsn, ReplayedRecord, Wal, WalConfig};

@@ -105,6 +105,11 @@ impl SegmentWriter {
 pub struct SegmentReplay {
     /// Payloads in order.
     pub payloads: Vec<Vec<u8>>,
+    /// End offset of each frame, aligned with `payloads` — so a caller
+    /// that rejects the *content* of the final frame (e.g. a group frame
+    /// whose inner checksum fails) can truncate to the preceding frame's
+    /// end, exactly as if the frame itself had been torn.
+    pub frame_ends: Vec<u64>,
     /// Length of the valid prefix (excludes any torn tail).
     pub valid_len: u64,
     /// True if a torn (incomplete) final frame was discarded.
@@ -119,13 +124,24 @@ pub fn replay_segment(path: impl AsRef<Path>) -> Result<SegmentReplay> {
     let mut data = Vec::new();
     File::open(path.as_ref())?.read_to_end(&mut data)?;
     let mut payloads = Vec::new();
+    let mut frame_ends = Vec::new();
     let mut pos = 0usize;
     loop {
         if pos == data.len() {
-            return Ok(SegmentReplay { payloads, valid_len: pos as u64, torn_tail: false });
+            return Ok(SegmentReplay {
+                payloads,
+                frame_ends,
+                valid_len: pos as u64,
+                torn_tail: false,
+            });
         }
         if data.len() - pos < FRAME_HEADER {
-            return Ok(SegmentReplay { payloads, valid_len: pos as u64, torn_tail: true });
+            return Ok(SegmentReplay {
+                payloads,
+                frame_ends,
+                valid_len: pos as u64,
+                torn_tail: true,
+            });
         }
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let stored_crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
@@ -135,13 +151,19 @@ pub fn replay_segment(path: impl AsRef<Path>) -> Result<SegmentReplay> {
         let body_start = pos + FRAME_HEADER;
         let body_end = body_start + len;
         if body_end > data.len() {
-            return Ok(SegmentReplay { payloads, valid_len: pos as u64, torn_tail: true });
+            return Ok(SegmentReplay {
+                payloads,
+                frame_ends,
+                valid_len: pos as u64,
+                torn_tail: true,
+            });
         }
         let payload = &data[body_start..body_end];
         if crc32c(payload) != unmask(stored_crc) {
             return Err(Error::corruption(format!("wal crc mismatch at offset {pos}")));
         }
         payloads.push(payload.to_vec());
+        frame_ends.push(body_end as u64);
         pos = body_end;
     }
 }

@@ -40,8 +40,9 @@
 //! counter (`epoch` file in the shard directory) and a drain is named
 //! `(epoch, counter)`.
 
+use crate::group::{GroupCommitStats, GroupCommitWal};
 use crate::rowstore::RowStore;
-use crate::wal::{Lsn, Wal, WalConfig};
+use crate::wal::{Lsn, WalConfig};
 use logstore_codec::batch::{decode_batch, encode_batch};
 use logstore_codec::varint::{put_uvarint, read_uvarint};
 use logstore_types::{
@@ -49,6 +50,7 @@ use logstore_types::{
     TenantId, TimeRange,
 };
 use std::path::Path;
+use std::sync::Arc;
 
 /// WAL payload tag: a regular appended record batch.
 const PAYLOAD_BATCH: u8 = 0;
@@ -94,9 +96,29 @@ impl DrainResolver for NoCommittedDrains {
     }
 }
 
+/// A drain whose intent has not been logged yet: the output of
+/// [`ShardStore::begin_drain_all`] / [`ShardStore::begin_drain_tenant`].
+///
+/// The two-step drain exists so the intent append — which may block on a
+/// group-commit fsync — can run *outside* whatever lock guards the
+/// `ShardStore`. The begin step (under the lock) removes the rows and
+/// opens the in-flight archive op, so truncation stays blocked for the
+/// whole unlocked window; the caller must then either log `intent` via
+/// [`GroupCommitWal::append_durable`] on the [`ShardStore::wal_handle`]
+/// (success) or hand `rows` back to [`ShardStore::restore_unarchived`]
+/// (failure).
+pub struct PendingDrain {
+    /// The drain's durable identity.
+    pub seq: DrainSeq,
+    /// The drained rows, in drain order.
+    pub rows: Vec<LogRecord>,
+    /// The encoded drain-intent WAL payload.
+    pub intent: Vec<u8>,
+}
+
 /// Durable, recoverable storage for one shard.
 pub struct ShardStore {
-    wal: Wal,
+    wal: Arc<GroupCommitWal>,
     rows: RowStore,
     /// Count of records ever appended (recovered + new); drives checkpoints.
     records_appended: u64,
@@ -133,7 +155,8 @@ impl ShardStore {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let epoch = bump_epoch(dir)?;
-        let (wal, replayed) = Wal::open(dir, config)?;
+        let (wal, replayed) = GroupCommitWal::open(dir, config)?;
+        let wal = Arc::new(wal);
         let mut rows = RowStore::new(schema);
         let mut records_appended = 0;
         let mut records_archived = 0;
@@ -196,18 +219,52 @@ impl ShardStore {
 
     /// Appends a batch durably: WAL first, then the row store. Consumes the
     /// batch — records move into the row store, they are never cloned.
+    ///
+    /// This is the convenience path (validate + encode + group append +
+    /// apply in one call, blocking on the group barrier). The engine's
+    /// ingest fast path splits it instead: encode with
+    /// [`ShardStore::encode_batch_payload`] and append on the
+    /// [`ShardStore::wal_handle`] with *no* shard lock held, then apply
+    /// under the lock with [`ShardStore::apply_appended`].
     pub fn append_batch(&mut self, batch: RecordBatch) -> Result<Lsn> {
         for r in &batch.records {
             r.validate(self.rows.schema())?;
         }
-        let mut payload = vec![PAYLOAD_BATCH];
-        payload.extend_from_slice(&encode_batch(&batch.records));
+        let payload = Self::encode_batch_payload(&batch.records);
         let lsn = self.wal.append(&payload)?;
+        self.apply_appended(batch, lsn);
+        Ok(lsn)
+    }
+
+    /// Encodes records into the tagged batch WAL payload (pure; callable
+    /// without any lock).
+    pub fn encode_batch_payload(records: &[LogRecord]) -> Vec<u8> {
+        let mut payload = vec![PAYLOAD_BATCH];
+        payload.extend_from_slice(&encode_batch(records));
+        payload
+    }
+
+    /// Applies a batch that is already WAL-durable at `lsn` to the row
+    /// store and confirms the apply to the WAL (releasing `lsn` as a
+    /// truncation floor). Second half of the split fast path.
+    pub fn apply_appended(&mut self, batch: RecordBatch, lsn: Lsn) {
         self.records_appended += batch.len() as u64;
         for r in batch.records {
             self.rows.insert(r);
         }
-        Ok(lsn)
+        self.wal.confirm_applied(lsn);
+    }
+
+    /// A shareable handle to the shard's WAL, for appends that must not
+    /// run under the shard's own lock (the ingest fast path and the
+    /// two-step drain).
+    pub fn wal_handle(&self) -> Arc<GroupCommitWal> {
+        Arc::clone(&self.wal)
+    }
+
+    /// WAL coalescing counters (benchmark/test observability).
+    pub fn wal_stats(&self) -> GroupCommitStats {
+        self.wal.stats()
     }
 
     /// fsyncs the WAL.
@@ -257,37 +314,70 @@ impl ShardStore {
         &mut self,
         max_rows: usize,
     ) -> Result<Option<(DrainSeq, Vec<LogRecord>)>> {
-        let drained = self.rows.drain_oldest(max_rows);
-        self.open_drain(drained)
+        let pending = self.begin_drain_all(max_rows);
+        self.log_pending_drain(pending)
     }
 
     /// Drains one tenant's rows (rebalancing flush). Same intent/ack
     /// contract as [`ShardStore::drain_for_archive`].
     pub fn drain_tenant(&mut self, tenant: TenantId) -> Result<Option<(DrainSeq, Vec<LogRecord>)>> {
-        let drained = self.rows.drain_tenant(tenant);
-        self.open_drain(drained)
+        let pending = self.begin_drain_tenant(tenant);
+        self.log_pending_drain(pending)
     }
 
-    fn open_drain(
-        &mut self,
-        drained: Vec<LogRecord>,
-    ) -> Result<Option<(DrainSeq, Vec<LogRecord>)>> {
+    /// First half of a two-step full drain: removes up to `max_rows`
+    /// oldest rows and opens the in-flight archive op, but does *not* log
+    /// the intent — the caller appends [`PendingDrain::intent`] durably
+    /// outside the shard lock (see [`PendingDrain`]).
+    pub fn begin_drain_all(&mut self, max_rows: usize) -> Option<PendingDrain> {
+        let drained = self.rows.drain_oldest(max_rows);
+        self.begin_drain(drained)
+    }
+
+    /// First half of a two-step tenant drain (see
+    /// [`ShardStore::begin_drain_all`]).
+    pub fn begin_drain_tenant(&mut self, tenant: TenantId) -> Option<PendingDrain> {
+        let drained = self.rows.drain_tenant(tenant);
+        self.begin_drain(drained)
+    }
+
+    fn begin_drain(&mut self, drained: Vec<LogRecord>) -> Option<PendingDrain> {
         if drained.is_empty() {
-            return Ok(None);
+            return None;
         }
         self.drain_counter += 1;
         let seq = DrainSeq { epoch: self.epoch, counter: self.drain_counter };
-        let payload = encode_drain_intent(seq, &drained);
-        let logged = self.wal.append(&payload).and_then(|_| self.wal.sync());
-        if let Err(e) = logged {
-            for r in drained {
-                self.rows.insert(r);
-            }
-            return Err(e);
-        }
+        let intent = encode_drain_intent(seq, &drained);
+        // Open the op *before* the intent is logged: truncation must stay
+        // blocked across the caller's unlocked append window. A failed
+        // append rolls both counters back via restore_unarchived.
         self.archives_inflight += 1;
         self.records_archived += drained.len() as u64;
-        Ok(Some((seq, drained)))
+        Some(PendingDrain { seq, rows: drained, intent })
+    }
+
+    /// Second half of the convenience (single-call) drains: logs the
+    /// intent with one durable group append, restoring the rows on
+    /// failure. Blocks on the group barrier — the engine uses the
+    /// two-step form instead to keep that wait outside its shard lock.
+    fn log_pending_drain(
+        &mut self,
+        pending: Option<PendingDrain>,
+    ) -> Result<Option<(DrainSeq, Vec<LogRecord>)>> {
+        let Some(pending) = pending else { return Ok(None) };
+        match self.wal.append_durable(&pending.intent) {
+            Ok(lsn) => {
+                // An intent needs no apply step; confirm immediately so it
+                // never pins truncation (the open archive op already
+                // blocks it for the whole drain window).
+                self.wal.confirm_applied(lsn);
+                Ok(Some((pending.seq, pending.rows)))
+            }
+            Err(e) => {
+                self.restore_unarchived(pending.rows);
+                Err(e)
+            }
+        }
     }
 
     /// Puts drained-but-unarchived rows back into the row store after a
@@ -387,6 +477,7 @@ fn decode_drain_intent(body: &[u8]) -> Result<(DrainSeq, Vec<LogRecord>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::FlushPolicy;
     use logstore_types::{Timestamp, Value};
     use std::collections::HashMap;
     use std::path::PathBuf;
@@ -498,7 +589,7 @@ mod tests {
     #[test]
     fn drain_and_checkpoint_truncate_wal() {
         let dir = temp_dir("checkpoint");
-        let config = WalConfig { max_segment_bytes: 256, sync_on_append: false };
+        let config = WalConfig { max_segment_bytes: 256, ..WalConfig::default() };
         let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
         for i in 0..100 {
             s.append_batch(RecordBatch::from_records(vec![rec(1, i)])).unwrap();
@@ -656,7 +747,8 @@ mod tests {
         // acks while B's upload is still in flight. A's ack must not
         // truncate the WAL segments covering B's rows.
         let dir = temp_dir("overlap");
-        let config = WalConfig { max_segment_bytes: 256, sync_on_append: true };
+        let config =
+            WalConfig { max_segment_bytes: 256, flush: FlushPolicy::Sync, ..WalConfig::default() };
         {
             let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
             for i in 0..50 {
@@ -683,7 +775,8 @@ mod tests {
     #[test]
     fn last_overlapping_ack_truncates_everything() {
         let dir = temp_dir("overlap-last");
-        let config = WalConfig { max_segment_bytes: 256, sync_on_append: true };
+        let config =
+            WalConfig { max_segment_bytes: 256, flush: FlushPolicy::Sync, ..WalConfig::default() };
         {
             let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
             for i in 0..50 {
@@ -708,7 +801,8 @@ mod tests {
         // the pass's ack must keep the WAL until the tenant flush either
         // acks or restores.
         let dir = temp_dir("overlap-tenant");
-        let config = WalConfig { max_segment_bytes: 256, sync_on_append: true };
+        let config =
+            WalConfig { max_segment_bytes: 256, flush: FlushPolicy::Sync, ..WalConfig::default() };
         {
             let mut s = ShardStore::open(&dir, TableSchema::request_log(), config.clone()).unwrap();
             for i in 0..40 {

@@ -11,18 +11,51 @@ pub type Lsn = u64;
 /// A replayed record: its LSN and payload.
 pub type ReplayedRecord = (Lsn, Vec<u8>);
 
+/// When an append's bytes reach the write barrier.
+///
+/// The barrier applies per *append* for [`Wal`] and per *group* for
+/// [`crate::group::GroupCommitWal`] — group commit's whole point is that
+/// one barrier covers every producer staged in the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Bytes stay in the user-space buffer until an explicit
+    /// [`Wal::sync`] / rotation. Cheapest, but a *process* crash loses
+    /// unsynced appends — only safe when the caller manages barriers
+    /// itself (e.g. [`Wal::append_durable`]) or tolerates the loss.
+    Manual,
+    /// `write(2)` to the OS per append/group (the default): survives a
+    /// process crash, not a power failure. Matches the paper's phase-one
+    /// posture — replication, not fsync, covers node loss.
+    Flush,
+    /// Flush + fsync per append/group: power-fail durable acks.
+    Sync,
+}
+
 /// WAL tuning knobs.
 #[derive(Debug, Clone)]
 pub struct WalConfig {
     /// Rotate to a new segment after this many bytes.
     pub max_segment_bytes: u64,
-    /// fsync on every append (true) or only on explicit [`Wal::sync`].
-    pub sync_on_append: bool,
+    /// Write barrier applied per append ([`Wal`]) or per committed group
+    /// ([`crate::group::GroupCommitWal`]).
+    pub flush: FlushPolicy,
+    /// How long a group-commit leader lingers for stragglers before
+    /// sealing an epoch (zero = seal immediately; natural batching during
+    /// the previous epoch's barrier still coalesces). [`Wal`] ignores it.
+    pub group_commit_window: std::time::Duration,
+    /// Staging-arena cap per group-commit epoch: producers arriving at a
+    /// full arena wait for the next epoch. [`Wal`] ignores it.
+    pub max_group_bytes: usize,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
-        WalConfig { max_segment_bytes: 64 << 20, sync_on_append: false }
+        WalConfig {
+            max_segment_bytes: 64 << 20,
+            flush: FlushPolicy::Flush,
+            group_commit_window: std::time::Duration::ZERO,
+            max_group_bytes: 8 << 20,
+        }
     }
 }
 
@@ -46,6 +79,7 @@ pub struct Wal {
     // seq -> first lsn in that segment.
     segment_first_lsn: BTreeMap<u64, Lsn>,
     next_lsn: Lsn,
+    fsyncs: u64,
 }
 
 impl Wal {
@@ -90,20 +124,38 @@ impl Wal {
                 (SegmentWriter::create(dir.join(segment_file_name(0)))?, 0)
             }
         };
-        Ok((Wal { dir, config, active, active_seq, segment_first_lsn, next_lsn }, replayed))
+        Ok((
+            Wal { dir, config, active, active_seq, segment_first_lsn, next_lsn, fsyncs: 0 },
+            replayed,
+        ))
     }
 
-    /// Appends a payload, returning its LSN.
+    /// Appends a payload, returning its LSN. The write barrier follows
+    /// [`WalConfig::flush`] — callers that immediately [`Wal::sync`] should
+    /// use [`Wal::append_durable`] instead, which applies a single barrier.
     pub fn append(&mut self, payload: &[u8]) -> Result<Lsn> {
+        self.append_with_barrier(payload, self.config.flush)
+    }
+
+    /// Appends and fsyncs in one step: no intermediate flush, exactly one
+    /// write barrier regardless of [`WalConfig::flush`].
+    pub fn append_durable(&mut self, payload: &[u8]) -> Result<Lsn> {
+        self.append_with_barrier(payload, FlushPolicy::Sync)
+    }
+
+    fn append_with_barrier(&mut self, payload: &[u8], barrier: FlushPolicy) -> Result<Lsn> {
         if self.active.len() >= self.config.max_segment_bytes {
             self.rotate()?;
         }
         let lsn = self.next_lsn;
         self.active.append(payload)?;
-        if self.config.sync_on_append {
-            self.active.sync()?;
-        } else {
-            self.active.flush()?;
+        match barrier {
+            FlushPolicy::Manual => {}
+            FlushPolicy::Flush => self.active.flush()?,
+            FlushPolicy::Sync => {
+                self.active.sync()?;
+                self.fsyncs += 1;
+            }
         }
         self.next_lsn += 1;
         Ok(lsn)
@@ -111,6 +163,7 @@ impl Wal {
 
     fn rotate(&mut self) -> Result<()> {
         self.active.sync()?;
+        self.fsyncs += 1;
         self.active_seq += 1;
         self.segment_first_lsn.insert(self.active_seq, self.next_lsn);
         self.active = SegmentWriter::create(self.dir.join(segment_file_name(self.active_seq)))?;
@@ -119,7 +172,14 @@ impl Wal {
 
     /// Flushes and fsyncs the active segment.
     pub fn sync(&mut self) -> Result<()> {
-        self.active.sync()
+        self.active.sync()?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Lifetime fsync count (benchmark observability).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Forces rotation to a fresh segment (so a following
@@ -205,7 +265,7 @@ mod tests {
     #[test]
     fn rotation_spreads_segments() {
         let dir = temp_dir("rotate");
-        let config = WalConfig { max_segment_bytes: 64, sync_on_append: false };
+        let config = WalConfig { max_segment_bytes: 64, ..WalConfig::default() };
         let (mut wal, _) = Wal::open(&dir, config.clone()).unwrap();
         for _ in 0..20 {
             wal.append(&[7u8; 32]).unwrap();
@@ -239,7 +299,7 @@ mod tests {
     #[test]
     fn truncate_removes_archived_segments() {
         let dir = temp_dir("truncate");
-        let config = WalConfig { max_segment_bytes: 64, sync_on_append: false };
+        let config = WalConfig { max_segment_bytes: 64, ..WalConfig::default() };
         let (mut wal, _) = Wal::open(&dir, config.clone()).unwrap();
         for _ in 0..20 {
             wal.append(&[7u8; 32]).unwrap();

@@ -27,6 +27,13 @@ echo "== simulation sweep (replay any failure with SIMTEST_SEED=<seed>) =="
 cargo test --release -q -p logstore-simtest
 cargo test --release -q -p logstore-raft --test churn
 
+# Ingest bench smoke: a tiny producer sweep of the group-commit write
+# path against the seed-shaped baseline. Asserts fsync coalescing and
+# exact replay; the full matrix (BENCH_ingest.json) runs manually via
+# `cargo run --release -p logstore-bench --bin bench_ingest`.
+echo "== bench_ingest smoke =="
+cargo run -q --release -p logstore-bench --bin bench_ingest -- --smoke
+
 # Lock-analysis stage: the same detector that runs in every debug test,
 # but over *release* interleavings — optimized code races harder. Covers
 # the simtest episode sweep, the cache herd, and the engine lock-order
