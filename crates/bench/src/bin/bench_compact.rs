@@ -1,0 +1,173 @@
+//! Compaction read-amplification benchmark: an aged multi-tenant dataset
+//! (many small LogBlocks, the residue of frequent small flushes) queried
+//! cold before and after one background compaction pass.
+//!
+//! Measures, summed over a fixed per-tenant query set: OSS GET requests,
+//! LogBlocks visited, and modelled OSS time. Compaction must cut GETs and
+//! blocks visited by at least 2× — the acceptance bar — while every query
+//! returns byte-identical results and GC leaves OSS exactly mirroring the
+//! LogBlock map. Emits `BENCH_compact.json`.
+//!
+//! `--smoke` runs a small matrix into a temp file and asserts the same
+//! invariants (used by `scripts/check.sh`).
+
+use logstore_core::{ClusterConfig, LogStore, QueryOptions};
+use logstore_oss::ObjectStore;
+use logstore_types::{TenantId, Timestamp};
+use logstore_workload::LogRecordGenerator;
+
+struct Knobs {
+    tenants: u64,
+    /// Ingest+flush cycles per tenant: each cycle strands one small block.
+    cycles: usize,
+    rows_per_cycle: usize,
+    out_path: std::path::PathBuf,
+    smoke: bool,
+}
+
+/// One measured phase (before or after compaction).
+#[derive(Default)]
+struct Phase {
+    oss_gets: u64,
+    blocks_visited: u64,
+    modelled_oss_ms: f64,
+    results: Vec<Vec<Vec<logstore_types::Value>>>,
+}
+
+fn tenant_queries(tenant: u64, max_ts: i64) -> Vec<String> {
+    vec![
+        format!("SELECT COUNT(*) FROM request_log WHERE tenant_id = {tenant}"),
+        format!(
+            "SELECT COUNT(*) FROM request_log WHERE tenant_id = {tenant} AND ts >= {}",
+            max_ts / 2
+        ),
+        format!("SELECT latency FROM request_log WHERE tenant_id = {tenant} AND fail = true"),
+    ]
+}
+
+/// Runs the full query set cold (cache cleared, OSS metrics zeroed) and
+/// sums the read-amplification counters.
+fn run_phase(s: &LogStore, tenants: u64, max_ts: i64) -> Phase {
+    s.clear_cache();
+    s.reset_oss_metrics();
+    let mut phase = Phase::default();
+    for tenant in 1..=tenants {
+        for sql in tenant_queries(tenant, max_ts) {
+            let exec = s.query_with_options(&sql, &QueryOptions::default()).expect("bench query");
+            phase.blocks_visited += exec.stats.blocks_visited;
+            phase.modelled_oss_ms += exec.modelled_oss.as_secs_f64() * 1e3;
+            phase.results.push(exec.result.rows);
+        }
+    }
+    phase.oss_gets = s.oss_metrics().get_requests;
+    phase
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let knobs = if smoke {
+        Knobs {
+            tenants: 4,
+            cycles: 8,
+            rows_per_cycle: 12,
+            out_path: std::env::temp_dir()
+                .join(format!("BENCH_compact_smoke_{}.json", std::process::id())),
+            smoke: true,
+        }
+    } else {
+        Knobs {
+            tenants: 16,
+            cycles: 40,
+            rows_per_cycle: 12,
+            out_path: "BENCH_compact.json".into(),
+            smoke: false,
+        }
+    };
+
+    let s = LogStore::open(ClusterConfig::for_testing()).expect("open engine");
+    let mut generator = LogRecordGenerator::new(0xc0de);
+    let mut ts = 0i64;
+    // Age the dataset: frequent small flushes strand one small LogBlock
+    // per tenant per cycle, exactly the fragmentation compaction targets.
+    for _cycle in 0..knobs.cycles {
+        for tenant in 1..=knobs.tenants {
+            let batch: Vec<_> = (0..knobs.rows_per_cycle)
+                .map(|_| {
+                    ts += 1;
+                    generator.record(TenantId(tenant), Timestamp(ts))
+                })
+                .collect();
+            let report = s.ingest(batch).expect("bench ingest");
+            assert_eq!(report.rejected + report.failed, 0, "bench ingest must be clean");
+        }
+        s.flush().expect("bench flush");
+    }
+    let blocks_before = s.block_count();
+    let total_rows = (knobs.tenants as usize * knobs.cycles * knobs.rows_per_cycle) as u64;
+
+    let before = run_phase(&s, knobs.tenants, ts);
+
+    let report = s.compact().expect("compaction pass");
+    let gc = s.gc();
+    assert!(report.runs_committed >= knobs.tenants, "every tenant must compact: {report:?}");
+    assert_eq!(report.rows_rewritten, total_rows, "compaction must rewrite every row");
+    assert_eq!(gc.retained, 0, "no delete may fail on the in-memory store");
+    let blocks_after = s.block_count();
+
+    // OSS must hold exactly the mapped blocks — nothing leaked, nothing
+    // dangling — and the whole dataset must still be there.
+    let on_oss = s.shared().fault_layer().inner().list("tenants/").expect("raw list").len();
+    assert_eq!(on_oss, blocks_after, "OSS objects must mirror the LogBlock map after GC");
+
+    let after = run_phase(&s, knobs.tenants, ts);
+    assert_eq!(before.results, after.results, "compaction changed query results");
+
+    let gets_ratio = before.oss_gets as f64 / after.oss_gets.max(1) as f64;
+    let visited_ratio = before.blocks_visited as f64 / after.blocks_visited.max(1) as f64;
+    println!(
+        "blocks {blocks_before} -> {blocks_after} | per-query-set OSS GETs {} -> {} ({gets_ratio:.1}x) \
+         | blocks visited {} -> {} ({visited_ratio:.1}x) | modelled OSS {:.2}ms -> {:.2}ms",
+        before.oss_gets,
+        after.oss_gets,
+        before.blocks_visited,
+        after.blocks_visited,
+        before.modelled_oss_ms,
+        after.modelled_oss_ms
+    );
+    assert!(gets_ratio >= 2.0, "compaction must cut per-query OSS GETs >=2x, got {gets_ratio:.2}x");
+    assert!(
+        visited_ratio >= 2.0,
+        "compaction must cut blocks visited >=2x, got {visited_ratio:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"compact_read_amplification\",\n  \"tenants\": {},\n  \
+         \"cycles\": {},\n  \"rows_total\": {},\n  \"blocks_before\": {},\n  \
+         \"blocks_after\": {},\n  \"runs_committed\": {},\n  \"blocks_merged\": {},\n  \
+         \"gc_deleted\": {},\n  \"oss_gets_before\": {},\n  \"oss_gets_after\": {},\n  \
+         \"oss_gets_reduction\": {:.2},\n  \"blocks_visited_before\": {},\n  \
+         \"blocks_visited_after\": {},\n  \"blocks_visited_reduction\": {:.2},\n  \
+         \"modelled_oss_ms_before\": {:.3},\n  \"modelled_oss_ms_after\": {:.3}\n}}\n",
+        knobs.tenants,
+        knobs.cycles,
+        total_rows,
+        blocks_before,
+        blocks_after,
+        report.runs_committed,
+        report.blocks_merged,
+        gc.deleted,
+        before.oss_gets,
+        after.oss_gets,
+        gets_ratio,
+        before.blocks_visited,
+        after.blocks_visited,
+        visited_ratio,
+        before.modelled_oss_ms,
+        after.modelled_oss_ms
+    );
+    std::fs::write(&knobs.out_path, json).expect("write bench json");
+    println!("wrote {}", knobs.out_path.display());
+    if knobs.smoke {
+        let _ = std::fs::remove_file(&knobs.out_path);
+    }
+}

@@ -117,6 +117,14 @@ impl<K: Eq + Hash + Clone, V> SizedLru<K, V> {
         Some(v)
     }
 
+    /// Removes every entry whose key matches `pred`, returning the removed
+    /// pairs (the disk tier deletes their backing files). Used to evict
+    /// all blocks of one OSS object when the object is garbage-collected.
+    pub fn remove_matching(&mut self, mut pred: impl FnMut(&K) -> bool) -> Vec<(K, V)> {
+        let keys: Vec<K> = self.entries.keys().filter(|k| pred(k)).cloned().collect();
+        keys.into_iter().filter_map(|k| self.remove(&k).map(|v| (k, v))).collect()
+    }
+
     /// Drops everything.
     pub fn clear(&mut self) {
         self.entries.clear();

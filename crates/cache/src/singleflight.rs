@@ -163,6 +163,7 @@ pub fn share_error(e: &Error) -> Error {
         Error::Backpressure(m) => Error::Backpressure(m.clone()),
         Error::Raft(m) => Error::Raft(m.clone()),
         Error::Cluster(m) => Error::Cluster(m.clone()),
+        Error::Stale(m) => Error::Stale(m.clone()),
         Error::Shutdown => Error::Shutdown,
         Error::Internal(m) => Error::Internal(m.clone()),
     }

@@ -170,6 +170,11 @@ impl MemoryBlockCache {
         self.shards.iter().map(|s| s.lock().used_bytes()).sum()
     }
 
+    /// Drops every block of one object (the object was deleted from OSS).
+    pub fn evict_object(&self, path: &str) -> usize {
+        self.shards.iter().map(|s| s.lock().remove_matching(|k| k.path == path).len()).sum()
+    }
+
     /// Drops everything.
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -272,6 +277,19 @@ impl DiskBlockCache {
     /// Bytes accounted in the index, across all shards.
     pub fn used_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Drops every block of one object, deleting the backing files.
+    pub fn evict_object(&self, path: &str) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let evicted = shard.lock().remove_matching(|k| k.path == path);
+            for (_, entry) in &evicted {
+                let _ = std::fs::remove_file(&entry.file);
+            }
+            removed += evicted.len();
+        }
+        removed
     }
 }
 
@@ -505,6 +523,17 @@ impl TieredCache {
     /// True if the block is in the memory tier right now.
     pub fn contains_in_memory(&self, key: &BlockKey) -> bool {
         self.memory.contains(key)
+    }
+
+    /// Evicts every cached block of one object from both tiers (GC deleted
+    /// the object; dead blocks must not pin memory/disk budget). Returns
+    /// the number of evicted blocks.
+    pub fn evict_object(&self, path: &str) -> usize {
+        let mut removed = self.memory.evict_object(path);
+        if let Some(disk) = &self.disk {
+            removed += disk.evict_object(path);
+        }
+        removed
     }
 
     /// Counter snapshot.
@@ -757,6 +786,31 @@ mod tests {
         let blocks = vec![(0u64, 100u64), (100, 100)];
         let short = |run: &[(u64, u64)]| Ok(run.iter().map(|_| vec![0u8; 1]).collect());
         assert!(cache.get_or_fetch_run("obj", &blocks, &short).is_err());
+    }
+
+    #[test]
+    fn evict_object_clears_both_tiers_and_deletes_files() {
+        let dir = temp_dir("evictobj");
+        let disk = DiskBlockCache::open(&dir, 1 << 20).unwrap();
+        // Memory fits two 100-byte blocks; the rest of "dead" spills to disk.
+        let cache = TieredCache::with_disk(250, disk);
+        for i in 0..4u64 {
+            cache.get_or_fetch(&key("dead", i * 100), || Ok(vec![i as u8; 100])).unwrap();
+        }
+        cache.get_or_fetch(&key("live", 0), || Ok(vec![9u8; 10])).unwrap();
+        let removed = cache.evict_object("dead");
+        assert_eq!(removed, 4, "every block of the object must go");
+        for i in 0..4u64 {
+            assert!(!cache.contains_in_memory(&key("dead", i * 100)));
+        }
+        // Dead blocks are cold again (refetched), the live object is not.
+        let before = cache.stats().misses;
+        cache.get_or_fetch(&key("dead", 0), || Ok(vec![0u8; 100])).unwrap();
+        assert_eq!(cache.stats().misses, before + 1);
+        cache.get_or_fetch(&key("live", 0), || panic!("live object stays cached")).unwrap();
+        // The spilled files were deleted, only live cache files may remain.
+        assert_eq!(cache.evict_object("dead"), 1, "only the refetched block remains");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub struct QueryExecution {
     /// waits) live here, NOT in [`QueryStats`], which stays bit-identical
     /// at every parallelism setting.
     pub cache: CacheStats,
+    /// Attempts restarted because expiration or compaction removed a
+    /// LogBlock between the map snapshot and the scan (a clean, counted
+    /// outcome — never a raw OSS `NotFound`). Race-timing-dependent, so it
+    /// lives here, not in [`QueryStats`].
+    pub stale_retries: u64,
 }
 
 /// One source of a LogBlock's bytes.
@@ -161,6 +166,14 @@ impl Broker {
     /// Parses, plans and executes one query: scatter per-source collection
     /// tasks over the engine's query pool, gather the partials in
     /// submission order, merge, finalize.
+    ///
+    /// A query races expiration and compaction by design: the LogBlock map
+    /// is snapshotted at plan time, and a planned block may be swapped out
+    /// and garbage-collected before its scan task opens it. That surfaces
+    /// as OSS `NotFound`; when the block has indeed left the map, the
+    /// whole attempt is restarted against the fresh map (counted in
+    /// [`QueryExecution::stale_retries`]). A `NotFound` for a block the
+    /// map still claims is real corruption and stays fatal.
     pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryExecution> {
         let wall_start = std::time::Instant::now();
         let oss_before = self.shared.oss_sim().metrics().modelled_time_ns;
@@ -179,6 +192,42 @@ impl Broker {
             Error::Query("queries must pin a tenant: add 'tenant_id = <id>'".into())
         })?;
 
+        // Bounded retry: each pass replans from the current map. Three
+        // map-change losses in a row means the caller is racing a
+        // pathological churn rate; surface the typed retryable error.
+        const MAX_ATTEMPTS: u64 = 3;
+        let mut stale_retries = 0u64;
+        loop {
+            match self.query_attempt(&bound, &scope, tenant, opts) {
+                Ok((result, stats, all_blocks)) => {
+                    let visited = stats.blocks_visited;
+                    let oss_after = self.shared.oss_sim().metrics().modelled_time_ns;
+                    return Ok(QueryExecution {
+                        result,
+                        stats,
+                        blocks_pruned_by_map: all_blocks.saturating_sub(visited),
+                        modelled_oss: Duration::from_nanos(oss_after.saturating_sub(oss_before)),
+                        wall: wall_start.elapsed(),
+                        cache: self.shared.cache.stats().delta_since(&cache_before),
+                        stale_retries,
+                    });
+                }
+                Err(Error::Stale(_)) if stale_retries + 1 < MAX_ATTEMPTS => stale_retries += 1,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One scatter/gather pass against the current LogBlock map. Returns
+    /// the finalized result, the merged deterministic stats, and the
+    /// tenant's total mapped block count (for the pruning counter).
+    fn query_attempt(
+        &self,
+        bound: &Arc<Query>,
+        scope: &QueryScope,
+        tenant: logstore_types::TenantId,
+        opts: &QueryOptions,
+    ) -> Result<(QueryResult, QueryStats, u64)> {
         let all_blocks = self.shared.metadata.all_blocks(tenant).len() as u64;
 
         // Scatter: one task per source, in canonical order.
@@ -190,7 +239,7 @@ impl Broker {
             shards.sort_unstable();
             for shard in shards {
                 let shared = Arc::clone(&self.shared);
-                let bound = Arc::clone(&bound);
+                let bound = Arc::clone(bound);
                 let range = scope.range;
                 tasks.push(Box::new(move || {
                     let mut stats = QueryStats::default();
@@ -213,42 +262,56 @@ impl Broker {
             entries.sort_unstable_by(|a, b| a.path.cmp(&b.path));
             for entry in entries {
                 let shared = Arc::clone(&self.shared);
-                let bound = Arc::clone(&bound);
+                let bound = Arc::clone(bound);
                 let opts = opts.clone();
                 tasks.push(Box::new(move || {
                     let mut stats = QueryStats::default();
-                    // The LogBlock map records each block's exact packed
-                    // size, so opening a source needs no HEAD round-trip.
-                    let source = if opts.use_cache {
-                        Source::Cached(CachedObjectSource::open_with_known_size(
-                            Arc::clone(&shared.store),
-                            entry.path.clone(),
-                            Arc::clone(&shared.cache),
-                            shared.cache_block_size,
-                            entry.bytes,
-                        ))
-                    } else {
-                        Source::Direct(DirectSource::new(
-                            Arc::clone(&shared.store),
-                            entry.path.clone(),
-                            entry.bytes,
-                        ))
-                    };
-                    let reader = LogBlockReader::open(source)?;
-                    if opts.use_cache && opts.use_prefetch {
-                        // A failed prefetch block is not fatal: it is
-                        // counted, and the scan falls through to demand
-                        // reads (which may themselves succeed or fail on
-                        // their own terms).
-                        if let Source::Cached(cached) = reader.pack().source() {
-                            let ranges = prefetch_ranges(&reader, &bound);
-                            let outcome = shared.prefetcher.prefetch_wave(cached, ranges);
-                            stats.prefetch_errors += outcome.errors as u64;
+                    let path = entry.path.clone();
+                    let scan = (|| {
+                        // The LogBlock map records each block's exact packed
+                        // size, so opening a source needs no HEAD round-trip.
+                        let source = if opts.use_cache {
+                            Source::Cached(CachedObjectSource::open_with_known_size(
+                                Arc::clone(&shared.store),
+                                entry.path.clone(),
+                                Arc::clone(&shared.cache),
+                                shared.cache_block_size,
+                                entry.bytes,
+                            ))
+                        } else {
+                            Source::Direct(DirectSource::new(
+                                Arc::clone(&shared.store),
+                                entry.path.clone(),
+                                entry.bytes,
+                            ))
+                        };
+                        let reader = LogBlockReader::open(source)?;
+                        if opts.use_cache && opts.use_prefetch {
+                            // A failed prefetch block is not fatal: it is
+                            // counted, and the scan falls through to demand
+                            // reads (which may themselves succeed or fail on
+                            // their own terms).
+                            if let Source::Cached(cached) = reader.pack().source() {
+                                let ranges = prefetch_ranges(&reader, &bound);
+                                let outcome = shared.prefetcher.prefetch_wave(cached, ranges);
+                                stats.prefetch_errors += outcome.errors as u64;
+                            }
                         }
+                        collect_from_block(&reader, &bound, opts.use_skipping, &mut stats)
+                    })();
+                    match scan {
+                        Ok(partial) => Ok((partial, stats)),
+                        // A vanished object that the map no longer claims
+                        // was expired or compacted away mid-query: report
+                        // it as stale metadata so the broker replans,
+                        // instead of leaking a raw OSS NotFound.
+                        Err(Error::NotFound(_))
+                            if !shared.metadata.is_block_mapped(tenant, &path) =>
+                        {
+                            Err(Error::Stale(format!("LogBlock {path} removed mid-query")))
+                        }
+                        Err(e) => Err(e),
                     }
-                    let partial =
-                        collect_from_block(&reader, &bound, opts.use_skipping, &mut stats)?;
-                    Ok((partial, stats))
                 }));
             }
         }
@@ -265,19 +328,10 @@ impl Broker {
             partials.push(partial);
         }
 
-        let visited = stats.blocks_visited;
         let merged =
-            if partials.is_empty() { empty_partial(&bound) } else { merge_partials(partials)? };
-        let result = finalize(merged, &bound, &self.shared.schema)?;
-        let oss_after = self.shared.oss_sim().metrics().modelled_time_ns;
-        Ok(QueryExecution {
-            result,
-            stats,
-            blocks_pruned_by_map: all_blocks.saturating_sub(visited),
-            modelled_oss: Duration::from_nanos(oss_after.saturating_sub(oss_before)),
-            wall: wall_start.elapsed(),
-            cache: self.shared.cache.stats().delta_since(&cache_before),
-        })
+            if partials.is_empty() { empty_partial(bound) } else { merge_partials(partials)? };
+        let result = finalize(merged, bound, &self.shared.schema)?;
+        Ok((result, stats, all_blocks))
     }
 }
 

@@ -80,6 +80,16 @@ pub struct ClusterConfig {
     /// group-commit knobs (`group_commit_window`, `max_group_bytes`).
     /// Ignored when `data_dir` is `None`.
     pub wal: logstore_wal::WalConfig,
+    /// Compaction candidate threshold: LogBlocks with fewer rows than this
+    /// may be merged with their neighbours. `None` defaults to
+    /// `max_rows_per_logblock` (any partially-filled block qualifies).
+    pub compact_small_rows: Option<u64>,
+    /// Minimum run of adjacent small blocks worth rewriting.
+    pub compact_min_run: usize,
+    /// Row cap for one merged block. `None` defaults to
+    /// `4 * max_rows_per_logblock` — compaction exists to build blocks
+    /// *larger* than the flush path's cap.
+    pub compact_max_merged_rows: Option<u64>,
 }
 
 impl ClusterConfig {
@@ -115,6 +125,9 @@ impl ClusterConfig {
             seed: 42,
             data_dir: None,
             wal: logstore_wal::WalConfig::default(),
+            compact_small_rows: None,
+            compact_min_run: 2,
+            compact_max_merged_rows: None,
         }
     }
 

@@ -190,17 +190,22 @@ impl ClusterController {
     }
 
     /// Runs the expiration task over every registered tenant: expired
-    /// LogBlocks are removed from the map and deleted from OSS. Returns the
-    /// number of deleted blocks.
+    /// LogBlocks move from the map to the persistent tombstone list (one
+    /// atomic metadata transaction per tenant), then a GC pass deletes the
+    /// tombstoned objects from OSS. Returns the number of deleted objects.
+    ///
+    /// The ordering is load-bearing: the map swap happens *before* any
+    /// delete, and a failed delete keeps its tombstone — so one tenant's
+    /// OSS error neither aborts the other tenants' expiration nor leaks
+    /// the object (the next pass retries it). The historical ordering
+    /// (delete inline, `?` on failure) did both.
     pub fn run_expiration<S: ObjectStore>(&self, store: &S, now: Timestamp) -> Result<u64> {
-        let mut deleted = 0;
         for tenant in self.metadata.tenants() {
-            for path in self.metadata.expire(tenant, now) {
-                store.delete(&path)?;
-                deleted += 1;
-            }
+            self.metadata.expire(tenant, now);
         }
-        Ok(deleted)
+        let report =
+            crate::compactor::run_gc(store, &self.metadata, None, &crate::hooks::NoopHooks);
+        Ok(report.deleted)
     }
 }
 

@@ -1,6 +1,7 @@
 //! The `LogStore` facade: one embedded, multi-tenant log database.
 
 use crate::broker::{Broker, QueryExecution};
+use crate::compactor::{self, CompactionConfig, CompactionReport, GcReport};
 use crate::config::{ClusterConfig, QueryOptions};
 use crate::controller::ClusterController;
 use crate::databuilder::{build_and_upload_drain, BuildConfig, BuildReport};
@@ -318,6 +319,9 @@ impl LogStore {
     /// shard is processed even when an earlier one fails; the first error
     /// is returned after the pass completes.
     fn run_builder(&self, force: bool) -> Result<BuildReport> {
+        // Registered before any path allocation: while this guard lives,
+        // the GC pass will not sweep our pending upload paths as orphans.
+        let _build = self.shared.metadata.begin_build();
         let mut total = BuildReport::default();
         let mut first_error: Option<Error> = None;
         for worker in self.shared.worker_snapshot() {
@@ -412,6 +416,7 @@ impl LogStore {
     /// queryable there and the next build pass re-archives them: a missed
     /// rebalance, never a lost row.
     fn flush_vacated_route(&self, tenant: TenantId, shard: ShardId) -> Result<()> {
+        let _build = self.shared.metadata.begin_build();
         let worker = self.shared.worker_for(shard)?;
         let Some((seq, rows)) = worker.drain_tenant(shard, tenant)? else {
             return Ok(());
@@ -500,9 +505,61 @@ impl LogStore {
         self.shared.metadata.set_retention(tenant, retention_ms);
     }
 
-    /// Runs the expiration task as of `now`; returns deleted block count.
+    /// Runs the expiration task as of `now`; returns the number of
+    /// objects deleted from OSS.
+    ///
+    /// Expiration is two decoupled steps: every tenant's expired blocks
+    /// move from the live map to the persistent tombstone list (atomic,
+    /// infallible, per tenant — one tenant cannot abort another), then a
+    /// GC pass deletes tombstoned objects. A failed delete retains its
+    /// tombstone for the next pass instead of leaking the object.
     pub fn expire(&self, now: Timestamp) -> Result<u64> {
-        self.shared.controller.run_expiration(self.shared.store.as_ref(), now)
+        for tenant in self.shared.metadata.tenants() {
+            self.shared.metadata.expire(tenant, now);
+        }
+        Ok(self.gc().deleted)
+    }
+
+    /// One compaction pass: merges runs of small adjacent LogBlocks per
+    /// tenant into large blocks (rebuilding all indexes), swapping the map
+    /// atomically and tombstoning the superseded objects. Safe to run
+    /// concurrently with ingest, queries and expiration: a lost race
+    /// surfaces as a skipped run, never as data loss.
+    pub fn compact(&self) -> Result<CompactionReport> {
+        compactor::run_compaction(
+            self.shared.store.as_ref(),
+            &self.shared.metadata,
+            &self.shared.schema,
+            &self.build_config,
+            &self.compaction_config(),
+            self.shared.hooks.as_ref(),
+        )
+    }
+
+    /// One GC pass: sweeps orphaned uploads into the tombstone list and
+    /// deletes tombstoned objects from OSS (evicting them from the block
+    /// cache). Failed deletes are retried by the next pass.
+    pub fn gc(&self) -> GcReport {
+        compactor::run_gc(
+            self.shared.store.as_ref(),
+            &self.shared.metadata,
+            Some(self.shared.cache.as_ref()),
+            self.shared.hooks.as_ref(),
+        )
+    }
+
+    fn compaction_config(&self) -> CompactionConfig {
+        CompactionConfig {
+            small_block_rows: self
+                .config
+                .compact_small_rows
+                .unwrap_or(self.config.max_rows_per_logblock as u64),
+            min_run: self.config.compact_min_run,
+            max_merged_rows: self
+                .config
+                .compact_max_merged_rows
+                .unwrap_or(4 * self.config.max_rows_per_logblock as u64),
+        }
     }
 
     /// Per-tenant archived usage (the billing meter).

@@ -21,7 +21,10 @@ use std::sync::Arc;
 /// The lattice follows the protocol order for one drain:
 /// ingest (`AfterWalAppend`) → drain+intent (`AfterDrain`) →
 /// upload+commit (`AfterUpload`) → ack (`BeforeAck`) →
-/// checkpoint (`BeforeCheckpoint`) → WAL truncation (`BeforeTruncate`).
+/// checkpoint (`BeforeCheckpoint`) → WAL truncation (`BeforeTruncate`),
+/// and for one compaction:
+/// plan (`CompactPlanned`) → upload (`CompactUploaded`) →
+/// swap+tombstone (`CompactCommitted`) → GC delete (`BeforeGcDelete`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CrashPoint {
     /// An ingest batch is durable in the WAL and applied to the row store,
@@ -41,17 +44,32 @@ pub enum CrashPoint {
     BeforeCheckpoint,
     /// The shard is quiescent and about to drop WAL segments.
     BeforeTruncate,
+    /// A compaction run is planned: the merged block's path is recorded as
+    /// a pending intent in the metadata store, nothing uploaded yet.
+    CompactPlanned,
+    /// The merged block is durable on OSS, but the map has not been
+    /// swapped — the source blocks are still the live ones.
+    CompactUploaded,
+    /// The map swap committed: the merged block is live, the superseded
+    /// sources sit on the tombstone list, their objects not yet deleted.
+    CompactCommitted,
+    /// Inside the GC pass, right before deleting one tombstoned object.
+    BeforeGcDelete,
 }
 
 impl CrashPoint {
     /// Every point, in protocol order.
-    pub const ALL: [CrashPoint; 6] = [
+    pub const ALL: [CrashPoint; 10] = [
         CrashPoint::AfterWalAppend,
         CrashPoint::AfterDrain,
         CrashPoint::AfterUpload,
         CrashPoint::BeforeAck,
         CrashPoint::BeforeCheckpoint,
         CrashPoint::BeforeTruncate,
+        CrashPoint::CompactPlanned,
+        CrashPoint::CompactUploaded,
+        CrashPoint::CompactCommitted,
+        CrashPoint::BeforeGcDelete,
     ];
 }
 

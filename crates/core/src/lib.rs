@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod broker;
+pub mod compactor;
 pub mod config;
 pub mod controller;
 pub mod databuilder;
@@ -31,9 +32,10 @@ pub mod hooks;
 pub mod metadata;
 pub mod worker;
 
+pub use compactor::{CompactionConfig, CompactionReport, CompactionRun, GcReport};
 pub use config::{ClusterConfig, QueryOptions};
 pub use engine::{ArchiveStats, IngestReport, LogStore, OpenParts, Store};
 pub use executor::QueryPool;
 pub use hooks::{noop_hooks, CrashHooks, CrashPoint, NoopHooks, SimCrash};
-pub use metadata::{DrainId, LogBlockEntry, MetadataStore, TenantInfo};
+pub use metadata::{BuildGuard, DrainId, LogBlockEntry, MetadataStore, TenantInfo};
 pub use worker::ArchiveCatalog;

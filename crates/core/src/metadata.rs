@@ -7,7 +7,8 @@
 use logstore_sync::OrderedRwLock;
 use logstore_types::{Error, Result, ShardId, TenantId, TimeRange, Timestamp};
 use logstore_wal::DrainSeq;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Durable identity of one shard drain across the whole cluster: the
 /// shard plus its per-shard [`DrainSeq`]. The key of the drain-commit
@@ -58,11 +59,20 @@ pub struct TenantInfo {
 #[derive(Debug)]
 pub struct MetadataStore {
     inner: OrderedRwLock<Inner>,
+    // Uploads currently between `allocate_block_path` and their commit.
+    // While this is non-zero, `sweep_stale_pending` refuses to reclassify
+    // pending paths as garbage: a builder registers itself *before*
+    // allocating, so any path a live build holds is protected. Kept as an
+    // atomic (not in `Inner`) so [`BuildGuard::drop`] never takes a lock.
+    builds_in_flight: AtomicU64,
 }
 
 impl Default for MetadataStore {
     fn default() -> Self {
-        MetadataStore { inner: OrderedRwLock::new("core.metadata.inner", Inner::default()) }
+        MetadataStore {
+            inner: OrderedRwLock::new("core.metadata.inner", Inner::default()),
+            builds_in_flight: AtomicU64::new(0),
+        }
     }
 }
 
@@ -77,6 +87,34 @@ struct Inner {
     // durable and registered. WAL replay consults this (via the worker's
     // resolver) to keep committed rows out of the row store.
     drain_commits: HashMap<DrainId, u64>,
+    // Bumped on every mutation that *removes* a path from the live map
+    // (expire, compaction swap). Queries snapshot it before scattering;
+    // a changed version explains a NotFound on a block that was mapped.
+    map_version: u64,
+    // Paths whose objects must eventually be deleted from OSS but are no
+    // longer (or were never) in the live map. Persistent until a delete
+    // succeeds: a failed delete stays here and is retried by the next GC
+    // pass, so no object is ever leaked by a transient OSS error.
+    tombstones: BTreeSet<String>,
+    // Allocated paths whose upload has not committed yet. Cleared by
+    // `register_block` / `commit_drain` / `commit_compaction`; a path
+    // still here after its build died (crash between put and commit) is
+    // an orphaned object, swept into `tombstones` by the GC pass.
+    pending_paths: BTreeSet<String>,
+}
+
+/// RAII registration of an in-flight build (archive upload or compaction).
+/// While any guard is alive, [`MetadataStore::sweep_stale_pending`] leaves
+/// pending paths alone. Take the guard *before* allocating paths.
+#[derive(Debug)]
+pub struct BuildGuard<'a> {
+    meta: &'a MetadataStore,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        self.meta.builds_in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl MetadataStore {
@@ -95,15 +133,25 @@ impl MetadataStore {
         self.inner.read().tenants.get(&tenant).cloned().unwrap_or_default()
     }
 
+    /// Registers an in-flight build. Hold the returned guard across the
+    /// whole allocate→upload→commit window so the GC pass cannot sweep the
+    /// build's pending paths out from under it.
+    pub fn begin_build(&self) -> BuildGuard<'_> {
+        self.builds_in_flight.fetch_add(1, Ordering::SeqCst);
+        BuildGuard { meta: self }
+    }
+
     /// Allocates a unique LogBlock object path for a tenant. Per-tenant
-    /// OSS directories give the physical isolation of §3.1.
+    /// OSS directories give the physical isolation of §3.1. The path is
+    /// recorded as a *pending intent* until a commit registers it, so an
+    /// object orphaned by a crash between upload and commit is found and
+    /// deleted by GC rather than leaked.
     pub fn allocate_block_path(&self, tenant: TenantId) -> String {
-        let seq = {
-            let mut inner = self.inner.write();
-            inner.next_block_seq += 1;
-            inner.next_block_seq
-        };
-        format!("tenants/{}/blk-{seq:012}.pack", tenant.raw())
+        let mut inner = self.inner.write();
+        inner.next_block_seq += 1;
+        let path = format!("tenants/{}/blk-{:012}.pack", tenant.raw(), inner.next_block_seq);
+        inner.pending_paths.insert(path.clone());
+        path
     }
 
     /// Registers an uploaded LogBlock.
@@ -112,6 +160,7 @@ impl MetadataStore {
             return Err(Error::invalid("block time range inverted"));
         }
         let mut inner = self.inner.write();
+        inner.pending_paths.remove(&entry.path);
         let info = inner.tenants.entry(tenant).or_default();
         info.archived_rows += entry.rows;
         info.archived_bytes += entry.bytes;
@@ -141,6 +190,7 @@ impl MetadataStore {
             return Err(Error::invalid(format!("drain {id:?} committed twice")));
         }
         for (tenant, entry) in blocks {
+            inner.pending_paths.remove(&entry.path);
             let info = inner.tenants.entry(tenant).or_default();
             info.archived_rows += entry.rows;
             info.archived_bytes += entry.bytes;
@@ -187,7 +237,12 @@ impl MetadataStore {
     }
 
     /// Removes expired blocks of `tenant` as of `now` per its retention
-    /// policy, returning the object paths to delete from OSS.
+    /// policy. The removed paths move to the tombstone list in the *same*
+    /// metadata transaction — the map swap and the tombstoning are atomic,
+    /// so the subsequent OSS deletes can fail (or the process can crash)
+    /// without leaking an object: the path is either live in the map or on
+    /// the tombstone list, never forgotten. Returns the newly tombstoned
+    /// paths.
     pub fn expire(&self, tenant: TenantId, now: Timestamp) -> Vec<String> {
         let mut inner = self.inner.write();
         let Some(retention) = inner.tenants.get(&tenant).and_then(|t| t.retention_ms) else {
@@ -198,8 +253,8 @@ impl MetadataStore {
             return Vec::new();
         };
         let mut expired = Vec::new();
-        let mut removed_rows = 0;
-        let mut removed_bytes = 0;
+        let mut removed_rows = 0u64;
+        let mut removed_bytes = 0u64;
         blocks.retain(|b| {
             // A block expires only when *all* its data is past the cutoff.
             if b.max_ts < cutoff {
@@ -211,11 +266,146 @@ impl MetadataStore {
                 true
             }
         });
-        if let Some(info) = inner.tenants.get_mut(&tenant) {
-            info.archived_rows -= removed_rows;
-            info.archived_bytes -= removed_bytes;
+        if expired.is_empty() {
+            return expired;
         }
+        if let Some(info) = inner.tenants.get_mut(&tenant) {
+            // Saturating: if accounting ever drifts, clamp to zero instead
+            // of underflow-panicking the expiration pass.
+            info.archived_rows = info.archived_rows.saturating_sub(removed_rows);
+            info.archived_bytes = info.archived_bytes.saturating_sub(removed_bytes);
+        }
+        inner.tombstones.extend(expired.iter().cloned());
+        inner.map_version += 1;
         expired
+    }
+
+    /// The current map version. Bumped whenever a path leaves the live map
+    /// (expiration or compaction swap); a query that hits NotFound on a
+    /// block can compare versions to recognise a stale plan.
+    pub fn map_version(&self) -> u64 {
+        self.inner.read().map_version
+    }
+
+    /// Whether `path` is currently in `tenant`'s live block map.
+    pub fn is_block_mapped(&self, tenant: TenantId, path: &str) -> bool {
+        self.inner
+            .read()
+            .blocks
+            .get(&tenant)
+            .is_some_and(|blocks| blocks.iter().any(|b| b.path == path))
+    }
+
+    /// Plans one compaction: verifies every source is currently mapped for
+    /// `tenant` and allocates the merged block's path (as a pending
+    /// intent). The sources stay live — a crash from here until the commit
+    /// loses nothing but the (garbage-collected) merged upload.
+    pub fn begin_compaction(&self, tenant: TenantId, sources: &[String]) -> Result<String> {
+        if sources.len() < 2 {
+            return Err(Error::invalid("compaction needs at least two source blocks"));
+        }
+        {
+            let inner = self.inner.read();
+            let blocks = inner
+                .blocks
+                .get(&tenant)
+                .ok_or_else(|| Error::Stale(format!("tenant {tenant:?} has no blocks")))?;
+            for src in sources {
+                if !blocks.iter().any(|b| &b.path == src) {
+                    return Err(Error::Stale(format!("source block {src} is no longer mapped")));
+                }
+            }
+        }
+        Ok(self.allocate_block_path(tenant))
+    }
+
+    /// Commits one compaction atomically: re-verifies the sources are
+    /// still mapped (a concurrent expire or compact may have won), swaps
+    /// them out for `merged` in one transaction, moves their paths to the
+    /// tombstone list and bumps the map version. On a verification failure
+    /// nothing changes — the caller aborts (tombstoning the merged path).
+    pub fn commit_compaction(
+        &self,
+        tenant: TenantId,
+        merged: LogBlockEntry,
+        sources: &[String],
+    ) -> Result<()> {
+        if merged.min_ts > merged.max_ts {
+            return Err(Error::invalid("block time range inverted"));
+        }
+        let mut inner = self.inner.write();
+        let blocks = inner
+            .blocks
+            .get_mut(&tenant)
+            .ok_or_else(|| Error::Stale(format!("tenant {tenant:?} has no blocks")))?;
+        for src in sources {
+            if !blocks.iter().any(|b| &b.path == src) {
+                return Err(Error::Stale(format!("source block {src} is no longer mapped")));
+            }
+        }
+        let (mut removed_rows, mut removed_bytes) = (0u64, 0u64);
+        blocks.retain(|b| {
+            if sources.contains(&b.path) {
+                removed_rows += b.rows;
+                removed_bytes += b.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        let (path, rows, bytes) = (merged.path.clone(), merged.rows, merged.bytes);
+        blocks.push(merged);
+        if let Some(info) = inner.tenants.get_mut(&tenant) {
+            info.archived_rows = info.archived_rows.saturating_sub(removed_rows) + rows;
+            info.archived_bytes = info.archived_bytes.saturating_sub(removed_bytes) + bytes;
+        }
+        inner.pending_paths.remove(&path);
+        inner.tombstones.extend(sources.iter().cloned());
+        inner.map_version += 1;
+        Ok(())
+    }
+
+    /// Aborts a planned compaction: the merged path (which may or may not
+    /// have been uploaded) moves from pending to the tombstone list, so GC
+    /// deletes whatever made it to OSS. Idempotent; a path that already
+    /// committed is left alone.
+    pub fn abort_compaction(&self, path: &str) {
+        let mut inner = self.inner.write();
+        if inner.pending_paths.remove(path) {
+            inner.tombstones.insert(path.to_string());
+        }
+    }
+
+    /// Snapshot of the tombstone list.
+    pub fn tombstones(&self) -> Vec<String> {
+        self.inner.read().tombstones.iter().cloned().collect()
+    }
+
+    /// Drops one tombstone after its object was deleted from OSS.
+    pub fn remove_tombstone(&self, path: &str) {
+        self.inner.write().tombstones.remove(path);
+    }
+
+    /// Snapshot of the pending (allocated, uncommitted) paths.
+    pub fn pending_paths(&self) -> Vec<String> {
+        self.inner.read().pending_paths.iter().cloned().collect()
+    }
+
+    /// Reclassifies pending paths as garbage: every pending path moves to
+    /// the tombstone list. Only legal when no build is in flight (a crash
+    /// left them behind); with live builds this is a no-op returning 0.
+    pub fn sweep_stale_pending(&self) -> usize {
+        let mut inner = self.inner.write();
+        // Checked under the write lock: a build registers itself before
+        // allocating, and allocation needs this lock — so a count of zero
+        // here proves no live build owns any currently-pending path.
+        if self.builds_in_flight.load(Ordering::SeqCst) != 0 {
+            return 0;
+        }
+        let stale = std::mem::take(&mut inner.pending_paths);
+        let swept = stale.len();
+        inner.tombstones.extend(stale);
+        swept
     }
 }
 
@@ -297,5 +487,125 @@ mod tests {
     fn inverted_range_rejected() {
         let m = MetadataStore::new();
         assert!(m.register_block(TenantId(1), entry("bad", 10, 5, 1)).is_err());
+    }
+
+    #[test]
+    fn expire_moves_paths_to_tombstones_and_bumps_version() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        m.set_retention(t, Some(100));
+        m.register_block(t, entry("old", 0, 50, 10)).unwrap();
+        m.register_block(t, entry("fresh", 160, 200, 10)).unwrap();
+        let v0 = m.map_version();
+        let expired = m.expire(t, Timestamp(200));
+        assert_eq!(expired, vec!["old"]);
+        assert_eq!(m.tombstones(), vec!["old"]);
+        assert!(m.map_version() > v0, "removing a mapped path must bump the version");
+        assert!(!m.is_block_mapped(t, "old"));
+        assert!(m.is_block_mapped(t, "fresh"));
+        // A no-op expire neither tombstones nor bumps.
+        let v1 = m.map_version();
+        assert!(m.expire(t, Timestamp(200)).is_empty());
+        assert_eq!(m.map_version(), v1);
+        m.remove_tombstone("old");
+        assert!(m.tombstones().is_empty());
+    }
+
+    #[test]
+    fn drifted_accounting_saturates_instead_of_panicking() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        m.set_retention(t, Some(10));
+        m.register_block(t, entry("a", 0, 5, 10)).unwrap();
+        // Simulate accounting drift: fewer rows on record than the block
+        // claims. The expire pass must clamp, not underflow.
+        m.inner.write().tenants.get_mut(&t).unwrap().archived_rows = 3;
+        let expired = m.expire(t, Timestamp(1_000));
+        assert_eq!(expired, vec!["a"]);
+        assert_eq!(m.tenant_info(t).archived_rows, 0);
+    }
+
+    #[test]
+    fn compaction_swap_is_atomic_and_tombstones_sources() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        m.register_block(t, entry("a", 0, 10, 10)).unwrap();
+        m.register_block(t, entry("b", 11, 20, 10)).unwrap();
+        m.register_block(t, entry("c", 21, 30, 10)).unwrap();
+        let sources = vec!["a".to_string(), "b".to_string()];
+        let merged_path = m.begin_compaction(t, &sources).unwrap();
+        assert!(m.pending_paths().contains(&merged_path));
+        let v0 = m.map_version();
+        let mut merged = entry("m", 0, 20, 20);
+        merged.path = merged_path.clone();
+        m.commit_compaction(t, merged, &sources).unwrap();
+        assert!(!m.is_block_mapped(t, "a"));
+        assert!(!m.is_block_mapped(t, "b"));
+        assert!(m.is_block_mapped(t, "c"));
+        assert!(m.is_block_mapped(t, &merged_path));
+        assert_eq!(m.tombstones(), vec!["a".to_string(), "b".to_string()]);
+        assert!(m.pending_paths().is_empty());
+        assert!(m.map_version() > v0);
+        // Row/byte accounting is preserved across the swap.
+        assert_eq!(m.tenant_info(t).archived_rows, 30);
+    }
+
+    #[test]
+    fn commit_compaction_detects_stale_sources() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        m.set_retention(t, Some(1));
+        m.register_block(t, entry("a", 0, 10, 10)).unwrap();
+        m.register_block(t, entry("b", 11, 20, 10)).unwrap();
+        let sources = vec!["a".to_string(), "b".to_string()];
+        let merged_path = m.begin_compaction(t, &sources).unwrap();
+        // A concurrent expire wins the race and unmaps both sources.
+        m.expire(t, Timestamp(10_000));
+        let mut merged = entry("m", 0, 20, 20);
+        merged.path = merged_path.clone();
+        let err = m.commit_compaction(t, merged, &sources).unwrap_err();
+        assert!(matches!(err, Error::Stale(_)), "expected Stale, got {err}");
+        // Abort: the uploaded-but-never-committed merged object becomes a
+        // tombstone so GC deletes it. Aborting twice is harmless.
+        m.abort_compaction(&merged_path);
+        m.abort_compaction(&merged_path);
+        assert!(m.tombstones().contains(&merged_path));
+        assert!(m.pending_paths().is_empty());
+    }
+
+    #[test]
+    fn begin_compaction_rejects_unmapped_or_short_runs() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        m.register_block(t, entry("a", 0, 10, 10)).unwrap();
+        assert!(m.begin_compaction(t, &["a".to_string()]).is_err());
+        let err = m.begin_compaction(t, &["a".to_string(), "ghost".to_string()]).unwrap_err();
+        assert!(matches!(err, Error::Stale(_)));
+    }
+
+    #[test]
+    fn sweep_respects_in_flight_builds() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        let guard = m.begin_build();
+        let path = m.allocate_block_path(t);
+        assert_eq!(m.sweep_stale_pending(), 0, "live build's path must not be swept");
+        assert!(m.tombstones().is_empty());
+        drop(guard);
+        assert_eq!(m.sweep_stale_pending(), 1);
+        assert!(m.tombstones().contains(&path));
+        assert!(m.pending_paths().is_empty());
+    }
+
+    #[test]
+    fn committed_paths_leave_the_pending_set() {
+        let m = MetadataStore::new();
+        let t = TenantId(1);
+        let path = m.allocate_block_path(t);
+        let mut e = entry("x", 0, 10, 5);
+        e.path = path.clone();
+        m.register_block(t, e).unwrap();
+        assert!(m.pending_paths().is_empty());
+        assert_eq!(m.sweep_stale_pending(), 0);
     }
 }

@@ -7,7 +7,8 @@ use logstore_core::{
     SimCrash, Store,
 };
 use logstore_oss::{
-    FaultScope, FaultyStore, LatencyModel, MemoryStore, RetryPolicy, RetryingStore, SimulatedOss,
+    FaultScope, FaultyStore, LatencyModel, MemoryStore, ObjectStore, RetryPolicy, RetryingStore,
+    SimulatedOss,
 };
 use logstore_types::{LogRecord, TenantId, Timestamp, Value};
 use logstore_workload::LogRecordGenerator;
@@ -285,6 +286,34 @@ impl Episode {
                     }
                 }
             }
+            SimOp::Compact => {
+                match self.guarded(|engine| engine.compact().map(|r| (r, engine.gc()))) {
+                    Outcome::Done(Ok((compact, gc))) => {
+                        self.trace(
+                            step,
+                            format!(
+                                "compact runs={} merged={} races={} gc del={} kept={} orphans={}",
+                                compact.runs_committed,
+                                compact.blocks_merged,
+                                compact.runs_lost_races,
+                                gc.deleted,
+                                gc.retained,
+                                gc.orphans_swept
+                            ),
+                        );
+                    }
+                    Outcome::Done(Err(_)) => {
+                        // A merged-block upload lost to the fault window;
+                        // the sources stay mapped, the intent is aborted to
+                        // a tombstone. Legal.
+                        self.trace(step, "compact degraded (faults)".to_string());
+                    }
+                    Outcome::Crashed(point) => {
+                        self.trace(step, format!("compact CRASH {point:?}"));
+                        self.recover(step, point)?;
+                    }
+                }
+            }
             SimOp::ControlTick => match self.guarded(|engine| engine.control_tick()) {
                 Outcome::Done(Ok(action)) => {
                     self.trace(step, format!("control-tick {action:?}"));
@@ -370,6 +399,65 @@ impl Episode {
                 ));
             }
         }
+        // One clean GC pass, then OSS object accounting: with faults off,
+        // every tombstone and crash-orphaned upload must be deletable, and
+        // the surviving object set must mirror the LogBlock map exactly —
+        // an extra object is a leak, a missing one is a dangling map entry.
+        let gc = match self.guarded(|engine| Ok(engine.gc())) {
+            Outcome::Done(Ok(gc)) => gc,
+            Outcome::Done(Err(e)) => {
+                return Err(self.failure(step, format!("clean final gc failed: {e}")));
+            }
+            Outcome::Crashed(point) => {
+                return Err(self.failure(step, format!("crash fired while disarmed: {point:?}")));
+            }
+        };
+        self.trace(
+            step,
+            format!(
+                "final gc deleted={} retained={} orphans={}",
+                gc.deleted, gc.retained, gc.orphans_swept
+            ),
+        );
+        if gc.retained != 0 {
+            return Err(self.plain_failure(
+                step,
+                format!("clean final gc retained {} tombstones", gc.retained),
+            ));
+        }
+        if !self.metadata.tombstones().is_empty() || !self.metadata.pending_paths().is_empty() {
+            return Err(self.plain_failure(
+                step,
+                format!(
+                    "episode ends with {} tombstones and {} pending paths outstanding",
+                    self.metadata.tombstones().len(),
+                    self.metadata.pending_paths().len()
+                ),
+            ));
+        }
+        let mapped: BTreeSet<String> = self
+            .tenants
+            .iter()
+            .flat_map(|&t| self.metadata.all_blocks(TenantId(t)))
+            .map(|e| e.path)
+            .collect();
+        let on_oss: BTreeSet<String> = self
+            .fault_layer()
+            .inner()
+            .list("tenants/")
+            .map_err(|e| self.plain_failure(step, format!("raw OSS list failed: {e}")))?
+            .into_iter()
+            .collect();
+        if let Some(leaked) = on_oss.difference(&mapped).next() {
+            return Err(
+                self.plain_failure(step, format!("OSS object {leaked} leaked (not in any map)"))
+            );
+        }
+        if let Some(dangling) = mapped.difference(&on_oss).next() {
+            return Err(
+                self.plain_failure(step, format!("mapped LogBlock {dangling} missing from OSS"))
+            );
+        }
         self.report.faults_injected = self.fault_layer().injected();
         self.report.blocks = self.engine().block_count();
         Ok(std::mem::take(&mut self.report))
@@ -426,6 +514,26 @@ impl Episode {
         }
         if reconcile {
             self.in_doubt.clear();
+        }
+        // No dangling map entry: every mapped LogBlock must be backed by a
+        // live object on raw OSS. Probed beneath the fault and metrics
+        // layers so the check perturbs neither replay determinism nor
+        // modelled costs — a compaction or GC that deleted an object
+        // before (or without) swapping it out of the map is caught here.
+        let raw = self.fault_layer().inner();
+        for tenant in self.tenants.iter().copied() {
+            for entry in self.metadata.all_blocks(TenantId(tenant)) {
+                if raw.head(&entry.path).is_err() {
+                    return Err(self.plain_failure(
+                        step,
+                        format!(
+                            "tenant {tenant}: mapped LogBlock {} has no OSS object — \
+                             GC deleted a live block",
+                            entry.path
+                        ),
+                    ));
+                }
+            }
         }
         self.check_counters(step)
     }

@@ -18,6 +18,10 @@ pub enum SimOp {
     FlushAll,
     /// Run the build pass only for shards over the flush threshold.
     FlushIfNeeded,
+    /// One compaction pass (merge runs of small LogBlocks) followed by a
+    /// GC pass over the tombstones it produced. Row-preserving, so the
+    /// acked-rows oracle is unaffected.
+    Compact,
     /// One traffic-control tick (may rebalance and flush vacated routes).
     ControlTick,
     /// Differential-check one tenant's queries against the oracle.
@@ -68,10 +72,11 @@ impl SimPlan {
                     tenant: rng.gen_range(1..=tenant_count),
                     rows: rng.gen_range(5..=80),
                 },
-                44..=51 => SimOp::FlushAll,
-                52..=59 => SimOp::FlushIfNeeded,
-                60..=62 => SimOp::ControlTick,
-                63..=74 => SimOp::CheckQueries { tenant: rng.gen_range(1..=tenant_count) },
+                44..=50 => SimOp::FlushAll,
+                51..=57 => SimOp::FlushIfNeeded,
+                58..=62 => SimOp::Compact,
+                63..=64 => SimOp::ControlTick,
+                65..=74 => SimOp::CheckQueries { tenant: rng.gen_range(1..=tenant_count) },
                 75..=80 => SimOp::FaultWindow { probability: rng.gen_range(0.1..0.45) },
                 81..=85 => SimOp::ClearFaults,
                 86..=96 => SimOp::ArmCrash {

@@ -7,6 +7,31 @@ use logstore_core::CrashPoint;
 use logstore_simtest::{Episode, SimOp, SimPlan};
 use std::collections::BTreeSet;
 
+/// Crash points that live in the compaction/GC protocol: reaching them
+/// takes a [`SimOp::Compact`] with a guaranteed-compactable run (two
+/// adjacent small LogBlocks of one tenant), not a flush.
+fn is_compact_point(point: CrashPoint) -> bool {
+    matches!(
+        point,
+        CrashPoint::CompactPlanned
+            | CrashPoint::CompactUploaded
+            | CrashPoint::CompactCommitted
+            | CrashPoint::BeforeGcDelete
+    )
+}
+
+/// Ops that leave tenant 1 with two adjacent sub-threshold LogBlocks
+/// (30 < 48 rows each), the minimal input the compaction planner accepts.
+fn compactable_run_setup() -> Vec<SimOp> {
+    vec![
+        SimOp::FlushAll,
+        SimOp::Ingest { tenant: 1, rows: 30 },
+        SimOp::FlushAll,
+        SimOp::Ingest { tenant: 1, rows: 30 },
+        SimOp::FlushAll,
+    ]
+}
+
 /// Fixed CI sweep, overridable to a single seed via `SIMTEST_SEED`.
 fn sweep_seeds() -> Vec<u64> {
     match std::env::var("SIMTEST_SEED") {
@@ -55,16 +80,24 @@ fn acceptance_faults_and_crashes() {
         SimOp::ClearFaults,
     ];
     // One crash per protocol point, each preceded by fresh rows so the
-    // flush actually drains (and the armed point is reached).
+    // flush actually drains (and the armed point is reached). Compaction
+    // points additionally need a compactable run on disk and a Compact
+    // trigger — a flush never visits them.
     for point in CrashPoint::ALL {
         ops.push(SimOp::Ingest { tenant: 1, rows: 70 });
         ops.push(SimOp::Ingest { tenant: 2, rows: 30 });
-        ops.push(SimOp::ArmCrash { point, countdown: 0 });
-        ops.push(if point == CrashPoint::AfterWalAppend {
-            SimOp::Ingest { tenant: 1, rows: 40 }
+        if is_compact_point(point) {
+            ops.extend(compactable_run_setup());
+            ops.push(SimOp::ArmCrash { point, countdown: 0 });
+            ops.push(SimOp::Compact);
         } else {
-            SimOp::FlushAll
-        });
+            ops.push(SimOp::ArmCrash { point, countdown: 0 });
+            ops.push(if point == CrashPoint::AfterWalAppend {
+                SimOp::Ingest { tenant: 1, rows: 40 }
+            } else {
+                SimOp::FlushAll
+            });
+        }
         ops.push(SimOp::CheckQueries { tenant: 1 });
     }
     // Faults and crashes together: crash mid-protocol while uploads are
@@ -103,12 +136,17 @@ fn per_crash_point_group_commit_sweep() {
         for seed in [5u64, 17, 29] {
             let trigger = if point == CrashPoint::AfterWalAppend {
                 SimOp::Ingest { tenant: 1, rows: 48 }
+            } else if is_compact_point(point) {
+                SimOp::Compact
             } else {
                 SimOp::FlushAll
             };
-            let ops = vec![
-                SimOp::Ingest { tenant: 1, rows: 96 },
-                SimOp::Ingest { tenant: 2, rows: 64 },
+            let mut ops =
+                vec![SimOp::Ingest { tenant: 1, rows: 96 }, SimOp::Ingest { tenant: 2, rows: 64 }];
+            if is_compact_point(point) {
+                ops.extend(compactable_run_setup());
+            }
+            ops.extend([
                 SimOp::ArmCrash { point, countdown: 0 },
                 trigger,
                 SimOp::CheckQueries { tenant: 1 },
@@ -116,7 +154,7 @@ fn per_crash_point_group_commit_sweep() {
                 SimOp::Ingest { tenant: 1, rows: 32 },
                 SimOp::FlushAll,
                 SimOp::CheckInvariants,
-            ];
+            ]);
             let report = run_or_die(&SimPlan { seed: seed ^ (point as u64) << 8, ops });
             assert_eq!(
                 report.crash_points,

@@ -30,6 +30,11 @@ pub enum Error {
     Backpressure(String),
     /// Raft-layer failure (not leader, term change, lost quorum, ...).
     Raft(String),
+    /// The caller raced a concurrent metadata change (a block it was
+    /// reading was expired or compacted away mid-operation). The view it
+    /// planned against is stale; re-planning against the current map is
+    /// expected to succeed.
+    Stale(String),
     /// Cluster-management failure (no such shard/worker, routing error, ...).
     Cluster(String),
     /// The component is shutting down.
@@ -51,7 +56,7 @@ impl Error {
 
     /// Returns true if the operation may succeed when retried later.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::Backpressure(_) | Error::Raft(_))
+        matches!(self, Error::Backpressure(_) | Error::Raft(_) | Error::Stale(_))
     }
 }
 
@@ -66,6 +71,7 @@ impl fmt::Display for Error {
             Error::Query(m) => write!(f, "query error: {m}"),
             Error::Backpressure(m) => write!(f, "backpressure: {m}"),
             Error::Raft(m) => write!(f, "raft: {m}"),
+            Error::Stale(m) => write!(f, "stale metadata: {m}"),
             Error::Cluster(m) => write!(f, "cluster: {m}"),
             Error::Shutdown => write!(f, "component is shutting down"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
@@ -110,6 +116,7 @@ mod tests {
     fn retryable_classification() {
         assert!(Error::Backpressure("q full".into()).is_retryable());
         assert!(Error::Raft("not leader".into()).is_retryable());
+        assert!(Error::Stale("block gone".into()).is_retryable());
         assert!(!Error::corruption("x").is_retryable());
     }
 }

@@ -34,6 +34,14 @@ cargo test --release -q -p logstore-raft --test churn
 echo "== bench_ingest smoke =="
 cargo run -q --release -p logstore-bench --bin bench_ingest -- --smoke
 
+# Compaction bench smoke: ages a small fragmented dataset, compacts it,
+# and asserts the >=2x read-amplification reduction plus byte-identical
+# query results and exact OSS/map mirroring after GC. The full matrix
+# (BENCH_compact.json) runs manually via
+# `cargo run --release -p logstore-bench --bin bench_compact`.
+echo "== bench_compact smoke =="
+cargo run -q --release -p logstore-bench --bin bench_compact -- --smoke
+
 # Lock-analysis stage: the same detector that runs in every debug test,
 # but over *release* interleavings — optimized code races harder. Covers
 # the simtest episode sweep, the cache herd, and the engine lock-order

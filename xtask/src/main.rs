@@ -246,6 +246,24 @@ fn check_crashpoint_coverage(root: &Path, failures: &mut Vec<String>) {
         failures.push("crates/core/src/hooks.rs: CrashPoint enum not found by lint".to_string());
         return;
     }
+    // Every variant must also be listed in `CrashPoint::ALL`: the
+    // simulation sweeps (plan expansion and the per-point crash sweep)
+    // iterate ALL, so a variant missing there would never be armed — a
+    // crash point with a call site but no test coverage.
+    let all_body = text
+        .split("pub const ALL")
+        .nth(1)
+        .and_then(|rest| rest.split_once('=').map(|(_, body)| body))
+        .and_then(|body| body.split("];").next())
+        .unwrap_or_default();
+    for variant in &variants {
+        if !all_body.contains(&format!("CrashPoint::{variant}")) {
+            failures.push(format!(
+                "crates/core/src/hooks.rs: CrashPoint::{variant} missing from CrashPoint::ALL — \
+                 simulation sweeps iterate ALL, so this point would never be armed"
+            ));
+        }
+    }
     let sources: Vec<(String, String)> = rust_files(&root.join("crates"))
         .into_iter()
         .filter(|f| rel(root, f) != "crates/core/src/hooks.rs")
