@@ -24,8 +24,9 @@ fn main() {
     );
     let setup = build_engine(LatencyModel::oss_like().with_time_scale(TIME_SCALE), &params);
 
-    // The mixed workload: all six templates for a sample of tenants across
-    // the whole rank range.
+    // The mixed workload: every §6.3 template (retrieval, full-text and
+    // the aggregation pair) for a sample of tenants across the whole rank
+    // range.
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let mut workload = Vec::new();
     for tenant in (1..=params.tenants).step_by(2) {

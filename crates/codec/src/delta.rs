@@ -21,12 +21,21 @@ pub fn encode_i64(values: &[i64]) -> Vec<u8> {
 
 /// Decodes a sequence produced by [`encode_i64`].
 pub fn decode_i64(buf: &[u8], max_len: usize) -> Result<Vec<i64>> {
+    let mut out = Vec::new();
+    decode_i64_into(buf, max_len, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes into a caller-owned buffer so batch scans can reuse allocations.
+/// `out` is cleared first.
+pub fn decode_i64_into(buf: &[u8], max_len: usize, out: &mut Vec<i64>) -> Result<()> {
     let mut pos = 0;
     let n = read_uvarint(buf, &mut pos)? as usize;
     if n > max_len {
         return Err(Error::corruption("delta stream longer than declared"));
     }
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     let mut prev = 0i64;
     for _ in 0..n {
         prev = prev.wrapping_add(read_ivarint(buf, &mut pos)?);
@@ -35,7 +44,7 @@ pub fn decode_i64(buf: &[u8], max_len: usize) -> Result<Vec<i64>> {
     if pos != buf.len() {
         return Err(Error::corruption("trailing bytes after delta stream"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encodes a sequence of `u64` values (delta via wrapping i64 arithmetic).
@@ -52,12 +61,21 @@ pub fn encode_u64(values: &[u64]) -> Vec<u8> {
 
 /// Decodes a sequence produced by [`encode_u64`].
 pub fn decode_u64(buf: &[u8], max_len: usize) -> Result<Vec<u64>> {
+    let mut out = Vec::new();
+    decode_u64_into(buf, max_len, &mut out)?;
+    Ok(out)
+}
+
+/// Decodes into a caller-owned buffer so batch scans can reuse allocations.
+/// `out` is cleared first.
+pub fn decode_u64_into(buf: &[u8], max_len: usize, out: &mut Vec<u64>) -> Result<()> {
     let mut pos = 0;
     let n = read_uvarint(buf, &mut pos)? as usize;
     if n > max_len {
         return Err(Error::corruption("delta stream longer than declared"));
     }
-    let mut out = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     let mut prev = 0u64;
     for _ in 0..n {
         prev = prev.wrapping_add(read_ivarint(buf, &mut pos)? as u64);
@@ -66,7 +84,7 @@ pub fn decode_u64(buf: &[u8], max_len: usize) -> Result<Vec<u64>> {
     if pos != buf.len() {
         return Err(Error::corruption("trailing bytes after delta stream"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

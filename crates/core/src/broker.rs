@@ -20,12 +20,12 @@ use crate::executor::Task;
 use logstore_cache::{CacheStats, CachedObjectSource};
 use logstore_logblock::pack::RangeSource;
 use logstore_logblock::reader::LogBlockReader;
+use logstore_logblock::scan::DecodeStats;
 use logstore_query::exec::{
-    collect_from_block, collect_from_rows, empty_partial, finalize, merge_partials, Partial,
-    QueryResult, QueryStats,
+    empty_partial, finalize, merge_partials, Partial, QueryResult, QueryStats,
 };
-use logstore_query::{analyze, parse_query, Query, QueryScope, SelectItem};
-use logstore_types::{Error, RecordBatch, Result, ShardId, Value};
+use logstore_query::{analyze, parse_query, ExecutionCounters, QueryScope, RowCollector, ScanPlan};
+use logstore_types::{Error, RecordBatch, Result, ShardId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +54,10 @@ pub struct QueryExecution {
     /// outcome — never a raw OSS `NotFound`). Race-timing-dependent, so it
     /// lives here, not in [`QueryStats`].
     pub stale_retries: u64,
+    /// Vectorized-decode volume and partial-transport bytes — the
+    /// pushdown-vs-materialization measurement. Engine observability,
+    /// deliberately outside the bit-identical [`QueryStats`] contract.
+    pub counters: ExecutionCounters,
 }
 
 /// One source of a LogBlock's bytes.
@@ -110,7 +114,7 @@ impl RangeSource for DirectSource {
 }
 
 /// What one scattered source task brings back to the gather step.
-type SourcePartial = (Partial, QueryStats);
+type SourcePartial = (Partial, QueryStats, DecodeStats);
 
 /// The broker.
 pub struct Broker {
@@ -191,6 +195,9 @@ impl Broker {
         let tenant = scope.tenant.ok_or_else(|| {
             Error::Query("queries must pin a tenant: add 'tenant_id = <id>'".into())
         })?;
+        // One physical plan serves every source task and every retry: the
+        // plan depends only on the bound query, not on the map snapshot.
+        let plan = Arc::new(ScanPlan::new(&bound, &self.shared.schema, opts.use_pushdown)?);
 
         // Bounded retry: each pass replans from the current map. Three
         // map-change losses in a row means the caller is racing a
@@ -198,8 +205,8 @@ impl Broker {
         const MAX_ATTEMPTS: u64 = 3;
         let mut stale_retries = 0u64;
         loop {
-            match self.query_attempt(&bound, &scope, tenant, opts) {
-                Ok((result, stats, all_blocks)) => {
+            match self.query_attempt(&bound, &plan, &scope, tenant, opts) {
+                Ok((result, stats, all_blocks, counters)) => {
                     let visited = stats.blocks_visited;
                     let oss_after = self.shared.oss_sim().metrics().modelled_time_ns;
                     return Ok(QueryExecution {
@@ -210,6 +217,7 @@ impl Broker {
                         wall: wall_start.elapsed(),
                         cache: self.shared.cache.stats().delta_since(&cache_before),
                         stale_retries,
+                        counters,
                     });
                 }
                 Err(Error::Stale(_)) if stale_retries + 1 < MAX_ATTEMPTS => stale_retries += 1,
@@ -223,11 +231,12 @@ impl Broker {
     /// tenant's total mapped block count (for the pruning counter).
     fn query_attempt(
         &self,
-        bound: &Arc<Query>,
+        bound: &Arc<logstore_query::Query>,
+        plan: &Arc<ScanPlan>,
         scope: &QueryScope,
         tenant: logstore_types::TenantId,
         opts: &QueryOptions,
-    ) -> Result<(QueryResult, QueryStats, u64)> {
+    ) -> Result<(QueryResult, QueryStats, u64, ExecutionCounters)> {
         let all_blocks = self.shared.metadata.all_blocks(tenant).len() as u64;
 
         // Scatter: one task per source, in canonical order.
@@ -239,20 +248,18 @@ impl Broker {
             shards.sort_unstable();
             for shard in shards {
                 let shared = Arc::clone(&self.shared);
-                let bound = Arc::clone(bound);
+                let plan = Arc::clone(plan);
                 let range = scope.range;
                 tasks.push(Box::new(move || {
                     let mut stats = QueryStats::default();
                     let worker = shared.worker_for(shard)?;
-                    let records = worker.scan(shard, tenant, range, &[])?;
-                    let rows: Vec<Vec<Value>> = records.iter().map(|r| r.to_row()).collect();
-                    let partial = collect_from_rows(
-                        rows.iter().map(|r| r.as_slice()),
-                        &shared.schema,
-                        &bound,
-                        &mut stats,
-                    )?;
-                    Ok((partial, stats))
+                    // Stream records through the plan's collector: with
+                    // pushdown the shard returns aggregate states, and an
+                    // unordered LIMIT stops the walk early.
+                    let mut collector = RowCollector::new(&plan, &shared.schema)?;
+                    worker.for_each_record(shard, tenant, range, |r| collector.push_record(r))?;
+                    let partial = collector.finish(&mut stats);
+                    Ok((partial, stats, DecodeStats::default()))
                 }));
             }
             // Archived LogBlocks, pruned by the LogBlock map, sorted by
@@ -262,10 +269,11 @@ impl Broker {
             entries.sort_unstable_by(|a, b| a.path.cmp(&b.path));
             for entry in entries {
                 let shared = Arc::clone(&self.shared);
-                let bound = Arc::clone(bound);
+                let plan = Arc::clone(plan);
                 let opts = opts.clone();
                 tasks.push(Box::new(move || {
                     let mut stats = QueryStats::default();
+                    let mut decode = DecodeStats::default();
                     let path = entry.path.clone();
                     let scan = (|| {
                         // The LogBlock map records each block's exact packed
@@ -292,15 +300,15 @@ impl Broker {
                             // reads (which may themselves succeed or fail on
                             // their own terms).
                             if let Source::Cached(cached) = reader.pack().source() {
-                                let ranges = prefetch_ranges(&reader, &bound);
+                                let ranges = prefetch_ranges(&reader, &plan);
                                 let outcome = shared.prefetcher.prefetch_wave(cached, ranges);
                                 stats.prefetch_errors += outcome.errors as u64;
                             }
                         }
-                        collect_from_block(&reader, &bound, opts.use_skipping, &mut stats)
+                        plan.collect_block(&reader, opts.use_skipping, &mut stats, &mut decode)
                     })();
                     match scan {
-                        Ok(partial) => Ok((partial, stats)),
+                        Ok(partial) => Ok((partial, stats, decode)),
                         // A vanished object that the map no longer claims
                         // was expired or compacted away mid-query: report
                         // it as stale metadata so the broker replans,
@@ -321,24 +329,34 @@ impl Broker {
         let parallelism =
             if opts.parallelism == 0 { self.shared.query_pool.threads() } else { opts.parallelism };
         let mut stats = QueryStats::default();
+        let mut counters = ExecutionCounters::default();
         let mut partials = Vec::with_capacity(tasks.len());
         for task_result in self.shared.query_pool.scatter(parallelism, tasks) {
-            let (partial, task_stats) = task_result?;
+            let (partial, task_stats, decode) = task_result?;
             stats.merge(&task_stats);
+            counters.absorb(&decode, &partial);
             partials.push(partial);
         }
 
-        let merged =
-            if partials.is_empty() { empty_partial(bound) } else { merge_partials(partials)? };
+        // `finish_partial` runs the deferred aggregation of the
+        // pushdown-off baseline; with pushdown (or row queries) it is a
+        // pass-through. The empty-source case already has its final shape.
+        let merged = if partials.is_empty() {
+            empty_partial(bound)
+        } else {
+            plan.finish_partial(merge_partials(partials)?)?
+        };
         let result = finalize(merged, bound, &self.shared.schema)?;
-        Ok((result, stats, all_blocks))
+        Ok((result, stats, all_blocks, counters))
     }
 }
 
 /// Fig 10: the member ranges a query will touch in one LogBlock — the
 /// plan for a parallel prefetch wave. Free function so scattered tasks
-/// can call it without borrowing the broker.
-fn prefetch_ranges(reader: &LogBlockReader<Source>, query: &Query) -> Vec<(u64, u64)> {
+/// can call it without borrowing the broker. Plan-aware: only the
+/// predicate columns and the plan's materialization set are fetched, so a
+/// pure `COUNT(*)` prefetches predicate columns alone.
+fn prefetch_ranges(reader: &LogBlockReader<Source>, plan: &ScanPlan) -> Vec<(u64, u64)> {
     let schema = reader.schema();
     let mut needed_cols: Vec<usize> = Vec::new();
     let mut push = |idx: Option<usize>| {
@@ -348,19 +366,11 @@ fn prefetch_ranges(reader: &LogBlockReader<Source>, query: &Query) -> Vec<(u64, 
             }
         }
     };
-    for p in &query.predicates {
+    for p in &plan.predicates {
         push(schema.column_index(&p.column));
     }
-    for item in &query.projection {
-        match item {
-            SelectItem::AllColumns => (0..schema.width()).for_each(|i| push(Some(i))),
-            SelectItem::Column(c) => push(schema.column_index(c)),
-            SelectItem::CountStar => {}
-            SelectItem::Agg(_, c) => push(schema.column_index(c)),
-        }
-    }
-    if let Some(g) = &query.group_by {
-        push(schema.column_index(g));
+    for name in &plan.columns {
+        push(schema.column_index(name));
     }
     let mut ranges = Vec::new();
     for &col in &needed_cols {

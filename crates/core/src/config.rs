@@ -170,18 +170,36 @@ pub struct QueryOptions {
     /// "as many as the engine's query pool allows"; `1` is the sequential
     /// reference path. Results are bit-identical at every setting.
     pub parallelism: usize,
+    /// Push aggregation into the scan layer: each source returns partial
+    /// aggregate states instead of matched rows. When false, sources ship
+    /// the matched rows of the aggregate-input columns and the executor
+    /// aggregates after the merge — the row-materializing baseline of the
+    /// pushdown comparison. Results are bit-identical either way.
+    pub use_pushdown: bool,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        QueryOptions { use_skipping: true, use_prefetch: true, use_cache: true, parallelism: 0 }
+        QueryOptions {
+            use_skipping: true,
+            use_prefetch: true,
+            use_cache: true,
+            parallelism: 0,
+            use_pushdown: true,
+        }
     }
 }
 
 impl QueryOptions {
     /// Everything off — the "before optimization" baseline of Fig 17.
     pub fn baseline() -> Self {
-        QueryOptions { use_skipping: false, use_prefetch: false, use_cache: false, parallelism: 1 }
+        QueryOptions {
+            use_skipping: false,
+            use_prefetch: false,
+            use_cache: false,
+            parallelism: 1,
+            use_pushdown: false,
+        }
     }
 
     /// Returns `self` with an explicit parallelism degree.
@@ -222,10 +240,10 @@ mod tests {
     #[test]
     fn query_option_presets() {
         let on = QueryOptions::default();
-        assert!(on.use_skipping && on.use_prefetch && on.use_cache);
+        assert!(on.use_skipping && on.use_prefetch && on.use_cache && on.use_pushdown);
         assert_eq!(on.parallelism, 0, "default uses the engine pool's width");
         let off = QueryOptions::baseline();
-        assert!(!off.use_skipping && !off.use_prefetch && !off.use_cache);
+        assert!(!off.use_skipping && !off.use_prefetch && !off.use_cache && !off.use_pushdown);
         assert_eq!(off.parallelism, 1, "baseline is the sequential path");
         assert_eq!(QueryOptions::default().with_parallelism(8).parallelism, 8);
         assert!(default_query_threads() >= 1);

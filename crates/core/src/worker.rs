@@ -97,6 +97,15 @@ impl Backend {
         }
     }
 
+    /// Streaming scan: visits matching rows in arrival order until the
+    /// visitor returns `false` (early stop), cloning nothing.
+    fn for_each_in(&self, tenant: TenantId, range: TimeRange, f: impl FnMut(&LogRecord) -> bool) {
+        match self {
+            Backend::Mem(rows) => rows.for_each_in(tenant, range, f),
+            Backend::Durable(store) => store.row_store().for_each_in(tenant, range, f),
+        }
+    }
+
     fn bytes(&self) -> usize {
         match self {
             Backend::Mem(rows) => rows.bytes(),
@@ -419,6 +428,22 @@ impl Worker {
         preds: &[ColumnPredicate],
     ) -> Result<Vec<LogRecord>> {
         Ok(self.shard(shard)?.backend.lock().scan(tenant, range, preds))
+    }
+
+    /// Streams one shard's real-time rows for `tenant` within `range`
+    /// through `f`, in arrival order, stopping early when `f` returns
+    /// `false`. Runs under the shard lock but clones no records — the
+    /// query layer's [`logstore_query::RowCollector`] aggregates or
+    /// projects in place.
+    pub fn for_each_record(
+        &self,
+        shard: ShardId,
+        tenant: TenantId,
+        range: TimeRange,
+        f: impl FnMut(&LogRecord) -> bool,
+    ) -> Result<()> {
+        self.shard(shard)?.backend.lock().for_each_in(tenant, range, f);
+        Ok(())
     }
 
     /// Buffered row-store bytes of one shard.

@@ -37,7 +37,10 @@ pub mod reader;
 pub mod scan;
 
 pub use builder::LogBlockBuilder;
+pub use column::{ColumnData, ColumnVec};
 pub use meta::{BlockMeta, ColumnMeta, LogBlockMeta};
 pub use pack::{PackReader, PackWriter, RangeSource};
 pub use reader::LogBlockReader;
-pub use scan::{evaluate_predicates, fetch_rows, ScanStats};
+pub use scan::{
+    eval_batch, evaluate_predicates, evaluate_predicates_vec, fetch_rows, DecodeStats, ScanStats,
+};

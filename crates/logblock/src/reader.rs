@@ -5,7 +5,7 @@
 //! range only when a query actually needs them. On top of the simulated OSS
 //! this is what turns data skipping into saved wall-clock time.
 
-use crate::column::decode_block;
+use crate::column::{decode_block, decode_block_into, ColumnVec};
 use crate::meta::{col_member, index_data_member, index_member, LogBlockMeta, META_MEMBER};
 use crate::pack::{PackReader, RangeSource};
 use logstore_index::inverted::TermKind;
@@ -177,6 +177,22 @@ impl<S: RangeSource> LogBlockReader<S> {
             .ok_or_else(|| Error::invalid(format!("block {block} out of range")))?;
         let bytes = self.pack.read_member_range(&col_member(col), bm.offset, bm.len)?;
         decode_block(self.meta.schema.columns[col].data_type, &bytes, bm.row_count)
+    }
+
+    /// Loads and decodes one column block into a reusable typed batch —
+    /// the vectorized counterpart of [`LogBlockReader::read_block_values`].
+    pub fn read_block_vec(&self, col: usize, block: usize, out: &mut ColumnVec) -> Result<()> {
+        let cm = self
+            .meta
+            .columns
+            .get(col)
+            .ok_or_else(|| Error::invalid(format!("column {col} out of range")))?;
+        let bm = cm
+            .blocks
+            .get(block)
+            .ok_or_else(|| Error::invalid(format!("block {block} out of range")))?;
+        let bytes = self.pack.read_member_range(&col_member(col), bm.offset, bm.len)?;
+        decode_block_into(self.meta.schema.columns[col].data_type, &bytes, bm.row_count, out)
     }
 
     /// Loads a whole column (all blocks, concatenated).

@@ -15,12 +15,14 @@
 //!
 //! `use_skipping = false` disables steps 1–3 (the Figure 15 baseline).
 
+use crate::column::{ColumnData, ColumnVec};
 use crate::pack::RangeSource;
 use crate::reader::LogBlockReader;
 use logstore_index::bkd::u64_to_ord;
 use logstore_index::tokenizer::tokenize;
 use logstore_index::RowIdSet;
 use logstore_types::{CmpOp, ColumnPredicate, DataType, Error, Result, Value};
+use std::cmp::Ordering;
 
 /// Counters describing how much work a scan did (drives Figure 15's
 /// with/without-skipping comparison and EXPERIMENTS.md reporting).
@@ -46,6 +48,159 @@ impl ScanStats {
         self.blocks_scanned += other.blocks_scanned;
         self.index_lookups += other.index_lookups;
         self.rows_matched += other.rows_matched;
+    }
+}
+
+/// Decode-volume counters for the vectorized scan path. Kept separate from
+/// [`ScanStats`] so they can ride on `QueryExecution` as engine deltas
+/// without entering the bit-identical `QueryStats` contract.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Rows decoded into typed batches.
+    pub rows_decoded: u64,
+    /// Approximate decoded bytes (typed buffers + null bitsets).
+    pub bytes_decoded: u64,
+    /// Column-block batches run through vectorized predicate evaluation.
+    pub batches_evaluated: u64,
+}
+
+impl DecodeStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &DecodeStats) {
+        self.rows_decoded += other.rows_decoded;
+        self.bytes_decoded += other.bytes_decoded;
+        self.batches_evaluated += other.batches_evaluated;
+    }
+
+    /// Records one decoded batch.
+    pub fn record_batch(&mut self, batch: &ColumnVec) {
+        self.rows_decoded += batch.len() as u64;
+        self.bytes_decoded += batch.approx_bytes();
+        self.batches_evaluated += 1;
+    }
+}
+
+/// Maps a comparison operator to its accepted [`Ordering`]s, hoisting the
+/// per-row operator branch out of batch loops.
+fn ord_accepts(op: CmpOp) -> fn(Ordering) -> bool {
+    match op {
+        CmpOp::Eq => |o| o == Ordering::Equal,
+        CmpOp::Ne => |o| o != Ordering::Equal,
+        CmpOp::Lt => |o| o == Ordering::Less,
+        CmpOp::Le => |o| o != Ordering::Greater,
+        CmpOp::Gt => |o| o == Ordering::Greater,
+        CmpOp::Ge => |o| o != Ordering::Less,
+        CmpOp::Contains => |_| false,
+    }
+}
+
+/// `Value::total_cmp`'s numeric cross-type rule, replicated for typed loops.
+fn cmp_i64_u64(a: i64, b: u64) -> Ordering {
+    if a < 0 {
+        Ordering::Less
+    } else {
+        (a as u64).cmp(&b)
+    }
+}
+
+/// Evaluates `cell op literal` over a decoded batch, inserting the row id
+/// `base + i` of every match into `out`. Exactly equivalent to calling
+/// [`ColumnPredicate::matches`] on each materialized cell (the row-at-a-time
+/// oracle), but with the operator and literal-type dispatch hoisted out of
+/// the loop and no per-row `Value` construction.
+pub fn eval_batch(batch: &ColumnVec, op: CmpOp, literal: &Value, base: u32, out: &mut RowIdSet) {
+    // NULL on either side never matches.
+    if literal.is_null() {
+        return;
+    }
+    let n = batch.len();
+    let accepts = ord_accepts(op);
+    match (batch.data(), literal) {
+        (ColumnData::I64(vals), Value::I64(b)) if op != CmpOp::Contains => {
+            for (i, v) in vals.iter().enumerate() {
+                if !batch.is_null(i) && accepts(v.cmp(b)) {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        (ColumnData::I64(vals), Value::U64(b)) if op != CmpOp::Contains => {
+            for (i, v) in vals.iter().enumerate() {
+                if !batch.is_null(i) && accepts(cmp_i64_u64(*v, *b)) {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        (ColumnData::U64(vals), Value::U64(b)) if op != CmpOp::Contains => {
+            for (i, v) in vals.iter().enumerate() {
+                if !batch.is_null(i) && accepts(v.cmp(b)) {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        (ColumnData::U64(vals), Value::I64(b)) if op != CmpOp::Contains => {
+            for (i, v) in vals.iter().enumerate() {
+                if !batch.is_null(i) && accepts(cmp_i64_u64(*b, *v).reverse()) {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        (ColumnData::Str { .. }, Value::Str(needle)) if op == CmpOp::Contains => {
+            // `contains_term` semantics with the needle lowered once.
+            let needle_lc = needle.to_ascii_lowercase();
+            if needle_lc.is_empty() {
+                return;
+            }
+            for i in 0..n {
+                let Some(hay) = batch.str_at(i) else { continue };
+                if hay
+                    .split(|c: char| !c.is_ascii_alphanumeric())
+                    .any(|tok| tok.eq_ignore_ascii_case(&needle_lc))
+                {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        (ColumnData::Str { .. }, Value::Str(b)) => {
+            // `str` ordering is byte-wise lexicographic, so compare payload
+            // slices directly.
+            let rhs = b.as_str();
+            for i in 0..n {
+                let Some(s) = batch.str_at(i) else { continue };
+                if accepts(s.cmp(rhs)) {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        (ColumnData::Bool(bits), Value::Bool(b)) if op != CmpOp::Contains => {
+            for i in 0..n {
+                if !batch.is_null(i) && accepts((bits[i / 8] & (1 << (i % 8)) != 0).cmp(b)) {
+                    out.insert(base + i as u32);
+                }
+            }
+        }
+        // Every remaining combination is cross-type with distinct
+        // `type_rank`s (same-rank pairs are all handled above), so
+        // `total_cmp` yields one constant ordering for every non-null cell:
+        // all non-null rows match, or none do. CONTAINS on anything but
+        // (string, string) never matches.
+        (data, _) => {
+            if op == CmpOp::Contains {
+                return;
+            }
+            let representative = match data {
+                ColumnData::I64(_) => Value::I64(0),
+                ColumnData::U64(_) => Value::U64(0),
+                ColumnData::Bool(_) => Value::Bool(false),
+                ColumnData::Str { .. } => Value::Str(String::new()),
+            };
+            if accepts(representative.total_cmp(literal)) {
+                for i in 0..n {
+                    if !batch.is_null(i) {
+                        out.insert(base + i as u32);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -107,12 +262,38 @@ fn numeric_range(dtype: DataType, op: CmpOp, literal: &Value) -> Result<Option<(
 }
 
 /// Evaluates a conjunction of predicates over one LogBlock, returning the
-/// matching row ids.
+/// matching row ids. Row-at-a-time `Value` evaluation — kept as the oracle
+/// for [`evaluate_predicates_vec`].
 pub fn evaluate_predicates<S: RangeSource>(
     reader: &LogBlockReader<S>,
     predicates: &[ColumnPredicate],
     use_skipping: bool,
     stats: &mut ScanStats,
+) -> Result<RowIdSet> {
+    evaluate_predicates_impl(reader, predicates, use_skipping, stats, None)
+}
+
+/// Vectorized predicate evaluation: identical pruning/index structure to
+/// [`evaluate_predicates`], but surviving blocks decode into reusable typed
+/// [`ColumnVec`] batches and predicates run via [`eval_batch`] selection
+/// bitmaps (which then intersect with the index row-id sets). Decode volume
+/// is recorded in `decode`.
+pub fn evaluate_predicates_vec<S: RangeSource>(
+    reader: &LogBlockReader<S>,
+    predicates: &[ColumnPredicate],
+    use_skipping: bool,
+    stats: &mut ScanStats,
+    decode: &mut DecodeStats,
+) -> Result<RowIdSet> {
+    evaluate_predicates_impl(reader, predicates, use_skipping, stats, Some(decode))
+}
+
+fn evaluate_predicates_impl<S: RangeSource>(
+    reader: &LogBlockReader<S>,
+    predicates: &[ColumnPredicate],
+    use_skipping: bool,
+    stats: &mut ScanStats,
+    mut decode: Option<&mut DecodeStats>,
 ) -> Result<RowIdSet> {
     let n = reader.row_count();
     let mut result = RowIdSet::full(n);
@@ -145,6 +326,9 @@ pub fn evaluate_predicates<S: RangeSource>(
     // prove blocks entirely in (`always_matches`) or out (`may_match`,
     // Fig 8 ④) without touching data; only blocks the SMA cannot decide
     // need the column index (Fig 8 ③) or a scan (Fig 8 ⑤).
+    // One scratch batch shared across predicates: consecutive predicates on
+    // same-typed columns reuse its buffers.
+    let mut scratch = ColumnVec::default();
     for (col, p) in &resolved {
         let dtype = reader.schema().columns[*col].data_type;
         let blocks = reader.meta().columns[*col].blocks.clone();
@@ -241,10 +425,19 @@ pub fn evaluate_predicates<S: RangeSource>(
                             continue;
                         }
                         stats.blocks_scanned += 1;
-                        let values = reader.read_block_values(*col, bi)?;
-                        for (off, v) in values.iter().enumerate() {
-                            if p.matches(v) {
-                                matched.insert(bm.row_start + off as u32);
+                        match decode.as_deref_mut() {
+                            Some(d) => {
+                                reader.read_block_vec(*col, bi, &mut scratch)?;
+                                d.record_batch(&scratch);
+                                eval_batch(&scratch, p.op, &p.value, bm.row_start, &mut matched);
+                            }
+                            None => {
+                                let values = reader.read_block_values(*col, bi)?;
+                                for (off, v) in values.iter().enumerate() {
+                                    if p.matches(v) {
+                                        matched.insert(bm.row_start + off as u32);
+                                    }
+                                }
                             }
                         }
                     }
@@ -315,6 +508,14 @@ mod tests {
         let r = block();
         let mut stats = ScanStats::default();
         let ids = evaluate_predicates(&r, preds, skipping, &mut stats).unwrap();
+        // The vectorized path must agree bit-for-bit with the row path,
+        // including ScanStats (decode counters are separate by design).
+        let mut vstats = ScanStats::default();
+        let mut decode = DecodeStats::default();
+        let vids = evaluate_predicates_vec(&r, preds, skipping, &mut vstats, &mut decode).unwrap();
+        assert_eq!(vids.to_vec(), ids.to_vec(), "vectorized ids diverge for {preds:?}");
+        assert_eq!(vstats, stats, "vectorized ScanStats diverge for {preds:?}");
+        assert_eq!(decode.batches_evaluated, stats.blocks_scanned);
         (ids.to_vec(), stats)
     }
 

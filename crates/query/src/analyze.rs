@@ -9,7 +9,7 @@
 //!    bounds are lifted out, because they drive broker routing and the
 //!    LogBlock-map pruning of Fig 8 ①.
 
-use crate::ast::Query;
+use crate::ast::{GroupKey, Query, SelectItem};
 use crate::datetime::parse_datetime;
 use logstore_types::{
     CmpOp, DataType, Error, Result, TableSchema, TenantId, TimeRange, Timestamp, Value,
@@ -53,8 +53,34 @@ pub fn bind(query: &Query, schema: &TableSchema) -> Result<Query> {
         }
     }
     if let Some(g) = &bound.group_by {
-        if schema.column(g).is_none() {
-            return Err(Error::Query(format!("unknown column '{g}'")));
+        let col = schema
+            .column(g.column())
+            .ok_or_else(|| Error::Query(format!("unknown column '{}'", g.column())))?;
+        if let GroupKey::TimeBucket { column, width_ms } = g {
+            if col.data_type != DataType::Int64 {
+                return Err(Error::Query(format!(
+                    "TIMEBUCKET requires an INT64 column, '{column}' is {}",
+                    col.data_type
+                )));
+            }
+            if *width_ms <= 0 {
+                return Err(Error::Query("TIMEBUCKET width must be positive".into()));
+            }
+        }
+    }
+    // A projected TIMEBUCKET is only meaningful as the group key.
+    for item in &bound.projection {
+        if let SelectItem::TimeBucket { column, width_ms } = item {
+            let matches_group = matches!(
+                &bound.group_by,
+                Some(GroupKey::TimeBucket { column: gc, width_ms: gw })
+                    if gc == column && gw == width_ms
+            );
+            if !matches_group {
+                return Err(Error::Query(
+                    "TIMEBUCKET in the projection must match the GROUP BY time bucket".into(),
+                ));
+            }
         }
     }
     // Aggregation shape checks.
@@ -63,9 +89,10 @@ pub fn bind(query: &Query, schema: &TableSchema) -> Result<Query> {
             return Err(Error::Query("GROUP BY requires COUNT(*) in the projection".into()))
         }
         (Some(g), true) => {
-            if bound.projected_columns().iter().any(|c| c != g) {
+            let group_col_ok = |c: &String| matches!(g, GroupKey::Column(gc) if gc == c);
+            if !bound.projected_columns().iter().all(group_col_ok) {
                 return Err(Error::Query(
-                    "grouped queries may only project the GROUP BY column and COUNT(*)".into(),
+                    "grouped queries may only project the GROUP BY key and aggregates".into(),
                 ));
             }
         }
@@ -228,6 +255,29 @@ mod tests {
         let q = bound("SELECT log FROM request_log WHERE ts > '1970-01-02' AND ts < '1970-01-01'");
         let scope = QueryScope::extract(&q);
         assert!(scope.is_empty_window());
+    }
+
+    #[test]
+    fn time_bucket_validation() {
+        // Valid: bucketed ts grouping projected alongside aggregates.
+        bound(
+            "SELECT TIMEBUCKET(ts, 60000), COUNT(*) FROM request_log \
+             GROUP BY TIMEBUCKET(ts, 60000)",
+        );
+        let schema = TableSchema::request_log();
+        // Bucket on a non-INT64 column.
+        for sql in [
+            "SELECT COUNT(*) FROM t GROUP BY TIMEBUCKET(ip, 1000)",
+            "SELECT COUNT(*) FROM t GROUP BY TIMEBUCKET(tenant_id, 1000)",
+            // Projected bucket must match the GROUP BY bucket.
+            "SELECT TIMEBUCKET(ts, 1000), COUNT(*) FROM t GROUP BY TIMEBUCKET(ts, 2000)",
+            "SELECT TIMEBUCKET(ts, 1000), COUNT(*) FROM t GROUP BY ip",
+            "SELECT TIMEBUCKET(ts, 1000) FROM t",
+            // Plain column projection under a bucketed group.
+            "SELECT ts, COUNT(*) FROM t GROUP BY TIMEBUCKET(ts, 1000)",
+        ] {
+            assert!(bind(&parse_query(sql).unwrap(), &schema).is_err(), "'{sql}' should fail");
+        }
     }
 
     #[test]

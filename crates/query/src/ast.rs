@@ -48,6 +48,49 @@ pub enum SelectItem {
     CountStar,
     /// `FUNC(col)` — an aggregate over a column.
     Agg(AggFunc, String),
+    /// `TIMEBUCKET(col, width_ms)` — the group key of a time-bucketed
+    /// aggregation; only valid when it matches the `GROUP BY` key.
+    TimeBucket {
+        /// The bucketed (Int64 timestamp) column.
+        column: String,
+        /// Bucket width in the column's units (milliseconds for `ts`).
+        width_ms: i64,
+    },
+}
+
+/// A `GROUP BY` key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupKey {
+    /// Group by a column's value.
+    Column(String),
+    /// Group by `width_ms`-wide buckets of a timestamp column: bucket value
+    /// is `v.div_euclid(width_ms) * width_ms` (the bucket's start).
+    TimeBucket {
+        /// The bucketed (Int64 timestamp) column.
+        column: String,
+        /// Bucket width in the column's units (milliseconds for `ts`).
+        width_ms: i64,
+    },
+}
+
+impl GroupKey {
+    /// The column the key reads.
+    pub fn column(&self) -> &str {
+        match self {
+            GroupKey::Column(c) | GroupKey::TimeBucket { column: c, .. } => c,
+        }
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupKey::Column(c) => write!(f, "{c}"),
+            GroupKey::TimeBucket { column, width_ms } => {
+                write!(f, "TIMEBUCKET({column}, {width_ms})")
+            }
+        }
+    }
 }
 
 /// Ordering key.
@@ -77,8 +120,8 @@ pub struct Query {
     pub table: String,
     /// WHERE conjuncts.
     pub predicates: Vec<ColumnPredicate>,
-    /// Optional `GROUP BY` column.
-    pub group_by: Option<String>,
+    /// Optional `GROUP BY` key (column or time bucket).
+    pub group_by: Option<GroupKey>,
     /// Optional ordering.
     pub order_by: Option<OrderBy>,
     /// Optional row limit.
@@ -129,6 +172,9 @@ impl fmt::Display for Query {
                 SelectItem::Column(c) => write!(f, "{c}")?,
                 SelectItem::CountStar => write!(f, "COUNT(*)")?,
                 SelectItem::Agg(func, c) => write!(f, "{}({c})", func.name())?,
+                SelectItem::TimeBucket { column, width_ms } => {
+                    write!(f, "TIMEBUCKET({column}, {width_ms})")?
+                }
             }
         }
         write!(f, " FROM {}", self.table)?;
@@ -163,7 +209,7 @@ mod tests {
             projection: vec![SelectItem::Column("ip".into()), SelectItem::CountStar],
             table: "request_log".into(),
             predicates: vec![ColumnPredicate::new("tenant_id", CmpOp::Eq, Value::U64(1))],
-            group_by: Some("ip".into()),
+            group_by: Some(GroupKey::Column("ip".into())),
             order_by: Some(OrderBy { key: OrderKey::CountStar, descending: true }),
             limit: Some(10),
         };

@@ -10,7 +10,7 @@
 //! `COUNT/SUM/MIN/MAX/AVG(col)`, optionally per `GROUP BY` group, with
 //! `ORDER BY COUNT(*)` top-k.
 
-use crate::ast::{AggFunc, OrderKey, Query, SelectItem};
+use crate::ast::{AggFunc, GroupKey, OrderKey, Query, SelectItem};
 use logstore_logblock::pack::RangeSource;
 use logstore_logblock::reader::LogBlockReader;
 use logstore_logblock::scan::{evaluate_predicates, fetch_rows, ScanStats};
@@ -177,13 +177,13 @@ pub fn empty_partial(query: &Query) -> Partial {
 /// the end. Returns `(names, order_col_extra)` where `order_col_extra`
 /// flags that the last column exists only for sorting and is stripped at
 /// finalize.
-fn internal_columns(query: &Query, schema: &TableSchema) -> Result<(Vec<String>, bool)> {
+pub(crate) fn internal_columns(query: &Query, schema: &TableSchema) -> Result<(Vec<String>, bool)> {
     let mut cols: Vec<String> = Vec::new();
     for item in &query.projection {
         match item {
             SelectItem::AllColumns => cols.extend(schema.columns.iter().map(|c| c.name.clone())),
             SelectItem::Column(c) => cols.push(c.clone()),
-            SelectItem::CountStar | SelectItem::Agg(..) => {}
+            SelectItem::CountStar | SelectItem::Agg(..) | SelectItem::TimeBucket { .. } => {}
         }
     }
     let mut extra = false;
@@ -203,8 +203,8 @@ fn internal_columns(query: &Query, schema: &TableSchema) -> Result<(Vec<String>,
 
 /// The distinct columns aggregation must read: group column first (if
 /// any), then each aggregate argument. Returns `(column names,
-/// per-agg-item index into the names, group present)`.
-fn agg_columns(query: &Query) -> (Vec<String>, Vec<Option<usize>>, bool) {
+/// per-agg-item index into the names, group key)`.
+pub(crate) fn agg_columns(query: &Query) -> (Vec<String>, Vec<Option<usize>>, Option<GroupKey>) {
     let mut cols: Vec<String> = Vec::new();
     let mut push = |name: &str| -> usize {
         if let Some(i) = cols.iter().position(|c| c == name) {
@@ -216,16 +216,31 @@ fn agg_columns(query: &Query) -> (Vec<String>, Vec<Option<usize>>, bool) {
     };
     let group = query.group_by.clone();
     if let Some(g) = &group {
-        push(g);
+        push(g.column());
     }
     let mut item_cols = Vec::new();
     for (_, col) in query.aggregate_items() {
         item_cols.push(col.as_deref().map(&mut push));
     }
-    (cols, item_cols, group.is_some())
+    (cols, item_cols, group)
 }
 
-fn update_states(states: &mut [AggState], row: &[Value], item_cols: &[Option<usize>]) {
+/// Maps a raw group-column value to its grouping key: identity for plain
+/// `GROUP BY col`, bucket start (`v.div_euclid(w) * w`) for `TIMEBUCKET`.
+/// NULL cells (and non-Int64 cells in a bucketed group) key the NULL group.
+pub(crate) fn group_key_value(group: &GroupKey, v: &Value) -> Value {
+    match group {
+        GroupKey::Column(_) => v.clone(),
+        GroupKey::TimeBucket { width_ms, .. } => match v {
+            // `width_ms > 0` is enforced at parse/bind time; saturate the
+            // (pathological, ts near i64::MIN) bucket-start overflow.
+            Value::I64(ts) => Value::I64(ts.div_euclid(*width_ms).saturating_mul(*width_ms)),
+            _ => Value::Null,
+        },
+    }
+}
+
+pub(crate) fn update_states(states: &mut [AggState], row: &[Value], item_cols: &[Option<usize>]) {
     for (state, col) in states.iter_mut().zip(item_cols) {
         state.update(col.map(|c| &row[c]));
     }
@@ -242,7 +257,7 @@ pub fn collect_from_block<S: RangeSource>(
     stats.blocks_visited += 1;
     let ids = evaluate_predicates(reader, &query.predicates, use_skipping, &mut stats.scan)?;
     if query.is_aggregate() {
-        let (cols, item_cols, grouped) = agg_columns(query);
+        let (cols, item_cols, group) = agg_columns(query);
         let n_items = item_cols.len();
         // Fast path: COUNT(*)-only queries need no column data at all.
         if cols.is_empty() {
@@ -250,11 +265,11 @@ pub fn collect_from_block<S: RangeSource>(
             return Ok(Partial::Agg(vec![state; n_items]));
         }
         let rows = if ids.is_empty() { Vec::new() } else { fetch_rows(reader, &ids, &cols)? };
-        if grouped {
+        if let Some(group) = group {
             let mut groups: BTreeMap<OrdValue, Vec<AggState>> = BTreeMap::new();
             for row in rows {
                 let states = groups
-                    .entry(OrdValue(row[0].clone()))
+                    .entry(OrdValue(group_key_value(&group, &row[0])))
                     .or_insert_with(|| vec![AggState::default(); n_items]);
                 update_states(states, &row, &item_cols);
             }
@@ -300,13 +315,19 @@ pub fn collect_from_rows<'a>(
         })
         .collect::<Result<_>>()?;
     // Aggregate plumbing against full positional rows.
-    let grouped = query.group_by.is_some();
+    let group = query.group_by.clone();
     let agg_item_cols: Vec<Option<usize>> = query
         .aggregate_items()
         .iter()
         .map(|(_, col)| col.as_ref().and_then(|c| schema.column_index(c)))
         .collect();
-    let group_idx = query.group_by.as_ref().and_then(|g| schema.column_index(g));
+    let group_idx =
+        match &group {
+            Some(g) => Some(schema.column_index(g.column()).ok_or_else(|| {
+                Error::Query(format!("unknown GROUP BY column '{}'", g.column()))
+            })?),
+            None => None,
+        };
     let n_items = agg_item_cols.len();
 
     let mut out_rows = Vec::new();
@@ -319,10 +340,9 @@ pub fn collect_from_rows<'a>(
             continue;
         }
         if query.is_aggregate() {
-            if grouped {
-                let g = group_idx.expect("bound grouped query has a group column");
+            if let (Some(group), Some(g)) = (&group, group_idx) {
                 let states = groups
-                    .entry(OrdValue(row[g].clone()))
+                    .entry(OrdValue(group_key_value(group, &row[g])))
                     .or_insert_with(|| vec![AggState::default(); n_items]);
                 update_states(states, row, &agg_item_cols);
             } else {
@@ -333,7 +353,7 @@ pub fn collect_from_rows<'a>(
         }
     }
     if query.is_aggregate() {
-        if grouped {
+        if group.is_some() {
             Ok(Partial::Groups(groups))
         } else {
             Ok(Partial::Agg(global))
@@ -390,6 +410,9 @@ fn output_columns(query: &Query, schema: &TableSchema) -> Vec<String> {
             SelectItem::Column(c) => out.push(c.clone()),
             SelectItem::CountStar => out.push("COUNT(*)".to_string()),
             SelectItem::Agg(func, c) => out.push(format!("{}({c})", func.name())),
+            SelectItem::TimeBucket { column, width_ms } => {
+                out.push(format!("TIMEBUCKET({column}, {width_ms})"))
+            }
         }
     }
     out
@@ -403,7 +426,8 @@ fn project_agg_row(query: &Query, group_key: Option<&Value>, states: &[AggState]
     let mut row = Vec::with_capacity(query.projection.len());
     for item in &query.projection {
         match item {
-            SelectItem::Column(_) | SelectItem::AllColumns => {
+            SelectItem::Column(_) | SelectItem::AllColumns | SelectItem::TimeBucket { .. } => {
+                // The group key is already bucket-transformed where needed.
                 row.push(group_key.cloned().unwrap_or(Value::Null));
             }
             SelectItem::CountStar | SelectItem::Agg(..) => {
@@ -608,6 +632,37 @@ mod tests {
         assert_eq!(result.rows.len(), 2);
         assert_eq!(result.rows[0][1], Value::U64(20)); // 60 rows over 3 ips
         assert!(matches!(result.rows[0][2], Value::I64(_)));
+    }
+
+    #[test]
+    fn time_bucket_grouping_buckets_rows() {
+        // make_rows assigns ts = 1000 + i, so 60 rows span buckets
+        // [1000,1019] -> 1000, [1020,1039] -> 1020, [1040,1059] -> 1040.
+        let result = run(
+            "SELECT TIMEBUCKET(ts, 20), COUNT(*) FROM request_log GROUP BY TIMEBUCKET(ts, 20)",
+            60,
+        );
+        assert_eq!(result.columns, vec!["TIMEBUCKET(ts, 20)", "COUNT(*)"]);
+        assert_eq!(
+            result.rows,
+            vec![
+                vec![Value::I64(1000), Value::U64(20)],
+                vec![Value::I64(1020), Value::U64(20)],
+                vec![Value::I64(1040), Value::U64(20)],
+            ]
+        );
+        // Block path and rows path agree on bucketed grouping.
+        let query = q(
+            "SELECT TIMEBUCKET(ts, 32), MAX(latency) FROM request_log GROUP BY TIMEBUCKET(ts, 32)",
+        );
+        let mut s1 = QueryStats::default();
+        let from_block = collect_from_block(&block(60), &query, true, &mut s1).unwrap();
+        let rows = make_rows(60);
+        let mut s2 = QueryStats::default();
+        let from_rows =
+            collect_from_rows(rows.iter().map(|r| r.as_slice()), &schema(), &query, &mut s2)
+                .unwrap();
+        assert_eq!(from_block, from_rows);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   drives LogBlock-map pruning (Fig 8 ①).
 //! * [`exec`] — evaluation over LogBlocks (via the data-skipping scanner)
 //!   and over real-time-store records, plus partial-result merging.
+//! * [`plan`] — the physical [`plan::ScanPlan`]: aggregation pushdown into
+//!   the scan layer (or the row-transport baseline), vectorized predicate
+//!   batches, and the per-source `LIMIT` early-out.
 
 #![forbid(unsafe_code)]
 
@@ -33,8 +36,10 @@ pub mod datetime;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 
 pub use analyze::QueryScope;
-pub use ast::{OrderBy, OrderKey, Query, SelectItem};
+pub use ast::{GroupKey, OrderBy, OrderKey, Query, SelectItem};
 pub use exec::{QueryResult, QueryStats};
 pub use parser::parse_query;
+pub use plan::{partial_approx_bytes, AggSpec, ExecutionCounters, RowCollector, ScanPlan};

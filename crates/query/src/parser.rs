@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the LogStore SQL subset.
 
-use crate::ast::{AggFunc, OrderBy, OrderKey, Query, SelectItem};
+use crate::ast::{AggFunc, GroupKey, OrderBy, OrderKey, Query, SelectItem};
 use crate::lexer::{tokenize, Token};
 use logstore_types::{CmpOp, ColumnPredicate, Error, Result, Value};
 
@@ -51,7 +51,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, token: &Token) -> Result<()> {
+    fn expect_token(&mut self, token: &Token) -> Result<()> {
         let t = self.next()?;
         if &t == token {
             Ok(())
@@ -83,7 +83,13 @@ impl Parser {
         }
         let group_by = if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
-            Some(self.ident()?)
+            if self.peek().is_some_and(|t| t.is_keyword("TIMEBUCKET")) {
+                self.pos += 1;
+                let (column, width_ms) = self.time_bucket_args()?;
+                Some(GroupKey::TimeBucket { column, width_ms })
+            } else {
+                Some(GroupKey::Column(self.ident()?))
+            }
         } else {
             None
         };
@@ -91,9 +97,9 @@ impl Parser {
             self.expect_keyword("BY")?;
             let key = if self.peek().is_some_and(|t| t.is_keyword("COUNT")) {
                 self.pos += 1;
-                self.expect(&Token::LParen)?;
-                self.expect(&Token::Star)?;
-                self.expect(&Token::RParen)?;
+                self.expect_token(&Token::LParen)?;
+                self.expect_token(&Token::Star)?;
+                self.expect_token(&Token::RParen)?;
                 OrderKey::CountStar
             } else {
                 OrderKey::Column(self.ident()?)
@@ -131,6 +137,23 @@ impl Parser {
         })
     }
 
+    /// Parses `(col, width)` after a consumed `TIMEBUCKET` keyword.
+    fn time_bucket_args(&mut self) -> Result<(String, i64)> {
+        self.expect_token(&Token::LParen)?;
+        let column = self.ident()?;
+        self.expect_token(&Token::Comma)?;
+        let width_ms = match self.next()? {
+            Token::Number(n) if n > 0 => n,
+            other => {
+                return Err(Error::Parse(format!(
+                    "TIMEBUCKET width must be a positive integer, found {other:?}"
+                )))
+            }
+        };
+        self.expect_token(&Token::RParen)?;
+        Ok((column, width_ms))
+    }
+
     fn select_list(&mut self) -> Result<Vec<SelectItem>> {
         if self.peek() == Some(&Token::Star) {
             self.pos += 1;
@@ -138,14 +161,26 @@ impl Parser {
         }
         let mut items = Vec::new();
         loop {
-            // An aggregate is an identifier immediately followed by `(`.
+            // A function call is an identifier immediately followed by `(`.
+            if self.peek().is_some_and(|t| t.is_keyword("TIMEBUCKET"))
+                && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+            {
+                self.pos += 1;
+                let (column, width_ms) = self.time_bucket_args()?;
+                items.push(SelectItem::TimeBucket { column, width_ms });
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                    continue;
+                }
+                break;
+            }
             let agg = match (self.peek(), self.tokens.get(self.pos + 1)) {
                 (Some(Token::Ident(name)), Some(Token::LParen)) => Self::agg_func(name),
                 _ => None,
             };
             if let Some(func) = agg {
                 self.pos += 1; // function name
-                self.expect(&Token::LParen)?;
+                self.expect_token(&Token::LParen)?;
                 if self.peek() == Some(&Token::Star) {
                     if func != AggFunc::Count {
                         return Err(Error::Parse(format!(
@@ -154,11 +189,11 @@ impl Parser {
                         )));
                     }
                     self.pos += 1;
-                    self.expect(&Token::RParen)?;
+                    self.expect_token(&Token::RParen)?;
                     items.push(SelectItem::CountStar);
                 } else {
                     let col = self.ident()?;
-                    self.expect(&Token::RParen)?;
+                    self.expect_token(&Token::RParen)?;
                     items.push(SelectItem::Agg(func, col));
                 }
             } else {
@@ -229,11 +264,39 @@ mod tests {
         )
         .unwrap();
         assert!(q.is_aggregate());
-        assert_eq!(q.group_by.as_deref(), Some("ip"));
+        assert_eq!(q.group_by, Some(GroupKey::Column("ip".into())));
         let ob = q.order_by.unwrap();
         assert_eq!(ob.key, OrderKey::CountStar);
         assert!(ob.descending);
         assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_time_bucket() {
+        let q = parse_query(
+            "SELECT TIMEBUCKET(ts, 60000), COUNT(*) FROM request_log \
+             GROUP BY TIMEBUCKET(ts, 60000)",
+        )
+        .unwrap();
+        assert_eq!(
+            q.projection[0],
+            SelectItem::TimeBucket { column: "ts".into(), width_ms: 60000 }
+        );
+        assert_eq!(q.group_by, Some(GroupKey::TimeBucket { column: "ts".into(), width_ms: 60000 }));
+        // Display round-trip.
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn rejects_bad_time_bucket() {
+        for sql in [
+            "SELECT TIMEBUCKET(ts) FROM t GROUP BY TIMEBUCKET(ts)",
+            "SELECT TIMEBUCKET(ts, 0), COUNT(*) FROM t GROUP BY TIMEBUCKET(ts, 0)",
+            "SELECT TIMEBUCKET(ts, 'x'), COUNT(*) FROM t GROUP BY TIMEBUCKET(ts, 'x')",
+            "SELECT COUNT(*) FROM t GROUP BY TIMEBUCKET(ts 60000)",
+        ] {
+            assert!(parse_query(sql).is_err(), "'{sql}' should fail");
+        }
     }
 
     #[test]

@@ -559,6 +559,36 @@ impl Episode {
                 format!("tenant {tenant}: parallel result differs from sequential reference"),
             ));
         }
+        // Aggregation-pushdown differential: partial aggregate states
+        // merged across sources must reproduce the row-materializing
+        // (pushdown-off) plan bit for bit, and COUNT(*) must agree with
+        // the materialized row count.
+        let agg_sql = format!(
+            "SELECT COUNT(*), MIN(latency), MAX(latency), SUM(latency) \
+             FROM request_log WHERE tenant_id = {tenant}"
+        );
+        let pushed = engine
+            .query_with_options(&agg_sql, &QueryOptions::default())
+            .map_err(|e| self.plain_failure(step, format!("pushdown query failed: {e}")))?;
+        let transported = engine
+            .query_with_options(
+                &agg_sql,
+                &QueryOptions { use_pushdown: false, ..QueryOptions::default() },
+            )
+            .map_err(|e| self.plain_failure(step, format!("pushdown-off query failed: {e}")))?;
+        if pushed.result != transported.result {
+            return Err(self.plain_failure(
+                step,
+                format!("tenant {tenant}: pushdown result differs from row-materializing plan"),
+            ));
+        }
+        let expected_count = Value::U64(sequential.result.rows.len() as u64);
+        if pushed.result.rows.first().and_then(|r| r.first()) != Some(&expected_count) {
+            return Err(self.plain_failure(
+                step,
+                format!("tenant {tenant}: COUNT(*) disagrees with materialized row count"),
+            ));
+        }
         let mut uids = Vec::with_capacity(sequential.result.rows.len());
         for row in &sequential.result.rows {
             match row.first() {

@@ -76,6 +76,24 @@ impl RowStore {
             .collect()
     }
 
+    /// Visits buffered rows of one tenant within a time range, in arrival
+    /// order, until `f` returns `false`. The streaming cousin of
+    /// [`RowStore::scan`]: predicate logic stays with the caller, no
+    /// records are cloned, and the visitor can stop early (the query
+    /// layer's unordered-`LIMIT` short circuit).
+    pub fn for_each_in(
+        &self,
+        tenant: TenantId,
+        range: TimeRange,
+        mut f: impl FnMut(&LogRecord) -> bool,
+    ) {
+        for r in &self.rows {
+            if r.tenant_id == tenant && range.contains(r.ts) && !f(r) {
+                return;
+            }
+        }
+    }
+
     /// Removes and returns the oldest `max_rows` rows (arrival order), for
     /// the data builder to convert into LogBlocks.
     pub fn drain_oldest(&mut self, max_rows: usize) -> Vec<LogRecord> {

@@ -3,8 +3,10 @@
 //! "Our query set contains 6000 queries, and six queries with different
 //! filtering predicates are generated for each tenant", all instances of
 //! the most common template: retrieve one tenant's logs in a time range
-//! with per-field filters. The six templates below vary the time span and
-//! the filter columns the way the paper's walk-through (Fig 8) does.
+//! with per-field filters. The first six templates below vary the time
+//! span and the filter columns the way the paper's walk-through (Fig 8)
+//! does; two aggregation templates (wide multi-aggregate, time-bucketed
+//! histogram) exercise the pushdown path the Fig 17 mix now measures.
 
 use crate::records::APIS;
 use logstore_types::{TenantId, Timestamp};
@@ -60,6 +62,21 @@ pub fn tenant_queries<R: Rng + ?Sized>(
         ),
         // 6. Failure count over the whole history.
         format!("SELECT COUNT(*) FROM request_log WHERE tenant_id = {t} AND fail = true"),
+        // 7. Latency profile of one window — the wide ungrouped aggregate
+        //    the pushdown path collapses to one AggState row per source.
+        format!(
+            "SELECT COUNT(*), SUM(latency), MIN(latency), MAX(latency) \
+             FROM request_log WHERE tenant_id = {t} \
+             AND ts >= {start_wide} AND ts <= {}",
+            start_wide + wide
+        ),
+        // 8. Time-bucketed failure histogram over the full history (bucket
+        //    width floors at 1ms so tiny test windows stay valid).
+        format!(
+            "SELECT TIMEBUCKET(ts, {bucket}), COUNT(*) FROM request_log \
+             WHERE tenant_id = {t} AND fail = true GROUP BY TIMEBUCKET(ts, {bucket})",
+            bucket = hour.max(1)
+        ),
     ]
 }
 
@@ -71,11 +88,11 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn six_queries_all_parse_and_bind() {
+    fn all_templates_parse_and_bind() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let schema = TableSchema::request_log();
         let qs = tenant_queries(TenantId(42), Timestamp(0), Timestamp(48 * 3600 * 1000), &mut rng);
-        assert_eq!(qs.len(), 6);
+        assert_eq!(qs.len(), 8);
         for sql in &qs {
             let parsed = parse_query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
             let bound = analyze::bind(&parsed, &schema).unwrap_or_else(|e| panic!("{sql}: {e}"));
@@ -91,5 +108,7 @@ mod tests {
         assert!(qs.iter().any(|q| q.contains("CONTAINS")));
         assert!(qs.iter().any(|q| q.contains("GROUP BY")));
         assert!(qs.iter().any(|q| q.contains("COUNT(*)")));
+        assert!(qs.iter().any(|q| q.contains("SUM(latency)")), "wide aggregate template");
+        assert!(qs.iter().any(|q| q.contains("TIMEBUCKET")), "time-bucket template");
     }
 }

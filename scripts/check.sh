@@ -42,6 +42,14 @@ cargo run -q --release -p logstore-bench --bin bench_ingest -- --smoke
 echo "== bench_compact smoke =="
 cargo run -q --release -p logstore-bench --bin bench_compact -- --smoke
 
+# Query bench smoke: the aggregation templates over a small aged dataset,
+# asserting byte-identical results across the {pushdown, skipping} matrix
+# and the >=10x partial-byte reduction from aggregation pushdown. The full
+# matrix (BENCH_query.json) runs manually via
+# `cargo run --release -p logstore-bench --bin bench_query`.
+echo "== bench_query smoke =="
+cargo run -q --release -p logstore-bench --bin bench_query -- --smoke
+
 # Lock-analysis stage: the same detector that runs in every debug test,
 # but over *release* interleavings — optimized code races harder. Covers
 # the simtest episode sweep, the cache herd, and the engine lock-order

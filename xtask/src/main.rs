@@ -7,7 +7,7 @@
 //!    `logstore_sync` wrappers so the debug lock-order analysis sees it
 //!    (allowlist: `xtask/lint-allow-locks.txt`).
 //! 2. **Unwrap burn-down** — `.unwrap()` / `.expect(` in non-test code
-//!    under `crates/core/src` is budgeted per file
+//!    under `crates/core/src` and `crates/query/src` is budgeted per file
 //!    (`xtask/lint-allow-unwrap.txt`); counts may only shrink.
 //! 3. **Simtest determinism** — no wall-clock or sleep APIs in
 //!    `crates/simtest/src` (seeded simulations must not observe time).
@@ -167,7 +167,10 @@ fn check_raw_locks(root: &Path, failures: &mut Vec<String>) {
 /// Check 2: unwrap/expect burn-down in non-test core code.
 fn check_unwrap_budget(root: &Path, failures: &mut Vec<String>) {
     let budgets = load_allowlist(&root.join("xtask/lint-allow-unwrap.txt"));
-    for file in rust_files(&root.join("crates/core/src")) {
+    let gated = rust_files(&root.join("crates/core/src"))
+        .into_iter()
+        .chain(rust_files(&root.join("crates/query/src")));
+    for file in gated {
         let path = rel(root, &file);
         let text = fs::read_to_string(&file).expect("read source file");
         let mut count: u64 = 0;
