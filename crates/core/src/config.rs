@@ -70,6 +70,10 @@ pub struct ClusterConfig {
     /// Replicate each shard's writes through an in-process Raft group of
     /// this size (1 = no replication).
     pub raft_replicas: usize,
+    /// Controller replica count: the control plane's route table, topology
+    /// and rebalance decisions are a state machine replicated through a
+    /// Raft group of this size (1 = a single, unreplicated controller).
+    pub controller_replicas: usize,
     /// RNG seed for all deterministic randomness.
     pub seed: u64,
     /// When set, every shard keeps a durable WAL under this directory and
@@ -122,6 +126,7 @@ impl ClusterConfig {
             },
             balancer: BalancerKind::MaxFlow,
             raft_replicas: 1,
+            controller_replicas: 3,
             seed: 42,
             data_dir: None,
             wal: logstore_wal::WalConfig::default(),

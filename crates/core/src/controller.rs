@@ -1,192 +1,1038 @@
-//! The cluster controller: routing, traffic control, expiration.
+//! The replicated cluster controller and its message-passing control plane.
 //!
-//! Wraps the flow-control loop of `logstore-flow` with the engine's
-//! concerns: lazy route initialization by consistent hashing, snapshot
-//! assembly from worker ingest windows, and the background expiration task
-//! that deletes expired LogBlocks from OSS.
+//! Earlier revisions kept the controller as an in-process singleton called
+//! by direct method invocation — controller death and network partitions
+//! were scenarios the architecture literally could not express. This
+//! module replaces that with the paper's actual shape (LogStore keeps its
+//! control plane on a replicated coordination service):
+//!
+//! * **Explicit messages.** Brokers, workers and controller replicas talk
+//!   through typed request/response envelopes ([`CtrlMsg`]) over a
+//!   simulated network (`logstore-net`) with seeded drop / duplication /
+//!   reorder / partition faults. Every facade call below is an RPC: the
+//!   client sends a request, retransmits on silence, follows `NotLeader`
+//!   redirects, and replicas deduplicate by request id so redelivery is
+//!   harmless.
+//! * **A Raft-replicated state machine.** Route tables, topology and
+//!   rebalance decisions live in [`ControlState`] (`logstore-flow`),
+//!   mutated only by [`CtrlCmd`]s committed through the `logstore-raft`
+//!   log. The balancer — whose `HashMap` iteration is not deterministic —
+//!   runs only on the leader, which proposes the *concrete* route table it
+//!   produced (`CommitRebalance`): replicas apply decisions, never
+//!   recompute them. Any replica serves linearizable reads after a commit
+//!   barrier, and leader failover is an ordinary Raft election.
+//! * **Snapshot catch-up.** The leader periodically compacts its log at
+//!   the commit index with `ControlState::encode()` as the snapshot, so a
+//!   lagging or freshly-healed replica restores `decode(snapshot)` and
+//!   replays only the suffix.
+//!
+//! Client-side, brokers keep a per-tenant route cache keyed on the state's
+//! `epoch`, which bumps only on route-*invalidating* commands (rebalance,
+//! vacate) — the ingest hot path picks shards locally and pays an RPC only
+//! on cache miss.
+//!
+//! Lock order (enforced by the `logstore-sync` analysis in debug builds):
+//! `core.controller.cache` → `core.controller.plane`. The cache lock may
+//! be held while taking the plane on a miss; never the reverse.
 
 use crate::config::{BalancerKind, ClusterConfig};
 use crate::metadata::MetadataStore;
-use crate::worker::ShardWindow;
+use crate::worker::{ShardWindow, Worker};
 use logstore_flow::balancer::{Balancer, GreedyBalancer, MaxFlowBalancer};
+use logstore_flow::ctrl::{pick_routes, ControlState, CtrlCmd};
+use logstore_flow::monitor::detect_hotspots;
 use logstore_flow::sim::ClusterTopology;
-use logstore_flow::{ConsistentHashRing, ControlAction, TrafficController, TrafficSnapshot};
+use logstore_flow::{ControlAction, FlowControlConfig, TrafficSnapshot};
+use logstore_net::{NetFaults, SimNet};
 use logstore_oss::ObjectStore;
-use logstore_sync::{OrderedMutex, OrderedRwLock};
-use logstore_types::{Result, ShardId, TenantId, Timestamp, WorkerId};
-use std::collections::HashMap;
+use logstore_raft::{InProcCluster, RaftConfig, Role};
+use logstore_sync::OrderedMutex;
+use logstore_types::{Error, NodeId, Result, ShardId, TenantId, Timestamp, WorkerId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// The engine-side controller.
-///
-/// Lock order (enforced by the `logstore-sync` analysis in debug builds):
-/// `traffic` → `ring` (pick_shard, read_shards) and `topology` → `ring`
-/// (register_worker). `ring` is always innermost; never take `traffic` or
-/// `topology` while holding it.
+/// A control-plane RPC request (client → replica).
+#[derive(Debug, Clone)]
+pub enum CtrlRequest {
+    /// Routes for one tenant, lazily placing it on its ring home shard.
+    Route {
+        /// The tenant to route.
+        tenant: TenantId,
+    },
+    /// The shards a read for `tenant` must fan out to.
+    ReadShards {
+        /// The tenant being queried.
+        tenant: TenantId,
+    },
+    /// Registers a worker and its shards (idempotent in the state machine).
+    RegisterWorker {
+        /// The worker joining the cluster.
+        worker: WorkerId,
+        /// `(shard, capacity)` pairs it hosts.
+        shards: Vec<(ShardId, u64)>,
+    },
+    /// Reinstalls recovered routes (equal weights) after a WAL replay.
+    RestoreRoutes {
+        /// The recovered tenant.
+        tenant: TenantId,
+        /// Shards holding its replayed rows.
+        shards: Vec<ShardId>,
+    },
+    /// One control tick over the collected ingest windows.
+    Tick {
+        /// Per-worker, per-shard ingest windows.
+        windows: HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
+    },
+    /// Acknowledges that a vacated route's rows were flushed to OSS.
+    VacateDone {
+        /// The vacated tenant.
+        tenant: TenantId,
+        /// The shard it vacated.
+        shard: ShardId,
+    },
+    /// Vacated edges still awaiting their flush acknowledgement.
+    Vacated,
+    /// Total route-edge count (Fig 12(c)).
+    RouteCount,
+    /// The registered topology.
+    Topology,
+    /// The replica's encoded state (convergence assertions in tests).
+    State,
+}
+
+/// A control-plane RPC response (replica → client).
+#[derive(Debug, Clone)]
+pub enum CtrlResponse {
+    /// The tenant's routes. `routed` is false for the unplaced ring
+    /// fallback (which must not be cached — lazy placement may follow).
+    Routes {
+        /// Normalized `(shard, weight)` pairs.
+        routes: Vec<(ShardId, f64)>,
+        /// True when the state machine holds explicit routes.
+        routed: bool,
+        /// State epoch at evaluation (cache key).
+        epoch: u64,
+    },
+    /// Read fan-out shards.
+    Shards {
+        /// Sorted deduped shard set.
+        shards: Vec<ShardId>,
+        /// True when the tenant has explicit routes.
+        routed: bool,
+        /// State epoch at evaluation.
+        epoch: u64,
+    },
+    /// Mutation acknowledged (committed by quorum).
+    Ack {
+        /// State epoch at evaluation.
+        epoch: u64,
+    },
+    /// Control tick outcome.
+    TickDone {
+        /// What the tick decided.
+        action: ControlAction,
+        /// State epoch after the tick.
+        epoch: u64,
+    },
+    /// Pending vacated edges.
+    VacatedPairs {
+        /// `(tenant, shard)` pairs, sorted.
+        pairs: Vec<(TenantId, ShardId)>,
+        /// State epoch at evaluation.
+        epoch: u64,
+    },
+    /// Route-edge count.
+    Count {
+        /// The count.
+        n: usize,
+    },
+    /// Registered topology.
+    TopologySnapshot {
+        /// Shards, workers, capacities, placement.
+        topology: ClusterTopology,
+    },
+    /// Encoded replica state.
+    StateBytes {
+        /// `ControlState::encode()` output.
+        bytes: Vec<u8>,
+    },
+    /// This replica is not the leader; retry there.
+    NotLeader {
+        /// The replica it believes is leading, if known.
+        hint: Option<u32>,
+    },
+    /// The request failed terminally.
+    Failed {
+        /// Why.
+        error: String,
+    },
+}
+
+/// One message on the simulated control-plane network.
+#[derive(Debug, Clone)]
+pub enum CtrlMsg {
+    /// Client request to a controller replica.
+    Request {
+        /// Client-unique request id (dedup key).
+        id: u64,
+        /// The request.
+        req: CtrlRequest,
+    },
+    /// Replica response to the client.
+    Response {
+        /// Echoed request id.
+        id: u64,
+        /// The response.
+        resp: CtrlResponse,
+    },
+    /// Fetch a worker's ingest window (controller → worker).
+    WindowFetch {
+        /// Request id (the worker caches its reply by id, because taking
+        /// a window is destructive and fetches may be redelivered).
+        id: u64,
+    },
+    /// A worker's ingest window (worker → controller).
+    WindowData {
+        /// Echoed request id.
+        id: u64,
+        /// The per-shard window.
+        windows: HashMap<ShardId, ShardWindow>,
+    },
+}
+
+/// Retransmit the in-flight request every this many net steps.
+const RETX_INTERVAL: usize = 30;
+/// Give up an RPC after this many net steps (covers several elections).
+const RPC_BUDGET: usize = 6000;
+/// Per-replica dedup cache size (completed request ids).
+const DEDUP_CAP: usize = 256;
+/// Leader log compaction threshold, in committed entries past the last
+/// snapshot.
+const COMPACT_EVERY: u64 = 64;
+
+/// A read or proposal waiting for its commit barrier.
+struct PendingReply {
+    id: u64,
+    from: u32,
+    /// Fires once the replica's commit index reaches this.
+    wait_index: u64,
+    req: CtrlRequest,
+    /// Tick action decided at serve time (the proposal carries the plan).
+    action: Option<ControlAction>,
+}
+
+/// One replica's state machine plus its serving bookkeeping.
+struct ReplicaSm {
+    state: ControlState,
+    /// Entries of the harness's applied log already folded into `state`.
+    cursor: usize,
+    /// Last snapshot index installed from a leader.
+    installed_idx: u64,
+    completed: HashMap<u64, CtrlResponse>,
+    completed_order: VecDeque<u64>,
+    pending: Vec<PendingReply>,
+}
+
+impl ReplicaSm {
+    fn new() -> Self {
+        ReplicaSm {
+            state: ControlState::new(),
+            cursor: 0,
+            installed_idx: 0,
+            completed: HashMap::new(),
+            completed_order: VecDeque::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn complete(&mut self, id: u64, resp: CtrlResponse) {
+        if self.completed.insert(id, resp).is_none() {
+            self.completed_order.push_back(id);
+            while self.completed_order.len() > DEDUP_CAP {
+                if let Some(old) = self.completed_order.pop_front() {
+                    self.completed.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// A worker's endpoint on the control-plane network.
+struct WorkerEndpoint {
+    worker: Arc<Worker>,
+    /// Window responses by request id: `take_window` is destructive, so a
+    /// redelivered fetch must replay the cached reply, not take again.
+    served: HashMap<u64, HashMap<ShardId, ShardWindow>>,
+    served_order: VecDeque<u64>,
+}
+
+/// The control plane: the Raft group, one state machine per replica, the
+/// simulated network, and the attached worker endpoints.
+struct ControlPlane {
+    raft: InProcCluster,
+    replicas: usize,
+    sms: Vec<ReplicaSm>,
+    net: SimNet<CtrlMsg>,
+    /// Worker endpoints keyed by raw worker id.
+    workers: BTreeMap<u32, WorkerEndpoint>,
+    /// The currently-killed replica, if any (at most one at a time).
+    killed: Option<u32>,
+    /// Where the client sends first.
+    leader_hint: u32,
+    next_req: u64,
+    balancer: Box<dyn Balancer>,
+    flow: FlowControlConfig,
+    /// Kill the leader right after the next rebalancing tick responds.
+    arm_kill: bool,
+}
+
+impl ControlPlane {
+    fn client_addr(&self) -> u32 {
+        self.replicas as u32
+    }
+
+    fn worker_addr(&self, worker: u32) -> u32 {
+        self.replicas as u32 + 1 + worker
+    }
+
+    fn next_live(&self, from: u32) -> u32 {
+        let n = self.replicas as u32;
+        let mut t = (from + 1) % n;
+        while self.killed == Some(t) {
+            t = (t + 1) % n;
+        }
+        t
+    }
+
+    /// One network tick: deliver envelopes, serve replicas and workers,
+    /// step Raft, apply commits, fire pending replies, maybe compact.
+    /// Returns the messages delivered to the client this tick.
+    fn pump(&mut self) -> Vec<CtrlMsg> {
+        let mut to_client = Vec::new();
+        for env in self.net.step() {
+            if (env.to as usize) < self.replicas {
+                if self.killed == Some(env.to) {
+                    continue; // a dead replica's inbox goes nowhere
+                }
+                self.serve_replica(env.to as usize, env.from, env.msg);
+            } else if env.to == self.client_addr() {
+                to_client.push(env.msg);
+            } else {
+                self.serve_worker(env.to, env.from, env.msg);
+            }
+        }
+        self.raft.step();
+        self.apply_committed();
+        self.flush_pending();
+        self.maybe_compact();
+        to_client
+    }
+
+    /// Serves one request at replica `i`: dedup, leadership check, then
+    /// either a commit-barrier read or a proposal through the log.
+    fn serve_replica(&mut self, i: usize, from: u32, msg: CtrlMsg) {
+        let CtrlMsg::Request { id, req } = msg else { return };
+        if let Some(resp) = self.sms[i].completed.get(&id).cloned() {
+            self.respond(i, from, id, resp);
+            return;
+        }
+        if self.sms[i].pending.iter().any(|p| p.id == id) {
+            return; // duplicate of an in-flight request
+        }
+        let node_id = NodeId(i as u32);
+        if self.raft.node(node_id).role() != Role::Leader {
+            let hint = self.raft.any_leader().map(NodeId::raw);
+            self.respond(i, from, id, CtrlResponse::NotLeader { hint });
+            return;
+        }
+        // Mutations that are already satisfied degrade to barrier reads —
+        // that is what makes redelivered requests harmless.
+        let mut action = None;
+        let proposal: Option<CtrlCmd> = match &req {
+            CtrlRequest::Route { tenant } => {
+                let sm = &self.sms[i].state;
+                if sm.is_routed(*tenant) {
+                    None
+                } else {
+                    match sm.home(*tenant) {
+                        Some(home) => {
+                            Some(CtrlCmd::SetRoute { tenant: *tenant, routes: vec![(home, 1.0)] })
+                        }
+                        None => {
+                            let resp =
+                                CtrlResponse::Failed { error: "no shards in ring".to_string() };
+                            self.sms[i].complete(id, resp.clone());
+                            self.respond(i, from, id, resp);
+                            return;
+                        }
+                    }
+                }
+            }
+            CtrlRequest::RegisterWorker { worker, shards } => {
+                // The state machine is idempotent anyway; skipping the
+                // proposal for an identical re-registration keeps the log
+                // free of no-op entries.
+                let mut probe = self.sms[i].state.clone();
+                let cmd = CtrlCmd::RegisterWorker { worker: *worker, shards: shards.clone() };
+                probe.apply(&cmd).then_some(cmd)
+            }
+            CtrlRequest::RestoreRoutes { tenant, shards } => {
+                if self.sms[i].state.is_routed(*tenant) || shards.is_empty() {
+                    None
+                } else {
+                    Some(CtrlCmd::SetRoute {
+                        tenant: *tenant,
+                        routes: shards.iter().map(|&s| (s, 1.0)).collect(),
+                    })
+                }
+            }
+            CtrlRequest::Tick { windows } => {
+                let (a, proposal) =
+                    plan_tick(&self.sms[i].state, windows, &self.flow, self.balancer.as_ref());
+                action = Some(a);
+                proposal
+            }
+            CtrlRequest::VacateDone { tenant, shard } => {
+                let pending = self.sms[i].state.pending_vacated().contains(&(*tenant, *shard));
+                pending.then_some(CtrlCmd::VacateRoute { tenant: *tenant, shard: *shard })
+            }
+            CtrlRequest::ReadShards { .. }
+            | CtrlRequest::Vacated
+            | CtrlRequest::RouteCount
+            | CtrlRequest::Topology
+            | CtrlRequest::State => None,
+        };
+        let wait_index = match proposal {
+            Some(cmd) => match self.raft.node_mut(node_id).propose(cmd.encode()) {
+                Ok(index) => index,
+                Err(e) => {
+                    self.respond(i, from, id, CtrlResponse::Failed { error: e.to_string() });
+                    return;
+                }
+            },
+            // Linearizable read: all entries present at receipt must commit
+            // first (the election no-op barrier makes this live for a fresh
+            // leader).
+            None => self.raft.node(node_id).log_len(),
+        };
+        self.sms[i].pending.push(PendingReply { id, from, wait_index, req, action });
+    }
+
+    /// Serves a worker endpoint: window fetches with replay-by-id.
+    fn serve_worker(&mut self, to: u32, from: u32, msg: CtrlMsg) {
+        let CtrlMsg::WindowFetch { id } = msg else { return };
+        let Some(worker) = to.checked_sub(self.replicas as u32 + 1) else { return };
+        let Some(ep) = self.workers.get_mut(&worker) else { return };
+        let windows = match ep.served.get(&id) {
+            Some(cached) => cached.clone(),
+            None => {
+                let fresh = ep.worker.take_window();
+                ep.served.insert(id, fresh.clone());
+                ep.served_order.push_back(id);
+                while ep.served_order.len() > DEDUP_CAP {
+                    if let Some(old) = ep.served_order.pop_front() {
+                        ep.served.remove(&old);
+                    }
+                }
+                fresh
+            }
+        };
+        self.net.send(to, from, CtrlMsg::WindowData { id, windows });
+    }
+
+    fn respond(&mut self, i: usize, to: u32, id: u64, resp: CtrlResponse) {
+        self.net.send(i as u32, to, CtrlMsg::Response { id, resp });
+    }
+
+    /// Folds newly-committed log entries (and installed snapshots) into
+    /// each replica's state machine.
+    fn apply_committed(&mut self) {
+        for i in 0..self.replicas {
+            let node_id = NodeId(i as u32);
+            if let Some((idx, data)) = self.raft.installed_snapshot(node_id) {
+                if *idx != self.sms[i].installed_idx {
+                    let idx = *idx;
+                    if let Ok(state) = ControlState::decode(data) {
+                        self.sms[i].state = state;
+                    }
+                    self.sms[i].installed_idx = idx;
+                }
+            }
+            let applied = self.raft.applied(node_id);
+            while self.sms[i].cursor < applied.len() {
+                let payload = &applied[self.sms[i].cursor];
+                if let Ok(cmd) = CtrlCmd::decode(payload) {
+                    self.sms[i].state.apply(&cmd);
+                }
+                self.sms[i].cursor += 1;
+            }
+        }
+    }
+
+    /// Fires pending replies whose barrier committed; bounces the pending
+    /// queue of any replica that lost leadership.
+    fn flush_pending(&mut self) {
+        for i in 0..self.replicas {
+            if self.sms[i].pending.is_empty() || self.killed == Some(i as u32) {
+                continue;
+            }
+            let node_id = NodeId(i as u32);
+            if self.raft.node(node_id).role() != Role::Leader {
+                let hint = self.raft.any_leader().map(NodeId::raw);
+                for p in std::mem::take(&mut self.sms[i].pending) {
+                    self.respond(i, p.from, p.id, CtrlResponse::NotLeader { hint });
+                }
+                continue;
+            }
+            let commit = self.raft.node(node_id).commit_index();
+            let mut still_waiting = Vec::new();
+            for p in std::mem::take(&mut self.sms[i].pending) {
+                if p.wait_index > commit {
+                    still_waiting.push(p);
+                    continue;
+                }
+                let resp = self.evaluate(i, &p);
+                self.sms[i].complete(p.id, resp.clone());
+                self.respond(i, p.from, p.id, resp);
+            }
+            self.sms[i].pending = still_waiting;
+        }
+    }
+
+    /// Evaluates a barrier-cleared request against replica `i`'s state.
+    fn evaluate(&self, i: usize, p: &PendingReply) -> CtrlResponse {
+        let sm = &self.sms[i].state;
+        let epoch = sm.epoch();
+        match &p.req {
+            CtrlRequest::Route { tenant } => match sm.routes(*tenant) {
+                Some(routes) => {
+                    CtrlResponse::Routes { routes: routes.to_vec(), routed: true, epoch }
+                }
+                None => match sm.home(*tenant) {
+                    Some(home) => {
+                        CtrlResponse::Routes { routes: vec![(home, 1.0)], routed: false, epoch }
+                    }
+                    None => CtrlResponse::Failed { error: "no shards in ring".to_string() },
+                },
+            },
+            CtrlRequest::ReadShards { tenant } => CtrlResponse::Shards {
+                shards: sm.read_shards(*tenant),
+                routed: sm.is_routed(*tenant),
+                epoch,
+            },
+            CtrlRequest::RegisterWorker { .. }
+            | CtrlRequest::RestoreRoutes { .. }
+            | CtrlRequest::VacateDone { .. } => CtrlResponse::Ack { epoch },
+            CtrlRequest::Tick { .. } => CtrlResponse::TickDone {
+                action: p.action.clone().unwrap_or(ControlAction::None),
+                epoch,
+            },
+            CtrlRequest::Vacated => {
+                CtrlResponse::VacatedPairs { pairs: sm.pending_vacated(), epoch }
+            }
+            CtrlRequest::RouteCount => CtrlResponse::Count { n: sm.route_count() },
+            CtrlRequest::Topology => CtrlResponse::TopologySnapshot { topology: sm.topology() },
+            CtrlRequest::State => CtrlResponse::StateBytes { bytes: sm.encode() },
+        }
+    }
+
+    /// Leader-side log compaction through Raft's snapshot hook: encode the
+    /// applied state at the commit index, so healed laggards catch up by
+    /// snapshot + suffix instead of full replay.
+    fn maybe_compact(&mut self) {
+        let Some(leader) = self.raft.sole_leader() else { return };
+        if self.killed == Some(leader.raw()) {
+            return;
+        }
+        let node = self.raft.node(leader);
+        let commit = node.commit_index();
+        if commit < node.snapshot_index() + COMPACT_EVERY {
+            return;
+        }
+        let data = self.sms[leader.raw() as usize].state.encode();
+        let _ = self.raft.node_mut(leader).compact(commit, data);
+    }
+
+    /// One client RPC: send, retransmit on silence, follow `NotLeader`
+    /// redirects, and return the first non-redirect response.
+    fn rpc(&mut self, req: CtrlRequest) -> Result<CtrlResponse> {
+        let id = self.next_req;
+        self.next_req += 1;
+        let client = self.client_addr();
+        let mut target = self.leader_hint;
+        if self.killed == Some(target) {
+            target = self.next_live(target);
+        }
+        let mut since_send = RETX_INTERVAL; // send immediately
+        for _ in 0..RPC_BUDGET {
+            if since_send >= RETX_INTERVAL {
+                since_send = 0;
+                if self.killed == Some(target) {
+                    target = self.next_live(target);
+                }
+                self.net.send(client, target, CtrlMsg::Request { id, req: req.clone() });
+            }
+            since_send += 1;
+            for msg in self.pump() {
+                let CtrlMsg::Response { id: rid, resp } = msg else { continue };
+                if rid != id {
+                    continue; // a late response to an older request
+                }
+                match resp {
+                    CtrlResponse::NotLeader { hint } => {
+                        let next = hint
+                            .filter(|&h| (h as usize) < self.replicas && self.killed != Some(h))
+                            .unwrap_or_else(|| self.next_live(target));
+                        target = if next == target { self.next_live(target) } else { next };
+                        since_send = RETX_INTERVAL; // redirect: resend now
+                    }
+                    CtrlResponse::Failed { error } => return Err(Error::Cluster(error)),
+                    other => {
+                        self.leader_hint = target;
+                        return Ok(other);
+                    }
+                }
+            }
+        }
+        Err(Error::Cluster(format!("control plane unreachable (request {id} timed out)")))
+    }
+
+    /// Fetches every attached worker's ingest window over the network.
+    fn fetch_windows(&mut self) -> Result<HashMap<WorkerId, HashMap<ShardId, ShardWindow>>> {
+        let mut out = HashMap::new();
+        let targets: Vec<u32> = self.workers.keys().copied().collect();
+        let client = self.client_addr();
+        for w in targets {
+            let id = self.next_req;
+            self.next_req += 1;
+            let addr = self.worker_addr(w);
+            let mut since_send = RETX_INTERVAL;
+            let mut got = None;
+            'wait: for _ in 0..RPC_BUDGET {
+                if since_send >= RETX_INTERVAL {
+                    since_send = 0;
+                    self.net.send(client, addr, CtrlMsg::WindowFetch { id });
+                }
+                since_send += 1;
+                for msg in self.pump() {
+                    let CtrlMsg::WindowData { id: rid, windows } = msg else { continue };
+                    if rid == id {
+                        got = Some(windows);
+                        break 'wait;
+                    }
+                }
+            }
+            match got {
+                Some(windows) => {
+                    out.insert(WorkerId(w), windows);
+                }
+                None => return Err(Error::Cluster(format!("worker-{w} window fetch timed out"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Kills the current leader (isolates its Raft node and blackholes its
+    /// inbox). At most one replica is down at a time: a pending kill heals
+    /// first. No-op below 3 replicas — there would be no quorum left.
+    fn kill_leader(&mut self) -> Option<u32> {
+        if self.replicas < 3 {
+            return None;
+        }
+        let leader = self.raft.any_leader()?;
+        if self.killed == Some(leader.raw()) {
+            return None;
+        }
+        if self.killed.take().is_some() {
+            self.raft.heal();
+        }
+        self.raft.isolate(leader);
+        self.killed = Some(leader.raw());
+        Some(leader.raw())
+    }
+
+    fn heal(&mut self) {
+        self.raft.heal();
+        self.killed = None;
+    }
+
+    /// Pumps until every live replica converged on one commit index under
+    /// a sole leader (test/assertion support).
+    fn settle(&mut self) {
+        for _ in 0..RPC_BUDGET {
+            let _ = self.pump();
+            if self.raft.sole_leader().is_none() {
+                continue;
+            }
+            let live: Vec<u64> = (0..self.replicas)
+                .filter(|&i| self.killed != Some(i as u32))
+                .map(|i| self.raft.node(NodeId(i as u32)).commit_index())
+                .collect();
+            if self.net.idle() && live.windows(2).all(|w| w[0] == w[1]) {
+                return;
+            }
+        }
+    }
+}
+
+/// Computes one control tick on the leader: hotspot detection, then either
+/// nothing, a scale-out request, or a concrete rebalancing plan to propose.
+fn plan_tick(
+    state: &ControlState,
+    windows: &HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
+    flow: &FlowControlConfig,
+    balancer: &dyn Balancer,
+) -> (ControlAction, Option<CtrlCmd>) {
+    let snapshot = snapshot_from_windows(state, windows);
+    let hotspots = detect_hotspots(&snapshot, flow.alpha);
+    if hotspots.is_empty() {
+        return (ControlAction::None, None);
+    }
+    let demand = snapshot.total_traffic();
+    let usable = (snapshot.total_worker_capacity() as f64 * flow.alpha) as u64;
+    if demand > usable {
+        return (ControlAction::ScaleCluster { demand, usable_capacity: usable }, None);
+    }
+    let current = state.routing_table();
+    let routes_before = current.route_count();
+    match balancer.rebalance(&snapshot, &current, flow) {
+        Ok(plan) => {
+            let routes_after = plan.route_count();
+            let mut assignments: Vec<(TenantId, Vec<(ShardId, f64)>)> = plan
+                .iter()
+                .map(|(t, rs)| (t, rs.iter().map(|r| (r.shard, r.weight)).collect()))
+                .collect();
+            // The balancer iterates HashMaps; the proposed payload must not.
+            assignments.sort_by_key(|(t, _)| *t);
+            (
+                ControlAction::Rebalanced { routes_before, routes_after },
+                Some(CtrlCmd::CommitRebalance { assignments }),
+            )
+        }
+        // A planner failure leaves the current table in force.
+        Err(_) => (ControlAction::None, None),
+    }
+}
+
+/// Assembles the monitor's snapshot from the replicated topology and the
+/// collected ingest windows.
+fn snapshot_from_windows(
+    state: &ControlState,
+    windows: &HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
+) -> TrafficSnapshot {
+    let topology = state.topology();
+    let mut snapshot = TrafficSnapshot {
+        shard_capacity: topology.shard_capacity,
+        worker_capacity: topology.worker_capacity,
+        shard_to_worker: topology.shard_to_worker,
+        ..Default::default()
+    };
+    for (&worker, shards) in windows {
+        for (&shard, window) in shards {
+            *snapshot.shard_load.entry(shard).or_default() += window.total;
+            *snapshot.worker_load.entry(worker).or_default() += window.total;
+            for (&tenant, &count) in &window.per_tenant {
+                *snapshot.tenant_traffic.entry(tenant).or_default() += count;
+                snapshot.shard_tenants.entry(shard).or_default().push((tenant, count));
+            }
+        }
+    }
+    snapshot
+}
+
+/// The broker-side route cache, keyed on the control state's epoch.
+#[derive(Default)]
+struct RouteCache {
+    epoch: u64,
+    routes: HashMap<TenantId, Vec<(ShardId, f64)>>,
+    read_shards: HashMap<TenantId, Vec<ShardId>>,
+}
+
+impl RouteCache {
+    /// Adopts a response's epoch; a newer epoch invalidates everything
+    /// (some rebalance or vacate has changed routes under us).
+    fn observe_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.routes.clear();
+            self.read_shards.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    fn invalidate(&mut self, tenant: TenantId) {
+        self.routes.remove(&tenant);
+        self.read_shards.remove(&tenant);
+    }
+}
+
+/// The engine-side controller facade: every method is a client RPC into
+/// the replicated control plane (plus a route cache on the hot paths).
 pub struct ClusterController {
-    topology: OrderedRwLock<ClusterTopology>,
-    ring: OrderedRwLock<ConsistentHashRing>,
-    traffic: OrderedMutex<TrafficController>,
-    balancer_kind: BalancerKind,
     metadata: Arc<MetadataStore>,
+    balancer_kind: BalancerKind,
+    cache: OrderedMutex<RouteCache>,
+    plane: OrderedMutex<ControlPlane>,
+    vacated_processed: AtomicU64,
 }
 
 impl ClusterController {
-    /// Builds the controller from the cluster configuration.
+    /// Builds the control plane from the cluster configuration and elects
+    /// the first leader. Workers join via [`ClusterController::register_worker`]
+    /// — the topology starts empty.
     pub fn new(config: &ClusterConfig, metadata: Arc<MetadataStore>) -> Self {
-        let topology = ClusterTopology::homogeneous(
-            config.workers,
-            config.shards_per_worker,
-            config.shard_capacity,
-        );
-        let shards = topology.shards();
-        let ring = ConsistentHashRing::new(&shards);
+        let replicas = config.controller_replicas.max(1);
         let balancer: Box<dyn Balancer> = match config.balancer {
             BalancerKind::Greedy => Box::new(GreedyBalancer),
             // `None` still needs a planner instance; its tick is never run.
             BalancerKind::MaxFlow | BalancerKind::None => Box::new(MaxFlowBalancer),
         };
-        let traffic = TrafficController::new(config.flow.clone(), balancer);
+        let mut plane = ControlPlane {
+            raft: InProcCluster::new(replicas, RaftConfig::default(), config.seed ^ 0xC7A1),
+            replicas,
+            sms: (0..replicas).map(|_| ReplicaSm::new()).collect(),
+            net: SimNet::new(config.seed ^ 0x0e47),
+            workers: BTreeMap::new(),
+            killed: None,
+            leader_hint: 0,
+            next_req: 0,
+            balancer,
+            flow: config.flow.clone(),
+            arm_kill: false,
+        };
+        if let Some(leader) = plane.raft.run_until_leader(RPC_BUDGET) {
+            plane.leader_hint = leader.raw();
+        }
         ClusterController {
-            topology: OrderedRwLock::new("core.controller.topology", topology),
-            ring: OrderedRwLock::new("core.controller.ring", ring),
-            traffic: OrderedMutex::new("core.controller.traffic", traffic),
-            balancer_kind: config.balancer,
             metadata,
+            balancer_kind: config.balancer,
+            cache: OrderedMutex::new("core.controller.cache", RouteCache::default()),
+            plane: OrderedMutex::new("core.controller.plane", plane),
+            vacated_processed: AtomicU64::new(0),
         }
     }
 
-    /// Snapshot of the current topology.
-    pub fn topology(&self) -> ClusterTopology {
-        self.topology.read().clone()
+    /// Attaches a worker's endpoint to the control-plane network so ticks
+    /// can fetch its ingest windows by message.
+    pub fn attach_worker(&self, worker: &Arc<Worker>) {
+        let mut plane = self.plane.lock();
+        plane.workers.insert(
+            worker.id().raw(),
+            WorkerEndpoint {
+                worker: Arc::clone(worker),
+                served: HashMap::new(),
+                served_order: VecDeque::new(),
+            },
+        );
     }
 
-    /// Registers a new worker and its shards (`ScaleCluster`, Algorithm 1
-    /// lines 25–27). The hash ring is rebuilt over the grown shard set;
-    /// existing tenants keep their routes (consistent hashing only places
-    /// *new* tenants), so scaling out never moves data — the next control
-    /// tick spreads hot tenants onto the new capacity.
+    /// Registers a worker and its shards through the replicated log
+    /// (`ScaleCluster`, Algorithm 1 lines 25–27). Idempotent under
+    /// redelivery: re-registering the identical shard set neither
+    /// double-registers shards nor perturbs the consistent-hash ring.
     pub fn register_worker(
         &self,
-        worker: logstore_types::WorkerId,
+        worker: WorkerId,
         shard_ids: &[ShardId],
         shard_capacity: u64,
-    ) {
-        let mut topology = self.topology.write();
-        let mut worker_capacity = 0;
-        for &shard in shard_ids {
-            topology.shard_capacity.insert(shard, shard_capacity);
-            topology.shard_to_worker.insert(shard, worker);
-            worker_capacity += shard_capacity;
+    ) -> Result<()> {
+        let shards = shard_ids.iter().map(|&s| (s, shard_capacity)).collect();
+        let resp = self.plane.lock().rpc(CtrlRequest::RegisterWorker { worker, shards })?;
+        match resp {
+            CtrlResponse::Ack { .. } => Ok(()),
+            other => Err(unexpected("RegisterWorker", &other)),
         }
-        topology.worker_capacity.insert(worker, worker_capacity);
-        *self.ring.write() = ConsistentHashRing::new(&topology.shards());
     }
 
-    /// Shard that should receive one record of `tenant` (lazy route init +
-    /// weighted pick).
+    /// Snapshot of the registered topology.
+    pub fn topology(&self) -> ClusterTopology {
+        let resp = self.plane.lock().rpc(CtrlRequest::Topology);
+        match resp {
+            Ok(CtrlResponse::TopologySnapshot { topology }) => topology,
+            _ => ClusterTopology::default(),
+        }
+    }
+
+    /// Shard that should receive one record of `tenant` (cached weighted
+    /// pick; on miss, an RPC that lazily places the tenant on its ring
+    /// home shard).
     pub fn pick_shard(&self, tenant: TenantId, selector: u64) -> Result<ShardId> {
-        let mut traffic = self.traffic.lock();
-        if traffic.routes().routes(tenant).is_none() {
-            let ring = self.ring.read();
-            let home = ring
-                .assign(tenant)
-                .ok_or_else(|| logstore_types::Error::Cluster("no shards in ring".into()))?;
-            traffic.init_routes(&[tenant], &ring)?;
-            // init_routes only touches tenants it can assign; make sure.
-            if traffic.routes().routes(tenant).is_none() {
-                return Ok(home);
+        let mut cache = self.cache.lock();
+        if let Some(routes) = cache.routes.get(&tenant) {
+            if let Some(shard) = pick_routes(routes, selector) {
+                return Ok(shard);
             }
         }
-        traffic
-            .routes()
-            .pick(tenant, selector)
-            .ok_or_else(|| logstore_types::Error::Cluster(format!("no route for {tenant}")))
+        let resp = self.plane.lock().rpc(CtrlRequest::Route { tenant })?;
+        match resp {
+            CtrlResponse::Routes { routes, routed, epoch } => {
+                cache.observe_epoch(epoch);
+                let shard = pick_routes(&routes, selector)
+                    .ok_or_else(|| Error::Cluster(format!("no route for {tenant}")))?;
+                if routed && epoch == cache.epoch {
+                    cache.routes.insert(tenant, routes);
+                }
+                Ok(shard)
+            }
+            other => Err(unexpected("Route", &other)),
+        }
     }
 
     /// Reinstalls routes for a tenant recovered from durable shard state
     /// (WAL replay found its rows on `shards`). Restored routes use equal
-    /// weights; the next control tick re-optimizes them. Without this, a
-    /// restart forgets every rebalance and rows replayed onto non-home
-    /// shards would be invisible to reads.
+    /// weights; the next control tick re-optimizes them.
     pub fn restore_routes(&self, tenant: TenantId, shards: &[ShardId]) -> Result<()> {
-        self.traffic.lock().restore_routes(tenant, shards)
-    }
-
-    /// `(tenant, shard)` pairs present in the previous plan but absent from
-    /// the current one — the shards whose buffered rows for that tenant
-    /// should be "packaged and flushed to OSS" after a rebalance
-    /// (paper §4.1.5: no data migration between nodes).
-    pub fn vacated_routes(&self) -> Vec<(TenantId, ShardId)> {
-        let traffic = self.traffic.lock();
-        let current = traffic.routes();
-        let mut vacated = Vec::new();
-        for (tenant, old_routes) in traffic.previous_routes().iter() {
-            let current_shards: Vec<ShardId> =
-                current.routes(tenant).into_iter().flatten().map(|r| r.shard).collect();
-            for r in old_routes {
-                if !current_shards.contains(&r.shard) {
-                    vacated.push((tenant, r.shard));
-                }
-            }
-        }
-        vacated.sort_unstable_by_key(|(t, s)| (t.raw(), s.raw()));
-        vacated
-    }
-
-    /// Shards a read for `tenant` must consult.
-    pub fn read_shards(&self, tenant: TenantId) -> Vec<ShardId> {
-        let traffic = self.traffic.lock();
-        let shards = traffic.read_shards(tenant);
         if shards.is_empty() {
-            // Unrouted tenant: its home shard plus nothing else.
-            self.ring.read().assign(tenant).into_iter().collect()
-        } else {
-            shards
+            return Ok(());
+        }
+        let mut cache = self.cache.lock();
+        let resp = self
+            .plane
+            .lock()
+            .rpc(CtrlRequest::RestoreRoutes { tenant, shards: shards.to_vec() })?;
+        match resp {
+            CtrlResponse::Ack { epoch } => {
+                cache.observe_epoch(epoch);
+                cache.invalidate(tenant);
+                Ok(())
+            }
+            other => Err(unexpected("RestoreRoutes", &other)),
+        }
+    }
+
+    /// `(tenant, shard)` pairs vacated by a rebalance and not yet
+    /// flush-acknowledged — the shards whose buffered rows for that tenant
+    /// should be "packaged and flushed to OSS" (paper §4.1.5).
+    pub fn vacated_routes(&self) -> Vec<(TenantId, ShardId)> {
+        match self.plane.lock().rpc(CtrlRequest::Vacated) {
+            Ok(CtrlResponse::VacatedPairs { pairs, .. }) => pairs,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Acknowledges one vacated route's flush: the edge leaves the pending
+    /// set and the read settling window, through the replicated log.
+    pub fn vacate_done(&self, tenant: TenantId, shard: ShardId) -> Result<()> {
+        let mut cache = self.cache.lock();
+        let resp = self.plane.lock().rpc(CtrlRequest::VacateDone { tenant, shard })?;
+        match resp {
+            CtrlResponse::Ack { epoch } => {
+                cache.observe_epoch(epoch);
+                self.vacated_processed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            other => Err(unexpected("VacateDone", &other)),
+        }
+    }
+
+    /// Lifetime count of vacated routes this client has flush-acknowledged.
+    pub fn vacated_processed(&self) -> u64 {
+        self.vacated_processed.load(Ordering::Relaxed)
+    }
+
+    /// Shards a read for `tenant` must consult (old ∪ new plans while a
+    /// rebalance settles; the ring home for unplaced tenants).
+    pub fn read_shards(&self, tenant: TenantId) -> Vec<ShardId> {
+        let mut cache = self.cache.lock();
+        if let Some(shards) = cache.read_shards.get(&tenant) {
+            return shards.clone();
+        }
+        match self.plane.lock().rpc(CtrlRequest::ReadShards { tenant }) {
+            Ok(CtrlResponse::Shards { shards, routed, epoch }) => {
+                cache.observe_epoch(epoch);
+                if routed && epoch == cache.epoch {
+                    cache.read_shards.insert(tenant, shards.clone());
+                }
+                shards
+            }
+            _ => Vec::new(),
         }
     }
 
     /// Current route-edge count (Fig 12(c)).
     pub fn route_count(&self) -> usize {
-        self.traffic.lock().routes().route_count()
+        match self.plane.lock().rpc(CtrlRequest::RouteCount) {
+            Ok(CtrlResponse::Count { n }) => n,
+            _ => 0,
+        }
     }
 
-    /// Assembles a [`TrafficSnapshot`] from per-worker ingest windows and
-    /// runs one control tick. With [`BalancerKind::None`] this is a no-op.
-    pub fn control_tick(
-        &self,
-        windows: &HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
-    ) -> Result<ControlAction> {
+    /// One traffic-control tick: fetches every worker's ingest window over
+    /// the network, then asks the leader to plan. A rebalance is proposed
+    /// as a concrete `CommitRebalance` and acknowledged only after quorum.
+    /// With [`BalancerKind::None`] this is a no-op (no network activity).
+    pub fn control_tick(&self) -> Result<ControlAction> {
         if self.balancer_kind == BalancerKind::None {
             return Ok(ControlAction::None);
         }
-        let snapshot = self.snapshot_from_windows(windows);
-        self.traffic.lock().tick(&snapshot)
+        let mut cache = self.cache.lock();
+        let mut plane = self.plane.lock();
+        let windows = plane.fetch_windows()?;
+        let resp = plane.rpc(CtrlRequest::Tick { windows })?;
+        let CtrlResponse::TickDone { action, epoch } = resp else {
+            return Err(unexpected("Tick", &resp));
+        };
+        if plane.arm_kill && matches!(action, ControlAction::Rebalanced { .. }) {
+            // Mid-rebalance kill: the plan is committed, the vacated-route
+            // flushes have not happened yet — they must survive failover.
+            plane.arm_kill = false;
+            plane.kill_leader();
+        }
+        drop(plane);
+        cache.observe_epoch(epoch);
+        Ok(action)
     }
 
-    /// Builds the monitor snapshot (public for experiment harnesses).
-    pub fn snapshot_from_windows(
-        &self,
-        windows: &HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
-    ) -> TrafficSnapshot {
-        let topology = self.topology.read();
-        let mut snapshot = TrafficSnapshot {
-            shard_capacity: topology.shard_capacity.clone(),
-            worker_capacity: topology.worker_capacity.clone(),
-            shard_to_worker: topology.shard_to_worker.clone(),
-            ..Default::default()
-        };
-        for (&worker, shards) in windows {
-            for (&shard, window) in shards {
-                *snapshot.shard_load.entry(shard).or_default() += window.total;
-                *snapshot.worker_load.entry(worker).or_default() += window.total;
-                for (&tenant, &count) in &window.per_tenant {
-                    *snapshot.tenant_traffic.entry(tenant).or_default() += count;
-                    snapshot.shard_tenants.entry(shard).or_default().push((tenant, count));
-                }
-            }
-        }
-        snapshot
+    /// Kills the current controller leader (simtest fault). Returns the
+    /// killed replica, or `None` when there is no quorum to spare or no
+    /// leader to kill.
+    pub fn kill_controller_leader(&self) -> Option<u32> {
+        self.plane.lock().kill_leader()
+    }
+
+    /// Arms a leader kill that fires right after the next rebalancing tick
+    /// — the "kill the leader mid-rebalance" scenario.
+    pub fn arm_kill_on_rebalance(&self) {
+        self.plane.lock().arm_kill = true;
+    }
+
+    /// Revives every killed replica and heals all controller partitions.
+    pub fn heal_controllers(&self) {
+        let mut plane = self.plane.lock();
+        plane.arm_kill = false;
+        plane.heal();
+    }
+
+    /// Configures control-plane network faults (seeded, deterministic).
+    pub fn set_net_faults(&self, drop_probability: f64, duplicate_probability: f64, reorder: bool) {
+        self.plane.lock().net.set_faults(NetFaults {
+            drop_probability,
+            duplicate_probability,
+            reorder,
+            max_delay: 4,
+        });
+    }
+
+    /// Restores a perfect control-plane network.
+    pub fn clear_net_faults(&self) {
+        self.plane.lock().net.set_faults(NetFaults::default());
+    }
+
+    /// The current controller leader replica, if one is elected.
+    pub fn controller_leader(&self) -> Option<u32> {
+        self.plane.lock().raft.any_leader().map(NodeId::raw)
+    }
+
+    /// Encoded state of every live replica after letting the group settle
+    /// — byte-identical entries are the convergence oracle of the
+    /// failover tests.
+    pub fn replica_states(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut plane = self.plane.lock();
+        plane.settle();
+        (0..plane.replicas)
+            .filter(|&i| plane.killed != Some(i as u32))
+            .map(|i| (i as u32, plane.sms[i].state.encode()))
+            .collect()
     }
 
     /// Runs the expiration task over every registered tenant: expired
@@ -197,8 +1043,7 @@ impl ClusterController {
     /// The ordering is load-bearing: the map swap happens *before* any
     /// delete, and a failed delete keeps its tombstone — so one tenant's
     /// OSS error neither aborts the other tenants' expiration nor leaks
-    /// the object (the next pass retries it). The historical ordering
-    /// (delete inline, `?` on failure) did both.
+    /// the object (the next pass retries it).
     pub fn run_expiration<S: ObjectStore>(&self, store: &S, now: Timestamp) -> Result<u64> {
         for tenant in self.metadata.tenants() {
             self.metadata.expire(tenant, now);
@@ -207,6 +1052,29 @@ impl ClusterController {
             crate::compactor::run_gc(store, &self.metadata, None, &crate::hooks::NoopHooks);
         Ok(report.deleted)
     }
+
+    /// Tick entry point for tests that hand-craft windows instead of
+    /// attaching workers.
+    #[cfg(test)]
+    fn control_tick_with(
+        &self,
+        windows: HashMap<WorkerId, HashMap<ShardId, ShardWindow>>,
+    ) -> Result<ControlAction> {
+        if self.balancer_kind == BalancerKind::None {
+            return Ok(ControlAction::None);
+        }
+        let mut cache = self.cache.lock();
+        let resp = self.plane.lock().rpc(CtrlRequest::Tick { windows })?;
+        let CtrlResponse::TickDone { action, epoch } = resp else {
+            return Err(unexpected("Tick", &resp));
+        };
+        cache.observe_epoch(epoch);
+        Ok(action)
+    }
+}
+
+fn unexpected(what: &str, resp: &CtrlResponse) -> Error {
+    Error::Cluster(format!("unexpected control-plane response to {what}: {resp:?}"))
 }
 
 #[cfg(test)]
@@ -215,10 +1083,19 @@ mod tests {
     use crate::metadata::LogBlockEntry;
     use logstore_oss::MemoryStore;
 
+    /// A controller with the `for_testing` topology registered explicitly
+    /// (workers no longer arrive via the constructor).
     fn controller(balancer: BalancerKind) -> ClusterController {
         let mut config = ClusterConfig::for_testing();
         config.balancer = balancer;
-        ClusterController::new(&config, Arc::new(MetadataStore::new()))
+        let c = ClusterController::new(&config, Arc::new(MetadataStore::new()));
+        for w in 0..config.workers {
+            let shard_ids: Vec<ShardId> = (0..config.shards_per_worker)
+                .map(|s| ShardId(w * config.shards_per_worker + s))
+                .collect();
+            c.register_worker(WorkerId(w), &shard_ids, config.shard_capacity).unwrap();
+        }
+        c
     }
 
     #[test]
@@ -228,6 +1105,23 @@ mod tests {
         let s2 = c.pick_shard(TenantId(5), 1).unwrap();
         assert_eq!(s1, s2, "single-route tenant always lands on its home shard");
         assert_eq!(c.read_shards(TenantId(5)), vec![s1]);
+    }
+
+    #[test]
+    fn register_worker_redelivery_is_idempotent() {
+        let c = controller(BalancerKind::MaxFlow);
+        let before = c.topology();
+        let states = c.replica_states();
+        // Redeliver worker 0's registration several times.
+        for _ in 0..3 {
+            c.register_worker(WorkerId(0), &[ShardId(0), ShardId(1)], 100_000).unwrap();
+        }
+        assert_eq!(c.topology().shard_capacity, before.shard_capacity);
+        assert_eq!(
+            c.replica_states(),
+            states,
+            "redelivered registration must not change a single replicated byte"
+        );
     }
 
     #[test]
@@ -243,12 +1137,13 @@ mod tests {
         let worker = c.topology().shard_to_worker[&home];
         let mut windows = HashMap::new();
         windows.insert(worker, shard_windows);
-        let action = c.control_tick(&windows).unwrap();
+        let action = c.control_tick_with(windows).unwrap();
         assert!(
             matches!(action, ControlAction::Rebalanced { .. }),
             "expected rebalance, got {action:?}"
         );
         assert!(c.read_shards(hot).len() > 1, "hot tenant must gain shards");
+        assert!(!c.vacated_routes().is_empty() || c.read_shards(hot).contains(&home));
     }
 
     #[test]
@@ -261,8 +1156,43 @@ mod tests {
         shard_windows.insert(home, window);
         let mut windows = HashMap::new();
         windows.insert(c.topology().shard_to_worker[&home], shard_windows);
-        assert_eq!(c.control_tick(&windows).unwrap(), ControlAction::None);
+        assert_eq!(c.control_tick_with(windows).unwrap(), ControlAction::None);
         assert_eq!(c.read_shards(hot), vec![home]);
+    }
+
+    #[test]
+    fn leader_kill_and_heal_keeps_serving() {
+        let c = controller(BalancerKind::MaxFlow);
+        let t = TenantId(7);
+        let before = c.pick_shard(t, 0).unwrap();
+        let killed = c.kill_controller_leader().expect("kill the leader");
+        // Cached routes keep serving instantly; a fresh RPC must drive the
+        // election through and land on a new leader with the same answer.
+        assert_eq!(c.read_shards(t), vec![before]);
+        assert_eq!(c.pick_shard(t, 0).unwrap(), before);
+        assert_ne!(c.controller_leader(), Some(killed));
+        c.heal_controllers();
+        let states = c.replica_states();
+        assert_eq!(states.len(), 3, "all replicas live after heal");
+        assert!(
+            states.windows(2).all(|w| w[0].1 == w[1].1),
+            "replicas must converge byte-identically after heal"
+        );
+    }
+
+    #[test]
+    fn rpc_survives_network_faults() {
+        let c = controller(BalancerKind::MaxFlow);
+        c.set_net_faults(0.3, 0.3, true);
+        let t = TenantId(11);
+        let shard = c.pick_shard(t, 0).unwrap();
+        for sel in 0..50 {
+            assert_eq!(c.pick_shard(t, sel).unwrap(), shard, "routes stable under faults");
+        }
+        assert_eq!(c.read_shards(t), vec![shard]);
+        c.clear_net_faults();
+        let states = c.replica_states();
+        assert!(states.windows(2).all(|w| w[0].1 == w[1].1));
     }
 
     #[test]

@@ -215,6 +215,14 @@ impl LogStore {
                 Arc::clone(&hooks),
             )?));
         }
+        // Workers join the cluster through the replicated control plane:
+        // each one attaches its window endpoint to the control-plane
+        // network and registers its shards via a `RegisterWorker` command
+        // committed through the controller's Raft log.
+        for worker in &workers {
+            controller.attach_worker(worker);
+            controller.register_worker(worker.id(), &worker.shard_ids(), config.shard_capacity)?;
+        }
         // Recovery route restoration: WAL replay may have resurrected
         // tenant rows on shards the freshly-built routing table does not
         // cover (the tenant had been rebalanced off its home shard before
@@ -382,30 +390,37 @@ impl LogStore {
         }
     }
 
-    /// One traffic-control tick: collects worker ingest windows, feeds the
-    /// monitor, runs the balancer (Algorithm 1). After a rebalance, rows of
-    /// tenants whose routes left a shard are packaged and flushed to OSS
-    /// instead of migrating between nodes (paper §4.1.5) — this is what
-    /// "helps to reduce node load in the case of system hotspots".
+    /// One traffic-control tick: the controller fetches worker ingest
+    /// windows over the control-plane network, feeds the monitor, and the
+    /// leader proposes the balancer's plan through the replicated log
+    /// (Algorithm 1). After a rebalance, rows of tenants whose routes left
+    /// a shard are packaged and flushed to OSS instead of migrating between
+    /// nodes (paper §4.1.5) — this is what "helps to reduce node load in
+    /// the case of system hotspots".
     pub fn control_tick(&self) -> Result<ControlAction> {
-        let mut windows = HashMap::new();
-        for worker in self.shared.worker_snapshot() {
-            windows.insert(worker.id(), worker.take_window());
-        }
-        let action = self.shared.controller.control_tick(&windows)?;
-        if matches!(action, ControlAction::Rebalanced { .. }) {
-            // One bad tenant flush must not starve the others: every
-            // vacated route is processed this tick and the first error is
-            // returned afterwards (same contract as `run_builder`).
-            let mut first_error: Option<Error> = None;
-            for (tenant, shard) in self.shared.controller.vacated_routes() {
-                if let Err(e) = self.flush_vacated_route(tenant, shard) {
+        let action = self.shared.controller.control_tick()?;
+        // Vacated edges persist in the replicated state until their flush
+        // is acknowledged — so they are processed on *every* tick, not
+        // just the one that produced them: a controller crash between the
+        // rebalance commit and the flush leaves the edge pending, and the
+        // next tick (under the new leader) finishes the job. One bad
+        // tenant flush must not starve the others: every vacated route is
+        // attempted and the first error returned afterwards.
+        let mut first_error: Option<Error> = None;
+        for (tenant, shard) in self.shared.controller.vacated_routes() {
+            match self.flush_vacated_route(tenant, shard) {
+                Ok(()) => {
+                    if let Err(e) = self.shared.controller.vacate_done(tenant, shard) {
+                        first_error.get_or_insert(e);
+                    }
+                }
+                Err(e) => {
                     first_error.get_or_insert(e);
                 }
             }
-            if let Some(e) = first_error {
-                return Err(e);
-            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
         }
         Ok(action)
     }
@@ -482,14 +497,15 @@ impl LogStore {
             for &s in &shard_ids {
                 shard_map.insert(s, workers.len());
             }
-            workers.push(worker);
+            workers.push(Arc::clone(&worker));
             drop(workers);
             drop(shard_map);
+            self.shared.controller.attach_worker(&worker);
             self.shared.controller.register_worker(
                 worker_id,
                 &shard_ids,
                 self.config.shard_capacity,
-            );
+            )?;
             added.push(worker_id);
         }
         Ok(added)

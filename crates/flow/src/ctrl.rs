@@ -1,0 +1,754 @@
+//! The replicated controller's deterministic state machine.
+//!
+//! The control plane (ISSUE 9) moves route tables, topology, and rebalance
+//! decisions out of an in-process singleton and into a state machine
+//! replicated through the Raft log. Every mutation is a [`CtrlCmd`] —
+//! `RegisterWorker`, `SetRoute`, `CommitRebalance`, `VacateRoute` — encoded
+//! to bytes, committed by quorum, and applied by each replica in log order.
+//!
+//! Determinism contract: [`ControlState`] holds only `BTreeMap`/`BTreeSet`
+//! collections and applies commands with no randomness, no clock, and no
+//! iteration over unordered containers, so the same command log (or a
+//! snapshot plus a log suffix) produces **byte-identical** [`ControlState::encode`]
+//! output on every replica. The non-deterministic part — running the
+//! balancer, which iterates `HashMap`s — happens only on the leader, which
+//! proposes the *concrete* resulting assignment as a `CommitRebalance`
+//! command ("propose the decision, not the computation").
+//!
+//! Idempotence contract: the network layer may redeliver any command
+//! (client retransmits, duplicated envelopes), so every command is a no-op
+//! when re-applied: a duplicated `RegisterWorker` must not double-register
+//! shards or perturb the consistent-hash ring, a replayed `SetRoute` must
+//! not clobber a later rebalance, and a repeated `VacateRoute` must not
+//! double-count.
+
+use crate::consistent::{fnv1a, ConsistentHashRing};
+use crate::routing::{Route, RoutingTable};
+use crate::sim::ClusterTopology;
+use logstore_types::{Error, Result, ShardId, TenantId, WorkerId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A control-plane mutation, applied through the Raft log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlCmd {
+    /// Adds a worker and the shards it hosts (with per-shard capacity).
+    /// Re-registration with the identical shard set is a no-op.
+    RegisterWorker {
+        /// The worker being registered.
+        worker: WorkerId,
+        /// `(shard, capacity)` pairs hosted by this worker.
+        shards: Vec<(ShardId, u64)>,
+    },
+    /// Installs a tenant's initial routes (lazy placement / recovery
+    /// restore). A no-op when the tenant is already routed, so redelivery
+    /// cannot clobber a later rebalance.
+    SetRoute {
+        /// The tenant being routed.
+        tenant: TenantId,
+        /// `(shard, weight)` pairs; weights are normalized on apply.
+        routes: Vec<(ShardId, f64)>,
+    },
+    /// Atomically replaces the whole routing table with the balancer's
+    /// plan. The displaced table is retained for settling-window reads and
+    /// the `(tenant, shard)` edges it loses become pending vacations.
+    CommitRebalance {
+        /// The complete new table: every routed tenant with its routes.
+        assignments: Vec<(TenantId, Vec<(ShardId, f64)>)>,
+    },
+    /// Acknowledges that a vacated route's buffered rows were flushed to
+    /// OSS: the edge leaves the pending set and the settling window.
+    VacateRoute {
+        /// The tenant whose route was vacated.
+        tenant: TenantId,
+        /// The shard that no longer serves the tenant.
+        shard: ShardId,
+    },
+}
+
+const CMD_REGISTER: u8 = 1;
+const CMD_SET_ROUTE: u8 = 2;
+const CMD_REBALANCE: u8 = 3;
+const CMD_VACATE: u8 = 4;
+
+impl CtrlCmd {
+    /// Serializes to the byte payload carried in the Raft log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CtrlCmd::RegisterWorker { worker, shards } => {
+                out.push(CMD_REGISTER);
+                out.extend_from_slice(&worker.raw().to_le_bytes());
+                out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+                for (shard, cap) in shards {
+                    out.extend_from_slice(&shard.raw().to_le_bytes());
+                    out.extend_from_slice(&cap.to_le_bytes());
+                }
+            }
+            CtrlCmd::SetRoute { tenant, routes } => {
+                out.push(CMD_SET_ROUTE);
+                out.extend_from_slice(&tenant.raw().to_le_bytes());
+                encode_routes(&mut out, routes);
+            }
+            CtrlCmd::CommitRebalance { assignments } => {
+                out.push(CMD_REBALANCE);
+                out.extend_from_slice(&(assignments.len() as u32).to_le_bytes());
+                for (tenant, routes) in assignments {
+                    out.extend_from_slice(&tenant.raw().to_le_bytes());
+                    encode_routes(&mut out, routes);
+                }
+            }
+            CtrlCmd::VacateRoute { tenant, shard } => {
+                out.push(CMD_VACATE);
+                out.extend_from_slice(&tenant.raw().to_le_bytes());
+                out.extend_from_slice(&shard.raw().to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`CtrlCmd::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<CtrlCmd> {
+        let mut r = Reader::new(bytes);
+        let cmd = match r.u8()? {
+            CMD_REGISTER => {
+                let worker = WorkerId(r.u32()?);
+                let n = r.u32()? as usize;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push((ShardId(r.u32()?), r.u64()?));
+                }
+                CtrlCmd::RegisterWorker { worker, shards }
+            }
+            CMD_SET_ROUTE => {
+                let tenant = TenantId(r.u64()?);
+                let routes = decode_routes(&mut r)?;
+                CtrlCmd::SetRoute { tenant, routes }
+            }
+            CMD_REBALANCE => {
+                let n = r.u32()? as usize;
+                let mut assignments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tenant = TenantId(r.u64()?);
+                    assignments.push((tenant, decode_routes(&mut r)?));
+                }
+                CtrlCmd::CommitRebalance { assignments }
+            }
+            CMD_VACATE => {
+                CtrlCmd::VacateRoute { tenant: TenantId(r.u64()?), shard: ShardId(r.u32()?) }
+            }
+            tag => return Err(Error::invalid(format!("unknown CtrlCmd tag {tag}"))),
+        };
+        r.finish()?;
+        Ok(cmd)
+    }
+}
+
+fn encode_routes(out: &mut Vec<u8>, routes: &[(ShardId, f64)]) {
+    out.extend_from_slice(&(routes.len() as u32).to_le_bytes());
+    for (shard, weight) in routes {
+        out.extend_from_slice(&shard.raw().to_le_bytes());
+        out.extend_from_slice(&weight.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_routes(r: &mut Reader<'_>) -> Result<Vec<(ShardId, f64)>> {
+    let n = r.u32()? as usize;
+    let mut routes = Vec::with_capacity(n);
+    for _ in 0..n {
+        routes.push((ShardId(r.u32()?), f64::from_bits(r.u64()?)));
+    }
+    Ok(routes)
+}
+
+/// Normalizes `(shard, weight)` pairs exactly like
+/// [`RoutingTable::set_routes`]: drop non-positive weights, sort by shard,
+/// merge duplicates, scale to sum 1. `None` when nothing survives.
+pub fn normalize_routes(routes: &[(ShardId, f64)]) -> Option<Vec<(ShardId, f64)>> {
+    let mut kept: Vec<(ShardId, f64)> = routes.iter().copied().filter(|(_, w)| *w > 0.0).collect();
+    if kept.is_empty() {
+        return None;
+    }
+    kept.sort_by_key(|(s, _)| *s);
+    kept.dedup_by(|b, a| {
+        if a.0 == b.0 {
+            a.1 += b.1;
+            true
+        } else {
+            false
+        }
+    });
+    let total: f64 = kept.iter().map(|(_, w)| w).sum();
+    for (_, w) in &mut kept {
+        *w /= total;
+    }
+    Some(kept)
+}
+
+/// Weight-proportional deterministic pick over normalized `(shard,
+/// weight)` routes — the same algorithm as [`RoutingTable::pick`], shared
+/// so brokers with a cached route list pick identically to a replica.
+pub fn pick_routes(routes: &[(ShardId, f64)], selector: u64) -> Option<ShardId> {
+    if routes.len() == 1 {
+        return Some(routes[0].0);
+    }
+    let h = fnv1a(&selector.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+    let x = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let mut acc = 0.0;
+    for (shard, weight) in routes {
+        acc += weight;
+        if x < acc {
+            return Some(*shard);
+        }
+    }
+    routes.last().map(|(s, _)| *s)
+}
+
+/// The replicated controller state. See the module docs for the
+/// determinism and idempotence contracts.
+#[derive(Debug, Clone)]
+pub struct ControlState {
+    shard_capacity: BTreeMap<ShardId, u64>,
+    shard_to_worker: BTreeMap<ShardId, WorkerId>,
+    worker_shards: BTreeMap<WorkerId, Vec<(ShardId, u64)>>,
+    routes: BTreeMap<TenantId, Vec<(ShardId, f64)>>,
+    prev_routes: BTreeMap<TenantId, Vec<(ShardId, f64)>>,
+    pending_vacated: BTreeSet<(TenantId, ShardId)>,
+    version: u64,
+    epoch: u64,
+    vacated_total: u64,
+    /// Derived from the registered shards; rebuilt on topology change and
+    /// on decode, never encoded.
+    ring: ConsistentHashRing,
+}
+
+impl Default for ControlState {
+    fn default() -> Self {
+        ControlState::new()
+    }
+}
+
+const STATE_MAGIC: &[u8; 4] = b"CTR1";
+
+impl ControlState {
+    /// An empty state: no workers, no routes.
+    pub fn new() -> Self {
+        ControlState {
+            shard_capacity: BTreeMap::new(),
+            shard_to_worker: BTreeMap::new(),
+            worker_shards: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            prev_routes: BTreeMap::new(),
+            pending_vacated: BTreeSet::new(),
+            version: 0,
+            epoch: 0,
+            vacated_total: 0,
+            ring: ConsistentHashRing::new(&[]),
+        }
+    }
+
+    fn rebuild_ring(&mut self) {
+        let shards: Vec<ShardId> = self.shard_capacity.keys().copied().collect();
+        self.ring = ConsistentHashRing::new(&shards);
+    }
+
+    /// Applies one committed command. Returns `true` when the state
+    /// changed (duplicated deliveries return `false` and leave every byte
+    /// untouched).
+    pub fn apply(&mut self, cmd: &CtrlCmd) -> bool {
+        match cmd {
+            CtrlCmd::RegisterWorker { worker, shards } => {
+                let mut normalized: Vec<(ShardId, u64)> = shards.clone();
+                normalized.sort_by_key(|(s, _)| *s);
+                normalized.dedup_by_key(|(s, _)| *s);
+                if self.worker_shards.get(worker) == Some(&normalized) {
+                    return false; // redelivered registration: nothing to do
+                }
+                for &(shard, cap) in &normalized {
+                    self.shard_capacity.insert(shard, cap);
+                    self.shard_to_worker.insert(shard, *worker);
+                }
+                self.worker_shards.insert(*worker, normalized);
+                self.rebuild_ring();
+                self.version += 1;
+                true
+            }
+            CtrlCmd::SetRoute { tenant, routes } => {
+                if self.routes.contains_key(tenant) {
+                    return false; // already routed: redelivery or lost race
+                }
+                let Some(kept) = normalize_routes(routes) else { return false };
+                self.routes.insert(*tenant, kept);
+                self.version += 1;
+                true
+            }
+            CtrlCmd::CommitRebalance { assignments } => {
+                let mut new_table: BTreeMap<TenantId, Vec<(ShardId, f64)>> = BTreeMap::new();
+                for (tenant, routes) in assignments {
+                    if let Some(kept) = normalize_routes(routes) {
+                        new_table.insert(*tenant, kept);
+                    }
+                }
+                if new_table == self.routes {
+                    return false; // retried commit of the plan already in force
+                }
+                let old = std::mem::replace(&mut self.routes, new_table);
+                self.pending_vacated.clear();
+                for (tenant, routes) in &old {
+                    let current = self.routes.get(tenant);
+                    for (shard, _) in routes {
+                        let still_routed =
+                            current.is_some_and(|rs| rs.iter().any(|(s, _)| s == shard));
+                        if !still_routed {
+                            self.pending_vacated.insert((*tenant, *shard));
+                        }
+                    }
+                }
+                self.prev_routes = old;
+                self.version += 1;
+                self.epoch += 1;
+                true
+            }
+            CtrlCmd::VacateRoute { tenant, shard } => {
+                if !self.pending_vacated.remove(&(*tenant, *shard)) {
+                    return false; // already vacated (or never pending)
+                }
+                if let Some(routes) = self.prev_routes.get_mut(tenant) {
+                    routes.retain(|(s, _)| s != shard);
+                    if routes.is_empty() {
+                        self.prev_routes.remove(tenant);
+                    }
+                }
+                self.vacated_total += 1;
+                self.version += 1;
+                self.epoch += 1;
+                true
+            }
+        }
+    }
+
+    /// A tenant's current routes, if placed.
+    pub fn routes(&self, tenant: TenantId) -> Option<&[(ShardId, f64)]> {
+        self.routes.get(&tenant).map(Vec::as_slice)
+    }
+
+    /// True when the tenant has routes.
+    pub fn is_routed(&self, tenant: TenantId) -> bool {
+        self.routes.contains_key(&tenant)
+    }
+
+    /// Picks a shard for one record, weight-proportionally and
+    /// deterministically in `selector` (same algorithm as
+    /// [`RoutingTable::pick`]).
+    pub fn pick(&self, tenant: TenantId, selector: u64) -> Option<ShardId> {
+        pick_routes(self.routes.get(&tenant)?, selector)
+    }
+
+    /// The tenant's home shard on the consistent-hash ring (initial
+    /// placement before any explicit route exists).
+    pub fn home(&self, tenant: TenantId) -> Option<ShardId> {
+        self.ring.assign(tenant)
+    }
+
+    /// The shards a read for `tenant` must fan out to: the union of the
+    /// current routes and the still-settling previous routes, falling back
+    /// to the ring's home shard for unplaced tenants.
+    pub fn read_shards(&self, tenant: TenantId) -> Vec<ShardId> {
+        let mut shards: Vec<ShardId> = self
+            .routes
+            .get(&tenant)
+            .into_iter()
+            .chain(self.prev_routes.get(&tenant))
+            .flatten()
+            .map(|(s, _)| *s)
+            .collect();
+        if shards.is_empty() {
+            return self.ring.assign(tenant).into_iter().collect();
+        }
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// Tenant→shard edges in the current table (Figure 12(c)'s metric).
+    pub fn route_count(&self) -> usize {
+        self.routes.values().map(Vec::len).sum()
+    }
+
+    /// Vacated edges awaiting a flush acknowledgement.
+    pub fn pending_vacated(&self) -> Vec<(TenantId, ShardId)> {
+        self.pending_vacated.iter().copied().collect()
+    }
+
+    /// Lifetime count of acknowledged vacations.
+    pub fn vacated_total(&self) -> u64 {
+        self.vacated_total
+    }
+
+    /// Bumps on every effective mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Bumps only on route-*invalidating* mutations (rebalance, vacate) —
+    /// clients key their route caches on this, so lazy placement of new
+    /// tenants does not thrash everyone else's cache.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of ring points (regression hook for the idempotence fix).
+    pub fn ring_points(&self) -> usize {
+        self.ring.point_count()
+    }
+
+    /// Registered workers, sorted.
+    pub fn workers(&self) -> Vec<WorkerId> {
+        self.worker_shards.keys().copied().collect()
+    }
+
+    /// The cluster topology implied by the registered workers.
+    pub fn topology(&self) -> ClusterTopology {
+        let mut t = ClusterTopology::default();
+        for (&shard, &cap) in &self.shard_capacity {
+            t.shard_capacity.insert(shard, cap);
+        }
+        for (&shard, &worker) in &self.shard_to_worker {
+            t.shard_to_worker.insert(shard, worker);
+        }
+        for (&worker, shards) in &self.worker_shards {
+            t.worker_capacity.insert(worker, shards.iter().map(|(_, c)| c).sum());
+        }
+        t
+    }
+
+    /// The current table as a [`RoutingTable`] (balancer input).
+    pub fn routing_table(&self) -> RoutingTable {
+        let mut t = RoutingTable::new();
+        for (&tenant, routes) in &self.routes {
+            // Normalized non-empty routes always round-trip.
+            let _ = t.set_routes(tenant, routes.clone());
+        }
+        t
+    }
+
+    /// Current routes as `(tenant, routes)` pairs, sorted by tenant.
+    pub fn assignments(&self) -> Vec<(TenantId, Vec<(ShardId, f64)>)> {
+        self.routes.iter().map(|(t, r)| (*t, r.clone())).collect()
+    }
+
+    /// Routes still visible from the previous plan, as [`Route`] slices.
+    pub fn settling_routes(&self, tenant: TenantId) -> Vec<Route> {
+        self.prev_routes
+            .get(&tenant)
+            .into_iter()
+            .flatten()
+            .map(|&(shard, weight)| Route { shard, weight })
+            .collect()
+    }
+
+    /// Serializes the full state. Byte-identical across replicas that
+    /// applied the same command log (all maps are `BTree*`; floats encode
+    /// via `to_bits`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&(self.shard_capacity.len() as u32).to_le_bytes());
+        for (&shard, &cap) in &self.shard_capacity {
+            out.extend_from_slice(&shard.raw().to_le_bytes());
+            out.extend_from_slice(&cap.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.shard_to_worker.len() as u32).to_le_bytes());
+        for (&shard, &worker) in &self.shard_to_worker {
+            out.extend_from_slice(&shard.raw().to_le_bytes());
+            out.extend_from_slice(&worker.raw().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.worker_shards.len() as u32).to_le_bytes());
+        for (&worker, shards) in &self.worker_shards {
+            out.extend_from_slice(&worker.raw().to_le_bytes());
+            out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+            for (shard, cap) in shards {
+                out.extend_from_slice(&shard.raw().to_le_bytes());
+                out.extend_from_slice(&cap.to_le_bytes());
+            }
+        }
+        for table in [&self.routes, &self.prev_routes] {
+            out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+            for (&tenant, routes) in table {
+                out.extend_from_slice(&tenant.raw().to_le_bytes());
+                encode_routes(&mut out, routes);
+            }
+        }
+        out.extend_from_slice(&(self.pending_vacated.len() as u32).to_le_bytes());
+        for &(tenant, shard) in &self.pending_vacated {
+            out.extend_from_slice(&tenant.raw().to_le_bytes());
+            out.extend_from_slice(&shard.raw().to_le_bytes());
+        }
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.vacated_total.to_le_bytes());
+        out
+    }
+
+    /// Parses an [`ControlState::encode`] payload (the snapshot install
+    /// path) and rebuilds the derived ring.
+    pub fn decode(bytes: &[u8]) -> Result<ControlState> {
+        let mut r = Reader::new(bytes);
+        if r.bytes(4)? != STATE_MAGIC {
+            return Err(Error::invalid("bad ControlState snapshot magic"));
+        }
+        let mut state = ControlState::new();
+        for _ in 0..r.u32()? {
+            let shard = ShardId(r.u32()?);
+            state.shard_capacity.insert(shard, r.u64()?);
+        }
+        for _ in 0..r.u32()? {
+            let shard = ShardId(r.u32()?);
+            state.shard_to_worker.insert(shard, WorkerId(r.u32()?));
+        }
+        for _ in 0..r.u32()? {
+            let worker = WorkerId(r.u32()?);
+            let n = r.u32()? as usize;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push((ShardId(r.u32()?), r.u64()?));
+            }
+            state.worker_shards.insert(worker, shards);
+        }
+        for table_idx in 0..2 {
+            for _ in 0..r.u32()? {
+                let tenant = TenantId(r.u64()?);
+                let routes = decode_routes(&mut r)?;
+                if table_idx == 0 {
+                    state.routes.insert(tenant, routes);
+                } else {
+                    state.prev_routes.insert(tenant, routes);
+                }
+            }
+        }
+        for _ in 0..r.u32()? {
+            let tenant = TenantId(r.u64()?);
+            state.pending_vacated.insert((tenant, ShardId(r.u32()?)));
+        }
+        state.version = r.u64()?;
+        state.epoch = r.u64()?;
+        state.vacated_total = r.u64()?;
+        r.finish()?;
+        state.rebuild_ring();
+        Ok(state)
+    }
+}
+
+/// Little-endian cursor over an encoded payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(Error::invalid("truncated control-plane payload"));
+        };
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(Error::invalid(format!(
+                "{} trailing bytes in control-plane payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register(worker: u32, shards: &[u32], cap: u64) -> CtrlCmd {
+        CtrlCmd::RegisterWorker {
+            worker: WorkerId(worker),
+            shards: shards.iter().map(|&s| (ShardId(s), cap)).collect(),
+        }
+    }
+
+    #[test]
+    fn command_codec_roundtrip() {
+        let cmds = [
+            register(3, &[6, 7], 1000),
+            CtrlCmd::SetRoute {
+                tenant: TenantId(9),
+                routes: vec![(ShardId(1), 0.5), (ShardId(2), 0.5)],
+            },
+            CtrlCmd::CommitRebalance {
+                assignments: vec![
+                    (TenantId(1), vec![(ShardId(0), 1.0)]),
+                    (TenantId(2), vec![(ShardId(1), 0.25), (ShardId(3), 0.75)]),
+                ],
+            },
+            CtrlCmd::VacateRoute { tenant: TenantId(4), shard: ShardId(2) },
+        ];
+        for cmd in cmds {
+            assert_eq!(CtrlCmd::decode(&cmd.encode()).unwrap(), cmd);
+        }
+        assert!(CtrlCmd::decode(&[99]).is_err());
+        assert!(CtrlCmd::decode(&[]).is_err());
+    }
+
+    /// Satellite 4 regression: a redelivered `RegisterWorker` must not
+    /// double-register shards or perturb the consistent-hash ring.
+    #[test]
+    fn register_worker_is_idempotent_under_redelivery() {
+        let mut state = ControlState::new();
+        assert!(state.apply(&register(0, &[0, 1], 100)));
+        assert!(state.apply(&register(1, &[2, 3], 100)));
+        let bytes = state.encode();
+        let ring_points = state.ring_points();
+        let version = state.version();
+
+        // Redeliver both registrations (any order, any number of times).
+        for _ in 0..3 {
+            assert!(!state.apply(&register(1, &[2, 3], 100)));
+            assert!(!state.apply(&register(0, &[0, 1], 100)));
+        }
+        assert_eq!(state.encode(), bytes, "redelivery must leave every byte untouched");
+        assert_eq!(state.ring_points(), ring_points);
+        assert_eq!(state.version(), version);
+        assert_eq!(state.topology().shard_capacity.len(), 4);
+
+        // A *changed* registration (scale-up of the same worker) applies.
+        assert!(state.apply(&register(1, &[2, 3, 4], 100)));
+        assert_eq!(state.topology().shard_capacity.len(), 5);
+    }
+
+    #[test]
+    fn set_route_redelivery_does_not_clobber_rebalance() {
+        let mut state = ControlState::new();
+        state.apply(&register(0, &[0, 1], 100));
+        let init = CtrlCmd::SetRoute { tenant: TenantId(7), routes: vec![(ShardId(0), 1.0)] };
+        assert!(state.apply(&init));
+        assert!(!state.apply(&init), "duplicate SetRoute is a no-op");
+        // Rebalance moves the tenant; a late redelivered SetRoute must not
+        // drag it back.
+        state.apply(&CtrlCmd::CommitRebalance {
+            assignments: vec![(TenantId(7), vec![(ShardId(1), 1.0)])],
+        });
+        assert!(!state.apply(&init));
+        assert_eq!(state.routes(TenantId(7)).unwrap(), &[(ShardId(1), 1.0)]);
+    }
+
+    #[test]
+    fn rebalance_tracks_vacated_edges_and_settling_reads() {
+        let mut state = ControlState::new();
+        state.apply(&register(0, &[0, 1, 2], 100));
+        state.apply(&CtrlCmd::SetRoute { tenant: TenantId(1), routes: vec![(ShardId(0), 1.0)] });
+        let epoch0 = state.epoch();
+        state.apply(&CtrlCmd::CommitRebalance {
+            assignments: vec![(TenantId(1), vec![(ShardId(1), 0.5), (ShardId(2), 0.5)])],
+        });
+        assert_eq!(state.pending_vacated(), vec![(TenantId(1), ShardId(0))]);
+        assert!(state.epoch() > epoch0, "rebalance must invalidate client caches");
+        // Reads fan out to old ∪ new while the vacation settles…
+        assert_eq!(state.read_shards(TenantId(1)), vec![ShardId(0), ShardId(1), ShardId(2)]);
+        // …then narrow once the flush is acknowledged.
+        let vacate = CtrlCmd::VacateRoute { tenant: TenantId(1), shard: ShardId(0) };
+        assert!(state.apply(&vacate));
+        assert!(!state.apply(&vacate), "duplicate vacate must not double-count");
+        assert_eq!(state.vacated_total(), 1);
+        assert_eq!(state.read_shards(TenantId(1)), vec![ShardId(1), ShardId(2)]);
+        assert!(state.pending_vacated().is_empty());
+        // Re-committing the identical plan is a no-op (cross-leader retry).
+        let v = state.version();
+        assert!(!state.apply(&CtrlCmd::CommitRebalance {
+            assignments: vec![(TenantId(1), vec![(ShardId(1), 0.5), (ShardId(2), 0.5)])],
+        }));
+        assert_eq!(state.version(), v);
+    }
+
+    #[test]
+    fn pick_matches_routing_table() {
+        let mut state = ControlState::new();
+        state.apply(&register(0, &[0, 1], 100));
+        state.apply(&CtrlCmd::SetRoute {
+            tenant: TenantId(3),
+            routes: vec![(ShardId(0), 0.8), (ShardId(1), 0.2)],
+        });
+        let table = state.routing_table();
+        for sel in 0..2000u64 {
+            assert_eq!(state.pick(TenantId(3), sel), table.pick(TenantId(3), sel));
+        }
+        assert_eq!(state.pick(TenantId(99), 0), None);
+        assert_eq!(state.route_count(), table.route_count());
+    }
+
+    /// Satellite 2 (in-crate half): the same command log applied directly
+    /// and via snapshot + suffix yields byte-identical state.
+    #[test]
+    fn snapshot_plus_suffix_is_byte_identical() {
+        let log: Vec<CtrlCmd> = vec![
+            register(0, &[0, 1], 100),
+            register(1, &[2, 3], 100),
+            CtrlCmd::SetRoute { tenant: TenantId(1), routes: vec![(ShardId(0), 1.0)] },
+            CtrlCmd::SetRoute { tenant: TenantId(2), routes: vec![(ShardId(2), 1.0)] },
+            CtrlCmd::CommitRebalance {
+                assignments: vec![
+                    (TenantId(1), vec![(ShardId(1), 0.5), (ShardId(3), 0.5)]),
+                    (TenantId(2), vec![(ShardId(2), 1.0)]),
+                ],
+            },
+            CtrlCmd::VacateRoute { tenant: TenantId(1), shard: ShardId(0) },
+            CtrlCmd::SetRoute { tenant: TenantId(5), routes: vec![(ShardId(3), 1.0)] },
+        ];
+        // Replica A: the whole log.
+        let mut a = ControlState::new();
+        for cmd in &log {
+            a.apply(cmd);
+        }
+        // Replica B: snapshot at the midpoint, then the suffix.
+        let mid = 4;
+        let mut snap_src = ControlState::new();
+        for cmd in &log[..mid] {
+            snap_src.apply(cmd);
+        }
+        let mut b = ControlState::decode(&snap_src.encode()).unwrap();
+        for cmd in &log[mid..] {
+            b.apply(cmd);
+        }
+        assert_eq!(a.encode(), b.encode(), "route tables must be byte-identical");
+        assert_eq!(a.ring_points(), b.ring_points());
+        // And the codec round-trips the final state too.
+        let c = ControlState::decode(&a.encode()).unwrap();
+        assert_eq!(c.encode(), a.encode());
+    }
+
+    #[test]
+    fn unplaced_tenant_reads_fall_back_to_ring_home() {
+        let mut state = ControlState::new();
+        state.apply(&register(0, &[0, 1, 2, 3], 100));
+        let home = state.home(TenantId(42)).unwrap();
+        assert_eq!(state.read_shards(TenantId(42)), vec![home]);
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`monitor`] — traffic snapshots and hotspot detection.
 //! * [`balancer`] — the greedy (Alg 2) and max-flow (Alg 3) planners.
 //! * [`controller`] — the control loop (Alg 1) tying them together.
+//! * [`ctrl`] — the replicated controller's deterministic state machine
+//!   (commands applied through the Raft log).
 //! * [`backpressure`] — bounded queues implementing the BFC mechanism (§4.2).
 //! * [`sim`] — a queueing-theoretic traffic simulator used by tests and the
 //!   Figure 12–14 harnesses.
@@ -26,6 +28,7 @@ pub mod backpressure;
 pub mod balancer;
 pub mod consistent;
 pub mod controller;
+pub mod ctrl;
 pub mod monitor;
 pub mod network;
 pub mod routing;
@@ -35,6 +38,7 @@ pub use backpressure::{BfcQueue, BfcQueueConfig};
 pub use balancer::{Balancer, GreedyBalancer, MaxFlowBalancer};
 pub use consistent::ConsistentHashRing;
 pub use controller::{ControlAction, FlowControlConfig, TrafficController};
+pub use ctrl::{ControlState, CtrlCmd};
 pub use monitor::{HotspotReport, TrafficSnapshot};
 pub use network::FlowNetwork;
 pub use routing::RoutingTable;

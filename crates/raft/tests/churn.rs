@@ -1,20 +1,31 @@
-//! Seeded partition/heal/propose churn against the in-process cluster.
+//! Seeded partition/heal/propose churn against the in-process cluster,
+//! replicating the controller's state machine rather than a toy register.
 //!
 //! Each seed drives rounds of network abuse (message loss, cut links,
-//! isolated nodes) interleaved with proposal bursts, and checks the two
-//! core consensus safety properties after every round:
+//! isolated nodes) interleaved with bursts of proposed [`CtrlCmd`]s — the
+//! real route-table/topology commands the cluster controller commits
+//! through this Raft — and checks the core safety properties after every
+//! round:
 //!
 //! 1. **Prefix consistency** — any two nodes' applied sequences agree on
 //!    their common prefix (no divergence, no reordering).
 //! 2. **Committed-prefix monotonicity** — the longest prefix applied by a
 //!    majority only ever grows; once an entry is in it, it is never lost
 //!    or replaced on any node.
+//! 3. **State-machine convergence** — after the final heal, folding each
+//!    node's applied command log into a [`ControlState`] yields
+//!    byte-identical encodings on every node.
+//!
+//! A second test wires the controller snapshot through Raft's compaction
+//! hook: a laggard that catches up via snapshot + suffix must land on the
+//! same bytes as a full-log replay.
 //!
 //! Reproduce any failure with the seed printed in its message:
 //! `SIMTEST_SEED=<seed> cargo test -p logstore-raft --test churn`.
 
+use logstore_flow::ctrl::{ControlState, CtrlCmd};
 use logstore_raft::{InProcCluster, RaftConfig};
-use logstore_types::NodeId;
+use logstore_types::{NodeId, ShardId, TenantId, WorkerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -42,6 +53,38 @@ macro_rules! churn_assert {
             $seed
         )
     };
+}
+
+/// Generates the `n`-th controller command of a churn run. Distinct `n`
+/// values always yield distinct encodings (tenant/worker ids and
+/// capacities embed `n`), which the exactly-once oracle relies on.
+fn gen_cmd(rng: &mut StdRng, n: u64) -> CtrlCmd {
+    let shard = ShardId((n % 16) as u32);
+    match rng.gen_range(0..8u32) {
+        0 | 1 => CtrlCmd::RegisterWorker {
+            worker: WorkerId((n % 8) as u32),
+            shards: vec![(shard, 1_000 + n), (ShardId(((n + 1) % 16) as u32), 2_000 + n)],
+        },
+        2..=4 => CtrlCmd::SetRoute { tenant: TenantId(n), routes: vec![(shard, 1.0)] },
+        5 | 6 => CtrlCmd::CommitRebalance {
+            assignments: vec![(
+                TenantId(n),
+                vec![(shard, 0.5), (ShardId(((n + 3) % 16) as u32), 0.5)],
+            )],
+        },
+        _ => CtrlCmd::VacateRoute { tenant: TenantId(n), shard },
+    }
+}
+
+/// Folds a sequence of applied command payloads into a fresh control
+/// state machine.
+fn fold_state(entries: &[Vec<u8>]) -> ControlState {
+    let mut state = ControlState::new();
+    for payload in entries {
+        let cmd = CtrlCmd::decode(payload).expect("applied payload must be a valid CtrlCmd");
+        state.apply(&cmd);
+    }
+    state
 }
 
 /// Any two nodes must agree on the common prefix of their applied logs.
@@ -80,6 +123,7 @@ fn run_churn(seed: u64) {
 
     let mut proposed: BTreeSet<Vec<u8>> = BTreeSet::new();
     let mut oracle: Vec<Vec<u8>> = Vec::new();
+    let mut next_cmd = 0u64;
 
     for round in 0..ROUNDS {
         // Network abuse for this round. Every third round heals and runs
@@ -102,11 +146,12 @@ fn run_churn(seed: u64) {
             }
         }
 
-        // Proposal burst: uniquely tagged payloads; rejections (no leader
-        // reachable) are legal under partitions.
+        // Proposal burst: controller commands with unique embedded ids;
+        // rejections (no leader reachable) are legal under partitions.
         let burst = rng.gen_range(1..=8usize);
-        for k in 0..burst {
-            let payload = format!("s{seed}-r{round}-k{k}").into_bytes();
+        for _ in 0..burst {
+            let payload = gen_cmd(&mut rng, next_cmd).encode();
+            next_cmd += 1;
             if c.propose(payload.clone()).is_ok() {
                 proposed.insert(payload);
             }
@@ -193,10 +238,25 @@ fn run_churn(seed: u64) {
         );
     }
     churn_assert!(seed, !final_log.is_empty(), "no entry committed across {ROUNDS} churn rounds");
+
+    // Controller-state convergence: every node's applied command log folds
+    // to byte-identical route tables and topology.
+    let reference = fold_state(c.applied(NodeId(0)));
+    let reference_bytes = reference.encode();
+    for i in 1..NODES as u32 {
+        churn_assert!(
+            seed,
+            fold_state(c.applied(NodeId(i))).encode() == reference_bytes,
+            "node {i}'s folded control state diverged from node 0"
+        );
+    }
+    churn_assert!(seed, reference.version() > 0, "churn never moved the control state");
     println!(
-        "seed {seed}: {} proposals accepted, {} committed, committed-prefix checks passed",
+        "seed {seed}: {} proposals accepted, {} committed, state version {}, \
+         committed-prefix checks passed",
         proposed.len(),
-        final_log.len()
+        final_log.len(),
+        reference.version()
     );
 }
 
@@ -204,5 +264,110 @@ fn run_churn(seed: u64) {
 fn seeded_partition_heal_churn() {
     for seed in sweep_seeds() {
         run_churn(seed);
+    }
+}
+
+/// The controller snapshot path wired through Raft's compaction hook:
+/// a replica that catches up via an installed snapshot plus the log
+/// suffix must reach a control state byte-identical to a full replay.
+fn run_snapshot_catchup(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a97);
+    let mut c = InProcCluster::new(3, RaftConfig::default(), seed);
+    let leader =
+        c.run_until_leader(500).unwrap_or_else(|| panic!("seed {seed}: no initial leader"));
+    // Isolate one follower before anything commits: it will have applied
+    // nothing when the others compact their logs past it.
+    let laggard = NodeId((leader.raw() + 1) % 3);
+    c.isolate(laggard);
+
+    let mut next_cmd = 0u64;
+    let mut accepted = 0usize;
+    for _ in 0..40 {
+        let payload = gen_cmd(&mut rng, next_cmd).encode();
+        next_cmd += 1;
+        if c.propose(payload).is_ok() {
+            accepted += 1;
+        }
+        for _ in 0..4 {
+            c.step();
+        }
+    }
+    for _ in 0..60 {
+        c.step();
+    }
+    churn_assert!(seed, accepted > 0, "no proposal accepted while the laggard was isolated");
+
+    // Every live node compacts at its own commit index, snapshotting its
+    // folded control state — so whichever of them leads after the heal
+    // can only offer the laggard a snapshot, never the compacted entries.
+    for i in 0..3u32 {
+        let node = NodeId(i);
+        if node == laggard {
+            continue;
+        }
+        let commit = c.node(node).commit_index();
+        let snapshot = fold_state(c.applied(node)).encode();
+        c.node_mut(node)
+            .compact(commit, snapshot)
+            .unwrap_or_else(|e| panic!("seed {seed}: node {i} failed to compact: {e}"));
+    }
+
+    c.heal();
+    let mut extra_due = 10usize;
+    let mut converged = false;
+    for _ in 0..3000 {
+        c.step();
+        // Keep the log moving after the heal so the laggard also replays
+        // a genuine post-snapshot suffix.
+        if extra_due > 0 && c.sole_leader().is_some() {
+            let payload = gen_cmd(&mut rng, next_cmd).encode();
+            next_cmd += 1;
+            if c.propose(payload).is_ok() {
+                extra_due -= 1;
+            }
+        }
+        let commits: Vec<u64> = (0..3u32).map(|i| c.node(NodeId(i)).commit_index()).collect();
+        if extra_due == 0
+            && c.sole_leader().is_some()
+            && commits.windows(2).all(|w| w[0] == w[1])
+            && !c.applied(laggard).is_empty()
+        {
+            converged = true;
+            break;
+        }
+    }
+    churn_assert!(seed, converged, "laggard failed to catch up after heal");
+
+    let (snap_idx, snap_data) = c
+        .installed_snapshot(laggard)
+        .unwrap_or_else(|| panic!("seed {seed}: laggard caught up without a snapshot install"));
+    churn_assert!(seed, *snap_idx > 0, "snapshot index must cover the compacted prefix");
+    let mut via_snapshot = ControlState::decode(snap_data)
+        .unwrap_or_else(|e| panic!("seed {seed}: snapshot must decode: {e}"));
+    for payload in c.applied(laggard) {
+        via_snapshot.apply(&CtrlCmd::decode(payload).expect("suffix payload decodes"));
+    }
+
+    // Reference replica: the old leader never installed a snapshot, so its
+    // applied log is the full command history.
+    churn_assert!(
+        seed,
+        c.installed_snapshot(leader).is_none(),
+        "the reference node must have replayed the full log"
+    );
+    let full_replay = fold_state(c.applied(leader));
+    churn_assert!(
+        seed,
+        via_snapshot.encode() == full_replay.encode(),
+        "snapshot + suffix state diverged from full replay \
+         (snapshot at {snap_idx}, {} suffix entries)",
+        c.applied(laggard).len()
+    );
+}
+
+#[test]
+fn controller_snapshot_plus_suffix_matches_full_replay() {
+    for seed in sweep_seeds() {
+        run_snapshot_catchup(seed);
     }
 }

@@ -345,6 +345,31 @@ impl Episode {
                 self.crashes.arm(*point, *countdown);
                 self.trace(step, format!("arm-crash {point:?} countdown={countdown}"));
             }
+            SimOp::NetFault { drop, dup, reorder } => {
+                self.engine().shared().controller.set_net_faults(*drop, *dup, *reorder);
+                self.trace(
+                    step,
+                    format!("net-fault drop={drop:.2} dup={dup:.2} reorder={reorder}"),
+                );
+            }
+            SimOp::ClearNetFaults => {
+                self.engine().shared().controller.clear_net_faults();
+                self.trace(step, "clear-net-faults".to_string());
+            }
+            SimOp::KillController { during_rebalance } => {
+                let controller = &self.engine().shared().controller;
+                if *during_rebalance {
+                    controller.arm_kill_on_rebalance();
+                    self.trace(step, "kill-controller armed (fires on next rebalance)".to_string());
+                } else {
+                    let killed = controller.kill_controller_leader();
+                    self.trace(step, format!("kill-controller killed={killed:?}"));
+                }
+            }
+            SimOp::HealControllers => {
+                self.engine().shared().controller.heal_controllers();
+                self.trace(step, "heal-controllers".to_string());
+            }
             SimOp::CheckInvariants => {
                 self.trace(step, "check-invariants".to_string());
                 self.check_all(step, false)?;
@@ -360,6 +385,11 @@ impl Episode {
         self.crashes.disarm();
         self.fault_layer().set_probability(0.0);
         self.fault_layer().clear_faults();
+        // The control plane also ends clean: killed controller replicas
+        // revive, partitions heal, network faults clear — the final flush
+        // and accounting run against a converged control plane.
+        self.engine().shared().controller.heal_controllers();
+        self.engine().shared().controller.clear_net_faults();
         match self.guarded(|engine| engine.flush()) {
             Outcome::Done(Ok(_)) => {}
             Outcome::Done(Err(e)) => {

@@ -44,6 +44,27 @@ pub enum SimOp {
         /// Visits of `point` to let pass before firing (0 = next).
         countdown: u64,
     },
+    /// Open a control-plane network fault window: controller RPCs start
+    /// seeing seeded drops / duplicates / reordering until cleared.
+    NetFault {
+        /// Per-message drop probability.
+        drop: f64,
+        /// Per-message duplication probability.
+        dup: f64,
+        /// Allow out-of-order delivery.
+        reorder: bool,
+    },
+    /// Restore a perfect control-plane network.
+    ClearNetFaults,
+    /// Kill the controller leader. With `during_rebalance`, arm the kill
+    /// to fire right after the next rebalancing tick commits instead of
+    /// immediately — the "leader dies mid-rebalance" scenario.
+    KillController {
+        /// Defer the kill to the next rebalance commit.
+        during_rebalance: bool,
+    },
+    /// Revive killed controller replicas and heal their partitions.
+    HealControllers,
     /// Run the full invariant battery now.
     CheckInvariants,
 }
@@ -68,21 +89,31 @@ impl SimPlan {
         for _ in 0..op_count {
             let roll: u32 = rng.gen_range(0..100);
             let op = match roll {
-                0..=43 => SimOp::Ingest {
+                0..=41 => SimOp::Ingest {
                     tenant: rng.gen_range(1..=tenant_count),
                     rows: rng.gen_range(5..=80),
                 },
-                44..=50 => SimOp::FlushAll,
-                51..=57 => SimOp::FlushIfNeeded,
-                58..=62 => SimOp::Compact,
-                63..=64 => SimOp::ControlTick,
-                65..=74 => SimOp::CheckQueries { tenant: rng.gen_range(1..=tenant_count) },
-                75..=80 => SimOp::FaultWindow { probability: rng.gen_range(0.1..0.45) },
-                81..=85 => SimOp::ClearFaults,
-                86..=96 => SimOp::ArmCrash {
+                42..=48 => SimOp::FlushAll,
+                49..=54 => SimOp::FlushIfNeeded,
+                55..=58 => SimOp::Compact,
+                59..=61 => SimOp::ControlTick,
+                62..=70 => SimOp::CheckQueries { tenant: rng.gen_range(1..=tenant_count) },
+                71..=75 => SimOp::FaultWindow { probability: rng.gen_range(0.1..0.45) },
+                76..=79 => SimOp::ClearFaults,
+                80..=88 => SimOp::ArmCrash {
                     point: CrashPoint::ALL[rng.gen_range(0..CrashPoint::ALL.len())],
                     countdown: rng.gen_range(0..3),
                 },
+                // Drop rates stay modest: the client retransmit budget is
+                // generous but an episode runs hundreds of RPCs.
+                89..=90 => SimOp::NetFault {
+                    drop: rng.gen_range(0.02..0.15),
+                    dup: rng.gen_range(0.0..0.25),
+                    reorder: rng.gen_bool(0.5),
+                },
+                91 => SimOp::ClearNetFaults,
+                92..=93 => SimOp::KillController { during_rebalance: rng.gen_bool(0.5) },
+                94 => SimOp::HealControllers,
                 _ => SimOp::CheckInvariants,
             };
             ops.push(op);

@@ -165,6 +165,51 @@ fn per_crash_point_group_commit_sweep() {
     }
 }
 
+/// The controller-fault episode: network faults on the control plane,
+/// a leader killed outright, a leader killed mid-rebalance (armed to fire
+/// right after the next rebalance commits), heals in between — while the
+/// full exactly-once / differential battery keeps running. The final
+/// battery runs against a healed, converged control plane.
+#[test]
+fn acceptance_controller_faults() {
+    let ops = vec![
+        SimOp::Ingest { tenant: 1, rows: 120 },
+        SimOp::Ingest { tenant: 2, rows: 80 },
+        // RPCs under a lossy, duplicating, reordering control network.
+        SimOp::NetFault { drop: 0.12, dup: 0.2, reorder: true },
+        SimOp::Ingest { tenant: 1, rows: 60 },
+        SimOp::ControlTick,
+        SimOp::CheckQueries { tenant: 1 },
+        SimOp::ClearNetFaults,
+        // Kill the leader outright; the next RPCs ride the election.
+        SimOp::KillController { during_rebalance: false },
+        SimOp::Ingest { tenant: 3, rows: 90 },
+        SimOp::FlushAll,
+        SimOp::CheckQueries { tenant: 3 },
+        SimOp::HealControllers,
+        // Kill the next leader mid-rebalance: the kill arms now and fires
+        // the moment a tick actually commits a rebalance.
+        SimOp::KillController { during_rebalance: true },
+        SimOp::Ingest { tenant: 1, rows: 100 },
+        SimOp::Ingest { tenant: 2, rows: 40 },
+        SimOp::ControlTick,
+        SimOp::ControlTick,
+        SimOp::CheckQueries { tenant: 1 },
+        SimOp::CheckQueries { tenant: 2 },
+        SimOp::HealControllers,
+        SimOp::FlushAll,
+        SimOp::CheckInvariants,
+    ];
+    let report = run_or_die(&SimPlan { seed: 0xc7_a1f5, ops });
+    assert!(report.rows_acked >= 490);
+    assert!(report.checks > 0);
+    assert!(
+        report.trace.iter().any(|l| l.contains("kill-controller killed=Some")),
+        "the outright kill must have found a leader: {:#?}",
+        report.trace
+    );
+}
+
 /// Same seed, same trace: the episode is a pure function of its seed.
 /// Control ticks are filtered — the balancer's *decisions* are checked by
 /// the invariant battery, but its snapshot assembly iterates hash maps and

@@ -27,6 +27,14 @@ echo "== simulation sweep (replay any failure with SIMTEST_SEED=<seed>) =="
 cargo test --release -q -p logstore-simtest
 cargo test --release -q -p logstore-raft --test churn
 
+# Controller-failover stage: the replicated control plane loses its
+# leader before / during / after a rebalance (a fixed seed sweep across
+# all three kill points), heals, and must converge byte-identically with
+# query results matching the fault-free run. Replay any failure with
+# `SIMTEST_SEED=<seed> cargo test --test controller_failover`.
+echo "== controller failover sweep =="
+cargo test --release -q --test controller_failover
+
 # Ingest bench smoke: a tiny producer sweep of the group-commit write
 # path against the seed-shaped baseline. Asserts fsync coalescing and
 # exact replay; the full matrix (BENCH_ingest.json) runs manually via

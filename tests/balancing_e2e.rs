@@ -65,12 +65,18 @@ fn vacated_shard_rows_are_flushed_to_oss_not_migrated() {
     let blocks_before = store.block_count();
     let action = store.control_tick().expect("tick");
     assert!(matches!(action, ControlAction::Rebalanced { .. }));
-    // If any (tenant, shard) route was vacated, its rows are now on OSS.
-    let vacated = store.shared().controller.vacated_routes();
-    if !vacated.is_empty() {
+    // Vacated routes are flushed and acknowledged within the tick itself:
+    // nothing may be left pending, and each processed vacation put rows
+    // on OSS.
+    assert!(
+        store.shared().controller.vacated_routes().is_empty(),
+        "all vacated routes must be flush-acknowledged by the end of the tick"
+    );
+    let processed = store.shared().controller.vacated_processed();
+    if processed > 0 {
         assert!(
             store.block_count() > blocks_before,
-            "vacated rows should be archived: {vacated:?}"
+            "{processed} vacated routes processed but no new LogBlocks on OSS"
         );
     }
     let count = store.query("SELECT COUNT(*) FROM request_log WHERE tenant_id = 1").expect("query");

@@ -5,11 +5,11 @@
 //! multi-lock code paths from several threads with the `logstore-sync`
 //! analysis active (debug builds, or `--features lock-analysis`): if a
 //! future change acquires any pair of engine locks in reverse order —
-//! `traffic → ring`, `topology → ring`, the worker's
-//! backend/raft/window scopes, or the engine's worker map — the
-//! acquisition panics with a two-site cycle report and the test fails.
-//! In release builds without the feature the wrappers are passthroughs
-//! and this degenerates to a plain concurrency smoke test.
+//! the controller's `cache → plane`, the worker's backend/raft/window
+//! scopes, or the engine's worker map — the acquisition panics with a
+//! two-site cycle report and the test fails. In release builds without
+//! the feature the wrappers are passthroughs and this degenerates to a
+//! plain concurrency smoke test.
 
 use logstore::core::{ClusterConfig, LogStore};
 use logstore::types::{LogRecord, TenantId, Timestamp, Value};
@@ -29,12 +29,14 @@ fn rec(t: u64, ts: i64) -> LogRecord {
     )
 }
 
-/// Controller order: `pick_shard`/`read_shards` take `traffic → ring`,
-/// `register_worker` (via scale_out) takes `topology → ring`, and the
-/// control tick holds `traffic` alone. Interleaving all of them from
-/// separate threads exercises every edge the controller may record.
+/// Controller order: `pick_shard`/`read_shards` take the route cache
+/// then (on a miss) the control plane; `control_tick` holds both for the
+/// whole tick; `register_worker` (via scale_out) takes the plane alone.
+/// Interleaving all of them from separate threads exercises every
+/// `cache → plane` edge the controller may record — plus the RPC paths
+/// into the plane's Raft group and simulated network.
 #[test]
-fn controller_traffic_before_ring_order_is_pinned() {
+fn controller_cache_before_plane_order_is_pinned() {
     let store = Arc::new(LogStore::open(ClusterConfig::for_testing()).expect("open"));
     let mut joins = Vec::new();
     for w in 0..3u64 {

@@ -7,10 +7,12 @@
 //!    `logstore_sync` wrappers so the debug lock-order analysis sees it
 //!    (allowlist: `xtask/lint-allow-locks.txt`).
 //! 2. **Unwrap burn-down** — `.unwrap()` / `.expect(` in non-test code
-//!    under `crates/core/src` and `crates/query/src` is budgeted per file
-//!    (`xtask/lint-allow-unwrap.txt`); counts may only shrink.
+//!    under `crates/core/src`, `crates/query/src` and `crates/net/src`
+//!    is budgeted per file (`xtask/lint-allow-unwrap.txt`); counts may
+//!    only shrink.
 //! 3. **Simtest determinism** — no wall-clock or sleep APIs in
-//!    `crates/simtest/src` (seeded simulations must not observe time).
+//!    `crates/simtest/src` or `crates/net/src` (seeded simulations and
+//!    the simulated network must not observe time).
 //! 4. **CrashPoint coverage** — every `CrashPoint` variant is referenced
 //!    by at least one call site outside its defining module.
 //! 5. **`#![forbid(unsafe_code)]`** in every non-vendor crate root.
@@ -169,7 +171,8 @@ fn check_unwrap_budget(root: &Path, failures: &mut Vec<String>) {
     let budgets = load_allowlist(&root.join("xtask/lint-allow-unwrap.txt"));
     let gated = rust_files(&root.join("crates/core/src"))
         .into_iter()
-        .chain(rust_files(&root.join("crates/query/src")));
+        .chain(rust_files(&root.join("crates/query/src")))
+        .chain(rust_files(&root.join("crates/net/src")));
     for file in gated {
         let path = rel(root, &file);
         let text = fs::read_to_string(&file).expect("read source file");
@@ -201,7 +204,10 @@ fn check_unwrap_budget(root: &Path, failures: &mut Vec<String>) {
 /// Check 3: wall-clock and sleep APIs in the deterministic simulator.
 fn check_simtest_determinism(root: &Path, failures: &mut Vec<String>) {
     const BANNED: [&str; 3] = ["Instant::now", "SystemTime::now", "thread::sleep"];
-    for file in rust_files(&root.join("crates/simtest/src")) {
+    let gated = rust_files(&root.join("crates/simtest/src"))
+        .into_iter()
+        .chain(rust_files(&root.join("crates/net/src")));
+    for file in gated {
         let path = rel(root, &file);
         let text = fs::read_to_string(&file).expect("read source file");
         for (lineno, line) in text.lines().enumerate() {
