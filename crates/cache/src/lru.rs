@@ -89,14 +89,13 @@ impl<K: Eq + Hash + Clone, V> SizedLru<K, V> {
             evicted.push((key, value));
             return evicted;
         }
-        if let Some((old_v, old_size, old_tick)) = self.entries.remove(&key) {
+        // A replaced value is dropped in place, not spilled.
+        if let Some((_, old_size, old_tick)) = self.entries.remove(&key) {
             self.recency.remove(&old_tick);
             self.used_bytes -= old_size;
-            let _ = old_v; // replaced value is dropped, not spilled
         }
         while self.used_bytes + size > self.capacity_bytes {
-            let Some((&oldest_tick, _)) = self.recency.iter().next() else { break };
-            let old_key = self.recency.remove(&oldest_tick).expect("tick present");
+            let Some((_, old_key)) = self.recency.pop_first() else { break };
             if let Some((v, s, _)) = self.entries.remove(&old_key) {
                 self.used_bytes -= s;
                 evicted.push((old_key, v));

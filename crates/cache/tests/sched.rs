@@ -1,0 +1,81 @@
+//! Schedule exploration of the *real* [`SingleFlight`] leader/waiter
+//! Condvar protocol (the miniature lost-wakeup model lives in
+//! `crates/sync/tests/sched.rs`).
+//!
+//! Each seed interleaves the table check, the leader's publish
+//! (table-remove → slot-set → notify), and the waiters' check-then-wait
+//! loops differently. The contract: every caller gets the result, no
+//! caller hangs, and the flight table is empty afterwards. Any failure
+//! prints its seed and a `SCHED_SEED=<n>` replay command.
+
+#![cfg(feature = "sched-fuzz")]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use logstore_cache::SingleFlight;
+use logstore_sync::{sched, OrderedMutex};
+use logstore_types::Error;
+
+#[test]
+fn singleflight_every_caller_gets_the_value() {
+    sched::explore(0..60, || {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let results = Arc::new(OrderedMutex::new("cache.test.sched_results", Vec::new()));
+
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (sf, executions, results) =
+                    (Arc::clone(&sf), Arc::clone(&executions), Arc::clone(&results));
+                sched::spawn(move || {
+                    let (result, role) = sf.run(7, || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        Ok(99)
+                    });
+                    results.lock().push((result.expect("flight result"), role));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+
+        let results = results.lock();
+        assert_eq!(results.len(), 3, "every caller must return");
+        assert!(results.iter().all(|(v, _)| *v == 99), "every caller shares the value");
+        // Callers that arrive after the flight closed lead fresh runs, so
+        // executions can reach 3 — but never exceed the caller count, and
+        // the table must always drain.
+        let n = executions.load(Ordering::SeqCst);
+        assert!((1..=3).contains(&n), "implausible execution count {n}");
+        assert_eq!(sf.in_flight(), 0, "flight table must drain");
+    });
+}
+
+/// Errors propagate to every waiter of the failed flight and are never
+/// sticky: the table drains so the next arrival would retry fresh.
+#[test]
+fn singleflight_error_propagation_under_schedules() {
+    sched::explore(0..60, || {
+        let sf: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let failures = Arc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (sf, failures) = (Arc::clone(&sf), Arc::clone(&failures));
+                sched::spawn(move || {
+                    let (result, _) = sf.run(5, || Err(Error::NotFound("gone".into())));
+                    assert!(result.is_err(), "a failing flight must fail every caller");
+                    failures.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+
+        assert_eq!(failures.load(Ordering::SeqCst), 3, "every caller must observe the error");
+        assert_eq!(sf.in_flight(), 0, "failed flight must leave the table");
+    });
+}

@@ -309,6 +309,9 @@ impl ControlPlane {
     /// step Raft, apply commits, fire pending replies, maybe compact.
     /// Returns the messages delivered to the client this tick.
     fn pump(&mut self) -> Vec<CtrlMsg> {
+        // Preemption point for schedule exploration: each delivered batch
+        // (and the dedup decisions inside it) is one atomic step.
+        logstore_sync::sync_point("core.controller.pump");
         let mut to_client = Vec::new();
         for env in self.net.step() {
             if (env.to as usize) < self.replicas {

@@ -494,6 +494,9 @@ impl Worker {
             let Some(begun) = begun else { continue };
             // The intent append (group commit; may fsync) runs with the
             // shard lock released so ingest keeps flowing during the drain.
+            // The drained rows exist only in `begun` until the intent is
+            // logged — the window the archive-op counter guards.
+            logstore_sync::sync_point("core.worker.drain_window");
             match log_drain_intent(begun) {
                 Ok((seq, rows)) => out.push((shard, seq, rows)),
                 Err((e, rows)) => {
@@ -554,6 +557,7 @@ impl Worker {
         // WAL untruncated — replay reconciles via the drain commit, and a
         // later quiescent pass truncates.
         self.hooks.reached(CrashPoint::BeforeTruncate);
+        logstore_sync::sync_point("core.worker.ack_window");
         state.backend.lock().truncate_quiescent()?;
         self.checkpoint_raft(shard)
     }

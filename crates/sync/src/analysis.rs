@@ -170,14 +170,13 @@ pub(crate) fn on_released(token: u64) {
 pub(crate) fn before_wait(condvar_site: &'static str, guard_token: u64) -> &'static str {
     HELD.with(|held| {
         let mut held = held.borrow_mut();
-        let others: Vec<&'static str> =
-            held.iter().filter(|h| h.token != guard_token).map(|h| h.site).collect();
-        if !others.is_empty() {
+        if held.iter().any(|h| h.token != guard_token) {
             panic!(
                 "condvar `{condvar_site}`: waiting while holding other locks\n  \
-                 also held (oldest first): {}\n  \
+                 full held stack (oldest first): {}\n  \
+                 waited mutex token: {guard_token}\n  \
                  fix: release every other lock before blocking on a condvar",
-                others.join(", "),
+                format_stack(&held),
             );
         }
         let pos = held
@@ -188,9 +187,24 @@ pub(crate) fn before_wait(condvar_site: &'static str, guard_token: u64) -> &'sta
     })
 }
 
-/// Called after the wait returns and the mutex is re-acquired. Returns the
-/// guard's new token.
+/// Called after the wait returns — by notify *or* timeout — and the mutex
+/// is re-acquired. Re-checks that the thread picked up no other lock
+/// while parked (`wait_for`'s timeout path runs through here too: a
+/// timed-out waiter re-registers its guard exactly like a notified one).
+/// Returns the guard's new token.
 pub(crate) fn after_wait(mutex_site: &'static str) -> u64 {
+    HELD.with(|held| {
+        let held = held.borrow();
+        if !held.is_empty() {
+            panic!(
+                "condvar wakeup re-acquiring `{mutex_site}`: thread already holds locks\n  \
+                 full held stack (oldest first): {}\n  \
+                 fix: a parked waiter must hold nothing; some path acquired a lock \
+                 between the wait and the mutex re-acquisition",
+                format_stack(&held),
+            );
+        }
+    });
     push_held(mutex_site)
 }
 
@@ -246,8 +260,10 @@ fn find_path_to_any(
     None
 }
 
+/// Renders a held stack as `site#token, …` — tokens disambiguate multiple
+/// live guards of same-label locks in multi-lock reports.
 fn format_stack(held: &[Held]) -> String {
-    held.iter().map(|h| h.site).collect::<Vec<_>>().join(", ")
+    held.iter().map(|h| format!("{}#{}", h.site, h.token)).collect::<Vec<_>>().join(", ")
 }
 
 /// Test-only: number of locks the current thread holds. Used by the

@@ -1,4 +1,5 @@
-//! Labeled lock wrappers with always-on deadlock detection in debug builds.
+//! Labeled lock wrappers with always-on deadlock detection in debug builds
+//! and seeded schedule exploration under `--features sched-fuzz`.
 //!
 //! LogStore is aggressively concurrent — sharded caches, a Condvar
 //! singleflight protocol, a parallel query pool, an ack-based archive
@@ -12,29 +13,42 @@
 //! [`OrderedMutex`], [`OrderedRwLock`] and [`OrderedCondvar`] are drop-in
 //! wrappers over `parking_lot` primitives. Every lock is constructed with
 //! a static **site label** (`"crate.module.field"` by convention — see
-//! DESIGN.md). In release builds the wrappers are zero-cost passthroughs:
-//! no site stored, no extra state, same size as the underlying primitive
-//! (asserted by test). Under `cfg(debug_assertions)` — or the
-//! `lock-analysis` feature, which turns checking on in release builds too
-//! — every blocking acquisition feeds a per-thread held-lock stack and a
-//! global acquired-before graph with incremental cycle detection; an
-//! acquisition that would close a cycle panics *before blocking* with a
-//! report naming both site labels and both conflicting acquisition chains
-//! (see [`analysis`]).
+//! DESIGN.md; uniqueness and the convention are enforced by `xtask lint`).
+//! In release builds the wrappers are zero-cost passthroughs: no site
+//! stored, no extra state, same size as the underlying primitive (asserted
+//! by test). Under `cfg(debug_assertions)` — or the `lock-analysis`
+//! feature, which turns checking on in release builds too — every blocking
+//! acquisition feeds a per-thread held-lock stack and a global
+//! acquired-before graph with incremental cycle detection; an acquisition
+//! that would close a cycle panics *before blocking* with a report naming
+//! both site labels and both conflicting acquisition chains (see
+//! [`analysis`]).
 //!
 //! The held stack also powers [`assert_no_locks_held`], called from the
 //! `ObjectStore` decorator stack so a blocking OSS request issued under
 //! any instrumented lock fails loudly in tests, and from
 //! [`OrderedCondvar::wait`] so waiting while holding a second lock is
 //! caught at the wait site.
+//!
+//! Under the `sched-fuzz` feature every wrapper operation additionally
+//! becomes a preemption point for the seeded schedule explorer in
+//! [`sched`]: a test body spawns threads via [`sched::spawn`] inside
+//! [`sched::explore`], and each seed drives a different (replayable)
+//! interleaving through every lock, condvar, and [`sync_point`] site.
+//! Threads not registered with the scheduler use the normal paths, so the
+//! feature is inert outside explorer tests.
 
 #![forbid(unsafe_code)]
 
 #[cfg(any(debug_assertions, feature = "lock-analysis"))]
 pub mod analysis;
+#[cfg(feature = "sched-fuzz")]
+pub mod sched;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+#[cfg(feature = "sched-fuzz")]
+use std::sync::atomic::AtomicU64;
 use std::time::Duration;
 
 pub use parking_lot::WaitTimeoutResult;
@@ -46,38 +60,56 @@ pub use parking_lot::WaitTimeoutResult;
 /// a stall of every reader hashing to that shard. Release builds compile
 /// this to nothing.
 #[inline]
-pub fn assert_no_locks_held(context: &str) {
+pub fn assert_no_locks_held(_context: &str) {
     #[cfg(any(debug_assertions, feature = "lock-analysis"))]
-    analysis::assert_no_locks_held_impl(context);
-    #[cfg(not(any(debug_assertions, feature = "lock-analysis")))]
-    let _ = context;
+    analysis::assert_no_locks_held_impl(_context);
+}
+
+/// Explicit schedule-exploration preemption point. Place it inside a
+/// protocol window whose interleavings matter but contain no lock
+/// operation of their own (e.g. between draining rows and archiving
+/// them). A no-op unless the `sched-fuzz` feature is on *and* the calling
+/// thread is registered with an active [`sched::explore`] schedule.
+#[inline]
+pub fn sync_point(_label: &'static str) {
+    #[cfg(feature = "sched-fuzz")]
+    sched::sync_point(_label);
 }
 
 /// A [`parking_lot::Mutex`] with a site label and lock-order checking.
 pub struct OrderedMutex<T: ?Sized> {
-    #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+    #[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
     site: &'static str,
+    /// Scheduler identity, assigned lazily on first use (`new` is const).
+    #[cfg(feature = "sched-fuzz")]
+    sched_id: AtomicU64,
     inner: parking_lot::Mutex<T>,
 }
 
-/// RAII guard for [`OrderedMutex`].
+/// RAII guard for [`OrderedMutex`]. Under `sched-fuzz` the inner guard is
+/// optional: a scheduled condvar wait releases it while parked, and the
+/// drop path hands the release to the scheduler.
 pub struct OrderedMutexGuard<'a, T: ?Sized> {
     #[cfg(any(debug_assertions, feature = "lock-analysis"))]
     token: u64,
+    #[cfg(feature = "sched-fuzz")]
+    owner: &'a OrderedMutex<T>,
+    #[cfg(feature = "sched-fuzz")]
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    #[cfg(not(feature = "sched-fuzz"))]
     inner: parking_lot::MutexGuard<'a, T>,
 }
 
 impl<T> OrderedMutex<T> {
     /// Creates a mutex labeled `site` (convention: `"crate.module.field"`).
-    #[cfg(any(debug_assertions, feature = "lock-analysis"))]
-    pub const fn new(site: &'static str, value: T) -> Self {
-        OrderedMutex { site, inner: parking_lot::Mutex::new(value) }
-    }
-
-    /// Creates a mutex labeled `site` (convention: `"crate.module.field"`).
-    #[cfg(not(any(debug_assertions, feature = "lock-analysis")))]
     pub const fn new(_site: &'static str, value: T) -> Self {
-        OrderedMutex { inner: parking_lot::Mutex::new(value) }
+        OrderedMutex {
+            #[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
+            site: _site,
+            #[cfg(feature = "sched-fuzz")]
+            sched_id: AtomicU64::new(0),
+            inner: parking_lot::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -89,26 +121,53 @@ impl<T> OrderedMutex<T> {
 impl<T: ?Sized> OrderedMutex<T> {
     /// Acquires the lock, blocking until available. In analysis builds the
     /// order check runs *before* blocking, so an inversion panics instead
-    /// of deadlocking.
+    /// of deadlocking. Under an active schedule, acquisition goes through
+    /// the explorer's try-loop so the scheduler sees the blocking.
     pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         analysis::before_blocking_acquire(self.site);
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            let inner =
+                sched::acquire(sched::lazy_id(&self.sched_id), self.site, || self.inner.try_lock());
+            return OrderedMutexGuard {
+                #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+                token: analysis::on_acquired(self.site),
+                owner: self,
+                inner: Some(inner),
+            };
+        }
         let inner = self.inner.lock();
         OrderedMutexGuard {
             #[cfg(any(debug_assertions, feature = "lock-analysis"))]
             token: analysis::on_acquired(self.site),
+            #[cfg(feature = "sched-fuzz")]
+            owner: self,
+            #[cfg(feature = "sched-fuzz")]
+            inner: Some(inner),
+            #[cfg(not(feature = "sched-fuzz"))]
             inner,
         }
     }
 
     /// Attempts to acquire the lock without blocking. Never panics on
     /// ordering: a non-blocking attempt cannot deadlock, and is not
-    /// recorded as an ordering commitment.
+    /// recorded as an ordering commitment. Under an active schedule the
+    /// attempt is preceded by a preemption point.
     pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            sched::try_point(self.site);
+        }
         let inner = self.inner.try_lock()?;
         Some(OrderedMutexGuard {
             #[cfg(any(debug_assertions, feature = "lock-analysis"))]
             token: analysis::on_try_acquired(self.site),
+            #[cfg(feature = "sched-fuzz")]
+            owner: self,
+            #[cfg(feature = "sched-fuzz")]
+            inner: Some(inner),
+            #[cfg(not(feature = "sched-fuzz"))]
             inner,
         })
     }
@@ -128,42 +187,67 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedMutex<T> {
 impl<T: ?Sized> Deref for OrderedMutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        #[cfg(feature = "sched-fuzz")]
+        {
+            self.inner.as_deref().expect("guard released for condvar wait")
+        }
+        #[cfg(not(feature = "sched-fuzz"))]
+        {
+            &self.inner
+        }
     }
 }
 
 impl<T: ?Sized> DerefMut for OrderedMutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        #[cfg(feature = "sched-fuzz")]
+        {
+            self.inner.as_deref_mut().expect("guard released for condvar wait")
+        }
+        #[cfg(not(feature = "sched-fuzz"))]
+        {
+            &mut self.inner
+        }
     }
 }
 
-#[cfg(any(debug_assertions, feature = "lock-analysis"))]
+#[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
 impl<T: ?Sized> Drop for OrderedMutexGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         analysis::on_released(self.token);
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            if let Some(inner) = self.inner.take() {
+                // Release the real lock first, then let the scheduler wake
+                // blocked threads and take a preemption point.
+                drop(inner);
+                sched::released(sched::lazy_id(&self.owner.sched_id), self.owner.site);
+            }
+        }
     }
 }
 
 /// A [`parking_lot::Condvar`] whose waits verify the thread holds only
 /// the mutex it is waiting on.
 pub struct OrderedCondvar {
-    #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+    #[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
     site: &'static str,
+    #[cfg(feature = "sched-fuzz")]
+    sched_id: AtomicU64,
     inner: parking_lot::Condvar,
 }
 
 impl OrderedCondvar {
     /// Creates a condition variable labeled `site`.
-    #[cfg(any(debug_assertions, feature = "lock-analysis"))]
-    pub const fn new(site: &'static str) -> Self {
-        OrderedCondvar { site, inner: parking_lot::Condvar::new() }
-    }
-
-    /// Creates a condition variable labeled `site`.
-    #[cfg(not(any(debug_assertions, feature = "lock-analysis")))]
     pub const fn new(_site: &'static str) -> Self {
-        OrderedCondvar { inner: parking_lot::Condvar::new() }
+        OrderedCondvar {
+            #[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
+            site: _site,
+            #[cfg(feature = "sched-fuzz")]
+            sched_id: AtomicU64::new(0),
+            inner: parking_lot::Condvar::new(),
+        }
     }
 
     /// Blocks until notified. Panics (analysis builds) if the thread holds
@@ -171,9 +255,14 @@ impl OrderedCondvar {
     /// stalls every thread needing that lock for as long as the wait
     /// lasts, and deadlocks outright if the notifier needs it.
     pub fn wait<T>(&self, guard: &mut OrderedMutexGuard<'_, T>) {
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            self.wait_scheduled(guard, false);
+            return;
+        }
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         let mutex_site = self.begin_wait(guard);
-        self.inner.wait(&mut guard.inner);
+        self.inner.wait(guard.inner_mut());
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         {
             guard.token = analysis::after_wait(mutex_site);
@@ -181,15 +270,24 @@ impl OrderedCondvar {
     }
 
     /// Blocks until notified or `timeout` elapses. Same checks as
-    /// [`OrderedCondvar::wait`].
+    /// [`OrderedCondvar::wait`] — including, after a *timeout* wakeup, the
+    /// re-registration check in `analysis::after_wait` (a timed-out waiter
+    /// re-acquires the mutex exactly like a notified one).
     pub fn wait_for<T>(
         &self,
         guard: &mut OrderedMutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            // The scheduler models the timeout (it fires when nothing else
+            // can run, or occasionally early); the duration itself is not
+            // part of the explored schedule.
+            return WaitTimeoutResult::new(self.wait_scheduled(guard, true));
+        }
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         let mutex_site = self.begin_wait(guard);
-        let result = self.inner.wait_for(&mut guard.inner, timeout);
+        let result = self.inner.wait_for(guard.inner_mut(), timeout);
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         {
             guard.token = analysis::after_wait(mutex_site);
@@ -205,14 +303,60 @@ impl OrderedCondvar {
         analysis::before_wait(self.site, guard.token)
     }
 
+    /// The scheduled wait protocol: register as a waiter *before* dropping
+    /// the mutex (no other thread runs in between, so a notify can never
+    /// fall into the gap — the classic lost-wakeup window does not exist
+    /// unless the protocol under test creates one), park in the scheduler,
+    /// then re-acquire the mutex through the scheduler. Returns whether
+    /// the wakeup was a modeled timeout.
+    #[cfg(feature = "sched-fuzz")]
+    fn wait_scheduled<T: ?Sized>(&self, guard: &mut OrderedMutexGuard<'_, T>, timed: bool) -> bool {
+        #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+        let mutex_site = analysis::before_wait(self.site, guard.token);
+        sched::cv_wait_begin(sched::lazy_id(&self.sched_id), self.site, timed);
+        let owner = guard.owner;
+        let mutex_id = sched::lazy_id(&owner.sched_id);
+        drop(guard.inner.take().expect("guard already waiting"));
+        sched::released_quiet(mutex_id);
+        let timed_out = sched::cv_park();
+        let inner = sched::acquire(mutex_id, owner.site, || owner.inner.try_lock());
+        guard.inner = Some(inner);
+        #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+        {
+            guard.token = analysis::after_wait(mutex_site);
+        }
+        timed_out
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            sched::cv_notify(sched::lazy_id(&self.sched_id), false, self.site);
+        }
         self.inner.notify_one();
     }
 
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            sched::cv_notify(sched::lazy_id(&self.sched_id), true, self.site);
+        }
         self.inner.notify_all();
+    }
+}
+
+impl<'a, T: ?Sized> OrderedMutexGuard<'a, T> {
+    /// The inner parking_lot guard, for the unscheduled condvar paths.
+    #[cfg(feature = "sched-fuzz")]
+    fn inner_mut(&mut self) -> &mut parking_lot::MutexGuard<'a, T> {
+        self.inner.as_mut().expect("guard already waiting")
+    }
+
+    #[cfg(not(feature = "sched-fuzz"))]
+    fn inner_mut(&mut self) -> &mut parking_lot::MutexGuard<'a, T> {
+        &mut self.inner
     }
 }
 
@@ -226,8 +370,10 @@ impl fmt::Debug for OrderedCondvar {
 /// Read and write acquisitions participate identically in the order graph:
 /// a read-lock ABBA against a writer deadlocks just the same.
 pub struct OrderedRwLock<T: ?Sized> {
-    #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+    #[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
     site: &'static str,
+    #[cfg(feature = "sched-fuzz")]
+    sched_id: AtomicU64,
     inner: parking_lot::RwLock<T>,
 }
 
@@ -235,6 +381,11 @@ pub struct OrderedRwLock<T: ?Sized> {
 pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
     #[cfg(any(debug_assertions, feature = "lock-analysis"))]
     token: u64,
+    #[cfg(feature = "sched-fuzz")]
+    owner: &'a OrderedRwLock<T>,
+    #[cfg(feature = "sched-fuzz")]
+    inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    #[cfg(not(feature = "sched-fuzz"))]
     inner: parking_lot::RwLockReadGuard<'a, T>,
 }
 
@@ -242,20 +393,24 @@ pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
 pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
     #[cfg(any(debug_assertions, feature = "lock-analysis"))]
     token: u64,
+    #[cfg(feature = "sched-fuzz")]
+    owner: &'a OrderedRwLock<T>,
+    #[cfg(feature = "sched-fuzz")]
+    inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    #[cfg(not(feature = "sched-fuzz"))]
     inner: parking_lot::RwLockWriteGuard<'a, T>,
 }
 
 impl<T> OrderedRwLock<T> {
     /// Creates a reader-writer lock labeled `site`.
-    #[cfg(any(debug_assertions, feature = "lock-analysis"))]
-    pub const fn new(site: &'static str, value: T) -> Self {
-        OrderedRwLock { site, inner: parking_lot::RwLock::new(value) }
-    }
-
-    /// Creates a reader-writer lock labeled `site`.
-    #[cfg(not(any(debug_assertions, feature = "lock-analysis")))]
     pub const fn new(_site: &'static str, value: T) -> Self {
-        OrderedRwLock { inner: parking_lot::RwLock::new(value) }
+        OrderedRwLock {
+            #[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
+            site: _site,
+            #[cfg(feature = "sched-fuzz")]
+            sched_id: AtomicU64::new(0),
+            inner: parking_lot::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
@@ -269,10 +424,26 @@ impl<T: ?Sized> OrderedRwLock<T> {
     pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         analysis::before_blocking_acquire(self.site);
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            let inner =
+                sched::acquire(sched::lazy_id(&self.sched_id), self.site, || self.inner.try_read());
+            return OrderedRwLockReadGuard {
+                #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+                token: analysis::on_acquired(self.site),
+                owner: self,
+                inner: Some(inner),
+            };
+        }
         let inner = self.inner.read();
         OrderedRwLockReadGuard {
             #[cfg(any(debug_assertions, feature = "lock-analysis"))]
             token: analysis::on_acquired(self.site),
+            #[cfg(feature = "sched-fuzz")]
+            owner: self,
+            #[cfg(feature = "sched-fuzz")]
+            inner: Some(inner),
+            #[cfg(not(feature = "sched-fuzz"))]
             inner,
         }
     }
@@ -281,10 +452,27 @@ impl<T: ?Sized> OrderedRwLock<T> {
     pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
         #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         analysis::before_blocking_acquire(self.site);
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            let inner = sched::acquire(sched::lazy_id(&self.sched_id), self.site, || {
+                self.inner.try_write()
+            });
+            return OrderedRwLockWriteGuard {
+                #[cfg(any(debug_assertions, feature = "lock-analysis"))]
+                token: analysis::on_acquired(self.site),
+                owner: self,
+                inner: Some(inner),
+            };
+        }
         let inner = self.inner.write();
         OrderedRwLockWriteGuard {
             #[cfg(any(debug_assertions, feature = "lock-analysis"))]
             token: analysis::on_acquired(self.site),
+            #[cfg(feature = "sched-fuzz")]
+            owner: self,
+            #[cfg(feature = "sched-fuzz")]
+            inner: Some(inner),
+            #[cfg(not(feature = "sched-fuzz"))]
             inner,
         }
     }
@@ -304,34 +492,71 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedRwLock<T> {
 impl<T: ?Sized> Deref for OrderedRwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        #[cfg(feature = "sched-fuzz")]
+        {
+            self.inner.as_deref().expect("read guard present outside condvar wait")
+        }
+        #[cfg(not(feature = "sched-fuzz"))]
+        {
+            &self.inner
+        }
     }
 }
 
-#[cfg(any(debug_assertions, feature = "lock-analysis"))]
+#[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
 impl<T: ?Sized> Drop for OrderedRwLockReadGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         analysis::on_released(self.token);
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            if let Some(inner) = self.inner.take() {
+                drop(inner);
+                sched::released(sched::lazy_id(&self.owner.sched_id), self.owner.site);
+            }
+        }
     }
 }
 
 impl<T: ?Sized> Deref for OrderedRwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        #[cfg(feature = "sched-fuzz")]
+        {
+            self.inner.as_deref().expect("write guard present outside condvar wait")
+        }
+        #[cfg(not(feature = "sched-fuzz"))]
+        {
+            &self.inner
+        }
     }
 }
 
 impl<T: ?Sized> DerefMut for OrderedRwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        #[cfg(feature = "sched-fuzz")]
+        {
+            self.inner.as_deref_mut().expect("write guard present outside condvar wait")
+        }
+        #[cfg(not(feature = "sched-fuzz"))]
+        {
+            &mut self.inner
+        }
     }
 }
 
-#[cfg(any(debug_assertions, feature = "lock-analysis"))]
+#[cfg(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz"))]
 impl<T: ?Sized> Drop for OrderedRwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
+        #[cfg(any(debug_assertions, feature = "lock-analysis"))]
         analysis::on_released(self.token);
+        #[cfg(feature = "sched-fuzz")]
+        if sched::is_scheduled() {
+            if let Some(inner) = self.inner.take() {
+                drop(inner);
+                sched::released(sched::lazy_id(&self.owner.sched_id), self.owner.site);
+            }
+        }
     }
 }
 
@@ -378,9 +603,9 @@ mod tests {
     }
 
     /// Release passthrough: the wrappers must add no state beyond the
-    /// underlying parking_lot primitive. Only meaningful when the
-    /// analysis machinery is compiled out.
-    #[cfg(not(any(debug_assertions, feature = "lock-analysis")))]
+    /// underlying parking_lot primitive. Only meaningful when both the
+    /// analysis machinery and the schedule explorer are compiled out.
+    #[cfg(not(any(debug_assertions, feature = "lock-analysis", feature = "sched-fuzz")))]
     #[test]
     fn release_wrappers_are_zero_cost() {
         use std::mem::size_of;

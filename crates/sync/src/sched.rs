@@ -1,0 +1,769 @@
+//! Seeded schedule exploration ("sched-fuzz") over the labeled lock
+//! wrappers.
+//!
+//! Compiled only under `--features sched-fuzz`. The lock-order analysis
+//! (see [`crate::analysis`]) proves the *ordering relation* sound, but it
+//! cannot see schedule-dependent protocol bugs: a notify that fires before
+//! the waiter waits, a window where a waiter observes a sealed-but-
+//! uncommitted epoch, a check-then-act race between two critical sections.
+//! Those bugs only manifest under specific interleavings that the OS
+//! scheduler produces rarely and never reproducibly.
+//!
+//! This module makes thread interleavings a *seeded, explorable, and
+//! replayable* input, the way `crates/simtest` did for crash points and
+//! fault schedules. Every `OrderedMutex::lock`, `OrderedRwLock::{read,
+//! write}`, `OrderedCondvar::{wait, wait_for, notify_*}`, guard release,
+//! and explicit [`crate::sync_point`] call becomes a **preemption point**:
+//! the thread hands control to a seeded scheduler which decides who runs
+//! next. Exactly one scheduled thread runs at a time, so the execution is
+//! fully determined by (test body, seed) — a failing seed replays the
+//! identical interleaving forever.
+//!
+//! ## Scheduling strategies
+//!
+//! Each seed derives a strategy from its RNG stream:
+//!
+//! * **PCT** (probabilistic concurrency testing, Burckhardt et al.):
+//!   threads get random priorities; the highest-priority runnable thread
+//!   always runs; at `d` (1–3) randomly chosen preemption-point indices
+//!   the running thread is demoted below everyone. PCT finds any bug of
+//!   "depth" `d` with probability ≥ 1/(n·k^(d-1)) per seed, which is why a
+//!   few dozen seeds reliably catch ordering bugs that stress tests miss.
+//! * **Uniform random** fallback (1 seed in 4): every preemption point
+//!   picks uniformly among runnable threads — worse bug-depth bounds, but
+//!   it explores schedules PCT's priority structure never produces.
+//!
+//! ## Blocking model
+//!
+//! Scheduled threads never block in the OS: lock acquisition is a
+//! `try_lock` loop that reports "blocked on lock L" to the scheduler, and
+//! condvar waits park in the scheduler itself (notify marks the chosen
+//! waiter runnable; it then re-acquires the mutex through the same
+//! `try_lock` protocol). Because every blocked thread is scheduler-
+//! visible, a schedule in which *no* thread can run is detected
+//! immediately and reported as a deadlock — with each thread's blocking
+//! site and the recent event trace — instead of hanging the test.
+//!
+//! `wait_for` timeouts are modeled, not timed: a timed waiter fires
+//! exactly when no thread is runnable (a timeout always eventually
+//! elapses) and, with probability 1/16 per scheduling decision, early —
+//! so timeout-vs-notify races are explored too.
+//!
+//! ## What is and is not explored
+//!
+//! Only operations routed through `logstore-sync` are preemption points.
+//! Raw atomics, channels, and plain loads/stores between sync operations
+//! run atomically from the scheduler's point of view (the repo-wide
+//! raw-lock lint keeps everything else out). Unregistered threads — the
+//! test body itself, or anything not spawned via [`spawn`] — are not
+//! scheduled and must not touch the locks under test while a schedule is
+//! running.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to tear down sibling threads after a schedule
+/// failure. Raised via `resume_unwind` so the default panic hook stays
+/// quiet; the primary failure is recorded in the session before any
+/// abort unwinds.
+struct SchedAbort;
+
+/// SplitMix64: tiny, seedable, and good enough to drive schedule choice.
+/// Self-contained so the scheduler has no dependency on the `rand` stub.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zeros fixed point without special-casing seed 0.
+        SplitMix64(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant here).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    Pct,
+    Random,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    /// May be chosen to run.
+    Runnable,
+    /// Failed a `try_lock` for the lock with this id; runnable again once
+    /// the lock is released.
+    BlockedLock {
+        id: u64,
+        site: &'static str,
+    },
+    /// Parked in a condvar wait; runnable once notified (or, if `timed`,
+    /// once the scheduler fires its timeout).
+    CondWait {
+        cv: u64,
+        site: &'static str,
+        timed: bool,
+    },
+    /// Notified or timed out; behaves as runnable, and carries the wakeup
+    /// kind back to the `wait_for` caller.
+    Woken {
+        timed_out: bool,
+    },
+    Finished,
+}
+
+struct ThreadSlot {
+    state: TState,
+    priority: i64,
+}
+
+struct Core {
+    seed: u64,
+    rng: SplitMix64,
+    strategy: Strategy,
+    /// Sorted preemption-point indices at which PCT demotes the runner.
+    change_points: Vec<u64>,
+    /// Next demotion priority; strictly decreasing so later demotions
+    /// rank below earlier ones (all below the random initial range ≥ 1).
+    next_demotion: i64,
+    threads: Vec<ThreadSlot>,
+    /// Index of the one thread allowed to run, if any.
+    current: Option<usize>,
+    /// Preemption points taken so far.
+    step: u64,
+    /// Set by the first `JoinHandle::join`: threads spawned before it are
+    /// held at a start gate so they enter the schedule together.
+    started: bool,
+    /// Set on failure: every parked or arriving thread unwinds with
+    /// [`SchedAbort`] so the test body's joins return promptly.
+    aborting: bool,
+    /// The first failure observed (deadlock report or thread panic).
+    failure: Option<String>,
+    /// Registered threads that have not yet exited.
+    live: usize,
+    /// Ring buffer of recent (thread, site) events for failure reports.
+    trace: VecDeque<(usize, &'static str)>,
+}
+
+struct Session {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+const TRACE_CAP: usize = 48;
+/// PCT samples its priority-change points uniformly from this many steps.
+const CHANGE_POINT_RANGE: u64 = 512;
+
+impl Session {
+    fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let strategy = if rng.below(4) == 0 { Strategy::Random } else { Strategy::Pct };
+        let d = 1 + rng.below(3);
+        let mut change_points: Vec<u64> =
+            (0..d).map(|_| 1 + rng.below(CHANGE_POINT_RANGE)).collect();
+        change_points.sort_unstable();
+        change_points.dedup();
+        Session {
+            core: Mutex::new(Core {
+                seed,
+                rng,
+                strategy,
+                change_points,
+                next_demotion: 0,
+                threads: Vec::new(),
+                current: None,
+                step: 0,
+                started: false,
+                aborting: false,
+                failure: None,
+                live: 0,
+                trace: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_core(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The session installed by [`run_seed`]; [`spawn`] attaches new threads
+/// to it. Guarded by a plain std mutex — the scheduler must not schedule
+/// itself.
+static CURRENT_SESSION: Mutex<Option<Arc<Session>>> = Mutex::new(None);
+
+/// Instance ids for locks and condvars, allocated lazily on first use
+/// under the scheduler (the wrappers' `new` is `const fn`).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Loads — or, on first use, allocates — a stable nonzero scheduler id
+/// for a lock/condvar instance. Racing first uses converge on one id.
+pub(crate) fn lazy_id(cell: &AtomicU64) -> u64 {
+    let id = cell.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match cell.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(existing) => existing,
+    }
+}
+
+thread_local! {
+    /// Set in threads created by [`spawn`]; the fast-path gate for every
+    /// hook in `lib.rs`.
+    static CTX: RefCell<Option<(Arc<Session>, usize)>> = const { RefCell::new(None) };
+}
+
+/// True when the current thread participates in an active schedule. The
+/// lock wrappers branch on this before touching any scheduler state.
+pub(crate) fn is_scheduled() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Session>, usize) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(|(s, i)| f(s, *i)))
+}
+
+fn abort_unwind() -> ! {
+    resume_unwind(Box::new(SchedAbort))
+}
+
+impl Core {
+    fn record(&mut self, me: usize, site: &'static str) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back((me, site));
+    }
+
+    /// Picks the next thread to run. Must only be called by the thread
+    /// that is currently running (descheduling itself) or, when nothing
+    /// runs (`current == None`), by the session driver — otherwise two
+    /// threads could both believe they hold the schedule.
+    fn pick_next(&mut self) -> Result<(), String> {
+        loop {
+            let timed: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.state, TState::CondWait { timed: true, .. }))
+                .map(|(i, _)| i)
+                .collect();
+            let runnable: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.state, TState::Runnable | TState::Woken { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            // Fire a modeled timeout when nothing else can run (a real
+            // timeout always eventually elapses) or, occasionally, early —
+            // exploring timeout-vs-notify races.
+            if !timed.is_empty() && (runnable.is_empty() || self.rng.below(16) == 0) {
+                let pick = timed[self.rng.below(timed.len() as u64) as usize];
+                self.threads[pick].state = TState::Woken { timed_out: true };
+                continue;
+            }
+            if runnable.is_empty() {
+                self.current = None;
+                if self.live == 0 || !self.started {
+                    return Ok(());
+                }
+                return Err(self.deadlock_report());
+            }
+            let pick = match self.strategy {
+                Strategy::Random => runnable[self.rng.below(runnable.len() as u64) as usize],
+                Strategy::Pct => runnable
+                    .iter()
+                    .copied()
+                    .max_by_key(|&i| (self.threads[i].priority, i))
+                    .expect("runnable is non-empty"),
+            };
+            self.current = Some(pick);
+            return Ok(());
+        }
+    }
+
+    fn deadlock_report(&self) -> String {
+        let mut report = format!(
+            "sched: deadlock at step {} (seed {}): every live thread is blocked\n",
+            self.step, self.seed
+        );
+        for (i, t) in self.threads.iter().enumerate() {
+            let line = match t.state {
+                TState::BlockedLock { site, .. } => format!("  t{i}: blocked acquiring `{site}`\n"),
+                TState::CondWait { site, timed, .. } => format!(
+                    "  t{i}: waiting on condvar `{site}`{}\n",
+                    if timed { " (timed)" } else { "" }
+                ),
+                TState::Finished => format!("  t{i}: finished\n"),
+                TState::Runnable | TState::Woken { .. } => format!("  t{i}: runnable (?)\n"),
+            };
+            report.push_str(&line);
+        }
+        report.push_str("  recent events (oldest first): ");
+        let events: Vec<String> =
+            self.trace.iter().map(|(t, site)| format!("t{t}@{site}")).collect();
+        report.push_str(&events.join(", "));
+        report.push('\n');
+        report
+    }
+}
+
+/// Registers the failure, flips the session into abort mode, and wakes
+/// everyone so parked threads unwind. `core` is dropped before the unwind
+/// so the session mutex is never poisoned.
+fn fail_and_abort(session: &Session, mut core: MutexGuard<'_, Core>, report: String) -> ! {
+    if core.failure.is_none() {
+        core.failure = Some(report);
+    }
+    core.aborting = true;
+    drop(core);
+    session.cv.notify_all();
+    abort_unwind()
+}
+
+/// One preemption point: advance the step counter, apply any PCT
+/// priority-change point, re-pick the runner, and park until scheduled
+/// again. Called only while the current thread runs.
+fn yield_point(site: &'static str) {
+    let Some((session, me)) = with_ctx(|s, i| (Arc::clone(s), i)) else { return };
+    let mut core = session.lock_core();
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+    core.step += 1;
+    core.record(me, site);
+    if core.strategy == Strategy::Pct {
+        let step = core.step;
+        if core.change_points.binary_search(&step).is_ok() {
+            if let Some(cur) = core.current {
+                core.threads[cur].priority = core.next_demotion;
+                core.next_demotion -= 1;
+            }
+        }
+    }
+    match core.pick_next() {
+        Ok(()) => {}
+        Err(report) => fail_and_abort(&session, core, report),
+    }
+    session.cv.notify_all();
+    wait_turn(&session, core, me);
+}
+
+/// Parks until the scheduler hands the slot to `me`. Consumes nothing:
+/// the caller inspects its own state afterwards.
+fn wait_turn(session: &Session, mut core: MutexGuard<'_, Core>, me: usize) {
+    while core.current != Some(me) {
+        if core.aborting {
+            drop(core);
+            abort_unwind();
+        }
+        core = session.cv.wait(core).unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(core);
+}
+
+/// Preemption point before a non-blocking `try_lock` attempt.
+pub(crate) fn try_point(site: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    yield_point(site);
+}
+
+/// Explicit preemption point (the public [`crate::sync_point`] hook).
+pub(crate) fn sync_point(label: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    yield_point(label);
+}
+
+/// Scheduled lock acquisition: a `try_acquire` loop that never blocks the
+/// OS thread. Used for mutex lock, rwlock read/write, and the post-wait
+/// mutex re-acquisition.
+pub(crate) fn acquire<G>(
+    id: u64,
+    site: &'static str,
+    mut try_acquire: impl FnMut() -> Option<G>,
+) -> G {
+    if std::thread::panicking() {
+        // A panicking thread (unwinding toward the session's catch) takes
+        // the real blocking path: it must not be rescheduled, and its
+        // remaining critical sections are short.
+        loop {
+            if let Some(g) = try_acquire() {
+                return g;
+            }
+            std::thread::yield_now();
+        }
+    }
+    loop {
+        yield_point(site);
+        if let Some(g) = try_acquire() {
+            return g;
+        }
+        block_on_lock(id, site);
+    }
+}
+
+fn block_on_lock(id: u64, site: &'static str) {
+    let Some((session, me)) = with_ctx(|s, i| (Arc::clone(s), i)) else { return };
+    let mut core = session.lock_core();
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+    core.threads[me].state = TState::BlockedLock { id, site };
+    core.record(me, site);
+    match core.pick_next() {
+        Ok(()) => {}
+        Err(report) => fail_and_abort(&session, core, report),
+    }
+    session.cv.notify_all();
+    wait_turn(&session, core, me);
+    // `released` marked us Runnable before we could be scheduled again.
+}
+
+/// Guard release: wake lock-blocked threads, then take a preemption point
+/// (the window just after an unlock is where many protocol bugs live).
+pub(crate) fn released(id: u64, site: &'static str) {
+    let Some(session) = with_ctx(|s, _| Arc::clone(s)) else { return };
+    {
+        let mut core = session.lock_core();
+        for t in &mut core.threads {
+            if matches!(t.state, TState::BlockedLock { id: bid, .. } if bid == id) {
+                t.state = TState::Runnable;
+            }
+        }
+        session.cv.notify_all();
+    }
+    if !std::thread::panicking() {
+        yield_point(site);
+    }
+}
+
+/// Release bookkeeping without a preemption point — used when a condvar
+/// wait drops the mutex (the wait itself is the preemption point).
+pub(crate) fn released_quiet(id: u64) {
+    let Some(session) = with_ctx(|s, _| Arc::clone(s)) else { return };
+    let mut core = session.lock_core();
+    for t in &mut core.threads {
+        if matches!(t.state, TState::BlockedLock { id: bid, .. } if bid == id) {
+            t.state = TState::Runnable;
+        }
+    }
+    session.cv.notify_all();
+}
+
+/// Registers the current thread as a waiter on `cv` — called *before*
+/// the mutex is released, so a notify can never slip into the gap (no
+/// other thread runs until [`cv_park`] deschedules this one).
+pub(crate) fn cv_wait_begin(cv: u64, site: &'static str, timed: bool) {
+    let Some((session, me)) = with_ctx(|s, i| (Arc::clone(s), i)) else { return };
+    let mut core = session.lock_core();
+    if core.aborting {
+        drop(core);
+        abort_unwind();
+    }
+    core.threads[me].state = TState::CondWait { cv, site, timed };
+    core.record(me, site);
+}
+
+/// Deschedules a registered condvar waiter until notified (or, for timed
+/// waits, until the scheduler fires the timeout). Returns whether the
+/// wakeup was a timeout.
+pub(crate) fn cv_park() -> bool {
+    let Some((session, me)) = with_ctx(|s, i| (Arc::clone(s), i)) else { return false };
+    let mut core = session.lock_core();
+    match core.pick_next() {
+        Ok(()) => {}
+        Err(report) => fail_and_abort(&session, core, report),
+    }
+    session.cv.notify_all();
+    loop {
+        if core.aborting {
+            drop(core);
+            abort_unwind();
+        }
+        if core.current == Some(me) {
+            if let TState::Woken { timed_out } = core.threads[me].state {
+                core.threads[me].state = TState::Runnable;
+                drop(core);
+                return timed_out;
+            }
+        }
+        core = session.cv.wait(core).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Notify: marks one (seeded choice) or all waiters on `cv` as woken,
+/// then takes a preemption point. A notify with no waiters is a no-op —
+/// exactly the lost-notify semantics the explorer is built to catch.
+pub(crate) fn cv_notify(cv: u64, all: bool, site: &'static str) {
+    let Some((session, me)) = with_ctx(|s, i| (Arc::clone(s), i)) else { return };
+    {
+        let mut core = session.lock_core();
+        let waiters: Vec<usize> = core
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.state, TState::CondWait { cv: c, .. } if c == cv))
+            .map(|(i, _)| i)
+            .collect();
+        if !waiters.is_empty() {
+            if all {
+                for w in waiters {
+                    core.threads[w].state = TState::Woken { timed_out: false };
+                }
+            } else {
+                let pick = waiters[core.rng.below(waiters.len() as u64) as usize];
+                core.threads[pick].state = TState::Woken { timed_out: false };
+            }
+        }
+        core.record(me, site);
+        session.cv.notify_all();
+    }
+    if !std::thread::panicking() {
+        yield_point(site);
+    }
+}
+
+/// Handle to a thread spawned under the schedule. Unlike
+/// `std::thread::JoinHandle`, `join` never returns a panic: failures are
+/// recorded in the session and re-raised by [`explore`] with the seed.
+pub struct JoinHandle {
+    session: Arc<Session>,
+    inner: std::thread::JoinHandle<()>,
+}
+
+impl JoinHandle {
+    /// Releases the start gate (first join only), then waits for the
+    /// thread to finish. Panics inside the thread are captured into the
+    /// session's failure slot, not propagated here.
+    pub fn join(self) {
+        {
+            let mut core = self.session.lock_core();
+            if !core.started {
+                core.started = true;
+            }
+            // Kick the schedule if nothing is running (initial start, or
+            // everything previously spawned already finished).
+            if core.current.is_none() && core.live > 0 && !core.aborting {
+                match core.pick_next() {
+                    Ok(()) => {}
+                    Err(report) => {
+                        if core.failure.is_none() {
+                            core.failure = Some(report);
+                        }
+                        core.aborting = true;
+                    }
+                }
+            }
+            self.session.cv.notify_all();
+        }
+        let _ = self.inner.join();
+    }
+}
+
+/// Spawns a thread that participates in the current schedule. Must be
+/// called inside an [`explore`]/[`run_seed`] body. Threads spawned before
+/// the first `join` are held at a start gate and enter the schedule
+/// together; threads spawned later join the pool at the next scheduling
+/// decision.
+pub fn spawn(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    let session = CURRENT_SESSION
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+        .expect("sched::spawn called outside sched::explore");
+    let me = {
+        let mut core = session.lock_core();
+        let priority = 1 + core.rng.below(1 << 30) as i64;
+        core.threads.push(ThreadSlot { state: TState::Runnable, priority });
+        core.live += 1;
+        core.threads.len() - 1
+    };
+    let thread_session = Arc::clone(&session);
+    let inner = std::thread::spawn(move || {
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&thread_session), me)));
+        // Start gate, then wait to be scheduled for the first time.
+        {
+            let mut core = thread_session.lock_core();
+            loop {
+                if core.aborting {
+                    // Never ran; just account for the exit.
+                    core.threads[me].state = TState::Finished;
+                    core.live -= 1;
+                    drop(core);
+                    thread_session.cv.notify_all();
+                    return;
+                }
+                if core.started && core.current == Some(me) {
+                    break;
+                }
+                core = thread_session.cv.wait(core).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(f));
+        on_thread_exit(&thread_session, me, result);
+    });
+    // Give the scheduler a chance to run the new thread right away when
+    // spawning from inside the schedule.
+    if is_scheduled() {
+        yield_point("sched.spawn");
+    }
+    JoinHandle { session, inner }
+}
+
+fn on_thread_exit(session: &Session, me: usize, result: Result<(), Box<dyn std::any::Any + Send>>) {
+    let mut core = session.lock_core();
+    core.threads[me].state = TState::Finished;
+    core.live -= 1;
+    match result {
+        Ok(()) => {
+            if core.current == Some(me) && !core.aborting {
+                match core.pick_next() {
+                    Ok(()) => {}
+                    Err(report) => {
+                        if core.failure.is_none() {
+                            core.failure = Some(report);
+                        }
+                        core.aborting = true;
+                    }
+                }
+            } else if core.current == Some(me) {
+                core.current = None;
+            }
+        }
+        Err(payload) => {
+            if !payload.is::<SchedAbort>() && core.failure.is_none() {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "scheduled thread panicked (non-string payload)".into());
+                core.failure = Some(format!("sched: thread t{me} panicked: {msg}"));
+            }
+            core.aborting = true;
+        }
+    }
+    drop(core);
+    session.cv.notify_all();
+}
+
+/// Uninstalls the session on every exit path of [`run_seed`].
+struct SessionInstallGuard;
+
+impl Drop for SessionInstallGuard {
+    fn drop(&mut self) {
+        *CURRENT_SESSION.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// Serializes schedules across test threads: `cargo test` runs tests
+/// concurrently in one process, and only one schedule may own
+/// [`CURRENT_SESSION`] at a time.
+static EXPLORE_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `body` once under the scheduler with `seed`, returning the
+/// failure report if the schedule failed (deadlock, thread panic, or a
+/// panic in `body` itself). The body must join every thread it spawns.
+pub fn run_seed(seed: u64, body: &mut dyn FnMut()) -> Option<String> {
+    let _exclusive = EXPLORE_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let session = Arc::new(Session::new(seed));
+    {
+        let mut current = CURRENT_SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+        assert!(current.is_none(), "sched::explore does not nest");
+        *current = Some(Arc::clone(&session));
+    }
+    let _uninstall = SessionInstallGuard;
+    let body_result = catch_unwind(AssertUnwindSafe(body));
+    // Drain: if the body leaked threads (or panicked before joining),
+    // abort the schedule and wait for every registered thread to unwind.
+    let mut core = session.lock_core();
+    if core.live > 0 {
+        core.aborting = true;
+        if core.failure.is_none() && body_result.is_ok() {
+            core.failure =
+                Some("sched: body returned with live scheduled threads (join them)".into());
+        }
+        session.cv.notify_all();
+        while core.live > 0 {
+            core = session.cv.wait(core).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let mut failure = core.failure.take();
+    drop(core);
+    if failure.is_none() {
+        if let Err(payload) = body_result {
+            failure = Some(
+                payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "explore body panicked (non-string payload)".into()),
+            );
+        }
+    }
+    failure
+}
+
+/// Runs `body` once per seed and panics on the first failing seed with
+/// the failure report and exact replay instructions. Setting
+/// `SCHED_SEED=<n>` replays only that seed (even outside `seeds`) — the
+/// schedule is fully determined by the seed, so the replay reproduces
+/// the failure exactly.
+pub fn explore(seeds: std::ops::Range<u64>, mut body: impl FnMut()) {
+    if let Some(seed) = replay_seed() {
+        if let Some(failure) = run_seed(seed, &mut body) {
+            panic!("sched: replay of seed {seed} failed\n{failure}");
+        }
+        return;
+    }
+    for seed in seeds {
+        if let Some(failure) = run_seed(seed, &mut body) {
+            panic!(
+                "sched: schedule exploration failed at seed {seed}\n{failure}\n\
+                 replay exactly: SCHED_SEED={seed} cargo test --release \
+                 --features sched-fuzz <this test>"
+            );
+        }
+    }
+}
+
+/// Like [`explore`], but returns the first failing `(seed, report)`
+/// instead of panicking — the planted-bug tests assert a failure *is*
+/// found within the seed budget. Ignores `SCHED_SEED`.
+pub fn find_failure(seeds: std::ops::Range<u64>, mut body: impl FnMut()) -> Option<(u64, String)> {
+    for seed in seeds {
+        if let Some(failure) = run_seed(seed, &mut body) {
+            return Some((seed, failure));
+        }
+    }
+    None
+}
+
+fn replay_seed() -> Option<u64> {
+    std::env::var("SCHED_SEED").ok().and_then(|s| s.trim().parse().ok())
+}

@@ -8,8 +8,8 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 
 # Repo lint gate: raw-lock ban, unwrap burn-down, simtest determinism,
-# CrashPoint coverage, forbid(unsafe_code). See DESIGN.md §Static &
-# dynamic analysis.
+# CrashPoint coverage, forbid(unsafe_code), lock-label audit, swallowed-
+# Result ban. See DESIGN.md §Static & dynamic analysis.
 cargo run -q -p xtask -- lint
 
 cargo build --release
@@ -66,6 +66,22 @@ echo "== release lock-analysis sweep =="
 cargo test --release -q -p logstore-simtest --features lock-analysis
 cargo test --release -q -p logstore-cache --features lock-analysis --test concurrency
 cargo test --release -q --features lock-analysis --test lock_order --test concurrency
+
+# Schedule-exploration stage: the seeded PCT scheduler drives every
+# Ordered* lock/condvar op and sync_point through a fixed seed sweep
+# (release mode — the scheduler serializes execution, so optimized
+# builds keep the sweep fast). The planted-bug suite proves the checker
+# still catches each known bug class within its seed budget; the real
+# GroupCommitWal and SingleFlight protocols must survive their full
+# sweeps. The sync suite repeats 3x to pin that the sweep is
+# deterministic and clean, not flaky-green. Any failure prints its seed
+# and a `SCHED_SEED=<n>` replay command.
+echo "== schedule exploration sweep (replay any failure with SCHED_SEED=<n>) =="
+for _ in 1 2 3; do
+    cargo test --release -q -p logstore-sync --features sched-fuzz --test sched
+done
+cargo test --release -q -p logstore-wal --features sched-fuzz --test sched
+cargo test --release -q -p logstore-cache --features sched-fuzz --test sched
 
 # Optional deep-checking stage: run under Miri / ThreadSanitizer when the
 # toolchains are installed (they are not in the offline CI container;

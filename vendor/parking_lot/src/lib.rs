@@ -80,6 +80,14 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 pub struct WaitTimeoutResult(bool);
 
 impl WaitTimeoutResult {
+    /// Constructs a result directly. Real `parking_lot` has no such
+    /// constructor; `logstore-sync`'s schedule explorer needs one to
+    /// surface its *modeled* timeouts through the same type.
+    #[doc(hidden)]
+    pub fn new(timed_out: bool) -> Self {
+        WaitTimeoutResult(timed_out)
+    }
+
     /// Whether the wait ended because the timeout elapsed.
     pub fn timed_out(&self) -> bool {
         self.0
@@ -161,9 +169,27 @@ impl<T: ?Sized> RwLock<T> {
         RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
     }
 
+    /// Attempts to acquire a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(RwLockReadGuard(g)),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard(e.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Attempts to acquire an exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(RwLockWriteGuard(g)),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard(e.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).

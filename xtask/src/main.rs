@@ -16,6 +16,15 @@
 //! 4. **CrashPoint coverage** — every `CrashPoint` variant is referenced
 //!    by at least one call site outside its defining module.
 //! 5. **`#![forbid(unsafe_code)]`** in every non-vendor crate root.
+//! 6. **Lock-label audit** — every `Ordered*::new("…")` site label must
+//!    be globally unique (a copy-pasted label silently merges two lock
+//!    sites in the acquired-before graph) and follow the
+//!    `crate.module.field` convention with the crate segment matching the
+//!    file's crate directory (allowlist:
+//!    `xtask/lint-allow-lock-labels.txt`).
+//! 7. **Swallowed-`Result` ban** — `let _ =` and `.ok();` discarding a
+//!    fallible call in non-test code is budgeted per file
+//!    (`xtask/lint-allow-swallow.txt`); counts may only shrink.
 
 #![forbid(unsafe_code)]
 
@@ -43,6 +52,8 @@ fn lint() -> ExitCode {
     check_simtest_determinism(&root, &mut failures);
     check_crashpoint_coverage(&root, &mut failures);
     check_forbid_unsafe(&root, &mut failures);
+    check_lock_labels(&root, &mut failures);
+    check_swallowed_results(&root, &mut failures);
     if failures.is_empty() {
         println!("xtask lint: all checks passed");
         ExitCode::SUCCESS
@@ -166,13 +177,21 @@ fn check_raw_locks(root: &Path, failures: &mut Vec<String>) {
     }
 }
 
-/// Check 2: unwrap/expect burn-down in non-test core code.
+/// Check 2: unwrap/expect burn-down in non-test code across every gated
+/// crate src dir.
 fn check_unwrap_budget(root: &Path, failures: &mut Vec<String>) {
+    const GATED_DIRS: [&str; 8] = [
+        "crates/core/src",
+        "crates/query/src",
+        "crates/net/src",
+        "crates/cache/src",
+        "crates/oss/src",
+        "crates/wal/src",
+        "crates/flow/src",
+        "crates/logblock/src",
+    ];
     let budgets = load_allowlist(&root.join("xtask/lint-allow-unwrap.txt"));
-    let gated = rust_files(&root.join("crates/core/src"))
-        .into_iter()
-        .chain(rust_files(&root.join("crates/query/src")))
-        .chain(rust_files(&root.join("crates/net/src")));
+    let gated = GATED_DIRS.iter().flat_map(|d| rust_files(&root.join(d)));
     for file in gated {
         let path = rel(root, &file);
         let text = fs::read_to_string(&file).expect("read source file");
@@ -291,6 +310,160 @@ fn check_crashpoint_coverage(root: &Path, failures: &mut Vec<String>) {
                  tests nothing; wire it into the pipeline or remove the variant"
             );
             failures.push(reference);
+        }
+    }
+}
+
+/// The non-test `src` dirs the label and swallow passes scan, paired with
+/// the crate's label segment (`crates/<name>` → `<name>`; the facade
+/// crate at the repo root is `logstore`).
+fn crate_src_dirs(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut dirs: Vec<(String, PathBuf)> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                dirs.push((entry.file_name().to_string_lossy().into_owned(), src));
+            }
+        }
+    }
+    dirs.push(("logstore".to_string(), root.join("src")));
+    dirs.sort();
+    dirs
+}
+
+/// Index of the first `#[cfg(test)]` line — the boundary below which a
+/// file is test code (test modules sit at the bottom of each file).
+fn test_boundary(lines: &[&str]) -> usize {
+    lines.iter().position(|l| l.contains("#[cfg(test)]")).unwrap_or(lines.len())
+}
+
+/// Finds the first string literal at/after column `col` of `lines[line]`,
+/// scanning at most into the next three lines (rustfmt wraps long
+/// constructor calls, putting the label on its own line).
+fn first_string_literal(lines: &[&str], line: usize, col: usize, limit: usize) -> Option<String> {
+    for (j, raw) in lines.iter().enumerate().take((line + 4).min(limit)).skip(line) {
+        let code = strip_line_comment(raw);
+        let seg = if j == line { code.get(col..).unwrap_or("") } else { code };
+        if let Some(open) = seg.find('"') {
+            let rest = &seg[open + 1..];
+            return rest.find('"').map(|close| rest[..close].to_string());
+        }
+    }
+    None
+}
+
+/// Check 6: every `Ordered*::new("…")` site label in non-test code is
+/// globally unique and follows `crate.module.field` with the leading
+/// segment naming the crate. Two locks sharing a label silently merge in
+/// the acquired-before graph — a copy-pasted label can hide a real
+/// inversion or manufacture a false one. Intentional shared labels (e.g.
+/// a pool of never-nested same-role locks) go in the allowlist by label.
+fn check_lock_labels(root: &Path, failures: &mut Vec<String>) {
+    const CTORS: [&str; 3] = ["OrderedMutex::new", "OrderedRwLock::new", "OrderedCondvar::new"];
+    let allow: Vec<String> = load_allowlist(&root.join("xtask/lint-allow-lock-labels.txt"))
+        .into_iter()
+        .map(|(l, _)| l)
+        .collect();
+    let mut seen: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for (crate_seg, dir) in crate_src_dirs(root) {
+        for file in rust_files(&dir) {
+            let path = rel(root, &file);
+            let text = fs::read_to_string(&file).expect("read source file");
+            let lines: Vec<&str> = text.lines().collect();
+            let boundary = test_boundary(&lines);
+            for i in 0..boundary {
+                let code = strip_line_comment(lines[i]);
+                for ctor in CTORS {
+                    let mut start = 0;
+                    while let Some(pos) = code[start..].find(ctor) {
+                        let idx = start + pos;
+                        start = idx + ctor.len();
+                        if !token_at(code, idx, ctor) {
+                            continue;
+                        }
+                        let site = format!("{path}:{}", i + 1);
+                        let Some(label) =
+                            first_string_literal(&lines, i, idx + ctor.len(), boundary)
+                        else {
+                            failures.push(format!(
+                                "{site}: `{ctor}` site without a findable label literal \
+                                 (the label must appear within three lines of the call)"
+                            ));
+                            continue;
+                        };
+                        if allow.iter().any(|a| a == &label) {
+                            continue;
+                        }
+                        let segs: Vec<&str> = label.split('.').collect();
+                        let well_formed = segs.len() >= 3
+                            && segs.iter().all(|s| {
+                                !s.is_empty()
+                                    && s.chars().all(|c| {
+                                        c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'
+                                    })
+                            });
+                        if !well_formed {
+                            failures.push(format!(
+                                "{site}: lock label `{label}` breaks the \
+                                 `crate.module.field` convention (>= 3 dot-separated \
+                                 [a-z0-9_] segments)"
+                            ));
+                        } else if segs[0] != crate_seg {
+                            failures.push(format!(
+                                "{site}: lock label `{label}` leads with `{}` but lives in \
+                                 crate `{crate_seg}` — the first segment must name the crate",
+                                segs[0]
+                            ));
+                        }
+                        if let Some(prev) = seen.insert(label.clone(), site.clone()) {
+                            failures.push(format!(
+                                "{site}: lock label `{label}` duplicates {prev} — shared \
+                                 labels merge distinct locks in the acquired-before graph; \
+                                 rename one, or allowlist the label in \
+                                 xtask/lint-allow-lock-labels.txt with justification"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check 7: swallowed `Result`s. `let _ = fallible()` and
+/// `fallible().ok();` make error paths invisible — LogStore's crash-safety
+/// arguments (PR 8's GC barriers above all) depend on errors propagating.
+/// Budgeted per file like the unwrap pass; budgets only shrink.
+fn check_swallowed_results(root: &Path, failures: &mut Vec<String>) {
+    let budgets = load_allowlist(&root.join("xtask/lint-allow-swallow.txt"));
+    for (_, dir) in crate_src_dirs(root) {
+        for file in rust_files(&dir) {
+            let path = rel(root, &file);
+            let text = fs::read_to_string(&file).expect("read source file");
+            let mut count: u64 = 0;
+            for line in text.lines() {
+                if line.contains("#[cfg(test)]") {
+                    break;
+                }
+                let code = strip_line_comment(line);
+                count += code.matches("let _ = ").count() as u64;
+                count += code.matches(".ok();").count() as u64;
+            }
+            let budget =
+                budgets.iter().find(|(p, _)| p == &path).and_then(|(_, n)| *n).unwrap_or(0);
+            if count > budget {
+                failures.push(format!(
+                    "{path}: {count} swallowed Result(s) (`let _ =` / `.ok();`) in non-test \
+                     code exceeds budget {budget} (xtask/lint-allow-swallow.txt; handle or \
+                     propagate the error — budgets only shrink)"
+                ));
+            } else if count < budget {
+                println!(
+                    "xtask lint: note: {path} is under its swallow budget ({count} < {budget}); \
+                     lower it in xtask/lint-allow-swallow.txt to lock in the progress"
+                );
+            }
         }
     }
 }
